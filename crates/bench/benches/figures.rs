@@ -1,0 +1,69 @@
+//! `cargo bench` target that regenerates every paper figure at quick
+//! scale and prints the series rows (harness = false: this is a
+//! reproduction driver, not a timing microbenchmark — wall-clock per
+//! figure is reported alongside).
+//!
+//! Figures 5 and 6 (simulator validation) are skipped here to keep
+//! `cargo bench` under a few minutes; run them via
+//! `repro --figure fig05,fig06`.
+
+use gprs_experiments::figures::run_figure;
+use gprs_experiments::Scale;
+use std::time::Instant;
+
+fn main() {
+    // Respect Criterion-style filter arguments minimally: `--bench` is
+    // passed by cargo; any other free argument filters figure ids.
+    let filter: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+
+    let figure_ids = [
+        "fig14", "fig15", "fig11", "fig12", "fig13", "fig07", "fig08", "fig09",
+        "fig10", "ext01",
+    ];
+    let mut failures = 0;
+    for id in figure_ids {
+        if !filter.is_empty() && !filter.iter().any(|f| id.contains(f.as_str())) {
+            continue;
+        }
+        let t0 = Instant::now();
+        match run_figure(id, Scale::Quick) {
+            Ok(fig) => {
+                let elapsed = t0.elapsed();
+                println!("{} — regenerated in {elapsed:.2?}", fig.title);
+                for panel in &fig.panels {
+                    for s in &panel.series {
+                        let head: Vec<String> = s
+                            .y
+                            .iter()
+                            .take(6)
+                            .map(|v| format!("{v:.4}"))
+                            .collect();
+                        println!(
+                            "    {} / {}: [{}{}]",
+                            panel.title,
+                            s.label,
+                            head.join(", "),
+                            if s.y.len() > 6 { ", ..." } else { "" }
+                        );
+                    }
+                }
+                let pass = fig.checks.iter().filter(|c| c.pass).count();
+                println!("    shape checks: {pass}/{}\n", fig.checks.len());
+                if pass != fig.checks.len() {
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                println!("{id}: ERROR {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} figure(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Closed-form queueing benchmarks: Erlang recursion, distributions,
+//! handover balancing, traffic analytics, and the IPP/M/c/K oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gprs_queueing::erlang::{erlang_b, mmcc_distribution};
+use gprs_queueing::handover::{balance_default, HandoverParams};
+use gprs_queueing::IppMckQueue;
+use gprs_traffic::analysis::{Hyperexponential, Mmpp2};
+use gprs_traffic::TrafficModel;
+
+fn bench_erlang(c: &mut Criterion) {
+    let mut g = c.benchmark_group("erlang_b");
+    for servers in [20usize, 150, 1000] {
+        g.bench_with_input(
+            BenchmarkId::new("blocking", servers),
+            &servers,
+            |b, &servers| {
+                b.iter(|| erlang_b(servers, servers as f64 * 0.9).unwrap())
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("distribution", servers),
+            &servers,
+            |b, &servers| {
+                b.iter(|| mmcc_distribution(servers, servers as f64 * 0.9).unwrap())
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_handover_balance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("handover_balance");
+    let gsm = HandoverParams {
+        new_arrival_rate: 0.95,
+        completion_rate: 1.0 / 120.0,
+        handover_rate: 1.0 / 60.0,
+        servers: 19,
+    };
+    g.bench_function("gsm_19_servers", |b| {
+        b.iter(|| balance_default(&gsm).unwrap())
+    });
+    let gprs = HandoverParams {
+        new_arrival_rate: 0.05,
+        completion_rate: 1.0 / 2122.5,
+        handover_rate: 1.0 / 120.0,
+        servers: 150,
+    };
+    g.bench_function("gprs_150_sessions", |b| {
+        b.iter(|| balance_default(&gprs).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_traffic_analytics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traffic_analytics");
+    let ipp = TrafficModel::Model3.params().to_ipp();
+    g.bench_function("aggregate_150_steady_state", |b| {
+        b.iter(|| ipp.aggregate(150).steady_state())
+    });
+    g.bench_function("binomial_pmf_150", |b| {
+        b.iter(|| gprs_traffic::mmpp::binomial_pmf(150, 0.5))
+    });
+    g.bench_function("superposition_fit_50", |b| {
+        b.iter(|| Mmpp2::fit_superposition(&ipp, 50))
+    });
+    g.bench_function("kuczura_h2_equivalence", |b| {
+        b.iter(|| Hyperexponential::from_ipp(&ipp))
+    });
+    g.finish();
+}
+
+fn bench_ipp_mck(c: &mut Criterion) {
+    // Direct QBD elimination scales linearly in the buffer size; the
+    // paper-scale case (K = 100) is microseconds — the point of having a
+    // closed-form oracle next to the big iterative chain.
+    let mut g = c.benchmark_group("ipp_mck_oracle");
+    for capacity in [25usize, 100, 400] {
+        g.bench_with_input(
+            BenchmarkId::new("solve", capacity),
+            &capacity,
+            |b, &capacity| {
+                b.iter(|| {
+                    IppMckQueue::new(0.32, 0.32, 8.33, 4, 3.49, capacity).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_erlang,
+    bench_handover_balance,
+    bench_traffic_analytics,
+    bench_ipp_mck
+);
+criterion_main!(benches);

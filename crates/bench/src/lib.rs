@@ -1,0 +1,56 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches measure the reproduction's computational kernels:
+//!
+//! * `solver` — steady-state solver comparison (block tridiagonal vs
+//!   point Gauss–Seidel vs GTH) across state-space sizes — the ablation
+//!   behind DESIGN.md's solver choice.
+//! * `generator` — transition enumeration and sparse assembly
+//!   throughput.
+//! * `simulator` — discrete-event throughput (events/s) for both radio
+//!   fidelities and with/without TCP.
+//! * `queueing` — Erlang-B, M/M/c/c distributions and handover
+//!   balancing.
+//! * `figures` — a `harness = false` target that regenerates every
+//!   paper figure at quick scale, printing the same series the paper
+//!   plots (so `cargo bench` exercises the full reproduction path).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use gprs_core::{CellConfig, GprsModel};
+use gprs_traffic::TrafficModel;
+
+/// A small but non-trivial model: ~15k states.
+pub fn small_model() -> GprsModel {
+    let cfg = CellConfig::builder()
+        .traffic_model(TrafficModel::Model3)
+        .buffer_capacity(12)
+        .max_gprs_sessions(7)
+        .call_arrival_rate(0.5)
+        .build()
+        .expect("valid config");
+    GprsModel::new(cfg).expect("valid model")
+}
+
+/// A mid-size model: ~190k states (quick-scale figure configuration).
+pub fn medium_model() -> GprsModel {
+    let cfg = CellConfig::builder()
+        .traffic_model(TrafficModel::Model3)
+        .buffer_capacity(40)
+        .call_arrival_rate(0.5)
+        .build()
+        .expect("valid config");
+    GprsModel::new(cfg).expect("valid model")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert!(small_model().config().num_states() < 50_000);
+        assert!(medium_model().config().num_states() > 100_000);
+    }
+}

@@ -1,0 +1,96 @@
+//! GPRS channel coding schemes.
+//!
+//! GPRS defines four convolutional coding schemes CS-1..CS-4 trading
+//! robustness for throughput. The paper fixes CS-2 (13.4 kbit/s per
+//! PDCH); we expose all four so the dimensioning question can be asked
+//! under different radio conditions.
+
+use gprs_traffic::params::PACKET_SIZE_BITS;
+
+/// A GPRS coding scheme and its per-PDCH data rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CodingScheme {
+    /// CS-1: rate-1/2 coding, 9.05 kbit/s — for high block-error-rate
+    /// channels.
+    Cs1,
+    /// CS-2: 13.4 kbit/s — the paper's choice.
+    #[default]
+    Cs2,
+    /// CS-3: 15.6 kbit/s.
+    Cs3,
+    /// CS-4: no coding, 21.4 kbit/s — clean channels only.
+    Cs4,
+}
+
+impl CodingScheme {
+    /// Net data rate of one PDCH in kbit/s.
+    pub fn data_rate_kbps(self) -> f64 {
+        match self {
+            CodingScheme::Cs1 => 9.05,
+            CodingScheme::Cs2 => 13.4,
+            CodingScheme::Cs3 => 15.6,
+            CodingScheme::Cs4 => 21.4,
+        }
+    }
+
+    /// Net data rate in bit/s.
+    pub fn data_rate_bps(self) -> f64 {
+        self.data_rate_kbps() * 1000.0
+    }
+
+    /// Service rate of one PDCH in *packets per second* for the paper's
+    /// 480-byte network-layer packets: `μ_service = rate / 3840 bit`.
+    ///
+    /// For CS-2 this is ≈ 3.4896 packets/s.
+    pub fn packet_service_rate(self) -> f64 {
+        self.data_rate_bps() / PACKET_SIZE_BITS
+    }
+
+    /// All four schemes in increasing-rate order.
+    pub const ALL: [CodingScheme; 4] = [
+        CodingScheme::Cs1,
+        CodingScheme::Cs2,
+        CodingScheme::Cs3,
+        CodingScheme::Cs4,
+    ];
+}
+
+impl std::fmt::Display for CodingScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodingScheme::Cs1 => write!(f, "CS-1"),
+            CodingScheme::Cs2 => write!(f, "CS-2"),
+            CodingScheme::Cs3 => write!(f, "CS-3"),
+            CodingScheme::Cs4 => write!(f, "CS-4"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cs2_is_the_paper_rate() {
+        assert_eq!(CodingScheme::default(), CodingScheme::Cs2);
+        assert!((CodingScheme::Cs2.data_rate_kbps() - 13.4).abs() < 1e-12);
+        // 13400 / 3840 ≈ 3.4896 packets/s.
+        assert!((CodingScheme::Cs2.packet_service_rate() - 3.489_583_333).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rates_increase_cs1_to_cs4() {
+        let rates: Vec<f64> = CodingScheme::ALL
+            .iter()
+            .map(|c| c.data_rate_kbps())
+            .collect();
+        for w in rates.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CodingScheme::Cs4.to_string(), "CS-4");
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for model construction and solving.
+
+use std::fmt;
+
+/// Errors from building or solving the GPRS cell model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The cell configuration is invalid.
+    Config {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// A closed-form queueing computation failed (handover balancing).
+    Queueing(gprs_queueing::QueueingError),
+    /// The CTMC solver failed (construction or convergence).
+    Ctmc(gprs_ctmc::CtmcError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Config { reason } => write!(f, "invalid configuration: {reason}"),
+            ModelError::Queueing(e) => write!(f, "queueing computation failed: {e}"),
+            ModelError::Ctmc(e) => write!(f, "ctmc solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Config { .. } => None,
+            ModelError::Queueing(e) => Some(e),
+            ModelError::Ctmc(e) => Some(e),
+        }
+    }
+}
+
+impl From<gprs_queueing::QueueingError> for ModelError {
+    fn from(e: gprs_queueing::QueueingError) -> Self {
+        ModelError::Queueing(e)
+    }
+}
+
+impl From<gprs_ctmc::CtmcError> for ModelError {
+    fn from(e: gprs_ctmc::CtmcError) -> Self {
+        ModelError::Ctmc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let e = ModelError::Config {
+            reason: "bad".into(),
+        };
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_none());
+
+        let e: ModelError = gprs_ctmc::CtmcError::EmptyChain.into();
+        assert!(e.source().is_some());
+        let e: ModelError = gprs_queueing::QueueingError::InvalidParameter {
+            name: "x",
+            value: -1.0,
+        }
+        .into();
+        assert!(e.to_string().contains('x'));
+    }
+}

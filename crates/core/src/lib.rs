@@ -1,0 +1,82 @@
+//! The GPRS radio-interface Markov model of Lindemann & Thümmler.
+//!
+//! This crate is the reproduction's *core contribution*: a continuous-
+//! time Markov chain of one cell in an integrated GSM/GPRS network,
+//! exactly as described in the paper's Sections 3–4.
+//!
+//! # The model in one paragraph
+//!
+//! A cell owns `N` physical channels. `N_GPRS` of them are permanently
+//! reserved as packet data channels (PDCHs); the remaining
+//! `N_GSM = N − N_GPRS` are shared *on demand*, with GSM voice calls
+//! taking strict priority. GSM calls and GPRS sessions arrive as
+//! independent Poisson streams (plus balanced handover flows from
+//! neighbouring cells) and hold exponential dwell/duration times. Each
+//! active GPRS session generates downlink packets as an interrupted
+//! Poisson process (3GPP traffic model); the `m` active sessions
+//! aggregate into an `(m+1)`-state MMPP whose state `r` counts sources in
+//! *off*. Packets queue in the BSC's FIFO buffer of capacity `K` and are
+//! served by `min(N − n, 8k)` PDCHs at `μ_service` packets/s each
+//! (CS-2 coding, 480-byte packets). TCP flow control is approximated by
+//! throttling the arrival rate to the service rate once the buffer
+//! exceeds `η·K`. The chain state is `(k, n, m, r)` — Table 1 of the
+//! paper gives the transition rates, reproduced in [`generator`].
+//!
+//! # Quick start
+//!
+//! ```
+//! use gprs_core::{CellConfig, GprsModel};
+//! use gprs_traffic::TrafficModel;
+//!
+//! // The paper's base setting (Table 2) with traffic model 3, scaled
+//! // down (small buffer) so this doc test runs in milliseconds.
+//! let config = CellConfig::builder()
+//!     .traffic_model(TrafficModel::Model3)
+//!     .call_arrival_rate(0.3)
+//!     .buffer_capacity(10)
+//!     .max_gprs_sessions(5)
+//!     .build()?;
+//! let model = GprsModel::new(config)?;
+//! let solved = model.solve_default()?;
+//! let m = solved.measures();
+//! assert!(m.carried_data_traffic > 0.0);
+//! assert!(m.packet_loss_probability < 1.0);
+//! # Ok::<(), gprs_core::ModelError>(())
+//! ```
+//!
+//! # Modules
+//!
+//! * [`config`] — cell parameters, Table 2 defaults, builder.
+//! * [`coding`] — GPRS coding schemes CS-1..CS-4 and per-PDCH rates.
+//! * [`state`] — the `(n, k, m, r)` state space and its linear indexing.
+//! * [`generator`] — Table 1 transition rates, forward *and* reverse
+//!   (matrix-free), implementing the `gprs-ctmc` traits.
+//! * [`measures`] — Eqs. 6–11: CVT, AGS, CDT, PLP, QD, ATU, blocking.
+//! * [`solve`] — handover balancing + steady-state solution.
+//! * [`sweep`] — warm-started arrival-rate sweeps (the paper's x-axes).
+//! * [`qos`] — PDCH dimensioning against a QoS profile (Section 5.3).
+//! * [`adaptive`] — dynamic PDCH re-dimensioning (policy table +
+//!   hysteresis controller + reconfiguration transients), the paper's
+//!   future-work direction.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adaptive;
+pub mod coding;
+pub mod config;
+pub mod error;
+pub mod generator;
+pub mod measures;
+pub mod qos;
+pub mod solve;
+pub mod state;
+pub mod sweep;
+
+pub use coding::CodingScheme;
+pub use config::{CellConfig, CellConfigBuilder};
+pub use error::ModelError;
+pub use generator::GprsModel;
+pub use measures::Measures;
+pub use solve::SolvedModel;
+pub use state::{CellState, StateSpace};

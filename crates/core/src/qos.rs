@@ -1,0 +1,295 @@
+//! PDCH dimensioning against a QoS profile — the paper's design question
+//! (Section 5.3).
+//!
+//! The paper's worked example: a QoS profile allowing at most 50 %
+//! throughput degradation relative to an unloaded cell. Under it,
+//! reserving 4 PDCHs suffices up to 1 call/s with 2 % GPRS users, but
+//! only up to ≈ 0.5 and ≈ 0.3 calls/s with 5 % and 10 % GPRS users.
+//! This module turns that analysis into an API.
+
+use crate::config::CellConfig;
+use crate::error::ModelError;
+use crate::generator::GprsModel;
+use gprs_ctmc::solver::SolveOptions;
+
+/// Arrival rate used as "unloaded" when computing the reference
+/// (maximum) per-user throughput.
+pub const REFERENCE_RATE: f64 = 1e-3;
+
+/// Per-user throughput (kbit/s) of an essentially unloaded cell with the
+/// given configuration — the "maximum throughput" every user enjoys at
+/// negligible load, the baseline for degradation checks.
+///
+/// # Errors
+///
+/// Propagates model construction/solve errors.
+pub fn reference_throughput_per_user(
+    base: &CellConfig,
+    opts: &SolveOptions,
+) -> Result<f64, ModelError> {
+    let mut cfg = base.clone();
+    cfg.call_arrival_rate = REFERENCE_RATE;
+    let model = GprsModel::new(cfg)?;
+    Ok(model.solve(opts, None)?.measures().throughput_per_user_kbps)
+}
+
+/// Outcome of a QoS check at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosCheck {
+    /// Per-user throughput at the operating point, kbit/s.
+    pub throughput_kbps: f64,
+    /// The unloaded reference throughput, kbit/s.
+    pub reference_kbps: f64,
+    /// `1 − throughput/reference`, in `[0, 1]`.
+    pub degradation: f64,
+    /// Whether the degradation stayed within the allowed bound.
+    pub satisfied: bool,
+}
+
+/// Checks a QoS profile "throughput degradation at most
+/// `max_degradation`" at the configured arrival rate.
+///
+/// # Errors
+///
+/// Propagates model construction/solve errors.
+pub fn check_throughput_degradation(
+    config: &CellConfig,
+    max_degradation: f64,
+    opts: &SolveOptions,
+) -> Result<QosCheck, ModelError> {
+    let reference = reference_throughput_per_user(config, opts)?;
+    let model = GprsModel::new(config.clone())?;
+    let tput = model.solve(opts, None)?.measures().throughput_per_user_kbps;
+    let degradation = if reference > 0.0 {
+        (1.0 - tput / reference).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    Ok(QosCheck {
+        throughput_kbps: tput,
+        reference_kbps: reference,
+        degradation,
+        satisfied: degradation <= max_degradation,
+    })
+}
+
+/// Finds the smallest number of reserved PDCHs for which the QoS profile
+/// holds at the configured arrival rate, trying `0..=max_reserved`.
+/// Returns `None` if even `max_reserved` PDCHs cannot satisfy it.
+///
+/// # Errors
+///
+/// Propagates model construction/solve errors.
+pub fn min_reserved_pdchs_for_qos(
+    base: &CellConfig,
+    max_degradation: f64,
+    max_reserved: usize,
+    opts: &SolveOptions,
+) -> Result<Option<usize>, ModelError> {
+    for reserved in 0..=max_reserved.min(base.total_channels) {
+        let mut cfg = base.clone();
+        cfg.reserved_pdchs = reserved;
+        let check = check_throughput_degradation(&cfg, max_degradation, opts)?;
+        if check.satisfied {
+            return Ok(Some(reserved));
+        }
+    }
+    Ok(None)
+}
+
+/// The largest call arrival rate at which the configuration still
+/// satisfies `targets`, found by bisection on `(0, rate_hi]` to relative
+/// precision `rate_tol` — the exact quantity behind the paper's
+/// "4 PDCHs are sufficient up to 1 call/s" statements, as an API.
+///
+/// Returns `None` when the targets are violated already at the smallest
+/// probed rate (i.e. there is no feasible operating region below
+/// `rate_hi`). If even `rate_hi` satisfies the targets, `rate_hi` itself
+/// is returned: the boundary lies beyond the probed range.
+///
+/// The search assumes QoS satisfaction is monotone in the arrival rate
+/// (more offered traffic never improves the data path), which holds for
+/// all of the paper's measures.
+///
+/// # Errors
+///
+/// Propagates model construction/solve errors, and rejects a
+/// non-positive `rate_hi` or `rate_tol` as [`ModelError::Config`].
+///
+/// # Example
+///
+/// ```
+/// use gprs_core::adaptive::QosTargets;
+/// use gprs_core::qos::max_sustainable_rate;
+/// use gprs_core::CellConfig;
+/// use gprs_ctmc::SolveOptions;
+/// use gprs_traffic::TrafficModel;
+///
+/// let base = CellConfig::builder()
+///     .traffic_model(TrafficModel::Model3)
+///     .total_channels(6)
+///     .buffer_capacity(8)
+///     .max_gprs_sessions(3)
+///     .build()?;
+/// let targets = QosTargets::new().max_queueing_delay(1.0);
+/// let limit =
+///     max_sustainable_rate(&base, &targets, 3.0, 0.05, &SolveOptions::quick())?;
+/// assert!(limit.is_some());
+/// # Ok::<(), gprs_core::ModelError>(())
+/// ```
+pub fn max_sustainable_rate(
+    base: &CellConfig,
+    targets: &crate::adaptive::QosTargets,
+    rate_hi: f64,
+    rate_tol: f64,
+    opts: &SolveOptions,
+) -> Result<Option<f64>, ModelError> {
+    if !(rate_hi.is_finite() && rate_hi > 0.0) {
+        return Err(ModelError::Config {
+            reason: format!("rate_hi must be positive, got {rate_hi}"),
+        });
+    }
+    if !(rate_tol.is_finite() && rate_tol > 0.0 && rate_tol < 1.0) {
+        return Err(ModelError::Config {
+            reason: format!("rate_tol must lie in (0, 1), got {rate_tol}"),
+        });
+    }
+    let reference = reference_throughput_per_user(base, opts)?;
+    let satisfied_at = |rate: f64| -> Result<bool, ModelError> {
+        let mut cfg = base.clone();
+        cfg.call_arrival_rate = rate;
+        let model = GprsModel::new(cfg)?;
+        let solved = model.solve(opts, None)?;
+        Ok(targets.satisfied_by(solved.measures(), reference))
+    };
+
+    if satisfied_at(rate_hi)? {
+        return Ok(Some(rate_hi));
+    }
+    let mut lo = rate_hi * 1e-3;
+    if !satisfied_at(lo)? {
+        return Ok(None);
+    }
+    let mut hi = rate_hi;
+    while (hi - lo) / hi.max(1e-12) > rate_tol {
+        let mid = 0.5 * (lo + hi);
+        if satisfied_at(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Some(lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gprs_traffic::TrafficModel;
+
+    fn small_base(rate: f64) -> CellConfig {
+        CellConfig::builder()
+            .total_channels(6)
+            .reserved_pdchs(1)
+            .buffer_capacity(8)
+            .traffic_model(TrafficModel::Model3)
+            .max_gprs_sessions(3)
+            .call_arrival_rate(rate)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn reference_throughput_is_positive_and_bounded() {
+        let r =
+            reference_throughput_per_user(&small_base(0.5), &SolveOptions::quick())
+                .unwrap();
+        assert!(r > 0.0);
+        // Cannot exceed the 8-slot multislot cap.
+        assert!(r <= 8.0 * 13.4 + 1e-9);
+    }
+
+    #[test]
+    fn degradation_grows_with_load() {
+        let lo = check_throughput_degradation(
+            &small_base(0.05),
+            0.5,
+            &SolveOptions::quick(),
+        )
+        .unwrap();
+        let hi = check_throughput_degradation(
+            &small_base(2.0),
+            0.5,
+            &SolveOptions::quick(),
+        )
+        .unwrap();
+        assert!(hi.degradation >= lo.degradation);
+        assert!((0.0..=1.0).contains(&lo.degradation));
+    }
+
+    #[test]
+    fn more_reserved_pdchs_reduce_degradation() {
+        let mut base = small_base(1.5);
+        base.reserved_pdchs = 0;
+        let none =
+            check_throughput_degradation(&base, 0.5, &SolveOptions::quick()).unwrap();
+        base.reserved_pdchs = 3;
+        let three =
+            check_throughput_degradation(&base, 0.5, &SolveOptions::quick()).unwrap();
+        assert!(three.degradation <= none.degradation + 1e-9);
+    }
+
+    #[test]
+    fn min_reserved_search_finds_a_feasible_point_or_none() {
+        let base = small_base(1.0);
+        // A very lax profile is satisfiable with few PDCHs.
+        let lax = min_reserved_pdchs_for_qos(&base, 0.95, 4, &SolveOptions::quick())
+            .unwrap();
+        assert!(lax.is_some());
+        // An impossible profile (0 % degradation at high load) returns None.
+        let strict =
+            min_reserved_pdchs_for_qos(&small_base(3.0), 0.0, 2, &SolveOptions::quick())
+                .unwrap();
+        assert!(strict.is_none());
+    }
+
+    #[test]
+    fn sustainable_rate_bisection_brackets_the_boundary() {
+        use crate::adaptive::QosTargets;
+        let base = small_base(0.5); // the rate field is overridden inside
+        let targets = QosTargets::new().max_packet_loss(9e-2);
+        let opts = SolveOptions::quick();
+        let limit = max_sustainable_rate(&base, &targets, 3.0, 0.02, &opts)
+            .unwrap()
+            .expect("a feasible region exists");
+        assert!(limit > 0.0 && limit < 3.0);
+        // The boundary is genuine: satisfied just below, violated above.
+        let check = |rate: f64| {
+            let mut cfg = base.clone();
+            cfg.call_arrival_rate = rate;
+            let m = GprsModel::new(cfg).unwrap();
+            m.solve(&opts, None).unwrap().measures().packet_loss_probability
+        };
+        assert!(check(limit * 0.9) <= 9e-2 + 1e-6);
+        assert!(check(limit * 1.2) > 9e-2);
+    }
+
+    #[test]
+    fn sustainable_rate_handles_both_extremes() {
+        use crate::adaptive::QosTargets;
+        let base = small_base(0.5);
+        let opts = SolveOptions::quick();
+        // Impossible target: no feasible region.
+        let none =
+            max_sustainable_rate(&base, &QosTargets::new().max_packet_loss(0.0), 2.0, 0.05, &opts)
+                .unwrap();
+        assert!(none.is_none());
+        // Trivial target: the probed ceiling comes back.
+        let all = max_sustainable_rate(&base, &QosTargets::new(), 2.0, 0.05, &opts)
+            .unwrap();
+        assert_eq!(all, Some(2.0));
+        // Bad parameters are rejected.
+        assert!(max_sustainable_rate(&base, &QosTargets::new(), -1.0, 0.05, &opts).is_err());
+        assert!(max_sustainable_rate(&base, &QosTargets::new(), 1.0, 0.0, &opts).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! Sweeps over the call arrival rate.
+//!
+//! Every figure in the paper's evaluation plots measures against the
+//! combined GSM/GPRS call arrival rate. Each point starts from the
+//! product-form guess (exact phase marginals for *that* rate, from the
+//! balanced Erlang systems), which the block solver converges from in a
+//! handful of sweeps — measurably better than chaining the previous
+//! point's solution, whose phase marginals belong to the wrong rate.
+
+use crate::config::CellConfig;
+use crate::error::ModelError;
+use crate::generator::GprsModel;
+use crate::measures::Measures;
+use gprs_ctmc::solver::SolveOptions;
+
+/// One point of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Combined call arrival rate (calls/s).
+    pub rate: f64,
+    /// The measures at this rate.
+    pub measures: Measures,
+    /// Solver sweeps used for this point.
+    pub sweeps: usize,
+    /// Final residual.
+    pub residual: f64,
+}
+
+/// Evenly spaced rates over `[lo, hi]` (inclusive), `points >= 2`.
+///
+/// # Panics
+///
+/// Panics if `points < 2`, `lo <= 0`, or `hi <= lo`.
+pub fn rate_grid(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    assert!(points >= 2, "need at least two grid points");
+    assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+    (0..points)
+        .map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64)
+        .collect()
+}
+
+/// Runs the model at each arrival rate, warm-starting successive solves.
+///
+/// `base` supplies every parameter except the arrival rate, which is
+/// overridden per point.
+///
+/// # Errors
+///
+/// Propagates the first construction or convergence error.
+///
+/// # Example
+///
+/// ```
+/// use gprs_core::sweep::{rate_grid, sweep_arrival_rates};
+/// use gprs_core::CellConfig;
+/// use gprs_ctmc::SolveOptions;
+/// use gprs_traffic::TrafficModel;
+///
+/// let base = CellConfig::builder()
+///     .traffic_model(TrafficModel::Model3)
+///     .total_channels(5)
+///     .buffer_capacity(6)
+///     .max_gprs_sessions(2)
+///     .build()?;
+/// let points =
+///     sweep_arrival_rates(&base, &rate_grid(0.1, 0.5, 3), &SolveOptions::quick())?;
+/// // Voice blocking grows along the paper's x-axis.
+/// assert!(points[2].measures.gsm_blocking_probability
+///     >= points[0].measures.gsm_blocking_probability);
+/// # Ok::<(), gprs_core::ModelError>(())
+/// ```
+pub fn sweep_arrival_rates(
+    base: &CellConfig,
+    rates: &[f64],
+    opts: &SolveOptions,
+) -> Result<Vec<SweepPoint>, ModelError> {
+    sweep_arrival_rates_with(base, rates, opts, |_, _| {})
+}
+
+/// Like [`sweep_arrival_rates`], invoking `progress(index, &point)` after
+/// each solved point (for live reporting in long sweeps).
+///
+/// # Errors
+///
+/// Propagates the first construction or convergence error.
+pub fn sweep_arrival_rates_with(
+    base: &CellConfig,
+    rates: &[f64],
+    opts: &SolveOptions,
+    mut progress: impl FnMut(usize, &SweepPoint),
+) -> Result<Vec<SweepPoint>, ModelError> {
+    let mut results = Vec::with_capacity(rates.len());
+    for (i, &rate) in rates.iter().enumerate() {
+        let mut cfg = base.clone();
+        cfg.call_arrival_rate = rate;
+        let model = GprsModel::new(cfg)?;
+        let solved = model.solve(opts, None)?;
+        let point = SweepPoint {
+            rate,
+            measures: *solved.measures(),
+            sweeps: solved.sweeps(),
+            residual: solved.residual(),
+        };
+        progress(i, &point);
+        results.push(point);
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gprs_traffic::TrafficModel;
+
+    fn tiny_base() -> CellConfig {
+        CellConfig::builder()
+            .total_channels(4)
+            .reserved_pdchs(1)
+            .buffer_capacity(5)
+            .traffic_model(TrafficModel::Model3)
+            .max_gprs_sessions(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn grid_is_inclusive_and_even() {
+        let g = rate_grid(0.1, 1.0, 10);
+        assert_eq!(g.len(), 10);
+        assert!((g[0] - 0.1).abs() < 1e-12);
+        assert!((g[9] - 1.0).abs() < 1e-12);
+        assert!((g[1] - g[0] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn grid_needs_two_points() {
+        let _ = rate_grid(0.1, 1.0, 1);
+    }
+
+    #[test]
+    fn sweep_produces_monotone_voice_load() {
+        let base = tiny_base();
+        let rates = rate_grid(0.1, 1.0, 4);
+        let pts = sweep_arrival_rates(&base, &rates, &SolveOptions::default()).unwrap();
+        assert_eq!(pts.len(), 4);
+        // Carried voice traffic grows with the arrival rate.
+        for w in pts.windows(2) {
+            assert!(
+                w[1].measures.carried_voice_traffic
+                    > w[0].measures.carried_voice_traffic
+            );
+        }
+        // Blocking too.
+        for w in pts.windows(2) {
+            assert!(
+                w[1].measures.gsm_blocking_probability
+                    >= w[0].measures.gsm_blocking_probability
+            );
+        }
+    }
+
+    #[test]
+    fn every_point_converges_to_tolerance() {
+        let base = tiny_base();
+        let rates = rate_grid(0.2, 0.4, 5);
+        let opts = SolveOptions::default();
+        let pts = sweep_arrival_rates(&base, &rates, &opts).unwrap();
+        for p in &pts {
+            assert!(p.residual <= opts.tolerance, "rate {}", p.rate);
+            assert!(p.sweeps > 0);
+        }
+    }
+
+    #[test]
+    fn progress_callback_fires_in_order() {
+        let base = tiny_base();
+        let rates = rate_grid(0.2, 0.4, 3);
+        let mut seen = Vec::new();
+        let _ = sweep_arrival_rates_with(&base, &rates, &SolveOptions::default(), |i, p| {
+            seen.push((i, p.rate));
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0].0, 0);
+        assert_eq!(seen[2].0, 2);
+    }
+}

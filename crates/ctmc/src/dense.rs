@@ -1,0 +1,85 @@
+//! A minimal row-major dense matrix used by the GTH direct solver and by
+//! tests. Not intended as a general linear-algebra type.
+
+/// Row-major dense square matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        DenseMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Reads entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        self.data[i * self.n + j]
+    }
+
+    /// Writes entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Adds `v` to entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        self.data[i * self.n + j] += v;
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_add() {
+        let mut m = DenseMatrix::zeros(3);
+        assert_eq!(m.dim(), 3);
+        m.set(0, 1, 2.0);
+        m.add(0, 1, 0.5);
+        assert_eq!(m.get(0, 1), 2.5);
+        assert_eq!(m.get(1, 0), 0.0);
+        assert_eq!(m.row(0), &[0.0, 2.5, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_panics() {
+        let m = DenseMatrix::zeros(2);
+        let _ = m.get(2, 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for CTMC construction and solving.
+
+use std::fmt;
+
+/// Errors produced while building or solving a CTMC.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtmcError {
+    /// The generator is structurally invalid (e.g. a negative rate, or a
+    /// transition index out of bounds).
+    InvalidGenerator {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// A chain with zero states (or an otherwise empty problem) was given.
+    EmptyChain,
+    /// The iterative solver did not reach the requested tolerance.
+    NotConverged {
+        /// Number of sweeps/iterations performed.
+        iterations: usize,
+        /// Relative residual `‖πQ‖₁ / ‖π·exit‖₁` at the final iterate.
+        residual: f64,
+        /// The tolerance that was requested.
+        tolerance: f64,
+    },
+    /// Dimension mismatch between supplied vectors and the chain.
+    DimensionMismatch {
+        /// The dimension the chain expects.
+        expected: usize,
+        /// The dimension that was supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CtmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtmcError::InvalidGenerator { reason } => {
+                write!(f, "invalid generator: {reason}")
+            }
+            CtmcError::EmptyChain => write!(f, "chain has no states"),
+            CtmcError::NotConverged {
+                iterations,
+                residual,
+                tolerance,
+            } => write!(
+                f,
+                "solver did not converge after {iterations} iterations \
+                 (residual {residual:.3e} > tolerance {tolerance:.3e})"
+            ),
+            CtmcError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CtmcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            CtmcError::InvalidGenerator {
+                reason: "negative rate".into(),
+            },
+            CtmcError::EmptyChain,
+            CtmcError::NotConverged {
+                iterations: 10,
+                residual: 1e-3,
+                tolerance: 1e-9,
+            },
+            CtmcError::DimensionMismatch {
+                expected: 4,
+                actual: 2,
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CtmcError>();
+    }
+}

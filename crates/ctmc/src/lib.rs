@@ -1,0 +1,66 @@
+//! Continuous-time Markov chain (CTMC) toolkit.
+//!
+//! This crate provides the numerical substrate for the GPRS reproduction:
+//! building finite-state CTMC generators, solving for their stationary
+//! distribution, and computing reward-based performance measures.
+//!
+//! # Overview
+//!
+//! A CTMC on states `0..n` is described by its infinitesimal generator
+//! `Q`, where `q_ij >= 0` for `i != j` is the transition rate from `i`
+//! to `j` and `q_ii = -Σ_{j != i} q_ij`. The stationary distribution `π`
+//! solves `π Q = 0` with `Σ π_i = 1`.
+//!
+//! Three solvers are provided:
+//!
+//! * [`gth::solve_gth`] — the Grassmann–Taksar–Heyman direct elimination.
+//!   Numerically stable (no subtractions), `O(n³)`; the ground truth for
+//!   small chains and for validating the iterative solvers.
+//! * [`solver::solve_gauss_seidel`] — Gauss–Seidel / SOR iteration over
+//!   *incoming* transitions. Works matrix-free through the
+//!   [`IncomingTransitions`] trait, so chains with tens of millions of
+//!   states never materialize a matrix.
+//! * [`power::solve_power`] — uniformization-based power iteration over
+//!   *outgoing* transitions. Simple and robust but slow on stiff chains;
+//!   used for cross-checks.
+//!
+//! Generators can be represented either as an assembled sparse matrix
+//! ([`SparseGenerator`], built via [`TripletBuilder`]) or as a matrix-free
+//! implementation of the [`Transitions`] / [`IncomingTransitions`] traits.
+//!
+//! # Example
+//!
+//! Solve a two-state on/off chain and compare with the closed form:
+//!
+//! ```
+//! use gprs_ctmc::{TripletBuilder, solver, SolveOptions};
+//!
+//! let mut b = TripletBuilder::new(2);
+//! b.push(0, 1, 1.0); // on -> off
+//! b.push(1, 0, 2.0); // off -> on
+//! let gen = b.build()?;
+//! let sol = solver::solve_gauss_seidel(&gen, None, &SolveOptions::default())?;
+//! assert!((sol.pi[0] - 2.0 / 3.0).abs() < 1e-10);
+//! assert!((sol.pi[1] - 1.0 / 3.0).abs() < 1e-10);
+//! # Ok::<(), gprs_ctmc::CtmcError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dense;
+pub mod error;
+pub mod gth;
+pub mod mbd;
+pub mod power;
+pub mod solver;
+pub mod sparse;
+pub mod stationary;
+pub mod transient;
+pub mod transitions;
+
+pub use error::CtmcError;
+pub use solver::{SolveOptions, Solution};
+pub use sparse::{SparseGenerator, TripletBuilder};
+pub use stationary::StationaryDistribution;
+pub use transitions::{IncomingTransitions, Transitions};

@@ -1,0 +1,655 @@
+//! Block solver for Markov-modulated birth–death (MBD) processes.
+//!
+//! Many queueing CTMCs — the GPRS model among them — have states
+//! `(phase, level)` where *level* transitions move `level ± 1` without
+//! changing the phase, and *phase* transitions never change the level.
+//! Point Gauss–Seidel is painfully slow on such chains when the level
+//! dynamics are orders of magnitude faster than the phase dynamics
+//! (packet service at tens per second vs. session changes at one per
+//! hundreds of seconds): thousands of sweeps are spent re-equilibrating
+//! the fast direction.
+//!
+//! The block method here sweeps over *phases*, solving each phase's
+//! entire level column **exactly** with the Thomas algorithm (the
+//! per-phase balance equations form a strictly diagonally dominant
+//! tridiagonal system, because the phase-exit rate is constant across
+//! levels). Convergence is then governed by the well-behaved phase
+//! chain alone — on the GPRS model this cuts iteration counts by two
+//! orders of magnitude versus point Gauss–Seidel.
+
+// Indexed loops mirror the textbook linear-algebra formulations these
+// kernels implement; iterator rewrites obscure the stencil structure.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::CtmcError;
+use crate::solver::{SolveOptions, Solution};
+use crate::stationary::StationaryDistribution;
+
+/// Structural access to a Markov-modulated birth–death chain.
+///
+/// States are pairs `(phase, level)` with `phase < num_phases()` and
+/// `level < num_levels()`. The implied flat index is
+/// `phase * num_levels() + level` — the solver returns distributions in
+/// this layout.
+pub trait ModulatedBirthDeath {
+    /// Number of phases.
+    fn num_phases(&self) -> usize;
+
+    /// Number of levels (e.g. buffer capacity + 1).
+    fn num_levels(&self) -> usize;
+
+    /// Rate of `level → level + 1` in `phase` (0 for the top level).
+    fn birth_rate(&self, phase: usize, level: usize) -> f64;
+
+    /// Rate of `level → level − 1` in `phase` (0 for level 0).
+    fn death_rate(&self, phase: usize, level: usize) -> f64;
+
+    /// Visits each outgoing phase transition `(target_phase, rate)` of
+    /// `phase`. Rates must not depend on the level.
+    fn for_each_phase_outgoing(&self, phase: usize, visit: &mut dyn FnMut(usize, f64));
+
+    /// Visits each incoming phase transition `(source_phase, rate)` into
+    /// `phase`.
+    fn for_each_phase_incoming(&self, phase: usize, visit: &mut dyn FnMut(usize, f64));
+
+    /// Total phase-exit rate of `phase` (sum of outgoing phase rates).
+    fn phase_exit_rate(&self, phase: usize) -> f64 {
+        let mut total = 0.0;
+        self.for_each_phase_outgoing(phase, &mut |_, rate| total += rate);
+        total
+    }
+}
+
+/// Solves an MBD chain for its stationary distribution by block
+/// Gauss–Seidel over phases with exact tridiagonal level solves.
+///
+/// The returned distribution is indexed `phase * num_levels() + level`.
+///
+/// # Errors
+///
+/// * [`CtmcError::EmptyChain`] — no phases or no levels.
+/// * [`CtmcError::DimensionMismatch`] — wrong warm-start length.
+/// * [`CtmcError::InvalidGenerator`] — a phase with zero exit rate and
+///   no way to receive probability (degenerate chain), or invalid warm
+///   start.
+/// * [`CtmcError::NotConverged`] — iteration cap exhausted.
+///
+/// # Example
+///
+/// An M/M/1/K queue whose arrival stream is modulated by a two-phase
+/// on/off process (a miniature of the GPRS chain):
+///
+/// ```
+/// use gprs_ctmc::mbd::{solve_mbd, ModulatedBirthDeath};
+/// use gprs_ctmc::SolveOptions;
+///
+/// struct OnOffQueue;
+/// impl ModulatedBirthDeath for OnOffQueue {
+///     fn num_phases(&self) -> usize { 2 }
+///     fn num_levels(&self) -> usize { 5 }
+///     fn birth_rate(&self, phase: usize, level: usize) -> f64 {
+///         if phase == 0 && level < 4 { 2.0 } else { 0.0 } // arrivals while on
+///     }
+///     fn death_rate(&self, _phase: usize, level: usize) -> f64 {
+///         if level > 0 { 3.0 } else { 0.0 } // service
+///     }
+///     fn for_each_phase_outgoing(&self, phase: usize, v: &mut dyn FnMut(usize, f64)) {
+///         v(1 - phase, 0.5); // on <-> off at rate 0.5
+///     }
+///     fn for_each_phase_incoming(&self, phase: usize, v: &mut dyn FnMut(usize, f64)) {
+///         v(1 - phase, 0.5);
+///     }
+/// }
+///
+/// let sol = solve_mbd(&OnOffQueue, None, &SolveOptions::default())?;
+/// // Symmetric switching: each phase carries half the mass.
+/// let on_mass: f64 = sol.pi.as_slice()[..5].iter().sum();
+/// assert!((on_mass - 0.5).abs() < 1e-8);
+/// # Ok::<(), gprs_ctmc::CtmcError>(())
+/// ```
+pub fn solve_mbd<G: ModulatedBirthDeath + ?Sized>(
+    gen: &G,
+    warm_start: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> Result<Solution, CtmcError> {
+    solve_mbd_inner(gen, None, warm_start, opts)
+}
+
+/// Like [`solve_mbd`], but additionally *projects* onto a known exact
+/// phase marginal after every sweep: each phase column is rescaled so
+/// its total mass equals `phase_marginal[p]`.
+///
+/// This is an aggregation/disaggregation acceleration with an **exact**
+/// aggregate solution. It applies when the phase process is itself
+/// Markov (phase rates never depend on the level — already an MBD
+/// requirement) *and* its stationary law is known in closed form, as in
+/// the GPRS model where the `(n, m, r)` marginal is a product of Erlang
+/// and binomial distributions. The slow phase-mixing error modes that
+/// dominate plain block Gauss–Seidel are annihilated each sweep, leaving
+/// only the fast within-column dynamics to converge — typically an
+/// order of magnitude fewer sweeps.
+///
+/// # Errors
+///
+/// As [`solve_mbd`], plus [`CtmcError::DimensionMismatch`] if
+/// `phase_marginal` has the wrong length and
+/// [`CtmcError::InvalidGenerator`] if it is not a probability vector.
+pub fn solve_mbd_projected<G: ModulatedBirthDeath + ?Sized>(
+    gen: &G,
+    phase_marginal: &[f64],
+    warm_start: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> Result<Solution, CtmcError> {
+    if phase_marginal.len() != gen.num_phases() {
+        return Err(CtmcError::DimensionMismatch {
+            expected: gen.num_phases(),
+            actual: phase_marginal.len(),
+        });
+    }
+    let total: f64 = phase_marginal.iter().sum();
+    if phase_marginal.iter().any(|&x| !x.is_finite() || x < 0.0)
+        || (total - 1.0).abs() > 1e-6
+    {
+        return Err(CtmcError::InvalidGenerator {
+            reason: "phase marginal must be a probability vector".into(),
+        });
+    }
+    solve_mbd_inner(gen, Some(phase_marginal), warm_start, opts)
+}
+
+fn solve_mbd_inner<G: ModulatedBirthDeath + ?Sized>(
+    gen: &G,
+    phase_marginal: Option<&[f64]>,
+    warm_start: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> Result<Solution, CtmcError> {
+    let p_count = gen.num_phases();
+    let l_count = gen.num_levels();
+    let n = p_count * l_count;
+    if n == 0 {
+        return Err(CtmcError::EmptyChain);
+    }
+
+    let mut pi: Vec<f64> = match warm_start {
+        Some(w) => {
+            if w.len() != n {
+                return Err(CtmcError::DimensionMismatch {
+                    expected: n,
+                    actual: w.len(),
+                });
+            }
+            let total: f64 = w.iter().sum();
+            if !total.is_finite() || total <= 0.0 || w.iter().any(|&x| !x.is_finite() || x < 0.0) {
+                return Err(CtmcError::InvalidGenerator {
+                    reason: "warm start must be non-negative with positive mass".into(),
+                });
+            }
+            w.iter().map(|&x| x / total).collect()
+        }
+        None => vec![1.0 / n as f64; n],
+    };
+
+    // Pre-compute per-phase constants.
+    let mut phase_exit = vec![0.0f64; p_count];
+    for (p, e) in phase_exit.iter_mut().enumerate() {
+        *e = gen.phase_exit_rate(p);
+    }
+
+    // Thomas algorithm scratch space.
+    let mut rhs = vec![0.0f64; l_count];
+    let mut diag = vec![0.0f64; l_count];
+    let mut cprime = vec![0.0f64; l_count];
+    let mut xcol = vec![0.0f64; l_count];
+    let omega = opts.sor_omega;
+
+    let mut sweeps = 0usize;
+    let mut residual = f64::INFINITY;
+
+    while sweeps < opts.max_sweeps {
+        // Alternate sweep direction (symmetric Gauss–Seidel): upstream
+        // information that a forward sweep moves by only one phase per
+        // iteration is carried across the whole chain by the backward
+        // pass, which matters for the random-walk-like phase chains of
+        // queueing models.
+        let forward = sweeps.is_multiple_of(2);
+        for step in 0..p_count {
+            let p = if forward { step } else { p_count - 1 - step };
+            let d_p = phase_exit[p];
+            // Gather inflow from other phases (level-parallel).
+            for x in rhs.iter_mut() {
+                *x = 0.0;
+            }
+            gen.for_each_phase_incoming(p, &mut |q, rate| {
+                let base = q * l_count;
+                for (l, x) in rhs.iter_mut().enumerate() {
+                    *x += rate * pi[base + l];
+                }
+            });
+
+            if d_p <= 0.0 {
+                // No phase coupling out of p: the whole chain must
+                // consist of this single phase for a solution to exist.
+                if p_count > 1 {
+                    return Err(CtmcError::InvalidGenerator {
+                        reason: format!("phase {p} has zero exit rate in a multi-phase chain"),
+                    });
+                }
+                // Single birth-death chain: solve directly below with
+                // the unnormalized product form.
+                solve_single_birth_death(gen, &mut pi);
+                return Ok(Solution {
+                    pi: StationaryDistribution::new(pi),
+                    sweeps: 1,
+                    residual: 0.0,
+                });
+            }
+
+            // Solve the tridiagonal system
+            //   (d_p + α(l) + σ(l))·x(l) − α(l−1)·x(l−1) − σ(l+1)·x(l+1) = rhs(l)
+            // by the Thomas algorithm. Strict diagonal dominance (d_p >
+            // 0) guarantees stability and positivity.
+            for l in 0..l_count {
+                diag[l] = d_p + gen.birth_rate(p, l) + gen.death_rate(p, l);
+            }
+            // Forward elimination.
+            let mut beta = diag[0];
+            cprime[0] = -gen.death_rate(p, 1.min(l_count - 1)) / beta;
+            rhs[0] /= beta;
+            for l in 1..l_count {
+                let a_l = -gen.birth_rate(p, l - 1); // sub-diagonal
+                beta = diag[l] - a_l * cprime[l - 1];
+                let c_l = if l + 1 < l_count {
+                    -gen.death_rate(p, l + 1)
+                } else {
+                    0.0
+                };
+                cprime[l] = c_l / beta;
+                rhs[l] = (rhs[l] - a_l * rhs[l - 1]) / beta;
+            }
+            // Back substitution, then (block-)SOR blend into pi.
+            let base = p * l_count;
+            xcol[l_count - 1] = rhs[l_count - 1].max(0.0);
+            for l in (0..l_count - 1).rev() {
+                xcol[l] = (rhs[l] - cprime[l] * xcol[l + 1]).max(0.0);
+            }
+            if omega == 1.0 {
+                pi[base..base + l_count].copy_from_slice(&xcol);
+            } else {
+                for l in 0..l_count {
+                    let v = (1.0 - omega) * pi[base + l] + omega * xcol[l];
+                    pi[base + l] = v.max(0.0);
+                }
+            }
+        }
+
+        if let Some(marginal) = phase_marginal {
+            // Aggregation/disaggregation projection: force each phase
+            // column to carry exactly its known stationary mass. This
+            // also normalizes (Σ marginal = 1).
+            for p in 0..p_count {
+                let base = p * l_count;
+                let col = &mut pi[base..base + l_count];
+                let mass: f64 = col.iter().sum();
+                if mass > 0.0 {
+                    let scale = marginal[p] / mass;
+                    for x in col {
+                        *x *= scale;
+                    }
+                } else {
+                    // Degenerate column: respread its mass uniformly.
+                    let v = marginal[p] / l_count as f64;
+                    for x in col {
+                        *x = v;
+                    }
+                }
+            }
+        } else {
+            // Normalize.
+            let total: f64 = pi.iter().sum();
+            if !total.is_finite() || total <= 0.0 {
+                return Err(CtmcError::InvalidGenerator {
+                    reason: "mbd iteration diverged (mass vanished or overflowed)".into(),
+                });
+            }
+            let inv = 1.0 / total;
+            for x in &mut pi {
+                *x *= inv;
+            }
+        }
+        sweeps += 1;
+
+        if sweeps.is_multiple_of(opts.check_every.clamp(1, 4)) || sweeps == opts.max_sweeps {
+            residual = mbd_residual(gen, &pi, &phase_exit);
+            if residual <= opts.tolerance {
+                return Ok(Solution {
+                    pi: StationaryDistribution::new(pi),
+                    sweeps,
+                    residual,
+                });
+            }
+        }
+    }
+
+    Err(CtmcError::NotConverged {
+        iterations: sweeps,
+        residual,
+        tolerance: opts.tolerance,
+    })
+}
+
+/// Exact solution of a single-phase birth-death chain (product form with
+/// rescaling), used for the degenerate one-phase case.
+fn solve_single_birth_death<G: ModulatedBirthDeath + ?Sized>(gen: &G, pi: &mut [f64]) {
+    let l_count = gen.num_levels();
+    pi[0] = 1.0;
+    let mut total = 1.0;
+    for l in 1..l_count {
+        let b = gen.birth_rate(0, l - 1);
+        let d = gen.death_rate(0, l);
+        pi[l] = if d > 0.0 { pi[l - 1] * b / d } else { 0.0 };
+        total += pi[l];
+    }
+    for x in pi.iter_mut() {
+        *x /= total;
+    }
+}
+
+/// Relative L1 balance residual of the full MBD chain.
+fn mbd_residual<G: ModulatedBirthDeath + ?Sized>(
+    gen: &G,
+    pi: &[f64],
+    phase_exit: &[f64],
+) -> f64 {
+    let p_count = gen.num_phases();
+    let l_count = gen.num_levels();
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for p in 0..p_count {
+        let base = p * l_count;
+        // Inflow from other phases, per level.
+        let mut inflow = vec![0.0f64; l_count];
+        gen.for_each_phase_incoming(p, &mut |q, rate| {
+            let qbase = q * l_count;
+            for (l, x) in inflow.iter_mut().enumerate() {
+                *x += rate * pi[qbase + l];
+            }
+        });
+        for l in 0..l_count {
+            let birth = gen.birth_rate(p, l);
+            let death = gen.death_rate(p, l);
+            let exit = phase_exit[p] + birth + death;
+            let mut inf = inflow[l];
+            if l > 0 {
+                inf += pi[base + l - 1] * gen.birth_rate(p, l - 1);
+            }
+            if l + 1 < l_count {
+                inf += pi[base + l + 1] * gen.death_rate(p, l + 1);
+            }
+            num += (inf - pi[base + l] * exit).abs();
+            den += pi[base + l] * exit;
+        }
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gth::solve_gth;
+    use crate::sparse::TripletBuilder;
+
+    /// A small random MBD chain with explicit tables, also expressible
+    /// as a generic sparse generator for cross-validation.
+    struct TableMbd {
+        phases: usize,
+        levels: usize,
+        birth: Vec<f64>,         // [phase][level]
+        death: Vec<f64>,         // [phase][level]
+        phase_rates: Vec<Vec<(usize, f64)>>, // outgoing per phase
+    }
+
+    impl TableMbd {
+        fn random(phases: usize, levels: usize, seed: u64) -> Self {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let mut birth = vec![0.0; phases * levels];
+            let mut death = vec![0.0; phases * levels];
+            for p in 0..phases {
+                for l in 0..levels {
+                    if l + 1 < levels {
+                        birth[p * levels + l] = 1.0 + 10.0 * next();
+                    }
+                    if l > 0 {
+                        death[p * levels + l] = 1.0 + 10.0 * next();
+                    }
+                }
+            }
+            // Ring + random extra phase transitions (slow time scale).
+            let mut phase_rates = vec![Vec::new(); phases];
+            for p in 0..phases {
+                phase_rates[p].push(((p + 1) % phases, 0.01 + 0.05 * next()));
+                if phases > 2 && next() < 0.5 {
+                    let q = (p + 2) % phases;
+                    phase_rates[p].push((q, 0.01 * next()));
+                }
+            }
+            TableMbd {
+                phases,
+                levels,
+                birth,
+                death,
+                phase_rates,
+            }
+        }
+
+        fn to_sparse(&self) -> crate::sparse::SparseGenerator {
+            let n = self.phases * self.levels;
+            let mut b = TripletBuilder::new(n);
+            for p in 0..self.phases {
+                for l in 0..self.levels {
+                    let idx = p * self.levels + l;
+                    let br = self.birth[idx];
+                    if br > 0.0 {
+                        b.push(idx, idx + 1, br);
+                    }
+                    let dr = self.death[idx];
+                    if dr > 0.0 {
+                        b.push(idx, idx - 1, dr);
+                    }
+                    for &(q, rate) in &self.phase_rates[p] {
+                        b.push(idx, q * self.levels + l, rate);
+                    }
+                }
+            }
+            b.build().unwrap()
+        }
+    }
+
+    impl ModulatedBirthDeath for TableMbd {
+        fn num_phases(&self) -> usize {
+            self.phases
+        }
+        fn num_levels(&self) -> usize {
+            self.levels
+        }
+        fn birth_rate(&self, p: usize, l: usize) -> f64 {
+            self.birth[p * self.levels + l]
+        }
+        fn death_rate(&self, p: usize, l: usize) -> f64 {
+            self.death[p * self.levels + l]
+        }
+        fn for_each_phase_outgoing(&self, p: usize, visit: &mut dyn FnMut(usize, f64)) {
+            for &(q, rate) in &self.phase_rates[p] {
+                visit(q, rate);
+            }
+        }
+        fn for_each_phase_incoming(&self, p: usize, visit: &mut dyn FnMut(usize, f64)) {
+            for q in 0..self.phases {
+                for &(t, rate) in &self.phase_rates[q] {
+                    if t == p {
+                        visit(q, rate);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_gth_on_random_mbd_chains() {
+        for seed in [1u64, 7, 42, 1001] {
+            let mbd = TableMbd::random(5, 8, seed);
+            let sparse = mbd.to_sparse();
+            let exact = solve_gth(&sparse).unwrap();
+            let sol = solve_mbd(&mbd, None, &SolveOptions::default()).unwrap();
+            for i in 0..sparse.num_states() {
+                assert!(
+                    (exact[i] - sol.pi[i]).abs() < 1e-8,
+                    "seed {seed} state {i}: {} vs {}",
+                    exact[i],
+                    sol.pi[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stiff_mbd_converges_quickly() {
+        // Fast levels (rates ~10) with very slow phases (rates ~0.01):
+        // exactly the regime that cripples point Gauss-Seidel.
+        let mbd = TableMbd::random(8, 30, 99);
+        let sol = solve_mbd(&mbd, None, &SolveOptions::default()).unwrap();
+        assert!(
+            sol.sweeps < 500,
+            "block method should converge fast, took {}",
+            sol.sweeps
+        );
+        let sparse = mbd.to_sparse();
+        let exact = solve_gth(&sparse).unwrap();
+        for i in 0..sparse.num_states() {
+            assert!((exact[i] - sol.pi[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn warm_start_converges_immediately() {
+        let mbd = TableMbd::random(4, 10, 3);
+        let first = solve_mbd(&mbd, None, &SolveOptions::default()).unwrap();
+        let second = solve_mbd(&mbd, Some(first.pi.as_slice()), &SolveOptions::default())
+            .unwrap();
+        assert!(second.sweeps <= 4);
+    }
+
+    #[test]
+    fn single_phase_is_plain_birth_death() {
+        struct OnePhase;
+        impl ModulatedBirthDeath for OnePhase {
+            fn num_phases(&self) -> usize {
+                1
+            }
+            fn num_levels(&self) -> usize {
+                4
+            }
+            fn birth_rate(&self, _p: usize, l: usize) -> f64 {
+                if l < 3 {
+                    2.0
+                } else {
+                    0.0
+                }
+            }
+            fn death_rate(&self, _p: usize, l: usize) -> f64 {
+                if l > 0 {
+                    4.0
+                } else {
+                    0.0
+                }
+            }
+            fn for_each_phase_outgoing(&self, _p: usize, _v: &mut dyn FnMut(usize, f64)) {}
+            fn for_each_phase_incoming(&self, _p: usize, _v: &mut dyn FnMut(usize, f64)) {}
+        }
+        let sol = solve_mbd(&OnePhase, None, &SolveOptions::default()).unwrap();
+        // Geometric with ratio 1/2: [8,4,2,1]/15.
+        let expect = [8.0 / 15.0, 4.0 / 15.0, 2.0 / 15.0, 1.0 / 15.0];
+        for (i, &e) in expect.iter().enumerate() {
+            assert!((sol.pi[i] - e).abs() < 1e-12, "level {i}");
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mbd = TableMbd::random(3, 5, 1);
+        let err = solve_mbd(&mbd, Some(&[1.0; 3]), &SolveOptions::default()).unwrap_err();
+        assert!(matches!(err, CtmcError::DimensionMismatch { .. }));
+    }
+
+    /// Exact phase marginal of a TableMbd: the phase process is
+    /// autonomous, so solve its own small chain directly.
+    fn exact_phase_marginal(mbd: &TableMbd) -> Vec<f64> {
+        let mut b = TripletBuilder::new(mbd.phases);
+        for p in 0..mbd.phases {
+            for &(q, rate) in &mbd.phase_rates[p] {
+                b.push(p, q, rate);
+            }
+        }
+        solve_gth(&b.build().unwrap()).unwrap().into_inner()
+    }
+
+    #[test]
+    fn projected_solver_matches_gth() {
+        for seed in [2u64, 77, 4242] {
+            let mbd = TableMbd::random(6, 10, seed);
+            let marginal = exact_phase_marginal(&mbd);
+            let sol =
+                solve_mbd_projected(&mbd, &marginal, None, &SolveOptions::default())
+                    .unwrap();
+            let exact = solve_gth(&mbd.to_sparse()).unwrap();
+            for i in 0..mbd.phases * mbd.levels {
+                assert!(
+                    (exact[i] - sol.pi[i]).abs() < 1e-8,
+                    "seed {seed} state {i}: {} vs {}",
+                    exact[i],
+                    sol.pi[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn projection_accelerates_stiff_chains() {
+        let mbd = TableMbd::random(8, 30, 99);
+        let marginal = exact_phase_marginal(&mbd);
+        let plain = solve_mbd(&mbd, None, &SolveOptions::default()).unwrap();
+        let projected =
+            solve_mbd_projected(&mbd, &marginal, None, &SolveOptions::default())
+                .unwrap();
+        assert!(
+            projected.sweeps <= plain.sweeps,
+            "projected {} vs plain {}",
+            projected.sweeps,
+            plain.sweeps
+        );
+    }
+
+    #[test]
+    fn projected_rejects_bad_marginal() {
+        let mbd = TableMbd::random(3, 5, 1);
+        // Wrong length.
+        assert!(matches!(
+            solve_mbd_projected(&mbd, &[0.5, 0.5], None, &SolveOptions::default()),
+            Err(CtmcError::DimensionMismatch { .. })
+        ));
+        // Not a probability vector.
+        assert!(matches!(
+            solve_mbd_projected(&mbd, &[0.5, 0.5, 0.5], None, &SolveOptions::default()),
+            Err(CtmcError::InvalidGenerator { .. })
+        ));
+    }
+}

@@ -1,0 +1,362 @@
+//! Gauss–Seidel / SOR steady-state solver over incoming transitions.
+//!
+//! This is the workhorse solver of the reproduction: it works matrix-free
+//! through [`IncomingTransitions`], supports warm starts (essential for
+//! the paper's arrival-rate sweeps), and uses the relative L1 balance
+//! residual as its convergence criterion.
+
+use crate::error::CtmcError;
+use crate::stationary::StationaryDistribution;
+use crate::transitions::IncomingTransitions;
+
+/// Options controlling the iterative solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOptions {
+    /// Convergence tolerance on the relative L1 balance residual
+    /// `‖πQ‖₁ / ‖π∘exit‖₁`.
+    pub tolerance: f64,
+    /// Hard cap on the number of sweeps.
+    pub max_sweeps: usize,
+    /// SOR over-relaxation factor in `(0, 2)`; `1.0` is plain
+    /// Gauss–Seidel.
+    pub sor_omega: f64,
+    /// How many sweeps between residual evaluations (a residual pass
+    /// costs about as much as a sweep).
+    pub check_every: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            tolerance: 1e-10,
+            max_sweeps: 20_000,
+            sor_omega: 1.0,
+            check_every: 16,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// A looser profile for quick exploration (tolerance `1e-8`).
+    pub fn quick() -> Self {
+        SolveOptions {
+            tolerance: 1e-8,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the tolerance, returning `self` for chaining.
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+
+    /// Sets the SOR factor, returning `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `omega` is outside `(0, 2)`.
+    pub fn with_sor(mut self, omega: f64) -> Self {
+        assert!(omega > 0.0 && omega < 2.0, "SOR omega must lie in (0, 2)");
+        self.sor_omega = omega;
+        self
+    }
+
+    /// Sets the sweep cap, returning `self` for chaining.
+    pub fn with_max_sweeps(mut self, max: usize) -> Self {
+        self.max_sweeps = max;
+        self
+    }
+}
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The stationary distribution.
+    pub pi: StationaryDistribution,
+    /// Sweeps performed.
+    pub sweeps: usize,
+    /// Relative L1 balance residual at termination.
+    pub residual: f64,
+}
+
+/// Solves `πQ = 0` by Gauss–Seidel (or SOR) iteration.
+///
+/// `warm_start`, when given, seeds the iteration — reusing the solution of
+/// a nearby parameter point typically cuts sweep counts by an order of
+/// magnitude across a sweep. It does not need to be normalized but must
+/// be non-negative with positive total mass.
+///
+/// # Errors
+///
+/// * [`CtmcError::EmptyChain`] for zero states.
+/// * [`CtmcError::DimensionMismatch`] if the warm start has wrong length.
+/// * [`CtmcError::NotConverged`] if `max_sweeps` is exhausted before the
+///   residual drops below tolerance.
+/// * [`CtmcError::InvalidGenerator`] if some state has zero exit rate
+///   (absorbing states have no stationary counterpart in this solver).
+///
+/// # Example
+///
+/// ```
+/// use gprs_ctmc::{TripletBuilder, solver, SolveOptions};
+///
+/// let mut b = TripletBuilder::new(3);
+/// for i in 0..3 {
+///     b.push(i, (i + 1) % 3, 1.0 + i as f64);
+/// }
+/// let sol = solver::solve_gauss_seidel(&b.build()?, None, &SolveOptions::default())?;
+/// assert!(sol.residual <= 1e-10);
+/// # Ok::<(), gprs_ctmc::CtmcError>(())
+/// ```
+pub fn solve_gauss_seidel<G: IncomingTransitions + ?Sized>(
+    gen: &G,
+    warm_start: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> Result<Solution, CtmcError> {
+    let n = gen.num_states();
+    if n == 0 {
+        return Err(CtmcError::EmptyChain);
+    }
+
+    // Pre-compute exit rates; every state must be able to leave.
+    let mut exit = vec![0.0f64; n];
+    for (s, e) in exit.iter_mut().enumerate() {
+        *e = gen.exit_rate(s);
+        if *e <= 0.0 {
+            return Err(CtmcError::InvalidGenerator {
+                reason: format!("state {s} has zero exit rate (absorbing)"),
+            });
+        }
+    }
+
+    let mut pi: Vec<f64> = match warm_start {
+        Some(w) => {
+            if w.len() != n {
+                return Err(CtmcError::DimensionMismatch {
+                    expected: n,
+                    actual: w.len(),
+                });
+            }
+            let total: f64 = w.iter().sum();
+            if !total.is_finite() || total <= 0.0 || w.iter().any(|&x| !x.is_finite() || x < 0.0) {
+                return Err(CtmcError::InvalidGenerator {
+                    reason: "warm start must be non-negative with positive mass".into(),
+                });
+            }
+            w.iter().map(|&x| x / total).collect()
+        }
+        None => vec![1.0 / n as f64; n],
+    };
+
+    let omega = opts.sor_omega;
+    let mut sweeps = 0usize;
+    let mut residual = f64::INFINITY;
+
+    while sweeps < opts.max_sweeps {
+        // One forward Gauss–Seidel sweep (in place: uses freshly updated
+        // values for already-visited states).
+        for j in 0..n {
+            let mut inflow = 0.0f64;
+            gen.for_each_incoming(j, &mut |i, rate| {
+                inflow += pi[i] * rate;
+            });
+            let new = inflow / exit[j];
+            pi[j] = if omega == 1.0 {
+                new
+            } else {
+                (1.0 - omega) * pi[j] + omega * new
+            };
+            if pi[j] < 0.0 {
+                // Over-relaxation can momentarily produce tiny negatives.
+                pi[j] = 0.0;
+            }
+        }
+        // Renormalize to keep magnitudes in range.
+        let total: f64 = pi.iter().sum();
+        if !total.is_finite() || total <= 0.0 {
+            return Err(CtmcError::InvalidGenerator {
+                reason: "iteration diverged (mass vanished or overflowed)".into(),
+            });
+        }
+        let inv = 1.0 / total;
+        for p in &mut pi {
+            *p *= inv;
+        }
+        sweeps += 1;
+
+        if sweeps.is_multiple_of(opts.check_every) || sweeps == opts.max_sweeps {
+            residual = residual_incoming(gen, &pi, &exit);
+            if residual <= opts.tolerance {
+                return Ok(Solution {
+                    pi: StationaryDistribution::new(pi),
+                    sweeps,
+                    residual,
+                });
+            }
+        }
+    }
+
+    Err(CtmcError::NotConverged {
+        iterations: sweeps,
+        residual,
+        tolerance: opts.tolerance,
+    })
+}
+
+/// Relative L1 balance residual computed via incoming transitions
+/// (single pass, no extra `O(n)` flow buffer).
+fn residual_incoming<G: IncomingTransitions + ?Sized>(
+    gen: &G,
+    pi: &[f64],
+    exit: &[f64],
+) -> f64 {
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for j in 0..pi.len() {
+        let mut inflow = 0.0f64;
+        gen.for_each_incoming(j, &mut |i, rate| {
+            inflow += pi[i] * rate;
+        });
+        num += (inflow - pi[j] * exit[j]).abs();
+        den += pi[j] * exit[j];
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gth::solve_gth;
+    use crate::sparse::TripletBuilder;
+
+    fn random_irreducible(n: usize, seed: u64) -> crate::sparse::SparseGenerator {
+        let mut b = TripletBuilder::new(n);
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for i in 0..n {
+            b.push(i, (i + 1) % n, 0.5 + next());
+            for j in 0..n {
+                if j != i && next() < 0.2 {
+                    b.push(i, j, next() * 5.0 + 1e-4);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_gth_on_random_chains() {
+        for seed in [1u64, 42, 1234, 98765] {
+            let g = random_irreducible(30, seed);
+            let exact = solve_gth(&g).unwrap();
+            let sol =
+                solve_gauss_seidel(&g, None, &SolveOptions::default()).unwrap();
+            for s in 0..30 {
+                assert!(
+                    (exact[s] - sol.pi[s]).abs() < 1e-8,
+                    "seed {seed} state {s}: {} vs {}",
+                    exact[s],
+                    sol.pi[s]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_reduces_sweeps() {
+        let g = random_irreducible(100, 7);
+        let cold = solve_gauss_seidel(&g, None, &SolveOptions::default()).unwrap();
+        let warm =
+            solve_gauss_seidel(&g, Some(cold.pi.as_slice()), &SolveOptions::default())
+                .unwrap();
+        assert!(warm.sweeps <= cold.sweeps);
+        assert!(warm.residual <= 1e-10);
+    }
+
+    #[test]
+    fn sor_converges_too() {
+        let g = random_irreducible(50, 3);
+        let opts = SolveOptions::default().with_sor(1.3);
+        let sol = solve_gauss_seidel(&g, None, &opts).unwrap();
+        let exact = solve_gth(&g).unwrap();
+        for s in 0..50 {
+            assert!((exact[s] - sol.pi[s]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn stiff_chain_converges() {
+        // Slow/fast time-scale separation of 1e6.
+        let mut b = TripletBuilder::new(4);
+        b.push(0, 1, 1e-3);
+        b.push(1, 0, 1e3);
+        b.push(1, 2, 1e3);
+        b.push(2, 3, 1e-3);
+        b.push(3, 2, 1e3);
+        b.push(2, 1, 1e-3);
+        let g = b.build().unwrap();
+        let exact = solve_gth(&g).unwrap();
+        let sol = solve_gauss_seidel(&g, None, &SolveOptions::default()).unwrap();
+        for s in 0..4 {
+            let rel = (exact[s] - sol.pi[s]).abs() / exact[s].max(1e-300);
+            assert!(rel < 1e-6, "state {s}: {} vs {}", exact[s], sol.pi[s]);
+        }
+    }
+
+    #[test]
+    fn absorbing_state_is_rejected() {
+        let mut b = TripletBuilder::new(2);
+        b.push(0, 1, 1.0);
+        let err =
+            solve_gauss_seidel(&b.build().unwrap(), None, &SolveOptions::default())
+                .unwrap_err();
+        assert!(matches!(err, CtmcError::InvalidGenerator { .. }));
+    }
+
+    #[test]
+    fn not_converged_error_carries_diagnostics() {
+        let g = random_irreducible(60, 11);
+        let opts = SolveOptions::default().with_max_sweeps(1);
+        match solve_gauss_seidel(&g, None, &opts) {
+            Err(CtmcError::NotConverged {
+                iterations,
+                residual,
+                tolerance,
+            }) => {
+                assert_eq!(iterations, 1);
+                assert!(residual > tolerance);
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_start_dimension_mismatch() {
+        let g = random_irreducible(5, 13);
+        let err = solve_gauss_seidel(&g, Some(&[1.0; 4]), &SolveOptions::default())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CtmcError::DimensionMismatch {
+                expected: 5,
+                actual: 4
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "SOR omega")]
+    fn invalid_sor_panics() {
+        let _ = SolveOptions::default().with_sor(2.5);
+    }
+}

@@ -1,0 +1,420 @@
+//! Sparse (CSR) generator matrices and the triplet builder that assembles
+//! them.
+
+use crate::error::CtmcError;
+use crate::transitions::{IncomingTransitions, Transitions};
+
+/// Accumulates `(source, target, rate)` triplets and assembles a
+/// [`SparseGenerator`].
+///
+/// Duplicate `(source, target)` entries are summed. Diagonal entries are
+/// rejected at [`build`](TripletBuilder::build) time: the diagonal of a
+/// generator is implied by its off-diagonal rows.
+///
+/// # Example
+///
+/// ```
+/// use gprs_ctmc::TripletBuilder;
+///
+/// let mut b = TripletBuilder::new(3);
+/// b.push(0, 1, 2.0);
+/// b.push(1, 2, 1.0);
+/// b.push(2, 0, 0.5);
+/// let gen = b.build()?;
+/// assert_eq!(gen.num_nonzeros(), 3);
+/// # Ok::<(), gprs_ctmc::CtmcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TripletBuilder {
+    n: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl TripletBuilder {
+    /// Creates a builder for a chain with `n` states.
+    pub fn new(n: usize) -> Self {
+        TripletBuilder {
+            n,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with pre-allocated capacity for `cap` triplets.
+    pub fn with_capacity(n: usize, cap: usize) -> Self {
+        TripletBuilder {
+            n,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Records the transition `source -> target` at `rate`.
+    ///
+    /// Rates of exactly zero are silently dropped (convenient when a rate
+    /// formula can evaluate to zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` or `target` is out of bounds.
+    pub fn push(&mut self, source: usize, target: usize, rate: f64) {
+        assert!(source < self.n, "source {source} out of bounds ({})", self.n);
+        assert!(target < self.n, "target {target} out of bounds ({})", self.n);
+        if rate == 0.0 {
+            return;
+        }
+        self.entries.push((source as u32, target as u32, rate));
+    }
+
+    /// Number of recorded (nonzero) triplets so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no triplets have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Assembles the CSR generator, summing duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::EmptyChain`] for `n == 0`, and
+    /// [`CtmcError::InvalidGenerator`] if any rate is negative, non-finite,
+    /// or sits on the diagonal.
+    pub fn build(self) -> Result<SparseGenerator, CtmcError> {
+        if self.n == 0 {
+            return Err(CtmcError::EmptyChain);
+        }
+        for &(i, j, rate) in &self.entries {
+            if i == j {
+                return Err(CtmcError::InvalidGenerator {
+                    reason: format!("diagonal entry at state {i}"),
+                });
+            }
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(CtmcError::InvalidGenerator {
+                    reason: format!("rate {rate} on transition {i} -> {j}"),
+                });
+            }
+        }
+        Ok(SparseGenerator::from_triplets(self.n, self.entries))
+    }
+}
+
+/// A CTMC generator stored in compressed sparse row form, together with
+/// its transpose (for incoming-transition access) and per-state exit
+/// rates.
+///
+/// Construct via [`TripletBuilder`] or [`SparseGenerator::from_transitions`].
+#[derive(Debug, Clone)]
+pub struct SparseGenerator {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col: Vec<u32>,
+    val: Vec<f64>,
+    trow_ptr: Vec<usize>,
+    tcol: Vec<u32>,
+    tval: Vec<f64>,
+    exit: Vec<f64>,
+}
+
+impl SparseGenerator {
+    fn from_triplets(n: usize, mut entries: Vec<(u32, u32, f64)>) -> Self {
+        // Sort by (row, col) and merge duplicates.
+        entries.sort_unstable_by_key(|e| (e.0, e.1));
+        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(entries.len());
+        for (i, j, r) in entries {
+            if let Some(last) = merged.last_mut() {
+                if last.0 == i && last.1 == j {
+                    last.2 += r;
+                    continue;
+                }
+            }
+            merged.push((i, j, r));
+        }
+
+        let nnz = merged.len();
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut col = Vec::with_capacity(nnz);
+        let mut val = Vec::with_capacity(nnz);
+        let mut exit = vec![0.0f64; n];
+        for &(i, j, r) in &merged {
+            row_ptr[i as usize + 1] += 1;
+            col.push(j);
+            val.push(r);
+            exit[i as usize] += r;
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+
+        // Transpose (incoming lists), via counting sort on target.
+        let mut trow_ptr = vec![0usize; n + 1];
+        for &(_, j, _) in &merged {
+            trow_ptr[j as usize + 1] += 1;
+        }
+        for j in 0..n {
+            trow_ptr[j + 1] += trow_ptr[j];
+        }
+        let mut tcol = vec![0u32; nnz];
+        let mut tval = vec![0.0f64; nnz];
+        let mut cursor = trow_ptr.clone();
+        for &(i, j, r) in &merged {
+            let slot = cursor[j as usize];
+            tcol[slot] = i;
+            tval[slot] = r;
+            cursor[j as usize] += 1;
+        }
+
+        SparseGenerator {
+            n,
+            row_ptr,
+            col,
+            val,
+            trow_ptr,
+            tcol,
+            tval,
+            exit,
+        }
+    }
+
+    /// Assembles a sparse generator by enumerating all transitions of a
+    /// matrix-free model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::EmptyChain`] if the model has no states, or
+    /// [`CtmcError::InvalidGenerator`] if the model reports an invalid
+    /// transition.
+    pub fn from_transitions<G: Transitions + ?Sized>(gen: &G) -> Result<Self, CtmcError> {
+        let n = gen.num_states();
+        let mut b = TripletBuilder::new(n);
+        for i in 0..n {
+            let mut bad: Option<String> = None;
+            gen.for_each_outgoing(i, &mut |j, rate| {
+                if j >= n || j == i || !rate.is_finite() || rate < 0.0 {
+                    bad = Some(format!("transition {i} -> {j} with rate {rate}"));
+                } else if rate > 0.0 {
+                    b.entries.push((i as u32, j as u32, rate));
+                }
+            });
+            if let Some(reason) = bad {
+                return Err(CtmcError::InvalidGenerator { reason });
+            }
+        }
+        b.build()
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored off-diagonal nonzeros.
+    pub fn num_nonzeros(&self) -> usize {
+        self.val.len()
+    }
+
+    /// The outgoing row of `state` as parallel `(targets, rates)` slices.
+    pub fn row(&self, state: usize) -> (&[u32], &[f64]) {
+        let lo = self.row_ptr[state];
+        let hi = self.row_ptr[state + 1];
+        (&self.col[lo..hi], &self.val[lo..hi])
+    }
+
+    /// The incoming column of `state` as parallel `(sources, rates)` slices.
+    pub fn column(&self, state: usize) -> (&[u32], &[f64]) {
+        let lo = self.trow_ptr[state];
+        let hi = self.trow_ptr[state + 1];
+        (&self.tcol[lo..hi], &self.tval[lo..hi])
+    }
+
+    /// Per-state exit rates (negated diagonal of `Q`).
+    pub fn exit_rates(&self) -> &[f64] {
+        &self.exit
+    }
+
+    /// Maximum exit rate over all states (the uniformization constant
+    /// before head-room scaling). Returns 0 for a chain with no
+    /// transitions.
+    pub fn max_exit_rate(&self) -> f64 {
+        self.exit.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Checks that every state can reach every other state (generator
+    /// irreducibility) via two breadth-first searches (forward from 0 and
+    /// backward from 0 over transposed edges).
+    pub fn is_irreducible(&self) -> bool {
+        if self.n == 0 {
+            return false;
+        }
+        let reach_fwd = self.bfs(|s, f| {
+            let (cols, _) = self.row(s);
+            for &c in cols {
+                f(c as usize);
+            }
+        });
+        let reach_bwd = self.bfs(|s, f| {
+            let (cols, _) = self.column(s);
+            for &c in cols {
+                f(c as usize);
+            }
+        });
+        reach_fwd && reach_bwd
+    }
+
+    fn bfs(&self, neighbors: impl Fn(usize, &mut dyn FnMut(usize))) -> bool {
+        let mut seen = vec![false; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[0] = true;
+        queue.push_back(0usize);
+        let mut count = 1usize;
+        while let Some(s) = queue.pop_front() {
+            neighbors(s, &mut |t| {
+                if !seen[t] {
+                    seen[t] = true;
+                    count += 1;
+                    queue.push_back(t);
+                }
+            });
+        }
+        count == self.n
+    }
+}
+
+impl Transitions for SparseGenerator {
+    fn num_states(&self) -> usize {
+        self.n
+    }
+
+    fn for_each_outgoing(&self, state: usize, visit: &mut dyn FnMut(usize, f64)) {
+        let (cols, vals) = self.row(state);
+        for (&j, &r) in cols.iter().zip(vals) {
+            visit(j as usize, r);
+        }
+    }
+
+    fn exit_rate(&self, state: usize) -> f64 {
+        self.exit[state]
+    }
+}
+
+impl IncomingTransitions for SparseGenerator {
+    fn for_each_incoming(&self, state: usize, visit: &mut dyn FnMut(usize, f64)) {
+        let (cols, vals) = self.column(state);
+        for (&i, &r) in cols.iter().zip(vals) {
+            visit(i as usize, r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_cycle() -> SparseGenerator {
+        let mut b = TripletBuilder::new(3);
+        b.push(0, 1, 2.0);
+        b.push(1, 2, 1.0);
+        b.push(2, 0, 0.5);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_csr_and_transpose() {
+        let g = three_cycle();
+        assert_eq!(g.num_states(), 3);
+        assert_eq!(g.num_nonzeros(), 3);
+        assert_eq!(g.row(0), (&[1u32][..], &[2.0][..]));
+        assert_eq!(g.column(0), (&[2u32][..], &[0.5][..]));
+        assert_eq!(g.exit_rates(), &[2.0, 1.0, 0.5]);
+        assert_eq!(g.max_exit_rate(), 2.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut b = TripletBuilder::new(2);
+        b.push(0, 1, 1.0);
+        b.push(0, 1, 2.5);
+        b.push(1, 0, 1.0);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_nonzeros(), 2);
+        assert_eq!(g.row(0).1, &[3.5]);
+    }
+
+    #[test]
+    fn zero_rates_dropped() {
+        let mut b = TripletBuilder::new(2);
+        b.push(0, 1, 0.0);
+        b.push(0, 1, 1.0);
+        b.push(1, 0, 1.0);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn rejects_diagonal() {
+        let mut b = TripletBuilder::new(2);
+        b.push(0, 0, 1.0);
+        assert!(matches!(
+            b.build(),
+            Err(CtmcError::InvalidGenerator { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_rate() {
+        let mut b = TripletBuilder::new(2);
+        b.push(0, 1, -1.0);
+        assert!(matches!(
+            b.build(),
+            Err(CtmcError::InvalidGenerator { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_chain() {
+        let b = TripletBuilder::new(0);
+        assert_eq!(b.build().unwrap_err(), CtmcError::EmptyChain);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_panics_out_of_bounds() {
+        let mut b = TripletBuilder::new(2);
+        b.push(0, 5, 1.0);
+    }
+
+    #[test]
+    fn irreducibility() {
+        assert!(three_cycle().is_irreducible());
+        // Two disconnected states.
+        let mut b = TripletBuilder::new(4);
+        b.push(0, 1, 1.0);
+        b.push(1, 0, 1.0);
+        b.push(2, 3, 1.0);
+        b.push(3, 2, 1.0);
+        assert!(!b.build().unwrap().is_irreducible());
+        // Absorbing state (reachable but cannot return).
+        let mut b = TripletBuilder::new(2);
+        b.push(0, 1, 1.0);
+        assert!(!b.build().unwrap().is_irreducible());
+    }
+
+    #[test]
+    fn from_transitions_round_trips() {
+        let g = three_cycle();
+        let g2 = SparseGenerator::from_transitions(&g).unwrap();
+        assert_eq!(g2.num_nonzeros(), g.num_nonzeros());
+        for s in 0..3 {
+            assert_eq!(g2.row(s), g.row(s));
+        }
+    }
+
+    #[test]
+    fn transitions_trait_impl_matches_storage() {
+        let g = three_cycle();
+        let mut seen = Vec::new();
+        g.for_each_incoming(0, &mut |i, r| seen.push((i, r)));
+        assert_eq!(seen, vec![(2, 0.5)]);
+    }
+}

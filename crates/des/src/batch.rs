@@ -1,0 +1,184 @@
+//! Batch-means confidence intervals.
+//!
+//! The paper computes 95 % confidence intervals for its simulator using
+//! the method of batch means: one long run is split into `k` batches
+//! (after deleting a warm-up period), the per-batch means are treated as
+//! (approximately) i.i.d. observations, and a Student-t interval is
+//! formed from their sample mean and variance.
+
+use crate::stats::Tally;
+
+/// A symmetric confidence interval `mean ± half_width`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub mean: f64,
+    /// Half-width of the interval at the configured confidence level.
+    pub half_width: f64,
+    /// Number of batches behind the estimate.
+    pub batches: usize,
+}
+
+impl ConfidenceInterval {
+    /// Builds a 95 % confidence interval from per-batch means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two batch means are supplied.
+    pub fn from_batch_means(batch_means: &[f64]) -> Self {
+        assert!(
+            batch_means.len() >= 2,
+            "need at least two batches for a confidence interval"
+        );
+        let mut tally = Tally::new();
+        for &m in batch_means {
+            tally.record(m);
+        }
+        let k = batch_means.len();
+        let t = student_t_975(k - 1);
+        let half_width = t * (tally.variance() / k as f64).sqrt();
+        ConfidenceInterval {
+            mean: tally.mean(),
+            half_width,
+            batches: k,
+        }
+    }
+
+    /// Lower endpoint.
+    pub fn lower(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper endpoint.
+    pub fn upper(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether `value` falls inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower() && value <= self.upper()
+    }
+
+    /// Relative half-width `half_width / |mean|`; `INFINITY` for a zero
+    /// mean with nonzero width.
+    pub fn relative_half_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            if self.half_width == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6} ± {:.6}", self.mean, self.half_width)
+    }
+}
+
+/// Two-sided 97.5 % quantile of the Student-t distribution with `df`
+/// degrees of freedom (i.e. the multiplier for a 95 % CI).
+///
+/// Exact table values for `df <= 30`; for larger `df` the normal-
+/// approximation with a Cornish–Fisher style correction is used
+/// (accurate to ~1e-3, ample for simulation CIs).
+pub fn student_t_975(df: usize) -> f64 {
+    const TABLE: [f64; 31] = [
+        f64::INFINITY, // df = 0 (unusable)
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+        2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+        2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        return f64::INFINITY;
+    }
+    if df <= 30 {
+        TABLE[df]
+    } else {
+        // z + (z³ + z)/(4·df) with z = 1.959964.
+        let z = 1.959_964f64;
+        z + (z.powi(3) + z) / (4.0 * df as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_values() {
+        assert!((student_t_975(1) - 12.706).abs() < 1e-9);
+        assert!((student_t_975(9) - 2.262).abs() < 1e-9);
+        assert!((student_t_975(30) - 2.042).abs() < 1e-9);
+        // Large df approaches the normal quantile.
+        assert!((student_t_975(1000) - 1.962).abs() < 5e-3);
+        assert_eq!(student_t_975(0), f64::INFINITY);
+        // Monotone decreasing.
+        for df in 1..100 {
+            assert!(student_t_975(df) >= student_t_975(df + 1) - 1e-4);
+        }
+    }
+
+    #[test]
+    fn ci_from_known_batches() {
+        // Batches 1..=5: mean 3, sample variance 2.5, t(4) = 2.776.
+        let ci = ConfidenceInterval::from_batch_means(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((ci.mean - 3.0).abs() < 1e-12);
+        let expect_hw = 2.776 * (2.5f64 / 5.0).sqrt();
+        assert!((ci.half_width - expect_hw).abs() < 1e-9);
+        assert!(ci.contains(3.0));
+        assert!(!ci.contains(100.0));
+        assert_eq!(ci.batches, 5);
+        assert!(ci.lower() < ci.upper());
+    }
+
+    #[test]
+    fn identical_batches_have_zero_width() {
+        let ci = ConfidenceInterval::from_batch_means(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(ci.half_width, 0.0);
+        assert_eq!(ci.relative_half_width(), 0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let ci = ConfidenceInterval::from_batch_means(&[1.0, 3.0]);
+        assert!(ci.to_string().contains('±'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two batches")]
+    fn single_batch_panics() {
+        let _ = ConfidenceInterval::from_batch_means(&[1.0]);
+    }
+
+    #[test]
+    fn coverage_sanity_monte_carlo() {
+        // 95 % CI should cover the true mean ~95 % of the time. Crude
+        // check with a deterministic LCG: coverage within [88 %, 100 %].
+        let mut state = 88172645463325252u64;
+        let mut uniform = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut covered = 0;
+        let trials = 400;
+        for _ in 0..trials {
+            // 10 batches of mean-0.5 uniforms, 64 samples each.
+            let batch_means: Vec<f64> = (0..10)
+                .map(|_| (0..64).map(|_| uniform()).sum::<f64>() / 64.0)
+                .collect();
+            let ci = ConfidenceInterval::from_batch_means(&batch_means);
+            if ci.contains(0.5) {
+                covered += 1;
+            }
+        }
+        let coverage = covered as f64 / trials as f64;
+        assert!(coverage > 0.88, "coverage {coverage}");
+    }
+}

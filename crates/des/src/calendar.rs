@@ -1,0 +1,210 @@
+//! The pending-event set: a binary heap keyed by `(time, sequence)` with
+//! lazy cancellation.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Ordering: earliest time first; FIFO (sequence) breaks ties, which makes
+// simultaneous events deterministic.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A future-event list with cancellation.
+///
+/// Cancellation is *lazy*: a cancelled event stays in the heap but is no
+/// longer in the `pending` set, and is discarded when it reaches the
+/// front. `cancel` is therefore `O(1)`.
+#[derive(Debug)]
+pub struct EventCalendar<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    pending: HashSet<EventId>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventCalendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventCalendar<E> {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        EventCalendar {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`; returns an id that can
+    /// cancel it.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.heap.push(Reverse(Entry { time, seq, event }));
+        self.pending.insert(id);
+        id
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// was still pending (not yet delivered or cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id)
+    }
+
+    /// Removes and returns the earliest non-cancelled event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.pending.remove(&EventId(entry.seq)) {
+                return Some((entry.time, entry.event));
+            }
+            // else: was cancelled — discard and keep looking.
+        }
+        None
+    }
+
+    /// Time of the earliest pending event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.pending.contains(&EventId(entry.seq)) {
+                return Some(entry.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled, undelivered) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = EventCalendar::new();
+        cal.schedule(SimTime::new(3.0), "c");
+        cal.schedule(SimTime::new(1.0), "a");
+        cal.schedule(SimTime::new(2.0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| cal.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut cal = EventCalendar::new();
+        let t = SimTime::new(1.0);
+        for label in ["first", "second", "third"] {
+            cal.schedule(t, label);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| cal.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut cal = EventCalendar::new();
+        let _a = cal.schedule(SimTime::new(1.0), "a");
+        let b = cal.schedule(SimTime::new(2.0), "b");
+        cal.schedule(SimTime::new(3.0), "c");
+        assert!(cal.cancel(b));
+        assert_eq!(cal.len(), 2);
+        let order: Vec<_> = std::iter::from_fn(|| cal.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn cancel_of_delivered_event_is_false() {
+        let mut cal = EventCalendar::new();
+        let a = cal.schedule(SimTime::new(1.0), ());
+        assert!(cal.pop().is_some());
+        assert!(!cal.cancel(a));
+    }
+
+    #[test]
+    fn double_cancel_returns_false() {
+        let mut cal = EventCalendar::new();
+        let a = cal.schedule(SimTime::new(1.0), ());
+        assert!(cal.cancel(a));
+        assert!(!cal.cancel(a));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut cal = EventCalendar::new();
+        let a = cal.schedule(SimTime::new(1.0), "a");
+        cal.schedule(SimTime::new(2.0), "b");
+        cal.cancel(a);
+        assert_eq!(cal.peek_time(), Some(SimTime::new(2.0)));
+        assert_eq!(cal.pop(), Some((SimTime::new(2.0), "b")));
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn empty_calendar() {
+        let mut cal: EventCalendar<()> = EventCalendar::new();
+        assert!(cal.is_empty());
+        assert_eq!(cal.pop(), None);
+        assert_eq!(cal.peek_time(), None);
+        assert_eq!(cal.len(), 0);
+    }
+
+    #[test]
+    fn many_events_stress() {
+        // Insert pseudo-random times; verify global ordering on extraction.
+        let mut cal = EventCalendar::new();
+        let mut x = 12345u64;
+        for i in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t = (x % 1_000_000) as f64 / 1000.0;
+            cal.schedule(SimTime::new(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = cal.pop() {
+            assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        assert_eq!(count, 10_000);
+    }
+}

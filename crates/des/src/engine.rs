@@ -1,0 +1,165 @@
+//! The simulation object: clock + calendar.
+//!
+//! The engine is deliberately *loop-inverted*: the caller pops events
+//! with [`Simulation::next_event`] and handles them itself. This avoids
+//! handler traits and keeps the borrow checker out of the way — the
+//! caller holds both the simulation and its own state mutably.
+
+use crate::calendar::{EventCalendar, EventId};
+use crate::time::SimTime;
+
+/// A discrete-event simulation: a clock plus a future-event calendar.
+#[derive(Debug)]
+pub struct Simulation<E> {
+    calendar: EventCalendar<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// Creates a simulation with the clock at zero.
+    pub fn new() -> Self {
+        Simulation {
+            calendar: EventCalendar::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules `event` after `delay` seconds of simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or not finite (events may not be
+    /// scheduled in the past).
+    pub fn schedule_in(&mut self, delay: f64, event: E) -> EventId {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "delay must be finite and >= 0, got {delay}"
+        );
+        self.calendar.schedule(self.now + delay, event)
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies before the current clock.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.calendar.schedule(at, event)
+    }
+
+    /// Cancels a pending event. Returns `true` if it was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.calendar.cancel(id)
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    /// Returns `None` when the calendar is exhausted.
+    pub fn next_event(&mut self) -> Option<(SimTime, E)> {
+        let (t, e) = self.calendar.pop()?;
+        debug_assert!(t >= self.now, "calendar returned an event in the past");
+        self.now = t;
+        self.processed += 1;
+        Some((t, e))
+    }
+
+    /// Time of the next pending event, if any (does not advance the
+    /// clock).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.calendar.peek_time()
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.calendar.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut sim = Simulation::new();
+        sim.schedule_in(1.0, Ev::Tick(1));
+        sim.schedule_in(3.0, Ev::Tick(3));
+        sim.schedule_in(2.0, Ev::Tick(2));
+        let mut seen = Vec::new();
+        while let Some((t, Ev::Tick(n))) = sim.next_event() {
+            seen.push((t.as_secs(), n));
+        }
+        assert_eq!(seen, vec![(1.0, 1), (2.0, 2), (3.0, 3)]);
+        assert_eq!(sim.now(), SimTime::new(3.0));
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn relative_scheduling_uses_current_clock() {
+        let mut sim = Simulation::new();
+        sim.schedule_in(5.0, Ev::Tick(0));
+        let _ = sim.next_event();
+        // now = 5; +2 => 7.
+        sim.schedule_in(2.0, Ev::Tick(1));
+        let (t, _) = sim.next_event().unwrap();
+        assert_eq!(t, SimTime::new(7.0));
+    }
+
+    #[test]
+    fn cancellation_through_engine() {
+        let mut sim = Simulation::new();
+        let id = sim.schedule_in(1.0, Ev::Tick(1));
+        sim.schedule_in(2.0, Ev::Tick(2));
+        assert!(sim.cancel(id));
+        let (_, e) = sim.next_event().unwrap();
+        assert_eq!(e, Ev::Tick(2));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut sim = Simulation::new();
+        sim.schedule_in(4.0, Ev::Tick(0));
+        assert_eq!(sim.peek_time(), Some(SimTime::new(4.0)));
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.pending_events(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be finite")]
+    fn negative_delay_panics() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.schedule_in(-1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new();
+        sim.schedule_in(5.0, Ev::Tick(0));
+        let _ = sim.next_event();
+        sim.schedule_at(SimTime::new(1.0), Ev::Tick(1));
+    }
+}

@@ -1,0 +1,65 @@
+//! A small discrete-event simulation engine.
+//!
+//! This crate replaces the commercial CSIM library the paper used: it
+//! supplies the *scheduling* and *statistics* substrate on which the
+//! network-level GPRS simulator (`gprs-sim`) is built.
+//!
+//! * [`time::SimTime`] — totally ordered simulation clock values.
+//! * [`calendar::EventCalendar`] — the pending-event set with `O(log n)`
+//!   scheduling, FIFO tie-breaking, and cancellation.
+//! * [`engine::Simulation`] — clock + calendar; the caller drives the
+//!   loop by popping events, which keeps borrowing trivial and imposes
+//!   no handler traits.
+//! * [`rng`] — independent, reproducible random-number streams.
+//! * [`stats`] — time-weighted integrals, tallies and counters.
+//! * [`batch`] — batch-means 95 % confidence intervals (the paper's
+//!   methodology for its simulator validation).
+//! * [`sequential`] — run independent replications until a relative-
+//!   precision target is met (or provably is not, within budget).
+//!
+//! # Example
+//!
+//! A tiny M/M/1 queue:
+//!
+//! ```
+//! use gprs_des::engine::Simulation;
+//! use gprs_des::time::SimTime;
+//!
+//! #[derive(Debug)]
+//! enum Ev { Arrival, Departure }
+//!
+//! let mut sim = Simulation::new();
+//! let mut queue = 0u32;
+//! sim.schedule_in(1.0, Ev::Arrival);
+//! while let Some((now, ev)) = sim.next_event() {
+//!     if now > SimTime::from(100.0) { break; }
+//!     match ev {
+//!         Ev::Arrival => {
+//!             queue += 1;
+//!             if queue == 1 { sim.schedule_in(0.5, Ev::Departure); }
+//!             sim.schedule_in(1.0, Ev::Arrival);
+//!         }
+//!         Ev::Departure => {
+//!             queue -= 1;
+//!             if queue > 0 { sim.schedule_in(0.5, Ev::Departure); }
+//!         }
+//!     }
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod calendar;
+pub mod engine;
+pub mod rng;
+pub mod sequential;
+pub mod stats;
+pub mod time;
+
+pub use batch::ConfidenceInterval;
+pub use calendar::{EventCalendar, EventId};
+pub use engine::Simulation;
+pub use sequential::{run_until_precision, SequentialOptions, SequentialResult};
+pub use time::SimTime;

@@ -1,0 +1,189 @@
+//! Sequential estimation: run independent replications until the
+//! confidence interval is tight enough.
+//!
+//! The paper fixes its simulation effort in advance (batch means over a
+//! fixed horizon) and notes that for sensitive measures "even with
+//! simulation runs in the order of hours proper estimates ... cannot be
+//! derived". This module provides the standard counterpart used by
+//! simulation libraries like the paper's CSIM: a *sequential* stopping
+//! rule — keep adding independent replications until the 95 %
+//! confidence interval's relative half-width drops below a target, or a
+//! replication budget is exhausted. The `converged` flag makes the
+//! "this measure is too sensitive to simulate" outcome explicit instead
+//! of silently reporting a meaninglessly wide interval.
+//!
+//! # Example
+//!
+//! ```
+//! use gprs_des::sequential::{run_until_precision, SequentialOptions};
+//!
+//! // Estimate the mean of a noisy measurement to 5 % relative
+//! // precision. The closure receives the replication index, which the
+//! // caller typically uses as an RNG seed.
+//! let opts = SequentialOptions::new(0.05, 3, 10_000);
+//! let result = run_until_precision(&opts, |rep| {
+//!     // A deterministic stand-in for "run the simulator with seed rep".
+//!     10.0 + ((rep * 2_654_435_761) % 100) as f64 / 100.0
+//! });
+//! assert!(result.converged);
+//! assert!(result.interval.relative_half_width() <= 0.05);
+//! ```
+
+use crate::batch::ConfidenceInterval;
+
+/// Stopping parameters for [`run_until_precision`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequentialOptions {
+    /// Stop once `half_width / |mean| <= target` (with a nonzero mean).
+    pub target_relative_half_width: f64,
+    /// Never stop before this many replications (>= 2; small counts make
+    /// the Student-t interval unstable).
+    pub min_replications: usize,
+    /// Hard budget; reaching it sets `converged = false`.
+    pub max_replications: usize,
+}
+
+impl SequentialOptions {
+    /// Creates options, validating the ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not in `(0, 1)`, `min < 2`, or
+    /// `max < min`.
+    pub fn new(target: f64, min_replications: usize, max_replications: usize) -> Self {
+        assert!(
+            target.is_finite() && target > 0.0 && target < 1.0,
+            "relative half-width target must lie in (0, 1)"
+        );
+        assert!(min_replications >= 2, "need at least two replications");
+        assert!(
+            max_replications >= min_replications,
+            "max_replications must be >= min_replications"
+        );
+        SequentialOptions {
+            target_relative_half_width: target,
+            min_replications,
+            max_replications,
+        }
+    }
+}
+
+/// Outcome of a sequential estimation run.
+#[derive(Debug, Clone)]
+pub struct SequentialResult {
+    /// The final interval over all replications performed.
+    pub interval: ConfidenceInterval,
+    /// Replications performed.
+    pub replications: usize,
+    /// Whether the precision target was met within the budget.
+    pub converged: bool,
+    /// The raw per-replication observations (callers often want them
+    /// for diagnostics or secondary statistics).
+    pub observations: Vec<f64>,
+}
+
+/// Runs `replicate(0), replicate(1), ...` until the 95 % confidence
+/// interval over the observations meets the precision target.
+///
+/// A mean of exactly zero cannot satisfy a *relative* target; in that
+/// case the run continues to the budget and reports `converged = false`
+/// unless the half-width is also zero (a deterministic zero measure).
+pub fn run_until_precision(
+    opts: &SequentialOptions,
+    mut replicate: impl FnMut(u64) -> f64,
+) -> SequentialResult {
+    let mut observations = Vec::with_capacity(opts.min_replications);
+    let mut interval;
+    loop {
+        let rep = observations.len() as u64;
+        observations.push(replicate(rep));
+        if observations.len() < opts.min_replications.max(2) {
+            continue;
+        }
+        interval = ConfidenceInterval::from_batch_means(&observations);
+        let met = interval.relative_half_width() <= opts.target_relative_half_width;
+        if met || observations.len() >= opts.max_replications {
+            let replications = observations.len();
+            return SequentialResult {
+                interval,
+                replications,
+                converged: met,
+                observations,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_low_variance_data() {
+        let opts = SequentialOptions::new(0.05, 3, 1000);
+        // Mean 100, small wobble.
+        let r = run_until_precision(&opts, |i| 100.0 + (i % 3) as f64);
+        assert!(r.converged);
+        assert!(r.replications <= 20);
+        assert!((r.interval.mean - 100.0).abs() < 2.0);
+        assert_eq!(r.observations.len(), r.replications);
+    }
+
+    #[test]
+    fn zero_variance_stops_at_minimum() {
+        let opts = SequentialOptions::new(0.01, 4, 100);
+        let r = run_until_precision(&opts, |_| 7.0);
+        assert!(r.converged);
+        assert_eq!(r.replications, 4);
+        assert_eq!(r.interval.half_width, 0.0);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_flagged_not_hidden() {
+        // Alternating ±1 around zero mean: relative precision is
+        // unattainable.
+        let opts = SequentialOptions::new(0.01, 2, 25);
+        let r = run_until_precision(&opts, |i| if i % 2 == 0 { 1.0 } else { -1.0 });
+        assert!(!r.converged);
+        assert_eq!(r.replications, 25);
+    }
+
+    #[test]
+    fn high_variance_needs_more_replications_than_low() {
+        let opts = SequentialOptions::new(0.02, 3, 100_000);
+        let noisy = run_until_precision(&opts, |i| {
+            // LCG noise in [0, 100): mean ~50, sd ~29.
+            let mut x = i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            x ^= x >> 33;
+            50.0 + ((x % 1000) as f64 / 10.0 - 50.0)
+        });
+        let calm = run_until_precision(&opts, |i| 50.0 + ((i % 10) as f64 - 4.5));
+        assert!(noisy.converged && calm.converged);
+        assert!(
+            noisy.replications > calm.replications,
+            "noisy {} vs calm {}",
+            noisy.replications,
+            calm.replications
+        );
+    }
+
+    #[test]
+    fn deterministic_zero_measure_converges() {
+        let opts = SequentialOptions::new(0.1, 3, 10);
+        let r = run_until_precision(&opts, |_| 0.0);
+        assert!(r.converged);
+        assert_eq!(r.interval.mean, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_one_replication_minimum() {
+        let _ = SequentialOptions::new(0.1, 1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "target must lie in")]
+    fn rejects_bad_target() {
+        let _ = SequentialOptions::new(0.0, 2, 10);
+    }
+}

@@ -1,0 +1,231 @@
+//! Statistics accumulators for simulation output analysis.
+
+use crate::time::SimTime;
+
+/// Streaming mean/variance of a sequence of observations (Welford's
+/// algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Tally {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Tally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Tally::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; 0 if empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Resets to empty.
+    pub fn reset(&mut self) {
+        *self = Tally::default();
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (e.g. queue
+/// length, channels busy).
+///
+/// Call [`set`](Self::set) whenever the signal changes; the accumulator
+/// integrates `value · dt` between changes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_change: SimTime,
+    value: f64,
+    integral: f64,
+}
+
+impl TimeWeighted {
+    /// Starts integrating at `start` with initial `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_change: start,
+            value,
+            integral: 0.0,
+        }
+    }
+
+    /// Updates the signal to `value` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous change.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        assert!(now >= self.last_change, "time went backwards");
+        self.integral += self.value * (now - self.last_change);
+        self.last_change = now;
+        self.value = value;
+    }
+
+    /// Adds `delta` to the current value at time `now` (convenience for
+    /// counters like "busy channels").
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Time average over `[start, now]`.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let elapsed = now - self.start;
+        if elapsed <= 0.0 {
+            return self.value;
+        }
+        let integral = self.integral + self.value * (now - self.last_change);
+        integral / elapsed
+    }
+
+    /// Restarts the integral at `now`, keeping the current value.
+    /// Used at batch boundaries and after warm-up deletion.
+    pub fn restart(&mut self, now: SimTime) {
+        self.start = now;
+        self.last_change = now;
+        self.integral = 0.0;
+    }
+}
+
+/// A monotone event counter with rate computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.count += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn incr_by(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Current count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Events per unit time over `elapsed` seconds; 0 if `elapsed <= 0`.
+    pub fn rate(&self, elapsed: f64) -> f64 {
+        if elapsed > 0.0 {
+            self.count as f64 / elapsed
+        } else {
+            0.0
+        }
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_mean_and_variance() {
+        let mut t = Tally::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.record(x);
+        }
+        assert_eq!(t.count(), 8);
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic data set is 32/7.
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-12);
+        t.reset();
+        assert_eq!(t.count(), 0);
+        assert_eq!(t.variance(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.set(SimTime::new(10.0), 2.0); // 0 for 10 s
+        tw.set(SimTime::new(20.0), 4.0); // 2 for 10 s
+        // then 4 for 10 s
+        let avg = tw.average(SimTime::new(30.0));
+        assert!((avg - (0.0 * 10.0 + 2.0 * 10.0 + 4.0 * 10.0) / 30.0).abs() < 1e-12);
+        assert_eq!(tw.current(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_add_and_restart() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
+        tw.add(SimTime::new(5.0), 2.0); // value 3 from t=5
+        assert_eq!(tw.current(), 3.0);
+        tw.restart(SimTime::new(5.0));
+        let avg = tw.average(SimTime::new(15.0));
+        assert!((avg - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_zero_elapsed() {
+        let tw = TimeWeighted::new(SimTime::new(3.0), 7.0);
+        assert_eq!(tw.average(SimTime::new(3.0)), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn time_weighted_rejects_past() {
+        let mut tw = TimeWeighted::new(SimTime::new(5.0), 0.0);
+        tw.set(SimTime::new(4.0), 1.0);
+    }
+
+    #[test]
+    fn counter_rates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.incr_by(9);
+        assert_eq!(c.count(), 10);
+        assert!((c.rate(5.0) - 2.0).abs() < 1e-12);
+        assert_eq!(c.rate(0.0), 0.0);
+        c.reset();
+        assert_eq!(c.count(), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Simulation clock values.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds.
+///
+/// `SimTime` wraps a finite, non-NaN `f64` and is therefore totally
+/// ordered (`Ord`), which the event calendar requires.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is NaN or infinite.
+    pub fn new(seconds: f64) -> Self {
+        assert!(seconds.is_finite(), "SimTime must be finite, got {seconds}");
+        SimTime(seconds)
+    }
+
+    /// The value in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<f64> for SimTime {
+    fn from(seconds: f64) -> Self {
+        SimTime::new(seconds)
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Safe: construction forbids NaN.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, delay: f64) -> SimTime {
+        SimTime::new(self.0 + delay)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, delay: f64) {
+        *self = *self + delay;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    fn sub(self, other: SimTime) -> f64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::new(1.0);
+        let b = a + 2.5;
+        assert!(b > a);
+        assert_eq!(b - a, 2.5);
+        assert_eq!(b.as_secs(), 3.5);
+        let mut c = SimTime::ZERO;
+        c += 1.0;
+        assert_eq!(c, SimTime::new(1.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::new(1.5).to_string(), "1.500000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn overflow_rejected() {
+        let _ = SimTime::new(f64::MAX) + f64::MAX;
+    }
+}

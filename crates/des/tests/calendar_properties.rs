@@ -1,0 +1,90 @@
+//! Property-based tests of the event calendar and statistics.
+
+use gprs_des::stats::{Tally, TimeWeighted};
+use gprs_des::{EventCalendar, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn calendar_is_a_priority_queue(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut cal = EventCalendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::new(t), i);
+        }
+        let mut extracted = Vec::new();
+        let mut last = f64::NEG_INFINITY;
+        while let Some((t, _)) = cal.pop() {
+            prop_assert!(t.as_secs() >= last);
+            last = t.as_secs();
+            extracted.push(t.as_secs());
+        }
+        prop_assert_eq!(extracted.len(), times.len());
+        let mut sorted = times.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (a, b) in extracted.iter().zip(&sorted) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(
+        times in proptest::collection::vec(0.0f64..1e4, 2..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 2..100),
+    ) {
+        let mut cal = EventCalendar::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| cal.schedule(SimTime::new(t), i))
+            .collect();
+        let mut kept = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if cancel_mask.get(i).copied().unwrap_or(false) {
+                prop_assert!(cal.cancel(*id));
+            } else {
+                kept.push(i);
+            }
+        }
+        let mut seen = Vec::new();
+        while let Some((_, payload)) = cal.pop() {
+            seen.push(payload);
+        }
+        seen.sort_unstable();
+        kept.sort_unstable();
+        prop_assert_eq!(seen, kept);
+    }
+
+    #[test]
+    fn tally_matches_naive_mean_variance(xs in proptest::collection::vec(-1e3f64..1e3, 2..200)) {
+        let mut t = Tally::new();
+        for &x in &xs {
+            t.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((t.mean() - mean).abs() < 1e-9 * mean.abs().max(1.0));
+        prop_assert!((t.variance() - var).abs() < 1e-8 * var.abs().max(1.0));
+    }
+
+    #[test]
+    fn time_weighted_average_is_bounded_by_extremes(
+        steps in proptest::collection::vec((0.001f64..10.0, 0.0f64..50.0), 1..100)
+    ) {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, steps[0].1);
+        let mut now = SimTime::ZERO;
+        let mut lo = steps[0].1;
+        let mut hi = steps[0].1;
+        for &(dt, v) in &steps {
+            now += dt;
+            tw.set(now, v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        now += 1.0;
+        let avg = tw.average(now);
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "avg {} not in [{}, {}]", avg, lo, hi);
+    }
+}

@@ -1,0 +1,132 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--figure all|figNN[,figNN...]] [--scale quick|full]
+//!       [--out DIR] [--tables]
+//! ```
+//!
+//! For each requested figure the harness prints an ASCII chart of the
+//! same series the paper plots, evaluates the shape checks, and (with
+//! `--out`) writes the raw series as CSV.
+
+use gprs_experiments::chart;
+use gprs_experiments::figures::{self, tables, ALL_FIGURES};
+use gprs_experiments::Scale;
+use std::io::Write as _;
+use std::time::Instant;
+
+struct Args {
+    figures: Vec<String>,
+    scale: Scale,
+    out: Option<String>,
+    tables: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        figures: Vec::new(),
+        scale: Scale::Quick,
+        out: None,
+        tables: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--figure" | "-f" => {
+                let v = it.next().ok_or("--figure needs a value")?;
+                if v == "all" {
+                    args.figures = ALL_FIGURES.iter().map(|s| s.to_string()).collect();
+                } else {
+                    args.figures.extend(v.split(',').map(|s| s.trim().to_string()));
+                }
+            }
+            "--scale" | "-s" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                args.scale =
+                    Scale::parse(&v).ok_or_else(|| format!("unknown scale: {v}"))?;
+            }
+            "--out" | "-o" => {
+                args.out = Some(it.next().ok_or("--out needs a directory")?);
+            }
+            "--tables" | "-t" => args.tables = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--figure all|figNN|extNN[,...]] \
+                     [--scale quick|full] [--out DIR] [--tables]\n\
+                     figures: fig05..fig15 (the paper) and ext01, ext02 \
+                     (extensions)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if args.figures.is_empty() && !args.tables {
+        args.figures = ALL_FIGURES.iter().map(|s| s.to_string()).collect();
+        args.tables = true;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.tables {
+        println!("{}", tables::render_all());
+    }
+
+    let mut failures = 0usize;
+    let mut summaries = Vec::new();
+    for id in &args.figures {
+        let t0 = Instant::now();
+        eprintln!("running {id} at {:?} scale...", args.scale);
+        match figures::run_figure(id, args.scale) {
+            Ok(fig) => {
+                println!("{}", chart::render_figure(&fig));
+                let pass = fig.checks.iter().filter(|c| c.pass).count();
+                let total = fig.checks.len();
+                if !fig.all_pass() {
+                    failures += 1;
+                }
+                summaries.push(format!(
+                    "{id}: {pass}/{total} checks passed ({:.1?})",
+                    t0.elapsed()
+                ));
+                if let Some(dir) = &args.out {
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        eprintln!("cannot create {dir}: {e}");
+                    } else {
+                        let path = format!("{dir}/{id}.csv");
+                        match std::fs::File::create(&path) {
+                            Ok(mut f) => {
+                                let _ = f.write_all(chart::to_csv(&fig).as_bytes());
+                                eprintln!("wrote {path}");
+                            }
+                            Err(e) => eprintln!("cannot write {path}: {e}"),
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{id} FAILED: {e}");
+                failures += 1;
+                summaries.push(format!("{id}: ERROR {e}"));
+            }
+        }
+    }
+
+    println!("==== summary ====");
+    for s in &summaries {
+        println!("  {s}");
+    }
+    if failures > 0 {
+        println!("  {failures} figure(s) had failing checks or errors");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,310 @@
+//! ASCII chart rendering and CSV output for figure results.
+
+use crate::series::{FigureResult, Panel};
+use std::fmt::Write as _;
+
+/// Plot area width in character cells.
+const WIDTH: usize = 64;
+/// Plot area height in character cells.
+const HEIGHT: usize = 18;
+
+/// Symbols used for successive series.
+const SYMBOLS: &[u8] = b"ox+*#@%&";
+
+/// Renders one panel as an ASCII chart with legend.
+pub fn render_panel(panel: &Panel, x_label: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "  {}", panel.title);
+
+    // Gather ranges.
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let transform = |y: f64| -> Option<f64> {
+        if panel.log_y {
+            if y > 0.0 {
+                Some(y.log10())
+            } else {
+                None
+            }
+        } else {
+            Some(y)
+        }
+    };
+    for s in &panel.series {
+        for (&x, &y) in s.x.iter().zip(&s.y) {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            if let Some(ty) = transform(y) {
+                y_min = y_min.min(ty);
+                y_max = y_max.max(ty);
+            }
+        }
+    }
+    if !x_min.is_finite() || !y_min.is_finite() {
+        let _ = writeln!(out, "  (no positive data to plot)");
+        return out;
+    }
+    if panel.log_y {
+        // Clamp the log range so one tiny value doesn't flatten the rest.
+        y_min = y_min.max(y_max - 12.0);
+    }
+    if (y_max - y_min).abs() < 1e-300 {
+        y_max = y_min + 1.0;
+    }
+    if (x_max - x_min).abs() < 1e-300 {
+        x_max = x_min + 1.0;
+    }
+
+    let mut grid = vec![b' '; WIDTH * HEIGHT];
+    for (si, s) in panel.series.iter().enumerate() {
+        let sym = SYMBOLS[si % SYMBOLS.len()];
+        for (&x, &y) in s.x.iter().zip(&s.y) {
+            let Some(ty) = transform(y) else { continue };
+            let ty = ty.max(y_min);
+            let col = ((x - x_min) / (x_max - x_min) * (WIDTH - 1) as f64).round() as usize;
+            let row = ((y_max - ty) / (y_max - y_min) * (HEIGHT - 1) as f64).round() as usize;
+            let cell = &mut grid[row * WIDTH + col];
+            // First writer wins; overlaps become '·'.
+            if *cell == b' ' {
+                *cell = sym;
+            } else if *cell != sym {
+                *cell = b'.';
+            }
+        }
+    }
+
+    let fmt_y = |v: f64| -> String {
+        if panel.log_y {
+            format!("{:>9.2e}", 10f64.powf(v))
+        } else {
+            format!("{v:>9.3}")
+        }
+    };
+    for row in 0..HEIGHT {
+        let label = if row == 0 {
+            fmt_y(y_max)
+        } else if row == HEIGHT - 1 {
+            fmt_y(y_min)
+        } else if row == HEIGHT / 2 {
+            fmt_y((y_max + y_min) / 2.0)
+        } else {
+            " ".repeat(9)
+        };
+        let line: String =
+            grid[row * WIDTH..(row + 1) * WIDTH].iter().map(|&b| b as char).collect();
+        let _ = writeln!(out, "  {label} |{line}");
+    }
+    let _ = writeln!(
+        out,
+        "  {} +{}",
+        " ".repeat(9),
+        "-".repeat(WIDTH)
+    );
+    let _ = writeln!(
+        out,
+        "  {} {:<8.3}{}{:>8.3}  ({})",
+        " ".repeat(9),
+        x_min,
+        " ".repeat(WIDTH.saturating_sub(16)),
+        x_max,
+        x_label
+    );
+    for (si, s) in panel.series.iter().enumerate() {
+        let sym = SYMBOLS[si % SYMBOLS.len()] as char;
+        let _ = writeln!(out, "    {sym} = {}", s.label);
+    }
+    let _ = writeln!(out, "  y: {}{}", panel.y_label, if panel.log_y { " (log scale)" } else { "" });
+    out
+}
+
+/// Renders the whole figure (all panels, checks, notes).
+pub fn render_figure(fig: &FigureResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "==== {} ====", fig.title);
+    for note in &fig.notes {
+        let _ = writeln!(out, "  note: {note}");
+    }
+    for panel in &fig.panels {
+        out.push('\n');
+        out.push_str(&render_panel(panel, &fig.x_label));
+    }
+    if !fig.checks.is_empty() {
+        let _ = writeln!(out, "\n  shape checks:");
+        for c in &fig.checks {
+            let mark = if c.pass { "PASS" } else { "FAIL" };
+            let _ = writeln!(out, "    [{mark}] {}  {}", c.description, c.detail);
+        }
+    }
+    out
+}
+
+/// Serializes a figure's series as CSV: one block per panel with a
+/// comment header, columns `x, <series...>` (error columns appended as
+/// `<label>_ci` where present).
+pub fn to_csv(fig: &FigureResult) -> String {
+    let mut out = String::new();
+    for panel in &fig.panels {
+        let _ = writeln!(out, "# {} — {}", fig.title, panel.title);
+        let mut header = vec![fig.x_label.replace(',', ";")];
+        for s in &panel.series {
+            header.push(s.label.replace(',', ";"));
+            if s.err.is_some() {
+                header.push(format!("{}_ci", s.label.replace(',', ";")));
+            }
+        }
+        let _ = writeln!(out, "{}", header.join(","));
+        // Union of x values (series may be sampled differently).
+        let mut xs: Vec<f64> = panel
+            .series
+            .iter()
+            .flat_map(|s| s.x.iter().copied())
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        for &x in &xs {
+            let mut row = vec![format!("{x}")];
+            for s in &panel.series {
+                let val = s
+                    .x
+                    .iter()
+                    .position(|&sx| (sx - x).abs() < 1e-12)
+                    .map(|i| s.y[i]);
+                row.push(val.map(|v| format!("{v}")).unwrap_or_default());
+                if let Some(err) = &s.err {
+                    let e = s
+                        .x
+                        .iter()
+                        .position(|&sx| (sx - x).abs() < 1e-12)
+                        .map(|i| err[i]);
+                    row.push(e.map(|v| format!("{v}")).unwrap_or_default());
+                }
+            }
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{Series, ShapeCheck};
+
+    fn sample_figure() -> FigureResult {
+        FigureResult {
+            id: "figXX".into(),
+            title: "Fig. XX: sample".into(),
+            x_label: "arrival rate".into(),
+            panels: vec![Panel {
+                title: "panel".into(),
+                y_label: "value".into(),
+                log_y: false,
+                series: vec![
+                    Series::new("one", vec![0.1, 0.5, 1.0], vec![1.0, 2.0, 3.0]),
+                    Series::with_error(
+                        "two",
+                        vec![0.1, 1.0],
+                        vec![1.5, 2.5],
+                        vec![0.2, 0.3],
+                    ),
+                ],
+            }],
+            checks: vec![ShapeCheck::new("sanity", true, "ok")],
+            notes: vec!["a note".into()],
+        }
+    }
+
+    #[test]
+    fn render_contains_legend_and_checks() {
+        let s = render_figure(&sample_figure());
+        assert!(s.contains("o = one"));
+        assert!(s.contains("x = two"));
+        assert!(s.contains("[PASS] sanity"));
+        assert!(s.contains("a note"));
+    }
+
+    #[test]
+    fn log_panel_renders_without_panicking_on_zero() {
+        let panel = Panel {
+            title: "log".into(),
+            y_label: "plp".into(),
+            log_y: true,
+            series: vec![Series::new(
+                "s",
+                vec![0.1, 0.2, 0.3],
+                vec![0.0, 1e-6, 1e-2],
+            )],
+        };
+        let s = render_panel(&panel, "x");
+        assert!(s.contains("log scale"));
+    }
+
+    #[test]
+    fn empty_log_panel_reports_no_data() {
+        let panel = Panel {
+            title: "log".into(),
+            y_label: "plp".into(),
+            log_y: true,
+            series: vec![Series::new("s", vec![0.1], vec![0.0])],
+        };
+        let s = render_panel(&panel, "x");
+        assert!(s.contains("no positive data"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&sample_figure());
+        assert!(csv.contains("arrival rate,one,two,two_ci"));
+        // x = 0.5 exists only in series "one": empty cells for "two".
+        assert!(csv.lines().any(|l| l.starts_with("0.5,2,,")));
+    }
+
+    #[test]
+    fn csv_escapes_commas_in_labels() {
+        let mut fig = sample_figure();
+        fig.panels[0].series[0].label = "one, with comma".into();
+        let csv = to_csv(&fig);
+        // The comma becomes a semicolon so the column count is stable.
+        assert!(csv.contains("one; with comma"));
+        let header = csv.lines().nth(1).unwrap();
+        assert_eq!(header.split(',').count(), 4);
+    }
+
+    #[test]
+    fn degenerate_ranges_render_without_panicking() {
+        // A single point (zero x- and y-range) must not divide by zero.
+        let panel = Panel {
+            title: "point".into(),
+            y_label: "v".into(),
+            log_y: false,
+            series: vec![Series::new("s", vec![0.5], vec![2.0])],
+        };
+        let s = render_panel(&panel, "x");
+        assert!(s.contains("s = s") || s.contains("= s"));
+        // A constant series (zero y-range) too.
+        let panel = Panel {
+            title: "flat".into(),
+            y_label: "v".into(),
+            log_y: false,
+            series: vec![Series::new("s", vec![0.1, 0.9], vec![3.0, 3.0])],
+        };
+        let _ = render_panel(&panel, "x");
+    }
+
+    #[test]
+    fn overlapping_series_mark_collisions() {
+        // Two series on the same points: the overlap cell becomes '.'.
+        let panel = Panel {
+            title: "overlap".into(),
+            y_label: "v".into(),
+            log_y: false,
+            series: vec![
+                Series::new("a", vec![0.1, 0.9], vec![1.0, 2.0]),
+                Series::new("b", vec![0.1, 0.9], vec![1.0, 2.0]),
+            ],
+        };
+        let s = render_panel(&panel, "x");
+        assert!(s.contains('.'));
+    }
+}

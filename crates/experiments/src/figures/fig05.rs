@@ -1,0 +1,129 @@
+//! Fig. 5: calibrating the TCP flow-control threshold `η`.
+//!
+//! Packet loss probability against the call arrival rate for several
+//! `η` values of the Markov model, compared with the detailed simulator
+//! (TCP enabled, 95 % confidence intervals). The paper concludes
+//! `η = 0.7` tracks the simulation best, `η = 1.0` (no flow control)
+//! drives PLP toward 1 under load, and smaller `η` throttles traffic
+//! that the network could still carry.
+
+use crate::scale::Scale;
+use crate::series::{FigureResult, Panel, Series, ShapeCheck};
+use gprs_core::sweep::sweep_arrival_rates;
+use gprs_core::ModelError;
+use gprs_traffic::TrafficModel;
+
+/// The η values whose model curves are drawn.
+pub const ETAS: [f64; 4] = [0.5, 0.7, 0.9, 1.0];
+
+/// Runs the figure.
+///
+/// # Errors
+///
+/// Propagates model/solver errors.
+pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
+    let rates = scale.rate_grid();
+    let opts = scale.solve_options();
+
+    let mut series = Vec::new();
+    let mut eta_curves: Vec<Vec<f64>> = Vec::new();
+    for &eta in &ETAS {
+        let mut base = super::shared::figure_config(TrafficModel::Model3, 1, 0.05, scale)?;
+        base.tcp_threshold = eta;
+        eprintln!("  fig05: model sweep eta = {eta}");
+        let pts = sweep_arrival_rates(&base, &rates, &opts)?;
+        let (x, y) = super::shared::extract(&pts, |m| m.packet_loss_probability);
+        eta_curves.push(y.clone());
+        series.push(Series::new(format!("model, eta = {eta}"), x, y));
+    }
+
+    // Simulator reference (TCP on).
+    let mut sim_x = Vec::new();
+    let mut sim_y = Vec::new();
+    let mut sim_e = Vec::new();
+    for (i, &rate) in scale.sim_rates().iter().enumerate() {
+        let mut cell = super::shared::figure_config(TrafficModel::Model3, 1, 0.05, scale)?;
+        cell.call_arrival_rate = rate;
+        let res = super::shared::simulate(cell, scale, 1000 + i as u64);
+        sim_x.push(rate);
+        sim_y.push(res.packet_loss_probability.mean);
+        sim_e.push(res.packet_loss_probability.half_width);
+    }
+    series.push(Series::with_error(
+        "simulator (95% CI)",
+        sim_x.clone(),
+        sim_y.clone(),
+        sim_e.clone(),
+    ));
+
+    let last = rates.len() - 1;
+    let mut checks = Vec::new();
+    // PLP grows with eta at high load (less throttling, more loss).
+    checks.push(ShapeCheck::new(
+        "PLP at 1 call/s increases with eta",
+        eta_curves.windows(2).all(|w| w[0][last] <= w[1][last] + 1e-9),
+        format!(
+            "PLP = {:.2e} / {:.2e} / {:.2e} / {:.2e} for eta = 0.5/0.7/0.9/1.0",
+            eta_curves[0][last], eta_curves[1][last], eta_curves[2][last], eta_curves[3][last]
+        ),
+    ));
+    // eta = 1.0: no flow control, loss becomes macroscopic under load.
+    checks.push(ShapeCheck::new(
+        "eta = 1.0 (no flow control): PLP becomes macroscopic under load",
+        eta_curves[3][last] > 0.3,
+        format!("PLP = {:.3}", eta_curves[3][last]),
+    ));
+    // eta = 0.7 tracks the simulator: same order of magnitude at most
+    // simulated points.
+    let model07: Vec<(f64, f64)> = rates.iter().copied().zip(eta_curves[1].iter().copied()).collect();
+    let sim_pts: Vec<(f64, f64, f64)> = sim_x
+        .iter()
+        .zip(&sim_y)
+        .zip(&sim_e)
+        .map(|((&x, &y), &e)| (x, y, e))
+        .collect();
+    let (ok, total) = super::shared::agreement(&model07, &sim_pts, 0.75, 0.02);
+    checks.push(ShapeCheck::new(
+        "eta = 0.7 model tracks the simulator (order of magnitude)",
+        2 * ok >= total,
+        format!("{ok}/{total} simulated points within tolerance"),
+    ));
+    // eta = 0.5 under-estimates loss relative to eta = 0.7 (throttles
+    // too early), per the paper's discussion.
+    checks.push(ShapeCheck::new(
+        "eta = 0.5 yields lower PLP than eta = 0.7 at 1 call/s",
+        eta_curves[0][last] <= eta_curves[1][last] + 1e-12,
+        String::new(),
+    ));
+
+    Ok(FigureResult {
+        id: "fig05".into(),
+        title: "Fig. 5: calibrating the TCP flow-control threshold eta (PLP)".into(),
+        x_label: "call arrival rate (calls/s)".into(),
+        panels: vec![Panel {
+            title: "packet loss probability, model vs simulator".into(),
+            y_label: "PLP".into(),
+            log_y: true,
+            series,
+        }],
+        checks,
+        notes: vec![format!(
+            "traffic model 3; 1 reserved PDCH; buffer K = {}; simulator runs TCP Reno",
+            scale.buffer_capacity()
+        )],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "runs the simulator; use the repro binary"]
+    fn fig05_shape_checks_pass() {
+        let fig = run(Scale::Quick).unwrap();
+        for c in &fig.checks {
+            assert!(c.pass, "failed: {} ({})", c.description, c.detail);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Fig. 6: validation of the Markov model against the detailed
+//! simulator — CDT (left) and throughput per user (right) for 2 %, 5 %
+//! and 10 % GPRS users (traffic model 3, 1 reserved PDCH).
+//!
+//! The paper's observation for the CDT curve: the data channel
+//! utilization first grows with the arrival rate (up to ≈ 4.8 channels
+//! at 10 % GPRS), then falls back toward the single reserved PDCH as
+//! voice calls, which have priority, crowd out the on-demand channels.
+
+use crate::scale::Scale;
+use crate::series::{FigureResult, Panel, Series, ShapeCheck};
+use gprs_core::ModelError;
+use gprs_traffic::TrafficModel;
+
+/// GPRS fractions validated in the figure.
+pub const FRACTIONS: [f64; 3] = [0.02, 0.05, 0.10];
+
+/// Runs the figure.
+///
+/// # Errors
+///
+/// Propagates model/solver errors.
+pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
+    let mut cdt_series = Vec::new();
+    let mut atu_series = Vec::new();
+    let mut cdt_model_curves = Vec::new();
+
+    for &fraction in &FRACTIONS {
+        let pts = super::shared::swept(TrafficModel::Model3, 1, fraction, None, scale)?;
+        let (x, cdt) = super::shared::extract(&pts, |m| m.carried_data_traffic);
+        let (_, atu) = super::shared::extract(&pts, |m| m.throughput_per_user_kbps);
+        cdt_model_curves.push((x.clone(), cdt.clone()));
+        let label = format!("model, {:.0}% GPRS", fraction * 100.0);
+        cdt_series.push(Series::new(label.clone(), x.clone(), cdt));
+        atu_series.push(Series::new(label, x, atu));
+    }
+
+    // Simulator points for the middle fraction (5 %) plus the extremes
+    // at full scale.
+    let sim_fractions: &[f64] = match scale {
+        Scale::Full => &FRACTIONS,
+        Scale::Quick => &[0.05],
+    };
+    let mut sim_cdt_agreement = Vec::new();
+    for (fi, &fraction) in sim_fractions.iter().enumerate() {
+        let mut x = Vec::new();
+        let mut cdt = Vec::new();
+        let mut cdt_e = Vec::new();
+        let mut atu = Vec::new();
+        let mut atu_e = Vec::new();
+        for (i, &rate) in scale.sim_rates().iter().enumerate() {
+            let mut cell = super::shared::figure_config(TrafficModel::Model3, 1, fraction, scale)?;
+            cell.call_arrival_rate = rate;
+            let res = super::shared::simulate(cell, scale, 2000 + (fi * 100 + i) as u64);
+            x.push(rate);
+            cdt.push(res.carried_data_traffic.mean);
+            cdt_e.push(res.carried_data_traffic.half_width);
+            atu.push(res.throughput_per_user_kbps.mean);
+            atu_e.push(res.throughput_per_user_kbps.half_width);
+        }
+        let label = format!("simulator, {:.0}% GPRS (95% CI)", fraction * 100.0);
+        sim_cdt_agreement.push((fraction, x.clone(), cdt.clone(), cdt_e.clone()));
+        cdt_series.push(Series::with_error(label.clone(), x.clone(), cdt, cdt_e));
+        atu_series.push(Series::with_error(label, x, atu, atu_e));
+    }
+
+    let mut checks = Vec::new();
+    // CDT rises then falls for the 10% curve.
+    let (ref _x10, ref cdt10) = cdt_model_curves[2];
+    let peak = cdt10.iter().cloned().fold(f64::MIN, f64::max);
+    let last_val = *cdt10.last().expect("non-empty");
+    checks.push(ShapeCheck::new(
+        "10% GPRS: CDT peaks and then declines as voice crowds out PDCHs",
+        peak > last_val + 0.05,
+        format!("peak {peak:.2}, at 1 call/s {last_val:.2}"),
+    ));
+    // More GPRS users carry more data at the peak.
+    let peak2 = cdt_model_curves[0].1.iter().cloned().fold(f64::MIN, f64::max);
+    checks.push(ShapeCheck::new(
+        "peak CDT grows with the GPRS share (10% > 2%)",
+        peak > peak2,
+        format!("peak(10%) = {peak:.2} vs peak(2%) = {peak2:.2}"),
+    ));
+    // ATU decays with load for every share.
+    checks.push(ShapeCheck::new(
+        "throughput per user decays with load (all GPRS shares)",
+        atu_series[..3]
+            .iter()
+            .all(|s| s.y.windows(2).all(|w| w[1] <= w[0] + 1e-6)),
+        String::new(),
+    ));
+    // Model-vs-simulator agreement on CDT for each simulated fraction.
+    for (fraction, x, cdt, ci) in &sim_cdt_agreement {
+        let idx = FRACTIONS.iter().position(|f| f == fraction).expect("known");
+        let model: Vec<(f64, f64)> = cdt_model_curves[idx]
+            .0
+            .iter()
+            .copied()
+            .zip(cdt_model_curves[idx].1.iter().copied())
+            .collect();
+        let sim_pts: Vec<(f64, f64, f64)> = x
+            .iter()
+            .zip(cdt)
+            .zip(ci)
+            .map(|((&x, &y), &e)| (x, y, e))
+            .collect();
+        let (ok, total) = super::shared::agreement(&model, &sim_pts, 0.35, 0.1);
+        checks.push(ShapeCheck::new(
+            format!(
+                "model CDT tracks the simulator at {:.0}% GPRS",
+                fraction * 100.0
+            ),
+            2 * ok >= total,
+            format!("{ok}/{total} simulated points within tolerance"),
+        ));
+    }
+
+    Ok(FigureResult {
+        id: "fig06".into(),
+        title: "Fig. 6: validation against the detailed simulator (1 reserved PDCH)".into(),
+        x_label: "call arrival rate (calls/s)".into(),
+        panels: vec![
+            Panel {
+                title: "carried data traffic".into(),
+                y_label: "busy PDCHs".into(),
+                log_y: false,
+                series: cdt_series,
+            },
+            Panel {
+                title: "throughput per user".into(),
+                y_label: "kbit/s".into(),
+                log_y: false,
+                series: atu_series,
+            },
+        ],
+        checks,
+        notes: vec![format!(
+            "traffic model 3; M = 20; buffer K = {}; model sweeps interpolate where the simulator samples",
+            scale.buffer_capacity()
+        )],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "runs the simulator; use the repro binary"]
+    fn fig06_shape_checks_pass() {
+        let fig = run(Scale::Quick).unwrap();
+        for c in &fig.checks {
+            assert!(c.pass, "failed: {} ({})", c.description, c.detail);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Fig. 8: packet loss probability (PLP) for traffic models 1 and 2,
+//! with 1, 2 and 4 reserved PDCHs.
+
+use crate::scale::Scale;
+use crate::series::{FigureResult, ShapeCheck};
+use gprs_core::ModelError;
+use gprs_traffic::TrafficModel;
+
+/// Runs the figure.
+///
+/// # Errors
+///
+/// Propagates model/solver errors.
+pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
+    let p1 = super::fig07::panel_for(
+        TrafficModel::Model1,
+        scale,
+        |m| m.packet_loss_probability,
+        "packet loss probability",
+        true,
+    )?;
+    let p2 = super::fig07::panel_for(
+        TrafficModel::Model2,
+        scale,
+        |m| m.packet_loss_probability,
+        "packet loss probability",
+        true,
+    )?;
+
+    let mut checks = Vec::new();
+    let last = p1.series[0].y.len() - 1;
+    // Paper: "reserving more PDCHs decreases ... the probability of
+    // packet loss".
+    for (panel, tm) in [(&p1, "TM1"), (&p2, "TM2")] {
+        let ordered = panel.series[0].y[last] >= panel.series[1].y[last] - 1e-12
+            && panel.series[1].y[last] >= panel.series[2].y[last] - 1e-12;
+        checks.push(ShapeCheck::new(
+            format!("{tm}: PLP decreases with more reserved PDCHs (at 1 call/s)"),
+            ordered,
+            format!(
+                "PLP(1)={:.2e} PLP(2)={:.2e} PLP(4)={:.2e}",
+                panel.series[0].y[last],
+                panel.series[1].y[last],
+                panel.series[2].y[last]
+            ),
+        ));
+    }
+    // Paper: "traffic model 2 which produces more bursty traffic ...
+    // results in ... higher PLP".
+    checks.push(ShapeCheck::new(
+        "TM2 (burstier) has higher PLP than TM1 (1 reserved PDCH, 1 call/s)",
+        p2.series[0].y[last] >= p1.series[0].y[last],
+        format!(
+            "TM2 {:.2e} vs TM1 {:.2e}",
+            p2.series[0].y[last],
+            p1.series[0].y[last]
+        ),
+    ));
+    // PLP grows with load.
+    checks.push(ShapeCheck::new(
+        "PLP is (weakly) increasing in the arrival rate",
+        p2.series[0].y.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+        String::new(),
+    ));
+
+    Ok(FigureResult {
+        id: "fig08".into(),
+        title: "Fig. 8: PLP for traffic model 1 (left) and 2 (right)".into(),
+        x_label: "call arrival rate (calls/s)".into(),
+        panels: vec![p1, p2],
+        checks,
+        notes: vec![format!(
+            "M = 50; buffer K = {}; 5% GPRS users; eta = 0.7",
+            scale.buffer_capacity()
+        )],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "multi-minute sweep; run with --ignored or via the repro binary"]
+    fn fig08_shape_checks_pass() {
+        let fig = run(Scale::Quick).unwrap();
+        for c in &fig.checks {
+            assert!(c.pass, "failed: {} ({})", c.description, c.detail);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Fig. 9: queueing delay (QD) for traffic models 1 and 2, with 1, 2
+//! and 4 reserved PDCHs.
+
+use crate::scale::Scale;
+use crate::series::{FigureResult, ShapeCheck};
+use gprs_core::ModelError;
+use gprs_traffic::TrafficModel;
+
+/// Runs the figure.
+///
+/// # Errors
+///
+/// Propagates model/solver errors.
+pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
+    let p1 = super::fig07::panel_for(
+        TrafficModel::Model1,
+        scale,
+        |m| m.queueing_delay,
+        "queueing delay (s)",
+        false,
+    )?;
+    let p2 = super::fig07::panel_for(
+        TrafficModel::Model2,
+        scale,
+        |m| m.queueing_delay,
+        "queueing delay (s)",
+        false,
+    )?;
+
+    let mut checks = Vec::new();
+    let last = p1.series[0].y.len() - 1;
+    // Paper: "reserving more PDCHs decreases QD".
+    for (panel, tm) in [(&p1, "TM1"), (&p2, "TM2")] {
+        let ordered = panel.series[0].y[last] >= panel.series[1].y[last] - 1e-9
+            && panel.series[1].y[last] >= panel.series[2].y[last] - 1e-9;
+        checks.push(ShapeCheck::new(
+            format!("{tm}: QD decreases with more reserved PDCHs (at 1 call/s)"),
+            ordered,
+            format!(
+                "QD(1)={:.3}s QD(2)={:.3}s QD(4)={:.3}s",
+                panel.series[0].y[last],
+                panel.series[1].y[last],
+                panel.series[2].y[last]
+            ),
+        ));
+    }
+    // Paper: TM2 "results in longer delay".
+    checks.push(ShapeCheck::new(
+        "TM2 (burstier) has longer QD than TM1 (1 reserved PDCH, 1 call/s)",
+        p2.series[0].y[last] >= p1.series[0].y[last],
+        format!(
+            "TM2 {:.3}s vs TM1 {:.3}s",
+            p2.series[0].y[last],
+            p1.series[0].y[last]
+        ),
+    ));
+    // Delays are physical: bounded by K / (1 PDCH drain rate).
+    let mu = gprs_core::CodingScheme::Cs2.packet_service_rate();
+    let bound = scale.buffer_capacity() as f64 / mu;
+    checks.push(ShapeCheck::new(
+        "QD is bounded by the buffer drain time of a single PDCH",
+        p1.panels_bound(bound) && p2.panels_bound(bound),
+        format!("bound = {bound:.1}s"),
+    ));
+
+    Ok(FigureResult {
+        id: "fig09".into(),
+        title: "Fig. 9: QD for traffic model 1 (left) and 2 (right)".into(),
+        x_label: "call arrival rate (calls/s)".into(),
+        panels: vec![p1, p2],
+        checks,
+        notes: vec![format!(
+            "M = 50; buffer K = {}; 5% GPRS users; eta = 0.7",
+            scale.buffer_capacity()
+        )],
+    })
+}
+
+trait PanelBound {
+    fn panels_bound(&self, bound: f64) -> bool;
+}
+
+impl PanelBound for crate::series::Panel {
+    fn panels_bound(&self, bound: f64) -> bool {
+        self.series
+            .iter()
+            .all(|s| s.y.iter().all(|&v| v <= bound + 1e-9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "multi-minute sweep; run with --ignored or via the repro binary"]
+    fn fig09_shape_checks_pass() {
+        let fig = run(Scale::Quick).unwrap();
+        for c in &fig.checks {
+            assert!(c.pass, "failed: {} ({})", c.description, c.detail);
+        }
+    }
+}

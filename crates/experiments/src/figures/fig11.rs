@@ -1,0 +1,172 @@
+//! Figs. 11–13 share one engine: CDT and per-user throughput for a given
+//! GPRS user fraction with 0/1/2/4 reserved PDCHs (traffic model 3).
+//! This module implements the engine and exposes Fig. 11 (2 % GPRS).
+
+use crate::scale::Scale;
+use crate::series::{FigureResult, Panel, Series, ShapeCheck};
+use gprs_core::ModelError;
+use gprs_traffic::TrafficModel;
+
+/// Reserved-PDCH variants of Figs. 11–13.
+pub const RESERVED: [usize; 4] = [0, 1, 2, 4];
+
+/// Builds the two panels (CDT, ATU) for one GPRS fraction.
+pub(crate) fn run_fraction(
+    id: &str,
+    fraction: f64,
+    scale: Scale,
+) -> Result<FigureResult, ModelError> {
+    let mut cdt_series = Vec::new();
+    let mut atu_series = Vec::new();
+    for &reserved in &RESERVED {
+        let pts = super::shared::swept(TrafficModel::Model3, reserved, fraction, None, scale)?;
+        let (x, cdt) = super::shared::extract(&pts, |m| m.carried_data_traffic);
+        let (_, atu) = super::shared::extract(&pts, |m| m.throughput_per_user_kbps);
+        cdt_series.push(Series::new(format!("{reserved} reserved PDCHs"), x.clone(), cdt));
+        atu_series.push(Series::new(format!("{reserved} reserved PDCHs"), x, atu));
+    }
+
+    let n = cdt_series[0].y.len();
+    let last = n - 1;
+    let mut checks = Vec::new();
+    // Paper: "For low traffic the utilization of physical channels for
+    // packet transfer is independent from the numbers of reserved
+    // PDCHs."
+    let first_vals: Vec<f64> = cdt_series.iter().map(|s| s.y[0]).collect();
+    let spread = {
+        let max = first_vals.iter().cloned().fold(f64::MIN, f64::max);
+        let min = first_vals.iter().cloned().fold(f64::MAX, f64::min);
+        if max > 1e-9 {
+            (max - min) / max
+        } else {
+            0.0
+        }
+    };
+    checks.push(ShapeCheck::new(
+        "low traffic: CDT independent of reserved PDCHs",
+        spread < 0.15,
+        format!("relative spread at lowest rate = {spread:.3}"),
+    ));
+    // Paper: with more reserved PDCHs the throughput degrades more
+    // gently; with none it collapses.
+    checks.push(ShapeCheck::new(
+        "throughput per user at 1 call/s grows with reserved PDCHs",
+        atu_series[0].y[last] <= atu_series[1].y[last] + 1e-9
+            && atu_series[1].y[last] <= atu_series[3].y[last] + 1e-9,
+        format!(
+            "ATU(0)={:.2} ATU(1)={:.2} ATU(2)={:.2} ATU(4)={:.2} kbit/s",
+            atu_series[0].y[last],
+            atu_series[1].y[last],
+            atu_series[2].y[last],
+            atu_series[3].y[last]
+        ),
+    ));
+    // Paper: "This is opposed to the case of no reserved PDCHs where the
+    // throughput approaches nearly zero."
+    checks.push(ShapeCheck::new(
+        "0 reserved PDCHs: throughput collapses under load (< 35% of unloaded)",
+        atu_series[0].y[last] < 0.35 * atu_series[0].y[0],
+        format!(
+            "ATU falls {:.2} -> {:.2} kbit/s",
+            atu_series[0].y[0], atu_series[0].y[last]
+        ),
+    ));
+    // ATU decreases monotonically with load for every variant.
+    checks.push(ShapeCheck::new(
+        "throughput per user decreases with the arrival rate",
+        atu_series
+            .iter()
+            .all(|s| s.y.windows(2).all(|w| w[1] <= w[0] + 1e-6)),
+        String::new(),
+    ));
+
+    // The Section 5.3 QoS example: largest rate with <= 50% throughput
+    // degradation, for the 4-PDCH configuration.
+    let reference = atu_series[3].y[0];
+    let qos_rate = atu_series[3]
+        .x
+        .iter()
+        .zip(&atu_series[3].y)
+        .take_while(|&(_, &atu)| atu >= 0.5 * reference)
+        .map(|(&r, _)| r)
+        .last();
+    let notes = vec![
+        format!(
+            "traffic model 3; M = 20; buffer K = {}; {:.0}% GPRS users",
+            scale.buffer_capacity(),
+            fraction * 100.0
+        ),
+        match qos_rate {
+            Some(r) => format!(
+                "50%-degradation QoS (4 PDCHs) holds up to {r:.2} calls/s \
+                 (reference {reference:.2} kbit/s)"
+            ),
+            None => "50%-degradation QoS (4 PDCHs) fails already at the lowest rate".into(),
+        },
+    ];
+
+    Ok(FigureResult {
+        id: id.into(),
+        title: format!(
+            "Fig. {}: CDT and throughput per user for {:.0}% GPRS users",
+            &id[3..],
+            fraction * 100.0
+        ),
+        x_label: "call arrival rate (calls/s)".into(),
+        panels: vec![
+            Panel {
+                title: "carried data traffic".into(),
+                y_label: "busy PDCHs".into(),
+                log_y: false,
+                series: cdt_series,
+            },
+            Panel {
+                title: "throughput per user".into(),
+                y_label: "kbit/s".into(),
+                log_y: false,
+                series: atu_series,
+            },
+        ],
+        checks,
+        notes,
+    })
+}
+
+/// Largest arrival rate in the sweep at which the 4-PDCH configuration
+/// keeps the per-user throughput at or above half its unloaded value
+/// (the paper's Section 5.3 QoS profile). Used by Fig. 13's
+/// cross-fraction check.
+pub(crate) fn qos_limit_rate(fraction: f64, scale: Scale) -> Result<Option<f64>, ModelError> {
+    let pts = super::shared::swept(TrafficModel::Model3, 4, fraction, None, scale)?;
+    let (x, atu) = super::shared::extract(&pts, |m| m.throughput_per_user_kbps);
+    let reference = atu[0];
+    Ok(x
+        .iter()
+        .zip(&atu)
+        .take_while(|&(_, &a)| a >= 0.5 * reference)
+        .map(|(&r, _)| r)
+        .last())
+}
+
+/// Runs Fig. 11 (2 % GPRS users).
+///
+/// # Errors
+///
+/// Propagates model/solver errors.
+pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
+    run_fraction("fig11", 0.02, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "multi-minute sweep; run via the repro binary"]
+    fn fig11_shape_checks_pass() {
+        let fig = run(Scale::Quick).unwrap();
+        for c in &fig.checks {
+            assert!(c.pass, "failed: {} ({})", c.description, c.detail);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Fig. 12: CDT and throughput per user for 5 % GPRS users (traffic
+//! model 3, 0/1/2/4 reserved PDCHs). Engine shared with Fig. 11.
+
+use crate::scale::Scale;
+use crate::series::FigureResult;
+use gprs_core::ModelError;
+
+/// Runs Fig. 12 (5 % GPRS users).
+///
+/// # Errors
+///
+/// Propagates model/solver errors.
+pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
+    super::fig11::run_fraction("fig12", 0.05, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "multi-minute sweep; run via the repro binary"]
+    fn fig12_shape_checks_pass() {
+        let fig = run(Scale::Quick).unwrap();
+        for c in &fig.checks {
+            assert!(c.pass, "failed: {} ({})", c.description, c.detail);
+        }
+    }
+}

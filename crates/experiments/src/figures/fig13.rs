@@ -1,0 +1,64 @@
+//! Fig. 13: CDT and throughput per user for 10 % GPRS users (traffic
+//! model 3, 0/1/2/4 reserved PDCHs), plus the paper's cross-fraction
+//! QoS conclusion.
+//!
+//! Section 5.3's headline: under a "≤ 50 % throughput degradation" QoS
+//! profile with 4 reserved PDCHs, 2 % GPRS users are fine up to
+//! ≈ 1 call/s, but 5 % and 10 % only up to ≈ 0.5 and ≈ 0.3 calls/s.
+//! The cross-check here recomputes all three limits (cache-shared with
+//! Figs. 11–12) and verifies the ordering.
+
+use crate::scale::Scale;
+use crate::series::{FigureResult, ShapeCheck};
+use gprs_core::ModelError;
+
+/// Runs Fig. 13 (10 % GPRS users) including the cross-fraction QoS
+/// ordering check.
+///
+/// # Errors
+///
+/// Propagates model/solver errors.
+pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
+    let mut fig = super::fig11::run_fraction("fig13", 0.10, scale)?;
+
+    let q2 = super::fig11::qos_limit_rate(0.02, scale)?;
+    let q5 = super::fig11::qos_limit_rate(0.05, scale)?;
+    let q10 = super::fig11::qos_limit_rate(0.10, scale)?;
+    let fmt = |q: Option<f64>| q.map(|r| format!("{r:.2}")).unwrap_or_else(|| "-".into());
+    let ordered = match (q2, q5, q10) {
+        (Some(a), Some(b), Some(c)) => a >= b && b >= c,
+        (Some(_), Some(_), None) | (Some(_), None, None) => true,
+        _ => false,
+    };
+    fig.checks.push(ShapeCheck::new(
+        "QoS limit rate decreases with the GPRS share (2% >= 5% >= 10%)",
+        ordered,
+        format!(
+            "limits: 2% -> {} | 5% -> {} | 10% -> {} calls/s",
+            fmt(q2),
+            fmt(q5),
+            fmt(q10)
+        ),
+    ));
+    fig.notes.push(format!(
+        "paper's conclusion: ~1.0 / ~0.5 / ~0.3 calls/s; measured {} / {} / {}",
+        fmt(q2),
+        fmt(q5),
+        fmt(q10)
+    ));
+    Ok(fig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "multi-minute sweep; run via the repro binary"]
+    fn fig13_shape_checks_pass() {
+        let fig = run(Scale::Quick).unwrap();
+        for c in &fig.checks {
+            assert!(c.pass, "failed: {} ({})", c.description, c.detail);
+        }
+    }
+}

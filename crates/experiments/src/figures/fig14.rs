@@ -1,0 +1,141 @@
+//! Fig. 14: influence of GPRS on the GSM voice service (95 % GSM calls).
+//!
+//! Left panel: carried voice traffic (CVT); right panel: voice blocking
+//! probability — both versus the call arrival rate, for 0/1/2/4
+//! reserved PDCHs. In the model these are closed-form (the voice
+//! population is an M/M/N_GSM/N_GSM marginal), so a fine rate grid is
+//! free.
+
+use crate::scale::Scale;
+use crate::series::{FigureResult, Panel, Series, ShapeCheck};
+use gprs_core::{GprsModel, ModelError};
+use gprs_traffic::TrafficModel;
+
+/// Reserved-PDCH variants shown in the figure.
+pub const RESERVED: [usize; 4] = [0, 1, 2, 4];
+
+/// Runs the figure.
+///
+/// # Errors
+///
+/// Propagates model construction errors.
+pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
+    let rates = gprs_core::sweep::rate_grid(0.02, 1.0, 50);
+    let mut cvt_series = Vec::new();
+    let mut blocking_series = Vec::new();
+    let mut cvt_at_03 = Vec::new();
+    let mut blk_at_03 = Vec::new();
+
+    for &reserved in &RESERVED {
+        let mut cvt = Vec::with_capacity(rates.len());
+        let mut blk = Vec::with_capacity(rates.len());
+        for &rate in &rates {
+            let mut cfg =
+                super::shared::figure_config(TrafficModel::Model3, reserved, 0.05, scale)?;
+            cfg.call_arrival_rate = rate;
+            let model = GprsModel::new(cfg)?;
+            let q = &model.balanced_gsm().queue;
+            cvt.push(q.mean_busy());
+            blk.push(q.blocking_probability());
+            if (rate - 0.3).abs() < 0.011 {
+                cvt_at_03.push(q.mean_busy());
+                blk_at_03.push(q.blocking_probability());
+            }
+        }
+        cvt_series.push(Series::new(format!("{reserved} reserved PDCHs"), rates.clone(), cvt));
+        blocking_series.push(Series::new(
+            format!("{reserved} reserved PDCHs"),
+            rates.clone(),
+            blk,
+        ));
+    }
+
+    // Shape checks per the paper's discussion.
+    let mut checks = Vec::new();
+    // (1) Reserving PDCHs reduces CVT (fewer voice channels) but only
+    // modestly at moderate load.
+    let last = rates.len() - 1;
+    let cvt0 = &cvt_series[0].y;
+    let cvt4 = &cvt_series[3].y;
+    checks.push(ShapeCheck::new(
+        "CVT decreases when PDCHs are reserved (capacity loss <= 4 channels)",
+        (0..rates.len()).all(|i| cvt4[i] <= cvt0[i] + 1e-9 && cvt0[i] - cvt4[i] <= 4.0 + 1e-9),
+        format!(
+            "at 1.0 calls/s: CVT(0)={:.2}, CVT(4)={:.2}",
+            cvt0[last], cvt4[last]
+        ),
+    ));
+    // (2) Blocking grows with reserved PDCHs at every rate.
+    let blk_ordered = (0..rates.len()).all(|i| {
+        blocking_series
+            .windows(2)
+            .all(|w| w[0].y[i] <= w[1].y[i] + 1e-12)
+    });
+    checks.push(ShapeCheck::new(
+        "voice blocking grows with the number of reserved PDCHs",
+        blk_ordered,
+        format!(
+            "at 1.0 calls/s: B(0)={:.3}, B(1)={:.3}, B(2)={:.3}, B(4)={:.3}",
+            blocking_series[0].y[last],
+            blocking_series[1].y[last],
+            blocking_series[2].y[last],
+            blocking_series[3].y[last]
+        ),
+    ));
+    // (3) The paper's qualitative claim: at moderate load the penalty of
+    // reserving up to 4 PDCHs is small (blocking increase < 0.1 at 0.3
+    // calls/s).
+    let penalty = blk_at_03.last().copied().unwrap_or(0.0)
+        - blk_at_03.first().copied().unwrap_or(0.0);
+    checks.push(ShapeCheck::new(
+        "blocking penalty of 4 reserved PDCHs is small at 0.3 calls/s",
+        penalty < 0.1,
+        format!("penalty = {penalty:.4}"),
+    ));
+    // (4) Blocking is monotone in the arrival rate.
+    checks.push(ShapeCheck::new(
+        "voice blocking is monotone increasing in the arrival rate",
+        blocking_series
+            .iter()
+            .all(|s| s.y.windows(2).all(|w| w[1] >= w[0] - 1e-12)),
+        String::new(),
+    ));
+
+    Ok(FigureResult {
+        id: "fig14".into(),
+        title: "Fig. 14: influence of GPRS on GSM voice service (95% GSM calls)".into(),
+        x_label: "call arrival rate (calls/s)".into(),
+        panels: vec![
+            Panel {
+                title: "carried voice traffic".into(),
+                y_label: "busy voice channels".into(),
+                log_y: false,
+                series: cvt_series,
+            },
+            Panel {
+                title: "GSM voice blocking probability".into(),
+                y_label: "blocking probability".into(),
+                log_y: false,
+                series: blocking_series,
+            },
+        ],
+        checks,
+        notes: vec![
+            "closed form: voice population is the balanced M/M/N_GSM/N_GSM marginal".into(),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_shape_checks_pass() {
+        let fig = run(Scale::Quick).unwrap();
+        assert_eq!(fig.panels.len(), 2);
+        for c in &fig.checks {
+            assert!(c.pass, "failed: {} ({})", c.description, c.detail);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Fig. 15: average number of GPRS users in the cell and GPRS session
+//! blocking probability, for 2 % and 10 % GPRS users (traffic model 3,
+//! `M = 20`).
+//!
+//! Closed form: the session population is the balanced M/M/M/M (Erlang)
+//! marginal of the chain.
+
+use crate::scale::Scale;
+use crate::series::{FigureResult, Panel, Series, ShapeCheck};
+use gprs_core::{GprsModel, ModelError};
+use gprs_traffic::TrafficModel;
+
+/// GPRS user fractions compared in the figure.
+pub const FRACTIONS: [f64; 2] = [0.02, 0.10];
+
+/// Runs the figure.
+///
+/// # Errors
+///
+/// Propagates model construction errors.
+pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
+    let rates = gprs_core::sweep::rate_grid(0.02, 1.0, 50);
+    let mut ags_series = Vec::new();
+    let mut blocking_series = Vec::new();
+
+    for &fraction in &FRACTIONS {
+        let mut ags = Vec::with_capacity(rates.len());
+        let mut blk = Vec::with_capacity(rates.len());
+        for &rate in &rates {
+            let mut cfg =
+                super::shared::figure_config(TrafficModel::Model3, 1, fraction, scale)?;
+            cfg.call_arrival_rate = rate;
+            let model = GprsModel::new(cfg)?;
+            let q = &model.balanced_gprs().queue;
+            ags.push(q.mean_busy());
+            blk.push(q.blocking_probability());
+        }
+        let label = format!("{:.0}% GPRS users", fraction * 100.0);
+        ags_series.push(Series::new(label.clone(), rates.clone(), ags));
+        blocking_series.push(Series::new(label, rates.clone(), blk));
+    }
+
+    let last = rates.len() - 1;
+    let m_cap = TrafficModel::Model3.default_max_sessions() as f64;
+    let mut checks = Vec::new();
+    // Paper: "for 2% GPRS users the maximum of 20 active sessions is not
+    // reached... blocking remains below 1e-5".
+    checks.push(ShapeCheck::new(
+        "2% GPRS: session blocking stays below 1e-5 up to 1 call/s",
+        blocking_series[0].y.iter().all(|&b| b < 1e-5),
+        format!("max blocking = {:.2e}", blocking_series[0].y[last]),
+    ));
+    // Paper: "for 10% GPRS users ... the average number of sessions
+    // approaches its maximum".
+    checks.push(ShapeCheck::new(
+        "10% GPRS: average sessions approach the M = 20 limit",
+        ags_series[1].y[last] > 0.75 * m_cap,
+        format!("AGS at 1.0 calls/s = {:.2} of {m_cap}", ags_series[1].y[last]),
+    ));
+    checks.push(ShapeCheck::new(
+        "10% GPRS: visible blocking at high arrival rates",
+        blocking_series[1].y[last] > 1e-3,
+        format!("blocking at 1.0 calls/s = {:.2e}", blocking_series[1].y[last]),
+    ));
+    checks.push(ShapeCheck::new(
+        "session count never exceeds the admission limit",
+        ags_series.iter().all(|s| s.y.iter().all(|&v| v <= m_cap + 1e-9)),
+        String::new(),
+    ));
+
+    Ok(FigureResult {
+        id: "fig15".into(),
+        title: "Fig. 15: average GPRS users in cell and session blocking (M = 20)".into(),
+        x_label: "call arrival rate (calls/s)".into(),
+        panels: vec![
+            Panel {
+                title: "average number of GPRS sessions".into(),
+                y_label: "sessions".into(),
+                log_y: false,
+                series: ags_series,
+            },
+            Panel {
+                title: "GPRS session blocking probability".into(),
+                y_label: "blocking probability".into(),
+                log_y: true,
+                series: blocking_series,
+            },
+        ],
+        checks,
+        notes: vec![
+            "closed form: session population is the balanced M/M/M/M marginal".into(),
+            "traffic model 3; 1 reserved PDCH".into(),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig15_shape_checks_pass() {
+        let fig = run(Scale::Quick).unwrap();
+        for c in &fig.checks {
+            assert!(c.pass, "failed: {} ({})", c.description, c.detail);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! One module per paper figure (plus extension figures and the
+//! parameter tables).
+
+pub mod ext01;
+pub mod ext02;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod shared;
+pub mod tables;
+
+use crate::scale::Scale;
+use crate::series::FigureResult;
+
+/// All figure ids: the paper's figures in paper order, then the
+/// extension figures (coding-scheme ablation, capacity on demand).
+pub const ALL_FIGURES: [&str; 13] = [
+    "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
+    "fig13", "fig15", "fig14", "ext01", "ext02",
+];
+
+/// Runs a figure by id.
+///
+/// # Errors
+///
+/// Returns an error string for unknown ids or if the underlying solver
+/// fails.
+pub fn run_figure(id: &str, scale: Scale) -> Result<FigureResult, String> {
+    let result = match id {
+        "fig05" => fig05::run(scale),
+        "fig06" => fig06::run(scale),
+        "fig07" => fig07::run(scale),
+        "fig08" => fig08::run(scale),
+        "fig09" => fig09::run(scale),
+        "fig10" => fig10::run(scale),
+        "fig11" => fig11::run(scale),
+        "fig12" => fig12::run(scale),
+        "fig13" => fig13::run(scale),
+        "fig14" => fig14::run(scale),
+        "fig15" => fig15::run(scale),
+        "ext01" => ext01::run(scale),
+        "ext02" => ext02::run(scale),
+        other => return Err(format!("unknown figure id: {other}")),
+    };
+    result.map_err(|e| format!("{id}: {e}"))
+}

@@ -1,0 +1,32 @@
+//! Reproduction harness for every table and figure of the paper's
+//! evaluation (Section 5).
+//!
+//! Each figure lives in [`figures`] as a function
+//! `run(scale) -> FigureResult`; the [`repro` binary](../repro/index.html)
+//! drives them, renders ASCII charts, writes CSV series, and evaluates
+//! the *shape checks* — qualitative assertions (orderings, monotonicity,
+//! crossover positions) that the paper's prose claims and our
+//! reproduction must match even though absolute numbers come from a
+//! reimplemented substrate.
+//!
+//! | Experiment | Content | Module |
+//! |---|---|---|
+//! | Table 2/3 | parameter presets | [`figures::tables`] |
+//! | Fig. 5 | TCP-threshold calibration (PLP, model vs simulator) | [`figures::fig05`] |
+//! | Fig. 6 | validation: CDT & ATU, model vs simulator | [`figures::fig06`] |
+//! | Fig. 7–9 | CDT / PLP / QD for traffic models 1–2, 1/2/4 PDCHs | [`figures::fig07`], [`figures::fig08`], [`figures::fig09`] |
+//! | Fig. 10 | CDT & GPRS blocking for M = 50/100/150 | [`figures::fig10`] |
+//! | Fig. 11–13 | CDT & ATU for 2/5/10 % GPRS users, 0/1/2/4 PDCHs | [`figures::fig11`], [`figures::fig12`], [`figures::fig13`] |
+//! | Fig. 14 | voice CVT & blocking vs reserved PDCHs | [`figures::fig14`] |
+//! | Fig. 15 | session count & blocking, 2 % vs 10 % | [`figures::fig15`] |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chart;
+pub mod figures;
+pub mod scale;
+pub mod series;
+
+pub use scale::Scale;
+pub use series::{FigureResult, Panel, Series, ShapeCheck};

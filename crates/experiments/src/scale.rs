@@ -1,0 +1,126 @@
+//! Experiment scale: paper-exact versus quick.
+
+use gprs_ctmc::SolveOptions;
+
+/// How big to run the experiments.
+///
+/// `Full` uses the paper's exact parameters (K = 100, 20-point rate
+/// grids, long simulation runs). `Quick` keeps every model *structure*
+/// identical but shrinks the buffer, the grids and the simulated horizon
+/// so the complete suite finishes in a few minutes — the qualitative
+/// shapes (who wins, orderings, crossovers) are preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Paper-exact parameters.
+    Full,
+    /// Reduced-size run for smoke tests and benches.
+    #[default]
+    Quick,
+}
+
+impl Scale {
+    /// Parses `"quick"` / `"full"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// BSC buffer capacity `K` for CTMC experiments.
+    pub fn buffer_capacity(self) -> usize {
+        match self {
+            Scale::Full => 100,
+            Scale::Quick => 40,
+        }
+    }
+
+    /// Number of points on the arrival-rate axis.
+    pub fn grid_points(self) -> usize {
+        match self {
+            Scale::Full => 20,
+            Scale::Quick => 8,
+        }
+    }
+
+    /// Solver options.
+    pub fn solve_options(self) -> SolveOptions {
+        match self {
+            Scale::Full => SolveOptions::default().with_max_sweeps(50_000),
+            Scale::Quick => SolveOptions::quick().with_max_sweeps(50_000),
+        }
+    }
+
+    /// Arrival rates at which the simulator is run (expensive points).
+    pub fn sim_rates(self) -> Vec<f64> {
+        match self {
+            Scale::Full => vec![0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1.0],
+            Scale::Quick => vec![0.2, 0.5, 0.8],
+        }
+    }
+
+    /// Simulator warm-up seconds.
+    pub fn sim_warmup(self) -> f64 {
+        match self {
+            Scale::Full => 2_000.0,
+            Scale::Quick => 500.0,
+        }
+    }
+
+    /// Simulator batch count and duration.
+    pub fn sim_batches(self) -> (usize, f64) {
+        match self {
+            Scale::Full => (10, 3_000.0),
+            Scale::Quick => (5, 800.0),
+        }
+    }
+
+    /// The standard arrival-rate grid `0.05..=1.0`.
+    pub fn rate_grid(self) -> Vec<f64> {
+        gprs_core::sweep::rate_grid(0.05, 1.0, self.grid_points())
+    }
+
+    /// A coarser grid for the most expensive chains (Fig. 10's
+    /// `M = 150` has ~2·10⁷ states at full scale).
+    pub fn coarse_rate_grid(self) -> Vec<f64> {
+        let points = match self {
+            Scale::Full => 12,
+            Scale::Quick => 5,
+        };
+        gprs_core::sweep::rate_grid(0.05, 1.0, points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("FULL"), Some(Scale::Full));
+        assert_eq!(Scale::parse("medium"), None);
+    }
+
+    #[test]
+    fn full_matches_paper_buffer() {
+        assert_eq!(Scale::Full.buffer_capacity(), 100);
+        assert_eq!(Scale::Full.grid_points(), 20);
+    }
+
+    #[test]
+    fn quick_is_smaller_everywhere() {
+        assert!(Scale::Quick.buffer_capacity() < Scale::Full.buffer_capacity());
+        assert!(Scale::Quick.grid_points() < Scale::Full.grid_points());
+        assert!(Scale::Quick.sim_rates().len() < Scale::Full.sim_rates().len());
+        assert!(Scale::Quick.sim_warmup() < Scale::Full.sim_warmup());
+    }
+
+    #[test]
+    fn grid_spans_paper_range() {
+        let g = Scale::Full.rate_grid();
+        assert!((g[0] - 0.05).abs() < 1e-12);
+        assert!((g[g.len() - 1] - 1.0).abs() < 1e-12);
+    }
+}

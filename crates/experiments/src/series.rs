@@ -1,0 +1,151 @@
+//! Data structures carrying figure results.
+
+/// One labelled curve: `y` against `x` (plus optional error bars).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. `"2 PDCHs"` or `"simulator (95% CI)"`.
+    pub label: String,
+    /// X values (call arrival rates).
+    pub x: Vec<f64>,
+    /// Y values.
+    pub y: Vec<f64>,
+    /// Optional symmetric error half-widths (simulation CIs).
+    pub err: Option<Vec<f64>>,
+}
+
+impl Series {
+    /// A plain series without error bars.
+    pub fn new(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        Series {
+            label: label.into(),
+            x,
+            y,
+            err: None,
+        }
+    }
+
+    /// A series with symmetric error bars.
+    pub fn with_error(
+        label: impl Into<String>,
+        x: Vec<f64>,
+        y: Vec<f64>,
+        err: Vec<f64>,
+    ) -> Self {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert_eq!(x.len(), err.len(), "x/err length mismatch");
+        Series {
+            label: label.into(),
+            x,
+            y,
+            err: Some(err),
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// One chart panel (the paper's figures typically pair two panels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Panel {
+    /// Panel title, e.g. `"CDT, traffic model 1"`.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Whether the Y axis should be drawn logarithmically (PLP,
+    /// blocking probabilities).
+    pub log_y: bool,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+/// A qualitative assertion about a figure ("more reserved PDCHs give
+/// lower PLP at every rate"), checked by the harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeCheck {
+    /// What the paper claims / shows.
+    pub description: String,
+    /// Whether our reproduction exhibits it.
+    pub pass: bool,
+    /// Supporting detail (numbers) for the report.
+    pub detail: String,
+}
+
+impl ShapeCheck {
+    /// Creates a check result.
+    pub fn new(description: impl Into<String>, pass: bool, detail: impl Into<String>) -> Self {
+        ShapeCheck {
+            description: description.into(),
+            pass,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Everything a figure reproduction produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureResult {
+    /// Identifier, e.g. `"fig07"`.
+    pub id: String,
+    /// Human title, e.g. `"Fig. 7: CDT for traffic models 1 and 2"`.
+    pub title: String,
+    /// X-axis label (shared by all panels).
+    pub x_label: String,
+    /// The panels.
+    pub panels: Vec<Panel>,
+    /// Shape checks evaluated on the data.
+    pub checks: Vec<ShapeCheck>,
+    /// Free-form notes (parameter summary, scale caveats).
+    pub notes: Vec<String>,
+}
+
+impl FigureResult {
+    /// Whether all shape checks passed.
+    pub fn all_pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_construction() {
+        let s = Series::new("a", vec![1.0, 2.0], vec![3.0, 4.0]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        let s = Series::with_error("b", vec![1.0], vec![2.0], vec![0.1]);
+        assert!(s.err.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = Series::new("a", vec![1.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn figure_all_pass() {
+        let fig = FigureResult {
+            id: "t".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            panels: vec![],
+            checks: vec![
+                ShapeCheck::new("a", true, ""),
+                ShapeCheck::new("b", true, ""),
+            ],
+            notes: vec![],
+        };
+        assert!(fig.all_pass());
+    }
+}

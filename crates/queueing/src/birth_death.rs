@@ -1,0 +1,149 @@
+//! Stationary distributions of finite birth–death chains.
+//!
+//! A birth–death chain on `0..=n` with birth rates `λ_i` (from state `i`,
+//! defined for `i < n`) and death rates `μ_i` (from state `i`, defined for
+//! `i >= 1`) has the product-form stationary distribution
+//! `π_i ∝ Π_{j=1..i} λ_{j-1}/μ_j`. This module computes it with on-line
+//! rescaling so that chains with hundreds of states and extreme rate
+//! ratios neither overflow nor underflow.
+
+use crate::error::QueueingError;
+
+/// Computes the stationary distribution of a finite birth–death chain.
+///
+/// `birth[i]` is the rate `i -> i+1` (length `n`), `death[i]` is the rate
+/// `i+1 -> i` (length `n`); the chain has `n + 1` states.
+///
+/// # Errors
+///
+/// Returns [`QueueingError::InvalidStructure`] if the slice lengths
+/// differ, and [`QueueingError::InvalidParameter`] if any birth rate is
+/// negative/non-finite or any death rate is non-positive/non-finite.
+/// A zero birth rate is allowed — states above it just get probability
+/// zero (the chain is then reducible, and mass settles below the cut).
+///
+/// # Example
+///
+/// ```
+/// use gprs_queueing::birth_death::stationary;
+///
+/// // M/M/1/3 with λ=1, μ=2: π_i ∝ (1/2)^i.
+/// let pi = stationary(&[1.0; 3], &[2.0; 3])?;
+/// assert!((pi[0] - 8.0 / 15.0).abs() < 1e-12);
+/// # Ok::<(), gprs_queueing::QueueingError>(())
+/// ```
+pub fn stationary(birth: &[f64], death: &[f64]) -> Result<Vec<f64>, QueueingError> {
+    if birth.len() != death.len() {
+        return Err(QueueingError::InvalidStructure {
+            reason: format!(
+                "birth rates ({}) and death rates ({}) must have equal length",
+                birth.len(),
+                death.len()
+            ),
+        });
+    }
+    for &b in birth {
+        if !b.is_finite() || b < 0.0 {
+            return Err(QueueingError::InvalidParameter {
+                name: "birth rate",
+                value: b,
+            });
+        }
+    }
+    for &d in death {
+        if !d.is_finite() || d <= 0.0 {
+            return Err(QueueingError::InvalidParameter {
+                name: "death rate",
+                value: d,
+            });
+        }
+    }
+
+    let n = birth.len();
+    let mut weights = Vec::with_capacity(n + 1);
+    weights.push(1.0f64);
+    let mut w = 1.0f64;
+    let mut total = 1.0f64;
+    for i in 0..n {
+        w *= birth[i] / death[i];
+        weights.push(w);
+        total += w;
+        // Rescale on-line if the running weight gets out of range.
+        if !(1e-250..=1e250).contains(&total) {
+            let scale = 1.0 / total;
+            for x in &mut weights {
+                *x *= scale;
+            }
+            w *= scale;
+            total = 1.0;
+        }
+    }
+    let inv = 1.0 / total;
+    for x in &mut weights {
+        *x *= inv;
+    }
+    Ok(weights)
+}
+
+/// Mean of a distribution over `0..=n` (e.g. mean number in system).
+pub fn mean(pi: &[f64]) -> f64 {
+    pi.iter().enumerate().map(|(i, &p)| i as f64 * p).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1k_geometric() {
+        let (lam, mu, k) = (1.0, 2.0, 6usize);
+        let pi = stationary(&vec![lam; k], &vec![mu; k]).unwrap();
+        let rho: f64 = lam / mu;
+        let norm: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
+        for (i, &p_i) in pi.iter().enumerate() {
+            assert!((p_i - rho.powi(i as i32) / norm).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn empty_chain_is_single_state() {
+        let pi = stationary(&[], &[]).unwrap();
+        assert_eq!(pi, vec![1.0]);
+    }
+
+    #[test]
+    fn zero_birth_rate_cuts_the_chain() {
+        let pi = stationary(&[1.0, 0.0, 1.0], &[1.0, 1.0, 1.0]).unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-14);
+        assert!((pi[1] - 0.5).abs() < 1e-14);
+        assert_eq!(pi[2], 0.0);
+        assert_eq!(pi[3], 0.0);
+    }
+
+    #[test]
+    fn extreme_rates_do_not_overflow() {
+        // 400 states with ratio 10 per step: naive products overflow f64.
+        let n = 400;
+        let pi = stationary(&vec![10.0; n], &vec![1.0; n]).unwrap();
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Mass concentrates at the top.
+        assert!(pi[n] > 0.89);
+        // And the reverse direction underflows gracefully.
+        let pi = stationary(&vec![1.0; n], &vec![10.0; n]).unwrap();
+        assert!(pi[0] > 0.89);
+    }
+
+    #[test]
+    fn mean_of_distribution() {
+        assert!((mean(&[0.25, 0.5, 0.25]) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(stationary(&[1.0], &[]).is_err());
+        assert!(stationary(&[-1.0], &[1.0]).is_err());
+        assert!(stationary(&[1.0], &[0.0]).is_err());
+        assert!(stationary(&[f64::NAN], &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Erlang-B (M/M/c/c) closed forms.
+//!
+//! These implement the paper's Eqs. (2)–(3): the state distribution of a
+//! loss system with `c` servers and offered load `ρ` Erlang, from which
+//! carried traffic, blocking, and the handover balancing procedure all
+//! follow.
+
+use crate::error::QueueingError;
+
+/// Erlang-B blocking probability for `servers` trunks at offered load
+/// `rho` (Erlang), via the standard numerically stable recursion
+/// `B(0) = 1`, `B(c) = ρ·B(c-1) / (c + ρ·B(c-1))`.
+///
+/// # Errors
+///
+/// Returns [`QueueingError::InvalidParameter`] if `rho` is negative or
+/// non-finite.
+///
+/// # Example
+///
+/// ```
+/// use gprs_queueing::erlang::erlang_b;
+///
+/// // Classic engineering table value: 10 trunks at 5 Erlang ≈ 1.84 % blocking.
+/// let b = erlang_b(10, 5.0)?;
+/// assert!((b - 0.0184).abs() < 5e-4);
+/// # Ok::<(), gprs_queueing::QueueingError>(())
+/// ```
+pub fn erlang_b(servers: usize, rho: f64) -> Result<f64, QueueingError> {
+    if !rho.is_finite() || rho < 0.0 {
+        return Err(QueueingError::InvalidParameter {
+            name: "rho",
+            value: rho,
+        });
+    }
+    if rho == 0.0 {
+        return Ok(if servers == 0 { 1.0 } else { 0.0 });
+    }
+    let mut b = 1.0f64;
+    for c in 1..=servers {
+        b = rho * b / (c as f64 + rho * b);
+    }
+    Ok(b)
+}
+
+/// Full M/M/c/c state distribution `π_n = (ρⁿ/n!) / Σ_k ρᵏ/k!` for
+/// `n = 0..=servers` (paper Eqs. 2–3).
+///
+/// # Errors
+///
+/// Returns [`QueueingError::InvalidParameter`] if `rho` is negative or
+/// non-finite.
+pub fn mmcc_distribution(servers: usize, rho: f64) -> Result<Vec<f64>, QueueingError> {
+    if !rho.is_finite() || rho < 0.0 {
+        return Err(QueueingError::InvalidParameter {
+            name: "rho",
+            value: rho,
+        });
+    }
+    let mut terms = Vec::with_capacity(servers + 1);
+    let mut t = 1.0f64;
+    let mut total = 1.0f64;
+    terms.push(t);
+    for n in 1..=servers {
+        t *= rho / n as f64;
+        terms.push(t);
+        total += t;
+        if total > 1e250 {
+            let scale = 1.0 / total;
+            for x in &mut terms {
+                *x *= scale;
+            }
+            t *= scale;
+            total = 1.0;
+        }
+    }
+    let inv = 1.0 / total;
+    for x in &mut terms {
+        *x *= inv;
+    }
+    Ok(terms)
+}
+
+/// Mean number of busy servers (carried traffic) of an M/M/c/c system:
+/// `Σ n·π_n = ρ·(1 − B)`.
+///
+/// # Errors
+///
+/// Propagates [`QueueingError::InvalidParameter`] from [`erlang_b`].
+pub fn carried_load(servers: usize, rho: f64) -> Result<f64, QueueingError> {
+    Ok(rho * (1.0 - erlang_b(servers, rho)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_b_reference_values() {
+        // Values from standard Erlang-B tables.
+        assert!((erlang_b(1, 1.0).unwrap() - 0.5).abs() < 1e-12);
+        assert!((erlang_b(2, 1.0).unwrap() - 0.2).abs() < 1e-12);
+        assert!((erlang_b(5, 3.0).unwrap() - 0.1101).abs() < 1e-3);
+        assert!((erlang_b(20, 12.0).unwrap() - 0.0098).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_load_and_zero_servers() {
+        assert_eq!(erlang_b(10, 0.0).unwrap(), 0.0);
+        assert_eq!(erlang_b(0, 0.0).unwrap(), 1.0);
+        assert_eq!(erlang_b(0, 3.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn distribution_matches_blocking() {
+        for &(c, rho) in &[(5usize, 2.0f64), (10, 7.5), (20, 19.0), (30, 5.0)] {
+            let pi = mmcc_distribution(c, rho).unwrap();
+            let b = erlang_b(c, rho).unwrap();
+            assert!(
+                (pi[c] - b).abs() < 1e-12,
+                "c={c} rho={rho}: {} vs {b}",
+                pi[c]
+            );
+            let sum: f64 = pi.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn distribution_matches_birth_death() {
+        // M/M/c/c is a birth-death chain with birth λ and death n·μ.
+        let (c, lam, mu) = (8usize, 4.0f64, 1.25f64);
+        let rho = lam / mu;
+        let births = vec![lam; c];
+        let deaths: Vec<f64> = (1..=c).map(|n| n as f64 * mu).collect();
+        let bd = crate::birth_death::stationary(&births, &deaths).unwrap();
+        let er = mmcc_distribution(c, rho).unwrap();
+        for n in 0..=c {
+            assert!((bd[n] - er[n]).abs() < 1e-13, "state {n}");
+        }
+    }
+
+    #[test]
+    fn carried_load_equals_mean_busy() {
+        let (c, rho) = (12usize, 9.0f64);
+        let pi = mmcc_distribution(c, rho).unwrap();
+        let mean: f64 = pi.iter().enumerate().map(|(n, &p)| n as f64 * p).sum();
+        assert!((carried_load(c, rho).unwrap() - mean).abs() < 1e-10);
+    }
+
+    #[test]
+    fn huge_load_saturates() {
+        // Overload: essentially all servers busy, blocking near 1.
+        let b = erlang_b(10, 1e6).unwrap();
+        assert!(b > 0.99998);
+        let carried = carried_load(10, 1e6).unwrap();
+        assert!((carried - 10.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn rejects_invalid_rho() {
+        assert!(erlang_b(5, -1.0).is_err());
+        assert!(erlang_b(5, f64::INFINITY).is_err());
+        assert!(mmcc_distribution(5, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn large_server_count_is_stable() {
+        let pi = mmcc_distribution(500, 450.0).unwrap();
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(pi.iter().all(|&p| p >= 0.0));
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for closed-form queueing computations.
+
+use std::fmt;
+
+/// Errors from queueing-formula evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueingError {
+    /// A rate or load parameter was negative, NaN, or otherwise invalid.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A structural parameter (e.g. number of servers) was invalid.
+    InvalidStructure {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The handover fixed point did not converge.
+    BalanceNotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final change between successive handover-rate iterates.
+        last_delta: f64,
+    },
+}
+
+impl fmt::Display for QueueingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueingError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            QueueingError::InvalidStructure { reason } => {
+                write!(f, "invalid structure: {reason}")
+            }
+            QueueingError::BalanceNotConverged {
+                iterations,
+                last_delta,
+            } => write!(
+                f,
+                "handover balancing did not converge after {iterations} \
+                 iterations (last delta {last_delta:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueueingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(QueueingError::InvalidParameter {
+            name: "lambda",
+            value: -1.0
+        }
+        .to_string()
+        .contains("lambda"));
+        assert!(QueueingError::BalanceNotConverged {
+            iterations: 5,
+            last_delta: 0.1
+        }
+        .to_string()
+        .contains("5"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Handover-flow balancing (paper Section 3 and Eqs. 4–5).
+//!
+//! A single cell cannot know its incoming handover rate in advance: it
+//! depends on the neighbours' populations, which depend on theirs, and so
+//! on. Under the standard homogeneity assumption (all cells statistically
+//! identical), the incoming handover flow must equal the *outgoing* one in
+//! steady state. The paper adopts the iterative procedure of Marsan et
+//! al.: start with `λ_h⁽⁰⁾ = λ_new`, solve the Erlang system, set
+//! `λ_h⁽ⁱ⁺¹⁾ = μ_h · E[n⁽ⁱ⁾]`, repeat to fixed point.
+
+use crate::error::QueueingError;
+use crate::mmcc::MmccQueue;
+
+/// Per-class cell parameters for handover balancing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HandoverParams {
+    /// Arrival rate of *new* calls/sessions in the cell (`λ`).
+    pub new_arrival_rate: f64,
+    /// Call/session completion rate (`μ`, inverse mean duration).
+    pub completion_rate: f64,
+    /// Handover departure rate (`μ_h`, inverse mean dwell time).
+    pub handover_rate: f64,
+    /// Admission limit: `N_GSM` channels for voice, `M` sessions for GPRS.
+    pub servers: usize,
+}
+
+/// Result of the balancing fixed point.
+#[derive(Debug, Clone)]
+pub struct BalancedCell {
+    /// The rate of *new* arrivals the balance was run for (`λ`).
+    pub new_arrival_rate: f64,
+    /// The converged incoming handover rate `λ_h`.
+    pub handover_arrival_rate: f64,
+    /// The Erlang system at the fixed point: arrival `λ + λ_h`, service
+    /// `μ + μ_h`, `servers` servers.
+    pub queue: MmccQueue,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+impl BalancedCell {
+    /// Total arrival rate `λ + λ_h` at the fixed point.
+    pub fn total_arrival_rate(&self) -> f64 {
+        self.new_arrival_rate + self.handover_arrival_rate
+    }
+}
+
+/// Default convergence tolerance on successive handover-rate iterates
+/// (relative).
+pub const DEFAULT_TOLERANCE: f64 = 1e-12;
+
+/// Default iteration cap.
+pub const DEFAULT_MAX_ITERATIONS: usize = 10_000;
+
+/// Runs the balancing fixed point of Eqs. (4)–(5).
+///
+/// Starting from `λ_h⁽⁰⁾ = λ`, iterates
+/// `λ_h⁽ⁱ⁺¹⁾ = μ_h · Σ_n n·π_n⁽ⁱ⁾` where `π⁽ⁱ⁾` is the M/M/c/c
+/// distribution under arrival rate `λ + λ_h⁽ⁱ⁾` and service rate
+/// `μ + μ_h`, until the relative change drops below `tolerance`.
+///
+/// # Errors
+///
+/// * [`QueueingError::InvalidParameter`] for negative/non-finite rates or
+///   a non-positive total service rate.
+/// * [`QueueingError::BalanceNotConverged`] if the cap is hit (does not
+///   happen for sane parameters: the map is a contraction).
+///
+/// # Example
+///
+/// ```
+/// use gprs_queueing::handover::{balance, HandoverParams};
+///
+/// // GSM voice in the paper's base setting at 0.5 calls/s:
+/// let p = HandoverParams {
+///     new_arrival_rate: 0.475,       // 95 % of 0.5 calls/s
+///     completion_rate: 1.0 / 120.0,  // 120 s calls
+///     handover_rate: 1.0 / 60.0,     // 60 s dwell
+///     servers: 19,
+/// };
+/// let cell = balance(&p, 1e-12, 1000)?;
+/// // Balanced: incoming handover flow equals outgoing flow.
+/// let outgoing = p.handover_rate * cell.queue.mean_busy();
+/// assert!((cell.handover_arrival_rate - outgoing).abs() < 1e-9);
+/// # Ok::<(), gprs_queueing::QueueingError>(())
+/// ```
+pub fn balance(
+    params: &HandoverParams,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<BalancedCell, QueueingError> {
+    let HandoverParams {
+        new_arrival_rate: lambda,
+        completion_rate: mu,
+        handover_rate: mu_h,
+        servers,
+    } = *params;
+
+    if !lambda.is_finite() || lambda < 0.0 {
+        return Err(QueueingError::InvalidParameter {
+            name: "new_arrival_rate",
+            value: lambda,
+        });
+    }
+    if !mu_h.is_finite() || mu_h < 0.0 {
+        return Err(QueueingError::InvalidParameter {
+            name: "handover_rate",
+            value: mu_h,
+        });
+    }
+    let service = mu + mu_h;
+    if !service.is_finite() || service <= 0.0 {
+        return Err(QueueingError::InvalidParameter {
+            name: "completion_rate + handover_rate",
+            value: service,
+        });
+    }
+
+    // Paper initialization: λ_h⁽⁰⁾ = λ.
+    let mut lambda_h = lambda;
+    let mut last_delta = f64::INFINITY;
+    for iteration in 1..=max_iterations {
+        let queue = MmccQueue::new(servers, lambda + lambda_h, service)?;
+        let next = mu_h * queue.mean_busy();
+        last_delta = (next - lambda_h).abs();
+        let scale = lambda_h.abs().max(next.abs()).max(1e-300);
+        lambda_h = next;
+        if last_delta <= tolerance * scale || last_delta == 0.0 {
+            let queue = MmccQueue::new(servers, lambda + lambda_h, service)?;
+            return Ok(BalancedCell {
+                new_arrival_rate: lambda,
+                handover_arrival_rate: lambda_h,
+                queue,
+                iterations: iteration,
+            });
+        }
+    }
+    Err(QueueingError::BalanceNotConverged {
+        iterations: max_iterations,
+        last_delta,
+    })
+}
+
+/// Convenience wrapper using [`DEFAULT_TOLERANCE`] and
+/// [`DEFAULT_MAX_ITERATIONS`].
+///
+/// # Errors
+///
+/// Same as [`balance`].
+pub fn balance_default(params: &HandoverParams) -> Result<BalancedCell, QueueingError> {
+    balance(params, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gsm_base(rate: f64) -> HandoverParams {
+        HandoverParams {
+            new_arrival_rate: 0.95 * rate,
+            completion_rate: 1.0 / 120.0,
+            handover_rate: 1.0 / 60.0,
+            servers: 19,
+        }
+    }
+
+    #[test]
+    fn fixed_point_balances_flows() {
+        for &rate in &[0.05, 0.2, 0.5, 1.0, 2.0] {
+            let cell = balance_default(&gsm_base(rate)).unwrap();
+            let outgoing = (1.0 / 60.0) * cell.queue.mean_busy();
+            assert!(
+                (cell.handover_arrival_rate - outgoing).abs() < 1e-9,
+                "rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn handover_rate_grows_with_load_but_saturates() {
+        let low = balance_default(&gsm_base(0.1)).unwrap();
+        let high = balance_default(&gsm_base(1.0)).unwrap();
+        assert!(high.handover_arrival_rate > low.handover_arrival_rate);
+        // Saturation: outgoing handover flow can never exceed μ_h · c.
+        assert!(high.handover_arrival_rate <= (1.0 / 60.0) * 19.0 + 1e-12);
+    }
+
+    #[test]
+    fn zero_new_arrivals_gives_zero_handover() {
+        let p = HandoverParams {
+            new_arrival_rate: 0.0,
+            completion_rate: 0.01,
+            handover_rate: 0.02,
+            servers: 10,
+        };
+        let cell = balance_default(&p).unwrap();
+        assert_eq!(cell.handover_arrival_rate, 0.0);
+        assert_eq!(cell.queue.mean_busy(), 0.0);
+    }
+
+    #[test]
+    fn zero_handover_rate_is_degenerate_but_valid() {
+        // Users never move: λ_h = 0 after one step.
+        let p = HandoverParams {
+            new_arrival_rate: 1.0,
+            completion_rate: 0.01,
+            handover_rate: 0.0,
+            servers: 10,
+        };
+        let cell = balance_default(&p).unwrap();
+        assert_eq!(cell.handover_arrival_rate, 0.0);
+    }
+
+    #[test]
+    fn gprs_session_population_example() {
+        // Traffic model 3 flavored: long sessions, 120 s dwell, M = 20.
+        let p = HandoverParams {
+            new_arrival_rate: 0.05,
+            completion_rate: 1.0 / 312.5,
+            handover_rate: 1.0 / 120.0,
+            servers: 20,
+        };
+        let cell = balance_default(&p).unwrap();
+        // Sessions are long compared to dwell, so handover flow exceeds
+        // the new-session flow considerably.
+        assert!(cell.handover_arrival_rate > p.new_arrival_rate);
+        let outgoing = p.handover_rate * cell.queue.mean_busy();
+        assert!((cell.handover_arrival_rate - outgoing).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let mut p = gsm_base(0.5);
+        p.new_arrival_rate = -1.0;
+        assert!(balance_default(&p).is_err());
+        let mut p = gsm_base(0.5);
+        p.completion_rate = 0.0;
+        p.handover_rate = 0.0;
+        assert!(balance_default(&p).is_err());
+    }
+
+    #[test]
+    fn iteration_count_reported() {
+        let cell = balance_default(&gsm_base(0.5)).unwrap();
+        assert!(cell.iterations >= 1);
+        assert!(cell.iterations < 1000);
+    }
+}

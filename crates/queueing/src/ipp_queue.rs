@@ -1,0 +1,499 @@
+//! The IPP/M/c/K queue: a finite multi-server queue fed by an
+//! interrupted Poisson process, solved exactly by block elimination.
+//!
+//! This is the single-user skeleton of the paper's model: one bursty
+//! GPRS source (on/off modulated Poisson arrivals) in front of `c`
+//! parallel PDCHs and a finite buffer. The full Markov model of the
+//! paper couples many such sources with GSM-driven server preemption;
+//! this queue isolates the modulation/buffer interaction and serves as
+//! an independently coded oracle for the big chain (the umbrella test
+//! suite compares both against the `gprs-ctmc` direct solver).
+//!
+//! The chain is a finite quasi-birth–death (QBD) process: level `j`
+//! (number in system, `0..=K`) times phase (IPP on/off). The stationary
+//! vector is computed by exact block-tridiagonal elimination over
+//! levels — the finite-QBD analogue of the Thomas algorithm, with 2×2
+//! blocks — which is direct (no iteration, no convergence tolerance).
+
+use crate::error::QueueingError;
+
+/// A 2×2 matrix in row-major order, used for the QBD level blocks.
+type Block = [[f64; 2]; 2];
+
+fn block_mul(x: &Block, y: &Block) -> Block {
+    let mut out = [[0.0; 2]; 2];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = x[i][0] * y[0][j] + x[i][1] * y[1][j];
+        }
+    }
+    out
+}
+
+fn block_add(x: &Block, y: &Block) -> Block {
+    [
+        [x[0][0] + y[0][0], x[0][1] + y[0][1]],
+        [x[1][0] + y[1][0], x[1][1] + y[1][1]],
+    ]
+}
+
+fn block_neg_inv(x: &Block) -> Result<Block, QueueingError> {
+    // Returns (−x)⁻¹.
+    let det = x[0][0] * x[1][1] - x[0][1] * x[1][0];
+    if det == 0.0 || !det.is_finite() {
+        return Err(QueueingError::InvalidStructure {
+            reason: format!("singular level block (det = {det})"),
+        });
+    }
+    // (−x)⁻¹ = −x⁻¹.
+    let inv_det = 1.0 / det;
+    Ok([
+        [-x[1][1] * inv_det, x[0][1] * inv_det],
+        [x[1][0] * inv_det, -x[0][0] * inv_det],
+    ])
+}
+
+fn row_mul(v: [f64; 2], m: &Block) -> [f64; 2] {
+    [
+        v[0] * m[0][0] + v[1] * m[1][0],
+        v[0] * m[0][1] + v[1] * m[1][1],
+    ]
+}
+
+/// Exact stationary solution of an IPP/M/c/K queue.
+///
+/// Arrivals: Poisson at `arrival_rate` while the IPP phase is *on*; the
+/// phase leaves *on* at rate `on_to_off` and *off* at rate `off_to_on`.
+/// Service: `servers` exponential servers of rate `service_rate` each.
+/// At most `capacity` customers may be in the system (in service +
+/// queued); arrivals finding it full are lost.
+///
+/// # Example
+///
+/// ```
+/// use gprs_queueing::ipp_queue::IppMckQueue;
+///
+/// // A single 32 kbit/s browsing source in front of 2 PDCHs and a
+/// // 20-packet buffer (rates in packets/s).
+/// let q = IppMckQueue::new(0.32, 0.32, 8.33, 2, 3.49, 22)?;
+/// assert!(q.loss_probability() > 0.0);
+/// assert!(q.loss_probability() < 0.5);
+/// # Ok::<(), gprs_queueing::QueueingError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IppMckQueue {
+    on_to_off: f64,
+    off_to_on: f64,
+    arrival_rate: f64,
+    servers: usize,
+    service_rate: f64,
+    capacity: usize,
+    /// `joint[j]` = stationary probability of (level j, phase on/off).
+    joint: Vec<[f64; 2]>,
+}
+
+impl IppMckQueue {
+    /// Solves the queue. `capacity` counts customers in service as well
+    /// as queued, so it must be at least `servers`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::InvalidParameter`] for non-finite or
+    /// non-positive rates (`arrival_rate` may be zero) and
+    /// [`QueueingError::InvalidStructure`] if `servers == 0` or
+    /// `capacity < servers`.
+    pub fn new(
+        on_to_off: f64,
+        off_to_on: f64,
+        arrival_rate: f64,
+        servers: usize,
+        service_rate: f64,
+        capacity: usize,
+    ) -> Result<Self, QueueingError> {
+        for (name, value, allow_zero) in [
+            ("on_to_off", on_to_off, false),
+            ("off_to_on", off_to_on, false),
+            ("arrival_rate", arrival_rate, true),
+            ("service_rate", service_rate, false),
+        ] {
+            if !value.is_finite() || value < 0.0 || (!allow_zero && value == 0.0) {
+                return Err(QueueingError::InvalidParameter { name, value });
+            }
+        }
+        if servers == 0 {
+            return Err(QueueingError::InvalidStructure {
+                reason: "need at least one server".into(),
+            });
+        }
+        if capacity < servers {
+            return Err(QueueingError::InvalidStructure {
+                reason: format!(
+                    "capacity {capacity} must be >= servers {servers} \
+                     (capacity counts customers in service)"
+                ),
+            });
+        }
+
+        let joint = solve_levels(
+            on_to_off,
+            off_to_on,
+            arrival_rate,
+            servers,
+            service_rate,
+            capacity,
+        )?;
+        Ok(IppMckQueue {
+            on_to_off,
+            off_to_on,
+            arrival_rate,
+            servers,
+            service_rate,
+            capacity,
+            joint,
+        })
+    }
+
+    /// System capacity `K` (service + queue).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of servers `c`.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Joint stationary probabilities `[P(j, on), P(j, off)]` for each
+    /// level `j = 0..=K`.
+    pub fn joint_distribution(&self) -> &[[f64; 2]] {
+        &self.joint
+    }
+
+    /// Marginal distribution of the number in system.
+    pub fn level_distribution(&self) -> Vec<f64> {
+        self.joint.iter().map(|p| p[0] + p[1]).collect()
+    }
+
+    /// Marginal probability that the source is *on*. By autonomy of the
+    /// phase process this equals `b/(a+b)` — a built-in consistency
+    /// check, exercised by the tests.
+    pub fn on_probability(&self) -> f64 {
+        self.joint.iter().map(|p| p[0]).sum()
+    }
+
+    /// Long-run offered packet rate, `λ·P(on)`.
+    pub fn offered_rate(&self) -> f64 {
+        self.arrival_rate * self.off_to_on / (self.on_to_off + self.off_to_on)
+    }
+
+    /// Probability that an arriving packet is lost (PASTA within the on
+    /// phase: the loss ratio is `P(K, on)/P(on)`).
+    pub fn loss_probability(&self) -> f64 {
+        let p_on = self.on_probability();
+        if p_on == 0.0 || self.arrival_rate == 0.0 {
+            return 0.0;
+        }
+        (self.joint[self.capacity][0] / p_on).clamp(0.0, 1.0)
+    }
+
+    /// Accepted (carried) packet rate.
+    pub fn throughput(&self) -> f64 {
+        self.offered_rate() * (1.0 - self.loss_probability())
+    }
+
+    /// Mean number of customers in the system.
+    pub fn mean_in_system(&self) -> f64 {
+        self.joint
+            .iter()
+            .enumerate()
+            .map(|(j, p)| j as f64 * (p[0] + p[1]))
+            .sum()
+    }
+
+    /// Mean number of customers waiting (not in service).
+    pub fn mean_queue_length(&self) -> f64 {
+        self.joint
+            .iter()
+            .enumerate()
+            .map(|(j, p)| j.saturating_sub(self.servers) as f64 * (p[0] + p[1]))
+            .sum()
+    }
+
+    /// Mean number of busy servers. Equals `throughput/μ` (Little's law
+    /// applied to the service facility).
+    pub fn mean_busy_servers(&self) -> f64 {
+        self.joint
+            .iter()
+            .enumerate()
+            .map(|(j, p)| j.min(self.servers) as f64 * (p[0] + p[1]))
+            .sum()
+    }
+
+    /// Mean waiting time of *accepted* customers (Little's law on the
+    /// queue). Zero when nothing is ever queued.
+    pub fn mean_waiting_time(&self) -> f64 {
+        let tput = self.throughput();
+        if tput == 0.0 {
+            return 0.0;
+        }
+        self.mean_queue_length() / tput
+    }
+
+    /// Maximum residual `‖πQ‖∞` of the full global balance equations —
+    /// a diagnostic for the direct solve (should be at rounding level).
+    pub fn balance_residual(&self) -> f64 {
+        let (a, b) = (self.on_to_off, self.off_to_on);
+        let lam = self.arrival_rate;
+        let k_max = self.capacity;
+        let mut worst = 0.0f64;
+        for j in 0..=k_max {
+            let srv = (j.min(self.servers)) as f64 * self.service_rate;
+            for phase in 0..2 {
+                // Sum of probability flow into (j, phase) minus out.
+                let mut flow = 0.0;
+                let p = self.joint[j][phase];
+                // Out: phase switch + service + (arrival if on and room).
+                let arr = if phase == 0 && j < k_max { lam } else { 0.0 };
+                let switch = if phase == 0 { a } else { b };
+                flow -= p * (arr + switch + srv);
+                // In: phase switch from the other phase.
+                let other = self.joint[j][1 - phase];
+                flow += other * if phase == 0 { b } else { a };
+                // In: arrival from below (only the on phase receives).
+                if j > 0 && phase == 0 {
+                    flow += self.joint[j - 1][0] * lam;
+                }
+                // In: service completion from above.
+                if j < k_max {
+                    let srv_above = ((j + 1).min(self.servers)) as f64 * self.service_rate;
+                    flow += self.joint[j + 1][phase] * srv_above;
+                }
+                worst = worst.max(flow.abs());
+            }
+        }
+        worst
+    }
+}
+
+/// Block-tridiagonal elimination over levels (backward sweep building
+/// Schur complements, then a forward substitution), exact up to rounding.
+fn solve_levels(
+    a: f64,
+    b: f64,
+    lam: f64,
+    servers: usize,
+    mu: f64,
+    k_max: usize,
+) -> Result<Vec<[f64; 2]>, QueueingError> {
+    let phase = |j: usize| -> Block {
+        // Local block: phase switching minus all exit rates.
+        let up = if j < k_max { lam } else { 0.0 };
+        let srv = (j.min(servers)) as f64 * mu;
+        [[-a - up - srv, a], [b, -b - srv]]
+    };
+    let up_block: Block = [[lam, 0.0], [0.0, 0.0]];
+    let down = |j: usize| -> Block {
+        let srv = (j.min(servers)) as f64 * mu;
+        [[srv, 0.0], [0.0, srv]]
+    };
+
+    // Backward sweep: S_K = L_K; S_j = L_j + U·(−S_{j+1})⁻¹·D_{j+1}.
+    let mut schur = vec![[[0.0; 2]; 2]; k_max + 1];
+    schur[k_max] = phase(k_max);
+    for j in (0..k_max).rev() {
+        let inv = block_neg_inv(&schur[j + 1])?;
+        let correction = block_mul(&block_mul(&up_block, &inv), &down(j + 1));
+        schur[j] = block_add(&phase(j), &correction);
+    }
+
+    // π₀ spans the left null space of S₀ (2×2, rank 1).
+    let s0 = schur[0];
+    let cand1 = [s0[1][0].abs(), s0[0][0].abs()];
+    let cand2 = [s0[1][1].abs(), s0[0][1].abs()];
+    let mut pi0 = if cand1[0] + cand1[1] >= cand2[0] + cand2[1] {
+        cand1
+    } else {
+        cand2
+    };
+    if pi0[0] + pi0[1] == 0.0 {
+        // λ = 0 degenerates the on/off split of level 0 to the phase
+        // marginal; the null space is then the phase stationary vector.
+        pi0 = [b, a];
+    }
+
+    // Forward substitution: π_{j+1} = π_j·U·(−S_{j+1})⁻¹.
+    let mut joint = vec![[0.0f64; 2]; k_max + 1];
+    joint[0] = pi0;
+    for j in 0..k_max {
+        let inv = block_neg_inv(&schur[j + 1])?;
+        joint[j + 1] = row_mul(row_mul(joint[j], &up_block), &inv);
+    }
+
+    // Elimination preserves sign up to rounding; clamp dust and normalize.
+    let mut total = 0.0;
+    for p in &mut joint {
+        p[0] = p[0].max(0.0);
+        p[1] = p[1].max(0.0);
+        total += p[0] + p[1];
+    }
+    if !(total.is_finite() && total > 0.0) {
+        return Err(QueueingError::InvalidStructure {
+            reason: format!("level elimination produced mass {total}"),
+        });
+    }
+    for p in &mut joint {
+        p[0] /= total;
+        p[1] /= total;
+    }
+    Ok(joint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::birth_death;
+
+    fn base_queue() -> IppMckQueue {
+        // Traffic model 3-ish source: a = b = 0.32, 8.33 packets/s on.
+        IppMckQueue::new(0.32, 0.32, 8.33, 2, 3.49, 22).unwrap()
+    }
+
+    #[test]
+    fn distribution_is_proper_and_balanced() {
+        let q = base_queue();
+        let sum: f64 = q.level_distribution().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(q.balance_residual() < 1e-12);
+    }
+
+    #[test]
+    fn phase_marginal_is_exact() {
+        let q = IppMckQueue::new(0.08, 1.0 / 412.0, 2.0, 1, 3.49, 10).unwrap();
+        let expect = (1.0 / 412.0) / (0.08 + 1.0 / 412.0);
+        assert!(
+            (q.on_probability() - expect).abs() < 1e-12,
+            "on marginal {} vs autonomous phase {}",
+            q.on_probability(),
+            expect
+        );
+    }
+
+    #[test]
+    fn always_on_limit_is_mmck() {
+        // b ≫ everything: the source is effectively always on, the queue
+        // is M/M/c/K with rate λ.
+        let (lam, mu, c, k) = (5.0, 3.0, 2usize, 9usize);
+        let q = IppMckQueue::new(1e-9, 1e9, lam, c, mu, k).unwrap();
+        let birth = vec![lam; k];
+        let death: Vec<f64> = (1..=k).map(|j| (j.min(c)) as f64 * mu).collect();
+        let expect = birth_death::stationary(&birth, &death).unwrap();
+        let got = q.level_distribution();
+        for j in 0..=k {
+            assert!(
+                (got[j] - expect[j]).abs() < 1e-6,
+                "level {j}: {} vs {}",
+                got[j],
+                expect[j]
+            );
+        }
+        // Loss matches the M/M/c/K loss too.
+        assert!((q.loss_probability() - expect[k]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fast_switching_approaches_poisson_average() {
+        // Switching much faster than arrivals/service: the queue sees a
+        // Poisson process at the mean rate λ·p_on.
+        let (lam, mu, c, k) = (6.0, 2.0, 2usize, 8usize);
+        let q = IppMckQueue::new(500.0, 1500.0, lam, c, mu, k).unwrap();
+        let eff = lam * 0.75;
+        let birth = vec![eff; k];
+        let death: Vec<f64> = (1..=k).map(|j| (j.min(c)) as f64 * mu).collect();
+        let expect = birth_death::stationary(&birth, &death).unwrap();
+        let got = q.level_distribution();
+        for j in 0..=k {
+            assert!(
+                (got[j] - expect[j]).abs() < 5e-3,
+                "level {j}: {} vs {}",
+                got[j],
+                expect[j]
+            );
+        }
+    }
+
+    #[test]
+    fn slow_switching_is_burstier_than_fast() {
+        // Same mean rate; slower modulation ⇒ longer on-bursts ⇒ more loss.
+        let fast = IppMckQueue::new(10.0, 10.0, 8.0, 2, 3.49, 10).unwrap();
+        let slow = IppMckQueue::new(0.05, 0.05, 8.0, 2, 3.49, 10).unwrap();
+        assert!(slow.loss_probability() > fast.loss_probability());
+    }
+
+    #[test]
+    fn throughput_equals_service_flow() {
+        // Accepted arrivals must equal the service-side flow Σ s_j π_j.
+        let q = base_queue();
+        let service_flow: f64 = q
+            .level_distribution()
+            .iter()
+            .enumerate()
+            .map(|(j, &p)| (j.min(q.servers())) as f64 * 3.49 * p)
+            .sum();
+        assert!(
+            (q.throughput() - service_flow).abs() < 1e-10,
+            "{} vs {}",
+            q.throughput(),
+            service_flow
+        );
+        // And Little's law on the servers.
+        assert!((q.mean_busy_servers() * 3.49 - q.throughput()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn loss_monotone_in_load_and_capacity() {
+        let lo = IppMckQueue::new(0.32, 0.32, 4.0, 2, 3.49, 12).unwrap();
+        let hi = IppMckQueue::new(0.32, 0.32, 12.0, 2, 3.49, 12).unwrap();
+        assert!(hi.loss_probability() > lo.loss_probability());
+        let small = IppMckQueue::new(0.32, 0.32, 8.0, 2, 3.49, 6).unwrap();
+        let big = IppMckQueue::new(0.32, 0.32, 8.0, 2, 3.49, 30).unwrap();
+        assert!(small.loss_probability() > big.loss_probability());
+    }
+
+    #[test]
+    fn zero_arrival_rate_is_an_empty_system() {
+        let q = IppMckQueue::new(1.0, 2.0, 0.0, 1, 1.0, 4).unwrap();
+        assert!((q.level_distribution()[0] - 1.0).abs() < 1e-12);
+        assert_eq!(q.loss_probability(), 0.0);
+        assert_eq!(q.throughput(), 0.0);
+        // Phase marginal still correct.
+        assert!((q.on_probability() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_equal_servers_has_no_queue() {
+        let q = IppMckQueue::new(0.5, 0.5, 6.0, 3, 2.0, 3).unwrap();
+        assert_eq!(q.mean_queue_length(), 0.0);
+        assert_eq!(q.mean_waiting_time(), 0.0);
+        assert!(q.loss_probability() > 0.0);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(IppMckQueue::new(0.0, 1.0, 1.0, 1, 1.0, 2).is_err());
+        assert!(IppMckQueue::new(1.0, 1.0, -1.0, 1, 1.0, 2).is_err());
+        assert!(IppMckQueue::new(1.0, 1.0, 1.0, 0, 1.0, 2).is_err());
+        assert!(IppMckQueue::new(1.0, 1.0, 1.0, 3, 1.0, 2).is_err());
+        assert!(IppMckQueue::new(1.0, f64::NAN, 1.0, 1, 1.0, 2).is_err());
+    }
+
+    #[test]
+    fn large_capacity_remains_stable() {
+        let q = IppMckQueue::new(0.32, 0.32, 8.33, 4, 3.49, 500).unwrap();
+        assert!(q.balance_residual() < 1e-10);
+        let sum: f64 = q.level_distribution().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Under-loaded on average: offered 4.165 < capacity 13.96, so the
+        // enormous buffer pushes loss to ~0.
+        assert!(q.loss_probability() < 1e-6);
+    }
+}

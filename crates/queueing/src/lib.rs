@@ -1,0 +1,45 @@
+//! Closed-form queueing building blocks for cellular network models.
+//!
+//! The GPRS paper's Markov model rides on two M/M/c/c (Erlang loss)
+//! systems — one for GSM voice calls, one for GPRS sessions — whose
+//! closed-form solutions (paper Eqs. 2–3) feed both the handover-flow
+//! balancing procedure (Eqs. 4–5) and several performance measures
+//! directly (CVT, AGS, both blocking probabilities; Eqs. 6–7).
+//!
+//! # Modules
+//!
+//! * [`birth_death`] — stationary distribution of an arbitrary finite
+//!   birth–death chain (the general machine behind Erlang systems).
+//! * [`erlang`] — Erlang-B blocking via the numerically stable recursion,
+//!   plus the full M/M/c/c state distribution.
+//! * [`mmcc`] — an [`mmcc::MmccQueue`] type bundling rates with derived
+//!   measures.
+//! * [`ipp_queue`] — the IPP/M/c/K queue (one bursty source, finite
+//!   buffer, multiple servers) solved exactly by QBD level elimination;
+//!   an independently coded oracle for the paper's full chain.
+//! * [`handover`] — the fixed-point iteration that balances incoming and
+//!   outgoing handover flows of a cell (Marsan et al.; paper Section 3).
+//!
+//! # Example
+//!
+//! ```
+//! use gprs_queueing::mmcc::MmccQueue;
+//!
+//! // 20 trunks, offered load 12 Erlang.
+//! let q = MmccQueue::new(20, 12.0, 1.0)?;
+//! assert!(q.blocking_probability() < 0.02);
+//! # Ok::<(), gprs_queueing::QueueingError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod birth_death;
+pub mod erlang;
+pub mod error;
+pub mod handover;
+pub mod ipp_queue;
+pub mod mmcc;
+
+pub use error::QueueingError;
+pub use ipp_queue::IppMckQueue;

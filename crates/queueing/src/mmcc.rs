@@ -1,0 +1,127 @@
+//! The M/M/c/c loss queue as a value type with derived measures.
+
+use crate::erlang;
+use crate::error::QueueingError;
+
+/// An M/M/c/c (Erlang loss) system: Poisson arrivals at `arrival_rate`,
+/// exponential service at `service_rate` per server, `servers` servers,
+/// no waiting room.
+///
+/// In the paper this describes both the GSM voice calls in a cell
+/// (`c = N_GSM`, arrival `λ_GSM + λ_h,GSM`, service `μ_GSM + μ_h,GSM`)
+/// and the GPRS session population (`c = M`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MmccQueue {
+    servers: usize,
+    arrival_rate: f64,
+    service_rate: f64,
+    distribution: Vec<f64>,
+}
+
+impl MmccQueue {
+    /// Creates the queue and precomputes its stationary distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::InvalidParameter`] if `arrival_rate` is
+    /// negative or `service_rate` is not strictly positive (or either is
+    /// non-finite).
+    pub fn new(
+        servers: usize,
+        arrival_rate: f64,
+        service_rate: f64,
+    ) -> Result<Self, QueueingError> {
+        if !arrival_rate.is_finite() || arrival_rate < 0.0 {
+            return Err(QueueingError::InvalidParameter {
+                name: "arrival_rate",
+                value: arrival_rate,
+            });
+        }
+        if !service_rate.is_finite() || service_rate <= 0.0 {
+            return Err(QueueingError::InvalidParameter {
+                name: "service_rate",
+                value: service_rate,
+            });
+        }
+        let distribution = erlang::mmcc_distribution(servers, arrival_rate / service_rate)?;
+        Ok(MmccQueue {
+            servers,
+            arrival_rate,
+            service_rate,
+            distribution,
+        })
+    }
+
+    /// Number of servers `c`.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Offered load `ρ = λ/μ` in Erlang.
+    pub fn offered_load(&self) -> f64 {
+        self.arrival_rate / self.service_rate
+    }
+
+    /// The stationary distribution `π_0..=π_c`.
+    pub fn distribution(&self) -> &[f64] {
+        &self.distribution
+    }
+
+    /// Probability that all servers are busy (Erlang-B blocking).
+    pub fn blocking_probability(&self) -> f64 {
+        self.distribution[self.servers]
+    }
+
+    /// Mean number of busy servers (carried traffic in Erlang).
+    pub fn mean_busy(&self) -> f64 {
+        self.distribution
+            .iter()
+            .enumerate()
+            .map(|(n, &p)| n as f64 * p)
+            .sum()
+    }
+
+    /// Throughput of accepted customers, `λ·(1 − B)`.
+    pub fn accepted_rate(&self) -> f64 {
+        self.arrival_rate * (1.0 - self.blocking_probability())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_are_consistent() {
+        let q = MmccQueue::new(10, 6.0, 1.5).unwrap();
+        assert_eq!(q.servers(), 10);
+        assert!((q.offered_load() - 4.0).abs() < 1e-15);
+        // Flow balance: accepted rate / service rate == mean busy.
+        assert!((q.accepted_rate() / 1.5 - q.mean_busy()).abs() < 1e-10);
+        // Erlang-B from the shared recursion.
+        let b = crate::erlang::erlang_b(10, 4.0).unwrap();
+        assert!((q.blocking_probability() - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_arrivals() {
+        let q = MmccQueue::new(5, 0.0, 1.0).unwrap();
+        assert_eq!(q.blocking_probability(), 0.0);
+        assert_eq!(q.mean_busy(), 0.0);
+        assert_eq!(q.distribution()[0], 1.0);
+    }
+
+    #[test]
+    fn zero_servers_blocks_everything() {
+        let q = MmccQueue::new(0, 3.0, 1.0).unwrap();
+        assert_eq!(q.blocking_probability(), 1.0);
+        assert_eq!(q.accepted_rate(), 0.0);
+    }
+
+    #[test]
+    fn rejects_invalid_rates() {
+        assert!(MmccQueue::new(5, -1.0, 1.0).is_err());
+        assert!(MmccQueue::new(5, 1.0, 0.0).is_err());
+        assert!(MmccQueue::new(5, f64::NAN, 1.0).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the queueing closed forms.
+
+use gprs_queueing::birth_death;
+use gprs_queueing::erlang::{carried_load, erlang_b, mmcc_distribution};
+use gprs_queueing::handover::{balance_default, HandoverParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn blocking_decreases_with_servers(rho in 0.1f64..200.0, c in 1usize..100) {
+        let b1 = erlang_b(c, rho).unwrap();
+        let b2 = erlang_b(c + 1, rho).unwrap();
+        prop_assert!(b2 <= b1 + 1e-12);
+    }
+
+    #[test]
+    fn blocking_increases_with_load(c in 1usize..60, rho in 0.1f64..100.0) {
+        let b1 = erlang_b(c, rho).unwrap();
+        let b2 = erlang_b(c, rho * 1.1).unwrap();
+        prop_assert!(b2 >= b1 - 1e-12);
+    }
+
+    #[test]
+    fn distribution_sums_to_one_and_tail_is_blocking(
+        c in 0usize..200, rho in 0.0f64..300.0
+    ) {
+        let pi = mmcc_distribution(c, rho).unwrap();
+        prop_assert_eq!(pi.len(), c + 1);
+        let sum: f64 = pi.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        let b = erlang_b(c, rho).unwrap();
+        prop_assert!((pi[c] - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn carried_load_bounded_by_servers_and_offered(
+        c in 1usize..100, rho in 0.0f64..500.0
+    ) {
+        let carried = carried_load(c, rho).unwrap();
+        prop_assert!(carried <= c as f64 + 1e-9);
+        prop_assert!(carried <= rho + 1e-9);
+        prop_assert!(carried >= 0.0);
+    }
+
+    #[test]
+    fn birth_death_detailed_balance(
+        rates in proptest::collection::vec((0.01f64..50.0, 0.01f64..50.0), 1..40)
+    ) {
+        let birth: Vec<f64> = rates.iter().map(|&(b, _)| b).collect();
+        let death: Vec<f64> = rates.iter().map(|&(_, d)| d).collect();
+        let pi = birth_death::stationary(&birth, &death).unwrap();
+        for i in 0..birth.len() {
+            let lhs = pi[i] * birth[i];
+            let rhs = pi[i + 1] * death[i];
+            prop_assert!(
+                (lhs - rhs).abs() <= 1e-9 * lhs.max(rhs).max(1e-300),
+                "level {}", i
+            );
+        }
+    }
+
+    #[test]
+    fn handover_fixed_point_is_balanced(
+        rate in 0.01f64..3.0,
+        duration in 10.0f64..1000.0,
+        dwell in 10.0f64..1000.0,
+        servers in 1usize..60,
+    ) {
+        let p = HandoverParams {
+            new_arrival_rate: rate,
+            completion_rate: 1.0 / duration,
+            handover_rate: 1.0 / dwell,
+            servers,
+        };
+        let cell = balance_default(&p).unwrap();
+        let outgoing = p.handover_rate * cell.queue.mean_busy();
+        prop_assert!(
+            (cell.handover_arrival_rate - outgoing).abs()
+                < 1e-8 * outgoing.max(1e-12),
+        );
+        // Handover inflow can never exceed what the servers can emit.
+        prop_assert!(
+            cell.handover_arrival_rate <= p.handover_rate * servers as f64 + 1e-9
+        );
+        prop_assert!(
+            (cell.total_arrival_rate()
+                - (cell.new_arrival_rate + cell.handover_arrival_rate))
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn handover_inflow_grows_with_dwell_mobility(
+        rate in 0.05f64..1.0,
+        servers in 5usize..40,
+    ) {
+        // Faster-moving users (shorter dwell) generate more handover
+        // traffic as long as the system is not saturated.
+        let slow = balance_default(&HandoverParams {
+            new_arrival_rate: rate,
+            completion_rate: 1.0 / 120.0,
+            handover_rate: 1.0 / 600.0,
+            servers,
+        })
+        .unwrap();
+        let fast = balance_default(&HandoverParams {
+            new_arrival_rate: rate,
+            completion_rate: 1.0 / 120.0,
+            handover_rate: 1.0 / 60.0,
+            servers,
+        })
+        .unwrap();
+        prop_assert!(
+            fast.handover_arrival_rate >= slow.handover_arrival_rate - 1e-9
+        );
+    }
+}

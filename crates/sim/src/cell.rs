@@ -1,0 +1,106 @@
+//! Per-cell simulation state: voice calls, GPRS sessions, and the BSC
+//! buffer.
+
+use crate::packet::{Packet, SessionId};
+use gprs_des::EventId;
+use std::collections::VecDeque;
+
+/// Mutable state of one cell.
+#[derive(Debug)]
+pub struct Cell {
+    /// Active GSM voice calls `n`.
+    pub voice_calls: usize,
+    /// Ids of GPRS sessions currently resident (`m = gprs_sessions.len()`).
+    pub gprs_sessions: std::collections::HashSet<SessionId>,
+    /// The BSC FIFO buffer (bounded by `K` externally).
+    pub buffer: VecDeque<Packet>,
+    /// Pending service-completion event (processor-sharing radio model).
+    pub service_event: Option<EventId>,
+    /// Whether a TDMA radio-block tick is scheduled (TDMA radio model).
+    pub tick_scheduled: bool,
+}
+
+impl Cell {
+    /// An empty cell.
+    pub fn new() -> Self {
+        Cell {
+            voice_calls: 0,
+            gprs_sessions: std::collections::HashSet::new(),
+            buffer: VecDeque::new(),
+            service_event: None,
+            tick_scheduled: false,
+        }
+    }
+
+    /// Number of active GPRS sessions `m`.
+    pub fn num_sessions(&self) -> usize {
+        self.gprs_sessions.len()
+    }
+
+    /// Buffer occupancy `k`.
+    pub fn queue_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// PDCHs busy with data right now: `min(N − n, 8k)` (the same
+    /// formula as the Markov model; the TDMA model additionally caps by
+    /// actual block assignment, but the *capacity* formula is shared).
+    pub fn busy_pdchs(&self, total_channels: usize) -> usize {
+        (total_channels - self.voice_calls).min(8 * self.queue_len())
+    }
+
+    /// Removes all buffered packets of `session` (handover flush).
+    /// Returns how many were flushed.
+    pub fn flush_session(&mut self, session: SessionId) -> usize {
+        let before = self.buffer.len();
+        self.buffer.retain(|p| p.session != session);
+        before - self.buffer.len()
+    }
+}
+
+impl Default for Cell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(session: SessionId, seq: u64) -> Packet {
+        Packet {
+            session,
+            seq,
+            call_epoch: 0,
+            cell: 0,
+            bsc_arrival: 0.0,
+            blocks_remaining: 15,
+        }
+    }
+
+    #[test]
+    fn busy_pdch_formula_matches_model() {
+        let mut c = Cell::new();
+        assert_eq!(c.busy_pdchs(20), 0);
+        c.buffer.push_back(packet(1, 1));
+        assert_eq!(c.busy_pdchs(20), 8); // one packet: multislot cap 8
+        c.voice_calls = 19;
+        assert_eq!(c.busy_pdchs(20), 1);
+        c.buffer.push_back(packet(1, 2));
+        c.buffer.push_back(packet(1, 3));
+        c.voice_calls = 0;
+        assert_eq!(c.busy_pdchs(20), 20); // 3 packets: min(20, 24)
+    }
+
+    #[test]
+    fn flush_session_removes_only_that_session() {
+        let mut c = Cell::new();
+        c.buffer.push_back(packet(1, 1));
+        c.buffer.push_back(packet(2, 1));
+        c.buffer.push_back(packet(1, 2));
+        assert_eq!(c.flush_session(1), 2);
+        assert_eq!(c.queue_len(), 1);
+        assert_eq!(c.buffer[0].session, 2);
+    }
+}

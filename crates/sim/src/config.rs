@@ -1,0 +1,228 @@
+//! Simulator configuration.
+
+use crate::supervision::SupervisionConfig;
+use gprs_core::CellConfig;
+
+/// How the radio link serves the BSC buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RadioModel {
+    /// Aggregate processor sharing: the head packet completes at rate
+    /// `min(N − n, 8k)·μ_service` — the same abstraction level as the
+    /// Markov model. Fast; use for long calibration runs.
+    #[default]
+    ProcessorSharing,
+    /// Per-20 ms TDMA radio-block scheduling with the multislot caps
+    /// (≤ 8 slots per packet, one packet per slot per block). Packets
+    /// are segmented into blocks; this is the paper's "more detailed"
+    /// wireless-link model.
+    TdmaBlocks,
+}
+
+/// TCP behaviour of the simulated sources.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcpConfig {
+    /// Whether TCP windowing is simulated at all. With `false`, sources
+    /// inject packets straight into the BSC (pure IPP traffic — what the
+    /// Markov model with `η = 1` describes).
+    pub enabled: bool,
+    /// Initial slow-start threshold, packets.
+    pub initial_ssthresh: f64,
+    /// Receiver window (max in-flight packets).
+    pub receiver_window: u32,
+    /// Minimum retransmission timeout, seconds.
+    pub min_rto: f64,
+    /// Maximum retransmission timeout, seconds.
+    pub max_rto: f64,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            enabled: true,
+            initial_ssthresh: 16.0,
+            receiver_window: 32,
+            min_rto: 0.5,
+            max_rto: 60.0,
+        }
+    }
+}
+
+/// Full simulator configuration: the cell parameters (shared with the
+/// Markov model) plus simulation-only knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// The cell/traffic parameterization (same type the Markov model
+    /// uses, so experiments are guaranteed to compare like with like).
+    pub cell: CellConfig,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Warm-up period discarded before statistics start, seconds.
+    pub warmup: f64,
+    /// Number of batches for batch-means confidence intervals.
+    pub num_batches: usize,
+    /// Duration of each batch, seconds.
+    pub batch_duration: f64,
+    /// One-way wired (core network + Internet) delay between the TCP
+    /// source and the BSC, seconds.
+    pub wired_delay: f64,
+    /// Radio service fidelity.
+    pub radio: RadioModel,
+    /// TCP source behaviour.
+    pub tcp: TcpConfig,
+    /// Online PDCH re-dimensioning (capacity on demand). `None` keeps
+    /// the static reservation of the Markov model.
+    pub supervision: Option<SupervisionConfig>,
+}
+
+impl SimConfig {
+    /// Starts a builder with sensible defaults (10 batches × 2000 s,
+    /// 1000 s warm-up, 50 ms wired delay, processor-sharing radio,
+    /// TCP enabled).
+    pub fn builder(cell: CellConfig) -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: SimConfig {
+                cell,
+                seed: 1,
+                warmup: 1_000.0,
+                num_batches: 10,
+                batch_duration: 2_000.0,
+                wired_delay: 0.05,
+                radio: RadioModel::ProcessorSharing,
+                tcp: TcpConfig::default(),
+                supervision: None,
+            },
+        }
+    }
+
+    /// Total simulated horizon: warm-up plus all batches.
+    pub fn horizon(&self) -> f64 {
+        self.warmup + self.num_batches as f64 * self.batch_duration
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the warm-up duration (seconds).
+    pub fn warmup(mut self, secs: f64) -> Self {
+        self.config.warmup = secs;
+        self
+    }
+
+    /// Sets batch count and per-batch duration (seconds).
+    pub fn batches(mut self, count: usize, duration: f64) -> Self {
+        self.config.num_batches = count;
+        self.config.batch_duration = duration;
+        self
+    }
+
+    /// Sets the one-way wired delay (seconds).
+    pub fn wired_delay(mut self, secs: f64) -> Self {
+        self.config.wired_delay = secs;
+        self
+    }
+
+    /// Selects the radio service fidelity.
+    pub fn radio(mut self, radio: RadioModel) -> Self {
+        self.config.radio = radio;
+        self
+    }
+
+    /// Sets the TCP source behaviour.
+    pub fn tcp(mut self, tcp: TcpConfig) -> Self {
+        self.config.tcp = tcp;
+        self
+    }
+
+    /// Disables TCP windowing (pure IPP sources).
+    pub fn without_tcp(mut self) -> Self {
+        self.config.tcp.enabled = false;
+        self
+    }
+
+    /// Enables online load supervision (dynamic PDCH re-dimensioning).
+    pub fn supervision(mut self, sup: SupervisionConfig) -> Self {
+        self.config.supervision = Some(sup);
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if warm-up/batch parameters are not positive or fewer than
+    /// two batches are requested.
+    pub fn build(self) -> SimConfig {
+        let c = &self.config;
+        assert!(c.warmup >= 0.0, "warmup must be >= 0");
+        assert!(c.num_batches >= 2, "need at least two batches for CIs");
+        assert!(c.batch_duration > 0.0, "batch duration must be positive");
+        assert!(
+            c.wired_delay >= 0.0 && c.wired_delay.is_finite(),
+            "wired delay must be finite and >= 0"
+        );
+        if let Some(sup) = &c.supervision {
+            sup.validate();
+            assert!(
+                sup.max_reserved < c.cell.total_channels,
+                "supervision must leave at least one voice channel"
+            );
+        }
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gprs_traffic::TrafficModel;
+
+    fn cell() -> CellConfig {
+        CellConfig::builder()
+            .traffic_model(TrafficModel::Model3)
+            .call_arrival_rate(0.5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_and_horizon() {
+        let cfg = SimConfig::builder(cell()).build();
+        assert_eq!(cfg.num_batches, 10);
+        assert!((cfg.horizon() - (1_000.0 + 10.0 * 2_000.0)).abs() < 1e-9);
+        assert!(cfg.tcp.enabled);
+        assert_eq!(cfg.radio, RadioModel::ProcessorSharing);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let cfg = SimConfig::builder(cell())
+            .seed(99)
+            .warmup(10.0)
+            .batches(4, 100.0)
+            .wired_delay(0.02)
+            .radio(RadioModel::TdmaBlocks)
+            .without_tcp()
+            .build();
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.num_batches, 4);
+        assert!(!cfg.tcp.enabled);
+        assert_eq!(cfg.radio, RadioModel::TdmaBlocks);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two batches")]
+    fn one_batch_rejected() {
+        let _ = SimConfig::builder(cell()).batches(1, 100.0).build();
+    }
+}

@@ -1,0 +1,82 @@
+//! The simulator's event alphabet.
+
+use crate::packet::{Packet, SessionId};
+use crate::tcp::Seq;
+
+/// Everything that can happen in the simulated cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A new GSM voice call requests admission in `cell`.
+    GsmArrival {
+        /// Target cell.
+        cell: usize,
+    },
+    /// An active GSM call in `cell` ends its stay (completion or
+    /// handover — decided when the event fires, which is exact for
+    /// exponential races).
+    GsmLeave {
+        /// The cell the call currently occupies.
+        cell: usize,
+    },
+    /// A new GPRS session requests admission in `cell`.
+    GprsArrival {
+        /// Target cell.
+        cell: usize,
+    },
+    /// A session's dwell timer expired: hand it over to a neighbour.
+    SessionDwell {
+        /// The moving session.
+        session: SessionId,
+    },
+    /// The session's application emits the next packet of the current
+    /// packet call into the TCP send buffer.
+    AppEmission {
+        /// The emitting session.
+        session: SessionId,
+        /// Packet-call epoch the emission belongs to (stale guard).
+        call_epoch: u64,
+    },
+    /// A reading period ended; the session starts its next packet call.
+    ReadingEnd {
+        /// The session.
+        session: SessionId,
+    },
+    /// A transmitted packet reaches the BSC after the wired delay.
+    BscArrival {
+        /// The packet.
+        packet: Packet,
+    },
+    /// Processor-sharing radio model: the head-of-line packet in `cell`
+    /// finished transmission.
+    ServiceComplete {
+        /// The serving cell.
+        cell: usize,
+    },
+    /// TDMA radio model: a 20 ms radio-block boundary in `cell`.
+    RadioTick {
+        /// The ticking cell.
+        cell: usize,
+    },
+    /// A cumulative ACK reaches the TCP source.
+    AckArrival {
+        /// The session whose transfer is acknowledged.
+        session: SessionId,
+        /// Packet-call epoch (stale guard).
+        call_epoch: u64,
+        /// Cumulative ACK value.
+        ack: Seq,
+    },
+    /// A retransmission timer fired.
+    RtoTimer {
+        /// The session.
+        session: SessionId,
+        /// Packet-call epoch (stale guard).
+        call_epoch: u64,
+        /// Sender epoch the timer was armed for (stale guard).
+        rto_epoch: u64,
+    },
+    /// A statistics batch boundary.
+    BatchBoundary,
+    /// A load-supervision decision epoch (capacity on demand).
+    Supervision,
+}

@@ -1,0 +1,49 @@
+//! Data packets in flight through the simulated network.
+
+use crate::tcp::Seq;
+
+/// Identifier of a GPRS session (unique over a run).
+pub type SessionId = u64;
+
+/// A downlink data packet between TCP source and mobile station.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Packet {
+    /// Owning session.
+    pub session: SessionId,
+    /// Transfer-local TCP sequence number.
+    pub seq: Seq,
+    /// Packet-call epoch within the session: ACKs and deliveries from a
+    /// previous call (stale after handover/abort) are recognized and
+    /// ignored by comparing epochs.
+    pub call_epoch: u64,
+    /// Cell whose BSC this packet was routed to.
+    pub cell: usize,
+    /// Time the packet entered the BSC buffer (set on arrival; used for
+    /// the queueing-delay statistic).
+    pub bsc_arrival: f64,
+    /// Radio blocks still to transmit (TDMA radio model only).
+    pub blocks_remaining: u32,
+}
+
+/// Number of 20 ms radio blocks needed for one 480-byte packet at the
+/// given per-PDCH bit rate.
+pub fn blocks_per_packet(data_rate_bps: f64) -> u32 {
+    let bits_per_block = data_rate_bps * crate::RADIO_BLOCK_SECONDS;
+    (gprs_traffic::params::PACKET_SIZE_BITS / bits_per_block).ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cs2_packet_needs_15_blocks() {
+        // CS-2: 13.4 kbit/s → 268 bits per 20 ms block; 3840/268 = 14.33 → 15.
+        assert_eq!(blocks_per_packet(13_400.0), 15);
+    }
+
+    #[test]
+    fn cs4_packet_needs_fewer_blocks() {
+        assert!(blocks_per_packet(21_400.0) < blocks_per_packet(13_400.0));
+    }
+}

@@ -1,0 +1,95 @@
+//! Simulation output: the paper's measures with batch-means confidence
+//! intervals.
+
+use gprs_des::ConfidenceInterval;
+
+/// Mid-cell measures estimated by the simulator, each with a 95 %
+/// batch-means confidence interval.
+#[derive(Debug, Clone)]
+pub struct SimResults {
+    /// Combined call arrival rate the run used (calls/s).
+    pub call_arrival_rate: f64,
+    /// CDT: mean PDCHs carrying data.
+    pub carried_data_traffic: ConfidenceInterval,
+    /// CVT: mean busy voice channels.
+    pub carried_voice_traffic: ConfidenceInterval,
+    /// PLP: fraction of packets dropped at the BSC buffer.
+    pub packet_loss_probability: ConfidenceInterval,
+    /// QD: mean packet sojourn in the BSC buffer, seconds.
+    pub queueing_delay: ConfidenceInterval,
+    /// ATU: per-user throughput, kbit/s.
+    pub throughput_per_user_kbps: ConfidenceInterval,
+    /// AGS: mean active GPRS sessions.
+    pub avg_gprs_sessions: ConfidenceInterval,
+    /// GSM voice blocking probability.
+    pub gsm_blocking_probability: ConfidenceInterval,
+    /// GPRS session blocking probability (admission limit `M`).
+    pub gprs_blocking_probability: ConfidenceInterval,
+    /// Mid-cell incoming handover rate of GPRS sessions (sessions/s) —
+    /// lets experiments check the Markov model's balancing assumption.
+    pub gprs_handover_in_rate: ConfidenceInterval,
+    /// Mean reserved PDCHs in the mid cell. Constant (zero-width CI)
+    /// without load supervision; time-varying with it.
+    pub avg_reserved_pdchs: ConfidenceInterval,
+    /// Mid-cell PDCH re-dimensioning decisions taken by load supervision
+    /// during the measurement period (0 without supervision).
+    pub reconfigurations: u64,
+    /// Total events processed.
+    pub events_processed: u64,
+    /// Simulated seconds (including warm-up).
+    pub simulated_time: f64,
+    /// Total TCP retransmissions observed in the mid cell's sessions.
+    pub tcp_retransmissions: u64,
+}
+
+impl SimResults {
+    /// Renders a compact one-line summary (for logs and examples).
+    pub fn summary(&self) -> String {
+        format!(
+            "rate={:.3}: CDT={:.3}±{:.3} PLP={:.2e}±{:.1e} QD={:.3}±{:.3}s \
+             ATU={:.2}±{:.2}kbps AGS={:.2}±{:.2}",
+            self.call_arrival_rate,
+            self.carried_data_traffic.mean,
+            self.carried_data_traffic.half_width,
+            self.packet_loss_probability.mean,
+            self.packet_loss_probability.half_width,
+            self.queueing_delay.mean,
+            self.queueing_delay.half_width,
+            self.throughput_per_user_kbps.mean,
+            self.throughput_per_user_kbps.half_width,
+            self.avg_gprs_sessions.mean,
+            self.avg_gprs_sessions.half_width,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_contains_key_measures() {
+        let ci = ConfidenceInterval::from_batch_means(&[1.0, 1.1, 0.9]);
+        let r = SimResults {
+            call_arrival_rate: 0.5,
+            carried_data_traffic: ci,
+            carried_voice_traffic: ci,
+            packet_loss_probability: ci,
+            queueing_delay: ci,
+            throughput_per_user_kbps: ci,
+            avg_gprs_sessions: ci,
+            gsm_blocking_probability: ci,
+            gprs_blocking_probability: ci,
+            gprs_handover_in_rate: ci,
+            avg_reserved_pdchs: ci,
+            reconfigurations: 0,
+            events_processed: 10,
+            simulated_time: 100.0,
+            tcp_retransmissions: 2,
+        };
+        let s = r.summary();
+        assert!(s.contains("CDT"));
+        assert!(s.contains("PLP"));
+        assert!(s.contains("ATU"));
+    }
+}

@@ -1,0 +1,306 @@
+//! Load supervision: online re-dimensioning of reserved PDCHs.
+//!
+//! GPRS specifies a *load supervision procedure* that "monitors the load
+//! of the PDCHs in the cell" and changes the number of channels
+//! allocated to GPRS "according to the current demand" (paper
+//! Section 2). The Markov model treats the reservation as static; this
+//! module adds the dynamic procedure to the simulator, so the
+//! reproduction can quantify what the paper's future-work direction
+//! (adaptive performance management) buys.
+//!
+//! [`LoadSupervisor`] is a pure state machine — no simulator types — so
+//! its hysteresis behaviour is unit-testable in isolation. The
+//! simulator feeds it one observation per supervision epoch (the
+//! mid-term buffer occupancy as a fraction of `K`, smoothed by EWMA)
+//! and applies the returned adjustments to the cell's channel split.
+//!
+//! The asymmetry mirrors [`gprs_core::adaptive::Hysteresis`]: raising
+//! the reservation happens as soon as the smoothed occupancy crosses
+//! the upper threshold (under-provisioning violates QoS *now*), while
+//! lowering requires a streak of consecutive quiet epochs
+//! (over-provisioning merely idles a channel).
+//!
+//! # Example
+//!
+//! ```
+//! use gprs_sim::supervision::{Adjustment, LoadSupervisor, SupervisionConfig};
+//!
+//! let mut sup = LoadSupervisor::new(SupervisionConfig::default(), 1);
+//! // A full buffer, epoch after epoch, eventually raises the
+//! // reservation (the EWMA must cross the threshold first).
+//! let mut raised = false;
+//! for _ in 0..10 {
+//!     if sup.observe(1.0) == Some(Adjustment::Raised) {
+//!         raised = true;
+//!         break;
+//!     }
+//! }
+//! assert!(raised);
+//! assert_eq!(sup.reserved(), 2);
+//! ```
+//!
+//! [`gprs_core::adaptive::Hysteresis`]: ../../gprs_core/adaptive/struct.Hysteresis.html
+
+/// Parameters of the per-cell load supervision procedure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisionConfig {
+    /// Seconds between supervision decisions.
+    pub epoch: f64,
+    /// EWMA weight of the newest occupancy sample, in `(0, 1]`
+    /// (1 = no smoothing).
+    pub ewma_weight: f64,
+    /// Raise the reservation when the smoothed buffer occupancy
+    /// (fraction of `K`) exceeds this.
+    pub raise_above: f64,
+    /// Lower it when the smoothed occupancy stays below this for
+    /// [`down_streak`](Self::down_streak) consecutive epochs.
+    pub lower_below: f64,
+    /// Minimum reserved PDCHs (the paper's base setting keeps >= 1).
+    pub min_reserved: usize,
+    /// Maximum reserved PDCHs.
+    pub max_reserved: usize,
+    /// Consecutive quiet epochs required before lowering.
+    pub down_streak: usize,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        SupervisionConfig {
+            epoch: 10.0,
+            ewma_weight: 0.3,
+            raise_above: 0.5,
+            lower_below: 0.1,
+            min_reserved: 1,
+            max_reserved: 4,
+            down_streak: 3,
+        }
+    }
+}
+
+impl SupervisionConfig {
+    /// Validates the parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch <= 0`, `ewma_weight` is outside `(0, 1]`,
+    /// thresholds are not `0 <= lower_below < raise_above <= 1`,
+    /// `min_reserved > max_reserved`, or `down_streak == 0`.
+    pub fn validate(&self) {
+        assert!(
+            self.epoch.is_finite() && self.epoch > 0.0,
+            "supervision epoch must be positive"
+        );
+        assert!(
+            self.ewma_weight > 0.0 && self.ewma_weight <= 1.0,
+            "EWMA weight must lie in (0, 1]"
+        );
+        assert!(
+            0.0 <= self.lower_below
+                && self.lower_below < self.raise_above
+                && self.raise_above <= 1.0,
+            "thresholds must satisfy 0 <= lower_below < raise_above <= 1"
+        );
+        assert!(
+            self.min_reserved <= self.max_reserved,
+            "min_reserved must not exceed max_reserved"
+        );
+        assert!(self.down_streak >= 1, "down_streak must be >= 1");
+    }
+}
+
+/// Direction of a reservation change issued by the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adjustment {
+    /// One more PDCH was reserved.
+    Raised,
+    /// One reserved PDCH was released to the on-demand pool.
+    Lowered,
+}
+
+/// The per-cell supervision state machine.
+#[derive(Debug, Clone)]
+pub struct LoadSupervisor {
+    cfg: SupervisionConfig,
+    reserved: usize,
+    ewma: f64,
+    quiet_epochs: usize,
+}
+
+impl LoadSupervisor {
+    /// Creates a supervisor starting from `initial` reserved PDCHs
+    /// (clamped into the configured range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid (see [`SupervisionConfig::validate`]).
+    pub fn new(cfg: SupervisionConfig, initial: usize) -> Self {
+        cfg.validate();
+        LoadSupervisor {
+            reserved: initial.clamp(cfg.min_reserved, cfg.max_reserved),
+            cfg,
+            ewma: 0.0,
+            quiet_epochs: 0,
+        }
+    }
+
+    /// Currently reserved PDCHs.
+    pub fn reserved(&self) -> usize {
+        self.reserved
+    }
+
+    /// The smoothed occupancy estimate.
+    pub fn smoothed_occupancy(&self) -> f64 {
+        self.ewma
+    }
+
+    /// Processes one epoch's occupancy sample (`queue_len / K`, clamped
+    /// to `[0, 1]`) and possibly adjusts the reservation by one PDCH.
+    ///
+    /// At most one step per epoch in either direction — the procedure is
+    /// deliberately gradual, like the capacity-on-demand allocation it
+    /// models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `occupancy` is negative or non-finite.
+    pub fn observe(&mut self, occupancy: f64) -> Option<Adjustment> {
+        assert!(
+            occupancy.is_finite() && occupancy >= 0.0,
+            "occupancy must be >= 0"
+        );
+        let x = occupancy.min(1.0);
+        let w = self.cfg.ewma_weight;
+        self.ewma = w * x + (1.0 - w) * self.ewma;
+
+        if self.ewma > self.cfg.raise_above {
+            self.quiet_epochs = 0;
+            if self.reserved < self.cfg.max_reserved {
+                self.reserved += 1;
+                return Some(Adjustment::Raised);
+            }
+            return None;
+        }
+        if self.ewma < self.cfg.lower_below {
+            self.quiet_epochs += 1;
+            if self.quiet_epochs >= self.cfg.down_streak
+                && self.reserved > self.cfg.min_reserved
+            {
+                self.quiet_epochs = 0;
+                self.reserved -= 1;
+                return Some(Adjustment::Lowered);
+            }
+            return None;
+        }
+        // Between the thresholds: hold, and require a fresh quiet streak.
+        self.quiet_epochs = 0;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SupervisionConfig {
+        SupervisionConfig {
+            epoch: 5.0,
+            ewma_weight: 1.0, // no smoothing: tests drive the raw signal
+            raise_above: 0.5,
+            lower_below: 0.1,
+            min_reserved: 1,
+            max_reserved: 4,
+            down_streak: 3,
+        }
+    }
+
+    #[test]
+    fn sustained_pressure_raises_one_step_per_epoch() {
+        let mut s = LoadSupervisor::new(cfg(), 1);
+        assert_eq!(s.observe(0.9), Some(Adjustment::Raised));
+        assert_eq!(s.reserved(), 2);
+        assert_eq!(s.observe(0.9), Some(Adjustment::Raised));
+        assert_eq!(s.observe(0.9), Some(Adjustment::Raised));
+        assert_eq!(s.reserved(), 4);
+        // Saturates at the maximum.
+        assert_eq!(s.observe(0.9), None);
+        assert_eq!(s.reserved(), 4);
+    }
+
+    #[test]
+    fn lowering_requires_a_quiet_streak() {
+        let mut s = LoadSupervisor::new(cfg(), 3);
+        assert_eq!(s.observe(0.0), None);
+        assert_eq!(s.observe(0.0), None);
+        assert_eq!(s.observe(0.0), Some(Adjustment::Lowered));
+        assert_eq!(s.reserved(), 2);
+        // The streak restarts after a release.
+        assert_eq!(s.observe(0.0), None);
+        assert_eq!(s.observe(0.0), None);
+        assert_eq!(s.observe(0.0), Some(Adjustment::Lowered));
+        // Floor respected.
+        for _ in 0..10 {
+            assert_eq!(s.observe(0.0), None);
+        }
+        assert_eq!(s.reserved(), 1);
+    }
+
+    #[test]
+    fn mid_band_occupancy_resets_the_quiet_streak() {
+        let mut s = LoadSupervisor::new(cfg(), 3);
+        assert_eq!(s.observe(0.0), None);
+        assert_eq!(s.observe(0.0), None);
+        assert_eq!(s.observe(0.3), None); // between thresholds: reset
+        assert_eq!(s.observe(0.0), None);
+        assert_eq!(s.observe(0.0), None);
+        assert_eq!(s.observe(0.0), Some(Adjustment::Lowered));
+    }
+
+    #[test]
+    fn ewma_smooths_spikes() {
+        let mut smooth = cfg();
+        smooth.ewma_weight = 0.2;
+        let mut s = LoadSupervisor::new(smooth, 1);
+        // A single full-buffer spike does not push EWMA 0 -> >0.5.
+        assert_eq!(s.observe(1.0), None);
+        assert!(s.smoothed_occupancy() < 0.5);
+        // Sustained pressure eventually does.
+        let mut raised = false;
+        for _ in 0..20 {
+            if s.observe(1.0) == Some(Adjustment::Raised) {
+                raised = true;
+                break;
+            }
+        }
+        assert!(raised);
+    }
+
+    #[test]
+    fn initial_reservation_is_clamped() {
+        let s = LoadSupervisor::new(cfg(), 99);
+        assert_eq!(s.reserved(), 4);
+        let s = LoadSupervisor::new(cfg(), 0);
+        assert_eq!(s.reserved(), 1);
+    }
+
+    #[test]
+    fn occupancy_above_one_is_clamped() {
+        let mut s = LoadSupervisor::new(cfg(), 1);
+        let _ = s.observe(7.0);
+        assert!(s.smoothed_occupancy() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds")]
+    fn rejects_inverted_thresholds() {
+        let mut c = cfg();
+        c.raise_above = 0.05;
+        LoadSupervisor::new(c, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupancy")]
+    fn rejects_negative_occupancy() {
+        let mut s = LoadSupervisor::new(cfg(), 1);
+        let _ = s.observe(-0.1);
+    }
+}

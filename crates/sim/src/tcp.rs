@@ -1,0 +1,490 @@
+//! TCP Reno for the downlink transfers.
+//!
+//! One [`TcpSender`] instance governs each packet call (one "document
+//! download"). The implementation covers the mechanisms the paper lists
+//! for its simulator: slow start, congestion avoidance, retransmission
+//! on both timeout and triple duplicate ACK, with Jacobson/Karels RTT
+//! estimation and Karn's rule for samples. The sender is a pure state
+//! machine — it never touches the event calendar — so it can be unit
+//! tested deterministically; the simulator wires its outputs (packets to
+//! transmit, the RTO deadline) into simulated time.
+
+use crate::config::TcpConfig;
+use std::collections::BTreeSet;
+
+/// Sequence number of a data packet within one transfer (1-based).
+pub type Seq = u64;
+
+/// Packets the sender wants transmitted *now* (returned by the event
+/// handlers).
+pub type ToSend = Vec<Seq>;
+
+/// Sender-side TCP Reno state machine.
+#[derive(Debug, Clone)]
+pub struct TcpSender {
+    cfg: TcpConfig,
+    /// Congestion window, packets (fractional growth in congestion
+    /// avoidance).
+    cwnd: f64,
+    ssthresh: f64,
+    /// Highest sequence number made available by the application.
+    app_limit: Seq,
+    /// Next never-before-sent sequence number.
+    next_new: Seq,
+    /// Cumulative ACK received so far (all `<= cum_ack` delivered).
+    cum_ack: Seq,
+    /// Transmitted but unacknowledged sequence numbers.
+    in_flight: BTreeSet<Seq>,
+    /// Duplicate-ACK counter.
+    dup_acks: u32,
+    /// In fast recovery until `recover` is acked.
+    fast_recovery: bool,
+    recover: Seq,
+    /// RTT estimation (Jacobson/Karels).
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto: f64,
+    /// Timestamp of the *first* transmission of the oldest timed packet,
+    /// with Karn's rule: retransmitted packets are never timed.
+    timing: Option<(Seq, f64)>,
+    /// Monotone counter invalidating superseded RTO timers.
+    rto_epoch: u64,
+    retransmissions: u64,
+    timeouts: u64,
+}
+
+impl TcpSender {
+    /// Creates a sender with `cwnd = 1` (slow start).
+    pub fn new(cfg: TcpConfig) -> Self {
+        TcpSender {
+            cfg,
+            cwnd: 1.0,
+            ssthresh: cfg.initial_ssthresh,
+            app_limit: 0,
+            next_new: 1,
+            cum_ack: 0,
+            in_flight: BTreeSet::new(),
+            dup_acks: 0,
+            fast_recovery: false,
+            recover: 0,
+            srtt: None,
+            rttvar: 0.0,
+            rto: 3.0,
+            timing: None,
+            rto_epoch: 0,
+            retransmissions: 0,
+            timeouts: 0,
+        }
+    }
+
+    /// Current congestion window (packets).
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold.
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    /// Current retransmission timeout (seconds).
+    pub fn rto(&self) -> f64 {
+        self.rto
+    }
+
+    /// Smoothed RTT estimate, if at least one sample was taken.
+    pub fn srtt(&self) -> Option<f64> {
+        self.srtt
+    }
+
+    /// Total retransmitted packets.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Total RTO expirations acted upon.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Cumulative ACK received so far.
+    pub fn cum_ack(&self) -> Seq {
+        self.cum_ack
+    }
+
+    /// Whether everything the application produced has been delivered.
+    pub fn all_acked(&self) -> bool {
+        self.cum_ack >= self.app_limit
+    }
+
+    /// Number of unacknowledged transmitted packets.
+    pub fn flight_size(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Epoch stamp for RTO timers; a fired timer is stale unless its
+    /// epoch matches.
+    pub fn rto_epoch(&self) -> u64 {
+        self.rto_epoch
+    }
+
+    /// Whether an RTO timer should currently be running.
+    pub fn rto_armed(&self) -> bool {
+        !self.in_flight.is_empty()
+    }
+
+    fn window(&self) -> usize {
+        (self.cwnd.floor() as usize).min(self.cfg.receiver_window as usize).max(1)
+    }
+
+    /// Fills the window with new data, returning sequences to transmit.
+    fn pump(&mut self, now: f64) -> ToSend {
+        let mut out = Vec::new();
+        while self.in_flight.len() < self.window() && self.next_new <= self.app_limit {
+            let seq = self.next_new;
+            self.next_new += 1;
+            self.in_flight.insert(seq);
+            if self.timing.is_none() {
+                self.timing = Some((seq, now));
+            }
+            out.push(seq);
+        }
+        if !out.is_empty() {
+            self.rto_epoch += 1; // (re)arm timer from now
+        }
+        out
+    }
+
+    /// The application made packets up to `limit` available (monotone).
+    /// Returns packets to transmit now.
+    pub fn on_app_data(&mut self, limit: Seq, now: f64) -> ToSend {
+        assert!(limit >= self.app_limit, "app data limit must be monotone");
+        self.app_limit = limit;
+        self.pump(now)
+    }
+
+    /// A cumulative ACK for everything `<= ack` arrived.
+    /// Returns packets to transmit now (new data and/or a fast
+    /// retransmission).
+    pub fn on_ack(&mut self, ack: Seq, now: f64) -> ToSend {
+        if ack > self.cum_ack {
+            // New data acknowledged.
+            let newly = ack - self.cum_ack;
+            self.cum_ack = ack;
+            self.in_flight = self.in_flight.split_off(&(ack + 1));
+            self.dup_acks = 0;
+
+            // RTT sample (Karn: only untimed-clean packets are timed).
+            if let Some((seq, sent_at)) = self.timing {
+                if ack >= seq {
+                    self.sample_rtt(now - sent_at);
+                    self.timing = None;
+                }
+            }
+
+            if self.fast_recovery {
+                if ack >= self.recover {
+                    // Full recovery: deflate to ssthresh.
+                    self.fast_recovery = false;
+                    self.cwnd = self.ssthresh;
+                } else {
+                    // Partial ACK (NewReno): retransmit the next hole.
+                    let missing = ack + 1;
+                    if missing < self.next_new {
+                        self.in_flight.insert(missing);
+                        self.retransmissions += 1;
+                        self.rto_epoch += 1;
+                        let mut out = vec![missing];
+                        out.extend(self.pump(now));
+                        return out;
+                    }
+                }
+            } else if self.cwnd < self.ssthresh {
+                // Slow start: one packet per ACKed packet.
+                self.cwnd += newly as f64;
+            } else {
+                // Congestion avoidance: ~1 packet per RTT.
+                self.cwnd += newly as f64 / self.cwnd;
+            }
+            self.rto_epoch += 1; // restart timer on forward progress
+            self.pump(now)
+        } else {
+            // Duplicate ACK.
+            self.dup_acks += 1;
+            if self.fast_recovery {
+                // Window inflation keeps the pipe full.
+                self.cwnd += 1.0;
+                return self.pump(now);
+            }
+            if self.dup_acks == 3 {
+                // Fast retransmit.
+                let missing = self.cum_ack + 1;
+                if missing < self.next_new {
+                    self.ssthresh = (self.flight_size() as f64 / 2.0).max(2.0);
+                    self.cwnd = self.ssthresh + 3.0;
+                    self.fast_recovery = true;
+                    self.recover = self.next_new - 1;
+                    self.in_flight.insert(missing);
+                    self.retransmissions += 1;
+                    self.timing = None; // Karn
+                    self.rto_epoch += 1;
+                    return vec![missing];
+                }
+            }
+            Vec::new()
+        }
+    }
+
+    /// The RTO timer fired (with matching epoch). Returns packets to
+    /// retransmit (the oldest outstanding one).
+    pub fn on_rto(&mut self, _now: f64) -> ToSend {
+        if self.in_flight.is_empty() {
+            return Vec::new();
+        }
+        self.timeouts += 1;
+        self.ssthresh = (self.flight_size() as f64 / 2.0).max(2.0);
+        self.cwnd = 1.0;
+        self.fast_recovery = false;
+        self.dup_acks = 0;
+        // Exponential backoff.
+        self.rto = (self.rto * 2.0).min(self.cfg.max_rto);
+        self.timing = None; // Karn
+        self.rto_epoch += 1;
+        let oldest = *self.in_flight.iter().next().expect("flight non-empty");
+        self.retransmissions += 1;
+        vec![oldest]
+    }
+
+    fn sample_rtt(&mut self, rtt: f64) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2.0;
+            }
+            Some(s) => {
+                let err = rtt - s;
+                self.rttvar = 0.75 * self.rttvar + 0.25 * err.abs();
+                self.srtt = Some(s + 0.125 * err);
+            }
+        }
+        self.rto = (self.srtt.expect("just set") + 4.0 * self.rttvar)
+            .clamp(self.cfg.min_rto, self.cfg.max_rto);
+    }
+}
+
+/// Receiver side: tracks in-order delivery and produces cumulative ACKs.
+#[derive(Debug, Clone, Default)]
+pub struct TcpReceiver {
+    next_expected: Seq,
+    out_of_order: BTreeSet<Seq>,
+}
+
+impl TcpReceiver {
+    /// Creates a receiver expecting sequence 1.
+    pub fn new() -> Self {
+        TcpReceiver {
+            next_expected: 1,
+            out_of_order: BTreeSet::new(),
+        }
+    }
+
+    /// Processes an arriving packet; returns the cumulative ACK to send
+    /// back (the highest in-order sequence received).
+    pub fn on_packet(&mut self, seq: Seq) -> Seq {
+        if seq >= self.next_expected {
+            self.out_of_order.insert(seq);
+            while self.out_of_order.remove(&self.next_expected) {
+                self.next_expected += 1;
+            }
+        }
+        self.next_expected - 1
+    }
+
+    /// Highest in-order sequence delivered.
+    pub fn cumulative(&self) -> Seq {
+        self.next_expected - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sender() -> TcpSender {
+        TcpSender::new(TcpConfig::default())
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut s = sender();
+        let out = s.on_app_data(100, 0.0);
+        assert_eq!(out, vec![1]); // cwnd = 1
+        let out = s.on_ack(1, 0.1);
+        assert_eq!(out, vec![2, 3]); // cwnd = 2
+        let mut sent = Vec::new();
+        sent.extend(s.on_ack(2, 0.2));
+        sent.extend(s.on_ack(3, 0.3));
+        assert_eq!(sent, vec![4, 5, 6, 7]); // cwnd = 4
+        assert!((s.cwnd() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn congestion_avoidance_is_linear() {
+        let mut s = sender();
+        // Force past ssthresh.
+        let _ = s.on_app_data(1000, 0.0);
+        while s.cwnd() < s.ssthresh() {
+            let ack = s.cum_ack() + 1;
+            let _ = s.on_ack(ack, 0.0);
+        }
+        let w0 = s.cwnd();
+        // One full window of ACKs grows cwnd by ~1.
+        let acks = w0.floor() as u64;
+        for _ in 0..acks {
+            let ack = s.cum_ack() + 1;
+            let _ = s.on_ack(ack, 0.0);
+        }
+        assert!((s.cwnd() - (w0 + 1.0)).abs() < 0.1, "w0={w0} w1={}", s.cwnd());
+    }
+
+    #[test]
+    fn triple_dup_ack_triggers_fast_retransmit() {
+        let mut s = sender();
+        let _ = s.on_app_data(50, 0.0);
+        // Ramp up and lose packet (cum_ack+1).
+        for ack in 1..=4 {
+            let _ = s.on_ack(ack, 0.0);
+        }
+        let flight_before = s.flight_size();
+        assert!(flight_before >= 4);
+        // Three duplicate ACKs for 4.
+        assert!(s.on_ack(4, 0.1).is_empty());
+        assert!(s.on_ack(4, 0.1).is_empty());
+        let retx = s.on_ack(4, 0.1);
+        assert_eq!(retx, vec![5], "expected fast retransmit of seq 5");
+        assert_eq!(s.retransmissions(), 1);
+        assert!(s.cwnd() < flight_before as f64 + 3.1);
+    }
+
+    #[test]
+    fn fast_recovery_deflates_on_full_ack() {
+        let mut s = sender();
+        let _ = s.on_app_data(50, 0.0);
+        for ack in 1..=4 {
+            let _ = s.on_ack(ack, 0.0);
+        }
+        for _ in 0..3 {
+            let _ = s.on_ack(4, 0.1);
+        }
+        assert!(s.fast_recovery);
+        let ssthresh = s.ssthresh();
+        // Ack everything outstanding (full recovery).
+        let recover = s.recover;
+        let _ = s.on_ack(recover, 0.2);
+        assert!(!s.fast_recovery);
+        assert!((s.cwnd() - ssthresh).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rto_collapses_window_and_backs_off() {
+        let mut s = sender();
+        let _ = s.on_app_data(50, 0.0);
+        for ack in 1..=4 {
+            let _ = s.on_ack(ack, 0.0);
+        }
+        let rto_before = s.rto();
+        let retx = s.on_rto(5.0);
+        assert_eq!(retx, vec![5]); // oldest outstanding
+        assert!((s.cwnd() - 1.0).abs() < 1e-12);
+        assert!(s.rto() >= rto_before * 2.0 - 1e-9 || s.rto() == 60.0);
+        assert_eq!(s.timeouts(), 1);
+    }
+
+    #[test]
+    fn rtt_estimation_sets_rto() {
+        let mut s = sender();
+        let _ = s.on_app_data(100_000, 0.0);
+        let _ = s.on_ack(1, 0.8); // first sample: srtt = 0.8
+        assert!((s.srtt().unwrap() - 0.8).abs() < 1e-12);
+        // rto = srtt + 4·rttvar = 0.8 + 4·0.4 = 2.4.
+        assert!((s.rto() - 2.4).abs() < 1e-9);
+        // Acknowledge whole windows with a constant 0.8 s RTT: rttvar
+        // decays, so the RTO shrinks toward srtt.
+        for i in 0..200u64 {
+            let ack = s.next_new - 1; // everything transmitted so far
+            let _ = s.on_ack(ack, 0.8 * (i + 2) as f64);
+        }
+        assert!(s.rto() <= 2.4);
+        assert!((s.srtt().unwrap() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn karns_rule_skips_retransmitted_samples() {
+        let mut s = sender();
+        let _ = s.on_app_data(10, 0.0);
+        let _ = s.on_rto(3.0); // seq 1 retransmitted; timing cleared
+        assert!(s.srtt().is_none());
+        let _ = s.on_ack(1, 6.0); // must NOT create a bogus 6 s sample
+        assert!(s.srtt().is_none());
+    }
+
+    #[test]
+    fn app_limited_sender_stops() {
+        let mut s = sender();
+        let out = s.on_app_data(2, 0.0);
+        assert_eq!(out, vec![1]);
+        let out = s.on_ack(1, 0.1);
+        assert_eq!(out, vec![2]);
+        let out = s.on_ack(2, 0.2);
+        assert!(out.is_empty());
+        assert!(s.all_acked());
+        assert!(!s.rto_armed());
+    }
+
+    #[test]
+    fn receiver_produces_cumulative_acks() {
+        let mut r = TcpReceiver::new();
+        assert_eq!(r.on_packet(1), 1);
+        assert_eq!(r.on_packet(3), 1); // gap at 2
+        assert_eq!(r.on_packet(4), 1);
+        assert_eq!(r.on_packet(2), 4); // hole filled
+        assert_eq!(r.cumulative(), 4);
+        // Duplicate delivery is harmless.
+        assert_eq!(r.on_packet(2), 4);
+    }
+
+    #[test]
+    fn whole_transfer_with_loss_completes() {
+        // Deterministic end-to-end: direct wire, drop seq 5 once.
+        let mut s = sender();
+        let mut r = TcpReceiver::new();
+        let total = 30u64;
+        let mut to_wire: Vec<Seq> = s.on_app_data(total, 0.0);
+        let mut dropped_once = false;
+        let mut now = 0.0;
+        let mut steps = 0;
+        while !s.all_acked() {
+            steps += 1;
+            assert!(steps < 10_000, "transfer did not complete");
+            now += 0.01;
+            if to_wire.is_empty() {
+                // Nothing in flight can only happen via RTO.
+                to_wire.extend(s.on_rto(now));
+                continue;
+            }
+            let mut acks = Vec::new();
+            for seq in std::mem::take(&mut to_wire) {
+                if seq == 5 && !dropped_once {
+                    dropped_once = true;
+                    continue;
+                }
+                acks.push(r.on_packet(seq));
+            }
+            for a in acks {
+                to_wire.extend(s.on_ack(a, now));
+            }
+        }
+        assert_eq!(r.cumulative(), total);
+        assert!(s.retransmissions() >= 1);
+    }
+}

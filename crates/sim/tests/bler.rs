@@ -1,0 +1,103 @@
+//! Radio block errors + RLC ARQ retransmission — the paper's second
+//! future-work hook ("taking into account packet retransmissions that
+//! would lead to a decrease in overall throughput").
+
+use gprs_core::CellConfig;
+use gprs_sim::{GprsSimulator, RadioModel, SimConfig};
+use gprs_traffic::TrafficModel;
+
+/// A data-heavy cell so the radio link, not the offered load, binds.
+fn saturated_cell(bler: f64) -> CellConfig {
+    let mut c = CellConfig::builder()
+        .traffic_model(TrafficModel::Model3)
+        .call_arrival_rate(0.8)
+        .buffer_capacity(25)
+        .max_gprs_sessions(8)
+        .block_error_rate(bler)
+        .build()
+        .unwrap();
+    c.gprs_fraction = 0.25;
+    c
+}
+
+fn run(cell: CellConfig, radio: RadioModel, seed: u64) -> gprs_sim::SimResults {
+    let cfg = SimConfig::builder(cell)
+        .seed(seed)
+        .warmup(500.0)
+        .batches(5, 1_000.0)
+        .radio(radio)
+        .build();
+    GprsSimulator::new(cfg).run()
+}
+
+#[test]
+fn tdma_throughput_scales_with_block_success_rate() {
+    // At saturation the data path delivers μ·(1−BLER) per busy PDCH, so
+    // aggregate throughput (ATU·AGS) with BLER 0.4 should be ≈ 0.6× the
+    // clean channel's.
+    let clean = run(saturated_cell(0.0), RadioModel::TdmaBlocks, 41);
+    let noisy = run(saturated_cell(0.4), RadioModel::TdmaBlocks, 41);
+    let tput = |r: &gprs_sim::SimResults| {
+        r.throughput_per_user_kbps.mean * r.avg_gprs_sessions.mean
+    };
+    let ratio = tput(&noisy) / tput(&clean);
+    assert!(
+        (0.45..0.8).contains(&ratio),
+        "throughput ratio {ratio:.3}, expected ≈ 0.6"
+    );
+}
+
+#[test]
+fn processor_sharing_and_tdma_agree_under_bler() {
+    // The PS model folds BLER into the service rate; the TDMA model
+    // retransmits erred blocks explicitly. Same mean behaviour.
+    let ps = run(saturated_cell(0.3), RadioModel::ProcessorSharing, 43);
+    let tdma = run(saturated_cell(0.3), RadioModel::TdmaBlocks, 43);
+    let rel = (ps.carried_data_traffic.mean - tdma.carried_data_traffic.mean).abs()
+        / ps.carried_data_traffic.mean.max(1e-9);
+    assert!(
+        rel < 0.35,
+        "CDT: PS {} vs TDMA {} (rel {rel:.2})",
+        ps.carried_data_traffic.mean,
+        tdma.carried_data_traffic.mean
+    );
+}
+
+#[test]
+fn bler_worsens_delay_and_loss() {
+    let clean = run(saturated_cell(0.0), RadioModel::TdmaBlocks, 47);
+    let noisy = run(saturated_cell(0.4), RadioModel::TdmaBlocks, 47);
+    assert!(
+        noisy.queueing_delay.mean > clean.queueing_delay.mean,
+        "QD: noisy {} vs clean {}",
+        noisy.queueing_delay.mean,
+        clean.queueing_delay.mean
+    );
+    assert!(
+        noisy.packet_loss_probability.mean >= clean.packet_loss_probability.mean * 0.9,
+        "PLP should not improve with errors: noisy {} vs clean {}",
+        noisy.packet_loss_probability.mean,
+        clean.packet_loss_probability.mean
+    );
+}
+
+#[test]
+fn markov_model_matches_its_own_bler_abstraction() {
+    // The model's effective-rate abstraction against the simulator's
+    // explicit per-block ARQ, at a moderate operating point.
+    use gprs_core::GprsModel;
+    let mut cell = saturated_cell(0.3);
+    cell.call_arrival_rate = 0.4;
+    let model = GprsModel::new(cell.clone()).unwrap();
+    let solved = model.solve_default().unwrap();
+    let sim = run(cell, RadioModel::TdmaBlocks, 53);
+    let m = solved.measures();
+    let rel = (sim.carried_data_traffic.mean - m.carried_data_traffic).abs()
+        / m.carried_data_traffic.max(1e-9);
+    assert!(
+        rel < 0.45,
+        "CDT with BLER: sim {} vs model {} (rel {rel:.2})",
+        sim.carried_data_traffic.mean,
+        m.carried_data_traffic
+    );
+}

@@ -1,0 +1,133 @@
+//! Calibration tests: the discrete-event machinery against queueing
+//! theory.
+//!
+//! The voice side of the simulator is an Erlang loss system whose
+//! blocking and carried load are known exactly — if the simulator's
+//! estimates don't bracket the closed forms, the event engine, RNG
+//! streams or statistics are wrong. This is the simulator analogue of
+//! solving small chains with GTH.
+
+use gprs_core::CellConfig;
+use gprs_queueing::erlang;
+use gprs_queueing::handover::{balance_default, HandoverParams};
+use gprs_sim::{GprsSimulator, SimConfig};
+use gprs_traffic::TrafficModel;
+
+/// Long-ish voice-focused run: tiny GPRS share so the data path is idle.
+fn voice_cell(rate: f64) -> CellConfig {
+    CellConfig::builder()
+        .traffic_model(TrafficModel::Model3)
+        .buffer_capacity(10)
+        .max_gprs_sessions(2)
+        .gprs_fraction(0.001)
+        .call_arrival_rate(rate)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn voice_blocking_matches_erlang_b() {
+    let cell = voice_cell(0.6);
+    let cfg = SimConfig::builder(cell.clone())
+        .seed(31)
+        .warmup(2_000.0)
+        .batches(10, 4_000.0)
+        .build();
+    let r = GprsSimulator::new(cfg).run();
+
+    // The simulator's cluster is homogeneous with emergent handovers, so
+    // the theory reference is the *balanced* Erlang system.
+    let balanced = balance_default(&HandoverParams {
+        new_arrival_rate: cell.gsm_arrival_rate(),
+        completion_rate: cell.gsm_completion_rate(),
+        handover_rate: cell.gsm_handover_rate(),
+        servers: cell.gsm_channels(),
+    })
+    .unwrap();
+    let expect_cvt = balanced.queue.mean_busy();
+    let tol = 4.0 * r.carried_voice_traffic.half_width + 0.02 * expect_cvt;
+    assert!(
+        (r.carried_voice_traffic.mean - expect_cvt).abs() < tol,
+        "CVT {} ± {} vs Erlang {}",
+        r.carried_voice_traffic.mean,
+        r.carried_voice_traffic.half_width,
+        expect_cvt
+    );
+
+    // New-call blocking: simulator counts only fresh arrivals in the mid
+    // cell; the Erlang system sees fresh + handover arrivals — by PASTA
+    // both face the same state distribution, so blocking matches.
+    let expect_b = balanced.queue.blocking_probability();
+    let tol = 4.0 * r.gsm_blocking_probability.half_width + 0.015;
+    assert!(
+        (r.gsm_blocking_probability.mean - expect_b).abs() < tol,
+        "blocking {} ± {} vs Erlang {}",
+        r.gsm_blocking_probability.mean,
+        r.gsm_blocking_probability.half_width,
+        expect_b
+    );
+}
+
+#[test]
+fn erlang_b_bracketed_across_loads() {
+    // Coarser runs at two more operating points; the estimate must stay
+    // within a few CI widths of theory everywhere.
+    for (rate, seed) in [(0.3, 37u64), (1.0, 41)] {
+        let cell = voice_cell(rate);
+        let cfg = SimConfig::builder(cell.clone())
+            .seed(seed)
+            .warmup(1_000.0)
+            .batches(8, 2_500.0)
+            .build();
+        let r = GprsSimulator::new(cfg).run();
+        let balanced = balance_default(&HandoverParams {
+            new_arrival_rate: cell.gsm_arrival_rate(),
+            completion_rate: cell.gsm_completion_rate(),
+            handover_rate: cell.gsm_handover_rate(),
+            servers: cell.gsm_channels(),
+        })
+        .unwrap();
+        let expect = balanced.queue.blocking_probability();
+        let tol = 5.0 * r.gsm_blocking_probability.half_width + 0.02;
+        assert!(
+            (r.gsm_blocking_probability.mean - expect).abs() < tol,
+            "rate {rate}: blocking {} vs {}",
+            r.gsm_blocking_probability.mean,
+            expect
+        );
+    }
+}
+
+#[test]
+fn no_mobility_reduces_to_textbook_erlang() {
+    // With an (almost) infinite dwell time there are no handovers and
+    // the mid cell is a textbook M/M/c/c fed only by fresh arrivals.
+    let cell = CellConfig::builder()
+        .traffic_model(TrafficModel::Model3)
+        .buffer_capacity(10)
+        .max_gprs_sessions(2)
+        .gprs_fraction(0.001)
+        .gsm_dwell_time(1e9)
+        .gprs_dwell_time(1e9)
+        .call_arrival_rate(0.5)
+        .build()
+        .unwrap();
+    let rho = cell.gsm_arrival_rate() * cell.gsm_call_duration;
+    let servers = cell.gsm_channels();
+    let cfg = SimConfig::builder(cell)
+        .seed(43)
+        .warmup(2_000.0)
+        .batches(8, 4_000.0)
+        .build();
+    let r = GprsSimulator::new(cfg).run();
+    // Note: with dwell >> duration the leave rate ≈ completion rate.
+    let expect = erlang::carried_load(servers, rho).unwrap();
+    let tol = 4.0 * r.carried_voice_traffic.half_width + 0.03 * expect;
+    assert!(
+        (r.carried_voice_traffic.mean - expect).abs() < tol,
+        "CVT {} ± {} vs Erlang {}",
+        r.carried_voice_traffic.mean,
+        r.carried_voice_traffic.half_width,
+        expect
+    );
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the load-supervision state machine: for any
+//! valid configuration and any occupancy trace, the supervisor must
+//! respect its bounds and its hysteresis contract.
+
+use gprs_sim::supervision::{Adjustment, LoadSupervisor, SupervisionConfig};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = SupervisionConfig> {
+    (
+        0.1f64..60.0,  // epoch
+        0.05f64..=1.0, // ewma weight
+        // Strictly positive: with the threshold at exactly 0.0 a zero
+        // occupancy is not "below" it and no quiet streak can ever form.
+        0.001f64..0.45, // lower_below
+        0.5f64..=1.0,  // raise_above (always > lower_below by ranges)
+        0usize..3,     // min reserved
+        3usize..8,     // max reserved
+        1usize..6,     // down streak
+    )
+        .prop_map(
+            |(epoch, w, lower, raise, min_r, max_r, streak)| SupervisionConfig {
+                epoch,
+                ewma_weight: w,
+                raise_above: raise,
+                lower_below: lower,
+                min_reserved: min_r,
+                max_reserved: max_r,
+                down_streak: streak,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn reservation_stays_in_bounds_for_any_trace(
+        cfg in config_strategy(),
+        initial in 0usize..10,
+        trace in proptest::collection::vec(0.0f64..1.5, 1..200),
+    ) {
+        let mut s = LoadSupervisor::new(cfg, initial);
+        prop_assert!((cfg.min_reserved..=cfg.max_reserved).contains(&s.reserved()));
+        for &x in &trace {
+            let before = s.reserved();
+            let adj = s.observe(x);
+            let after = s.reserved();
+            prop_assert!((cfg.min_reserved..=cfg.max_reserved).contains(&after));
+            // One step at a time, consistent with the returned adjustment.
+            match adj {
+                Some(Adjustment::Raised) => prop_assert_eq!(after, before + 1),
+                Some(Adjustment::Lowered) => prop_assert_eq!(after, before - 1),
+                None => prop_assert_eq!(after, before),
+            }
+            // The EWMA is a convex combination of clamped samples.
+            prop_assert!((0.0..=1.0).contains(&s.smoothed_occupancy()));
+        }
+    }
+
+    #[test]
+    fn raises_happen_only_under_pressure(
+        cfg in config_strategy(),
+        trace in proptest::collection::vec(0.0f64..1.0, 1..200),
+    ) {
+        let mut s = LoadSupervisor::new(cfg, cfg.min_reserved);
+        for &x in &trace {
+            let adj = s.observe(x);
+            if adj == Some(Adjustment::Raised) {
+                // A raise requires the *smoothed* signal above threshold.
+                prop_assert!(
+                    s.smoothed_occupancy() > cfg.raise_above,
+                    "raised with EWMA {} <= {}",
+                    s.smoothed_occupancy(),
+                    cfg.raise_above
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lowering_never_happens_within_the_streak_window(
+        cfg in config_strategy(),
+        quiet_len in 0usize..10,
+    ) {
+        // Feed exactly `quiet_len` quiet epochs after a fresh raise-level
+        // start: a release may appear only from epoch `down_streak` on.
+        let mut s = LoadSupervisor::new(cfg, cfg.max_reserved);
+        let mut released_at = None;
+        for epoch in 0..quiet_len {
+            if s.observe(0.0) == Some(Adjustment::Lowered) {
+                released_at = Some(epoch + 1); // epochs are 1-based here
+                break;
+            }
+        }
+        if let Some(at) = released_at {
+            prop_assert!(
+                at >= cfg.down_streak,
+                "released after {at} quiet epochs with streak {}",
+                cfg.down_streak
+            );
+        } else {
+            // No release: either not enough quiet epochs or already at min.
+            prop_assert!(
+                quiet_len < cfg.down_streak || cfg.max_reserved == cfg.min_reserved
+            );
+        }
+    }
+}

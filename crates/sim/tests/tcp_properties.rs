@@ -1,0 +1,150 @@
+//! Property-based tests of the TCP Reno sender: whole transfers across a
+//! randomly lossy network must preserve the protocol invariants and
+//! always complete.
+
+use gprs_sim::tcp::{Seq, TcpReceiver, TcpSender};
+use gprs_sim::TcpConfig;
+use proptest::prelude::*;
+
+/// Deterministic per-(seq, attempt) drop decision derived from a seed.
+fn dropped(seed: u64, seq: Seq, attempt: u32, loss_permille: u16) -> bool {
+    let mut x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(seq.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(u64::from(attempt).wrapping_mul(0x94D0_49BB_1331_11EB));
+    x ^= x >> 31;
+    x = x.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    x ^= x >> 27;
+    (x % 1000) < u64::from(loss_permille)
+}
+
+/// Runs one complete transfer and checks invariants at every step.
+/// Returns (steps, retransmissions).
+fn run_transfer(total: Seq, seed: u64, loss_permille: u16) -> (u64, u64) {
+    let cfg = TcpConfig::default();
+    let mut sender = TcpSender::new(cfg);
+    let mut receiver = TcpReceiver::new();
+    let mut now = 0.0f64;
+    let mut attempts = std::collections::HashMap::<Seq, u32>::new();
+
+    let mut outbox: Vec<Seq> = sender.on_app_data(total, now);
+    let mut steps = 0u64;
+    let mut last_cum_ack = 0;
+
+    while !sender.all_acked() {
+        steps += 1;
+        assert!(
+            steps < 2_000_000,
+            "transfer did not complete (total {total}, seed {seed}, loss {loss_permille}/1000)"
+        );
+
+        // Invariants that must hold at every step.
+        assert!(sender.cwnd() >= 1.0, "cwnd collapsed below one");
+        assert!(
+            sender.flight_size() <= cfg.receiver_window as usize,
+            "flight {} exceeds receiver window",
+            sender.flight_size()
+        );
+        assert!(sender.cum_ack() >= last_cum_ack, "cumulative ACK regressed");
+        assert!(sender.rto() <= cfg.max_rto + 1e-9, "RTO above cap");
+        last_cum_ack = sender.cum_ack();
+
+        if outbox.is_empty() {
+            // Nothing in the network: progress requires the RTO.
+            assert!(sender.rto_armed(), "idle but un-acked and no RTO armed");
+            now += sender.rto();
+            outbox = sender.on_rto(now);
+            continue;
+        }
+
+        // Deliver (or drop) everything currently in the network, then
+        // feed the resulting cumulative ACKs back.
+        let mut acks = Vec::new();
+        for seq in std::mem::take(&mut outbox) {
+            let attempt = attempts.entry(seq).or_insert(0);
+            *attempt += 1;
+            if !dropped(seed, seq, *attempt, loss_permille) {
+                acks.push(receiver.on_packet(seq));
+            }
+        }
+        now += 0.05;
+        for ack in acks {
+            outbox.extend(sender.on_ack(ack, now));
+        }
+    }
+
+    // Completion: the receiver saw a gapless prefix covering everything.
+    assert_eq!(receiver.cumulative(), total);
+    assert_eq!(sender.cum_ack(), total);
+    assert_eq!(sender.flight_size(), 0);
+    (steps, sender.retransmissions())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transfers_complete_under_random_loss(
+        total in 1u64..400,
+        seed in 0u64..1_000_000,
+        loss in 0u16..400,
+    ) {
+        let (_, retx) = run_transfer(total, seed, loss);
+        // No spurious retransmissions on a loss-free path.
+        if loss == 0 {
+            prop_assert_eq!(retx, 0);
+        }
+    }
+
+    #[test]
+    fn lossless_transfers_have_no_timeouts(total in 1u64..400, seed in 0u64..1000) {
+        let cfg = TcpConfig::default();
+        let mut sender = TcpSender::new(cfg);
+        let mut receiver = TcpReceiver::new();
+        let mut now = 0.0;
+        let mut outbox = sender.on_app_data(total, now);
+        let mut guard = 0;
+        while !sender.all_acked() {
+            guard += 1;
+            prop_assert!(guard < 100_000);
+            let mut acks = Vec::new();
+            for seq in std::mem::take(&mut outbox) {
+                acks.push(receiver.on_packet(seq));
+            }
+            now += 0.01 + (seed % 100) as f64 / 1e4; // vary the RTT
+            for ack in acks {
+                outbox.extend(sender.on_ack(ack, now));
+            }
+        }
+        prop_assert_eq!(sender.timeouts(), 0);
+        prop_assert_eq!(sender.retransmissions(), 0);
+        // With samples taken, the RTO must have adapted to the RTT scale.
+        prop_assert!(sender.srtt().is_some());
+        prop_assert!(sender.rto() >= cfg.min_rto);
+    }
+
+    #[test]
+    fn heavier_loss_never_reduces_retransmissions_to_impossible_levels(
+        total in 50u64..200,
+        seed in 0u64..10_000,
+    ) {
+        // Sanity relation rather than strict monotonicity (loss patterns
+        // differ): substantial loss must cause at least one
+        // retransmission, and retransmissions stay bounded by steps.
+        let (steps, retx) = run_transfer(total, seed, 300);
+        prop_assert!(retx > 0, "30% loss with {total} packets produced no retransmissions");
+        prop_assert!(retx < steps, "more retransmissions than steps");
+    }
+}
+
+#[test]
+fn receiver_acks_cumulative_prefix_only() {
+    let mut r = TcpReceiver::new();
+    assert_eq!(r.on_packet(2), 0); // hole at 1
+    assert_eq!(r.on_packet(3), 0);
+    assert_eq!(r.on_packet(1), 3); // hole filled: jump
+    assert_eq!(r.on_packet(10), 3);
+    assert_eq!(r.cumulative(), 3);
+    // Duplicate delivery is idempotent.
+    assert_eq!(r.on_packet(2), 3);
+}

@@ -1,0 +1,125 @@
+//! Sampling helpers for the distributions the 3GPP model uses.
+//!
+//! Kept local (rather than pulling in `rand_distr`) because only two
+//! distributions are needed and the inverse-CDF forms are one-liners.
+
+use rand::Rng;
+
+/// Samples an exponential random variable with the given `mean`.
+///
+/// # Panics
+///
+/// Panics if `mean` is not strictly positive and finite.
+pub fn exp_mean<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(
+        mean.is_finite() && mean > 0.0,
+        "exponential mean must be positive and finite, got {mean}"
+    );
+    // 1 - U in (0, 1]: guards against ln(0).
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -mean * u.ln()
+}
+
+/// Samples a geometric random variable on `{1, 2, 3, ...}` with the given
+/// `mean` (success probability `p = 1/mean`).
+///
+/// The 3GPP model uses this for the number of packet calls per session
+/// (mean `Npc`) and the number of packets per packet call (mean `Nd`).
+///
+/// # Panics
+///
+/// Panics if `mean < 1` or `mean` is not finite.
+pub fn geometric_min1<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(
+        mean.is_finite() && mean >= 1.0,
+        "geometric mean must be >= 1, got {mean}"
+    );
+    if mean == 1.0 {
+        return 1;
+    }
+    let p = 1.0 / mean;
+    // Inverse CDF: X = ceil(ln(1-U) / ln(1-p)) over {1, 2, ...}.
+    let u: f64 = 1.0 - rng.gen::<f64>(); // in (0, 1]
+    let x = (u.ln() / (1.0 - p).ln()).ceil();
+    if x < 1.0 {
+        1
+    } else {
+        x as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_is_right() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 200_000;
+        let mean = 3.5;
+        let sum: f64 = (0..n).map(|_| exp_mean(&mut rng, mean)).sum();
+        let est = sum / n as f64;
+        // Standard error = mean/sqrt(n) ≈ 0.0078; allow 4 sigma.
+        assert!((est - mean).abs() < 4.0 * mean / (n as f64).sqrt());
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(exp_mean(&mut rng, 0.001) > 0.0);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_is_right() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 200_000;
+        let mean = 25.0;
+        let sum: u64 = (0..n).map(|_| geometric_min1(&mut rng, mean)).sum();
+        let est = sum as f64 / n as f64;
+        // Var = (1-p)/p² ≈ mean²; allow 4 sigma.
+        assert!((est - mean).abs() < 4.0 * mean / (n as f64).sqrt());
+    }
+
+    #[test]
+    fn geometric_supports_min_one() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(geometric_min1(&mut rng, 1.5) >= 1);
+        }
+        // Degenerate mean 1: always exactly 1.
+        for _ in 0..100 {
+            assert_eq!(geometric_min1(&mut rng, 1.0), 1);
+        }
+    }
+
+    #[test]
+    fn geometric_distribution_shape() {
+        // P(X = 1) should be p = 1/mean.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 100_000;
+        let mean = 5.0;
+        let ones = (0..n)
+            .filter(|_| geometric_min1(&mut rng, mean) == 1)
+            .count();
+        let est = ones as f64 / n as f64;
+        assert!((est - 0.2).abs() < 0.006);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential mean")]
+    fn exp_rejects_zero_mean() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = exp_mean(&mut rng, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometric mean")]
+    fn geometric_rejects_mean_below_one() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = geometric_min1(&mut rng, 0.5);
+    }
+}

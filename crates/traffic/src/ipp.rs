@@ -1,0 +1,150 @@
+//! The interrupted Poisson process (IPP) describing one GPRS user.
+//!
+//! An IPP is a two-state MMPP: in the *on* state packets arrive at rate
+//! `λ`; in the *off* state nothing arrives. The on-period ends at rate
+//! `a` (on→off), the off-period at rate `b` (off→on). Paper Fig. 4.
+
+/// State of an IPP source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IppState {
+    /// Generating packets (inside a packet call).
+    On,
+    /// Silent (reading time).
+    Off,
+}
+
+/// A two-state interrupted Poisson process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ipp {
+    on_to_off: f64,
+    off_to_on: f64,
+    rate_on: f64,
+}
+
+impl Ipp {
+    /// Creates an IPP with on→off rate `a`, off→on rate `b`, and packet
+    /// rate `rate_on` while on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is not strictly positive/finite or if
+    /// `rate_on` is negative/non-finite.
+    pub fn new(on_to_off: f64, off_to_on: f64, rate_on: f64) -> Self {
+        assert!(
+            on_to_off.is_finite() && on_to_off > 0.0,
+            "on->off rate must be positive"
+        );
+        assert!(
+            off_to_on.is_finite() && off_to_on > 0.0,
+            "off->on rate must be positive"
+        );
+        assert!(
+            rate_on.is_finite() && rate_on >= 0.0,
+            "on-state packet rate must be >= 0"
+        );
+        Ipp {
+            on_to_off,
+            off_to_on,
+            rate_on,
+        }
+    }
+
+    /// On→off rate `a`.
+    pub fn on_to_off_rate(&self) -> f64 {
+        self.on_to_off
+    }
+
+    /// Off→on rate `b`.
+    pub fn off_to_on_rate(&self) -> f64 {
+        self.off_to_on
+    }
+
+    /// Packet rate while on, `λ`.
+    pub fn rate_on(&self) -> f64 {
+        self.rate_on
+    }
+
+    /// Stationary probability of being on, `b/(a+b)`.
+    pub fn on_probability(&self) -> f64 {
+        self.off_to_on / (self.on_to_off + self.off_to_on)
+    }
+
+    /// Stationary probability of being off, `a/(a+b)`.
+    pub fn off_probability(&self) -> f64 {
+        self.on_to_off / (self.on_to_off + self.off_to_on)
+    }
+
+    /// Long-run mean packet rate, `λ·b/(a+b)`.
+    pub fn mean_rate(&self) -> f64 {
+        self.rate_on * self.on_probability()
+    }
+
+    /// Index of dispersion for counts at infinite lag (asymptotic
+    /// variance-to-mean ratio of the counting process). For an IPP this
+    /// is `IDC(∞) = 1 + 2·λ·a / (a + b)²` (Fischer & Meier-Hellstern).
+    ///
+    /// A Poisson process has IDC 1; larger values mean burstier traffic.
+    pub fn asymptotic_idc(&self) -> f64 {
+        let (a, b) = (self.on_to_off, self.off_to_on);
+        1.0 + 2.0 * self.rate_on * a / ((a + b) * (a + b))
+    }
+
+    /// Aggregates `m` independent copies of this IPP into an
+    /// `(m+1)`-state MMPP.
+    pub fn aggregate(&self, m: usize) -> crate::mmpp::AggregatedMmpp {
+        crate::mmpp::AggregatedMmpp::new(*self, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_probabilities() {
+        let ipp = Ipp::new(0.32, 1.0 / 412.0, 8.0); // traffic model 2 flavor
+        assert!((ipp.on_probability() + ipp.off_probability() - 1.0).abs() < 1e-15);
+        // on-prob = b/(a+b)
+        let expect = (1.0 / 412.0) / (0.32 + 1.0 / 412.0);
+        assert!((ipp.on_probability() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mean_rate_is_thinned() {
+        let ipp = Ipp::new(1.0, 1.0, 10.0);
+        assert!((ipp.mean_rate() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idc_exceeds_poisson() {
+        let ipp = Ipp::new(0.5, 0.5, 10.0);
+        assert!(ipp.asymptotic_idc() > 1.0);
+        // A barely-interrupted process (tiny off probability) is nearly
+        // Poisson. a -> 0 means never leaving on.
+        let calm = Ipp::new(1e-9, 1.0, 10.0);
+        assert!((calm.asymptotic_idc() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn burstier_models_have_higher_idc() {
+        use crate::params::SessionParams;
+        let tm1 = SessionParams::traffic_model_1().to_ipp();
+        let tm2 = SessionParams::traffic_model_2().to_ipp();
+        // Model 2 packs the same packets into a 4x shorter call: burstier.
+        assert!(tm2.asymptotic_idc() > tm1.asymptotic_idc());
+    }
+
+    #[test]
+    #[should_panic(expected = "on->off rate")]
+    fn rejects_zero_a() {
+        let _ = Ipp::new(0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let ipp = Ipp::new(2.0, 3.0, 4.0);
+        assert_eq!(ipp.on_to_off_rate(), 2.0);
+        assert_eq!(ipp.off_to_on_rate(), 3.0);
+        assert_eq!(ipp.rate_on(), 4.0);
+    }
+}

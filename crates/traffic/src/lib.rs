@@ -1,0 +1,54 @@
+//! The 3GPP packet-service-session traffic model (ETSI TR 101 112) used
+//! by the GPRS paper, in both analytic and generative form.
+//!
+//! A GPRS user executes a *packet service session*: an alternating
+//! sequence of *packet calls* (bursts of downlink packets, e.g. one WWW
+//! page download) and *reading times*. Within a packet call, packets
+//! arrive with exponential inter-arrival times; the number of packets per
+//! call and the number of calls per session are geometric.
+//!
+//! The paper maps this onto an interrupted Poisson process (IPP) per
+//! user — exponential on (mean `Nd·Dd`) and off (mean `Dpc`) periods, with
+//! Poisson packet arrivals at rate `1/Dd` while on — and aggregates the
+//! `m` independent IPPs of `m` concurrent sessions into one
+//! `(m+1)`-state MMPP (Fischer & Meier-Hellstern). The state `r` of the
+//! aggregate counts how many sources are *off*.
+//!
+//! Modules:
+//!
+//! * [`params`] — [`params::SessionParams`] with the Table 3 presets
+//!   (traffic models 1, 2 and 3) and all derived rates.
+//! * [`ipp`] — the two-state single-user process.
+//! * [`mmpp`] — the `(m+1)`-state aggregation and its binomial steady
+//!   state.
+//! * [`sampler`] — generative sampling of whole sessions for the
+//!   discrete-event simulator.
+//! * [`analysis`] — second-order descriptors (variance–time curves,
+//!   index of dispersion, superposition fitting, Kuczura's IPP ≡ H2
+//!   renewal equivalence).
+//! * [`distributions`] — exponential/geometric sampling helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use gprs_traffic::params::SessionParams;
+//!
+//! let tm1 = SessionParams::traffic_model_1();
+//! // Table 3: mean session duration 2122.5 s.
+//! assert!((tm1.mean_session_duration() - 2122.5).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod distributions;
+pub mod ipp;
+pub mod mmpp;
+pub mod params;
+pub mod sampler;
+
+pub use analysis::{Hyperexponential, Mmpp2};
+pub use ipp::Ipp;
+pub use mmpp::AggregatedMmpp;
+pub use params::{SessionParams, TrafficModel};

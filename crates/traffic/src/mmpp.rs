@@ -1,0 +1,218 @@
+//! Aggregation of `m` i.i.d. IPP sources into one `(m+1)`-state MMPP.
+//!
+//! The key state-space reduction of the paper (Section 4.1): because all
+//! GPRS users are statistically identical, the `2^m` joint on/off states
+//! of `m` IPPs collapse to the count `r ∈ {0..m}` of sources currently
+//! *off*. Transition rates: `r → r+1` at `(m−r)·a` (one more source goes
+//! off — the aggregate becomes *less* bursty) and `r → r−1` at `r·b`.
+//! The stationary law of `r` is Binomial(`m`, `a/(a+b)`).
+
+use crate::ipp::Ipp;
+
+/// An `(m+1)`-state MMPP formed by superposing `m` independent copies of
+/// one [`Ipp`]. The MMPP state `r` counts sources in *off* state; the
+/// aggregate packet rate in state `r` is `(m−r)·λ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregatedMmpp {
+    ipp: Ipp,
+    m: usize,
+}
+
+impl AggregatedMmpp {
+    /// Aggregates `m` copies of `ipp`. `m = 0` is allowed and describes
+    /// an idle cell (a single state with rate 0).
+    pub fn new(ipp: Ipp, m: usize) -> Self {
+        AggregatedMmpp { ipp, m }
+    }
+
+    /// Number of superposed sources `m`.
+    pub fn num_sources(&self) -> usize {
+        self.m
+    }
+
+    /// The underlying per-user IPP.
+    pub fn ipp(&self) -> &Ipp {
+        &self.ipp
+    }
+
+    /// Number of MMPP states, `m + 1`.
+    pub fn num_states(&self) -> usize {
+        self.m + 1
+    }
+
+    /// Aggregate packet arrival rate in state `r` (with `r` sources off):
+    /// `(m − r)·λ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r > m`.
+    pub fn arrival_rate(&self, r: usize) -> f64 {
+        assert!(r <= self.m, "state {r} out of range (m = {})", self.m);
+        (self.m - r) as f64 * self.ipp.rate_on()
+    }
+
+    /// Rate of the `r → r+1` transition (one source turns off):
+    /// `(m − r)·a`. Zero for `r = m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r > m`.
+    pub fn rate_up(&self, r: usize) -> f64 {
+        assert!(r <= self.m, "state {r} out of range (m = {})", self.m);
+        (self.m - r) as f64 * self.ipp.on_to_off_rate()
+    }
+
+    /// Rate of the `r → r−1` transition (one source turns on): `r·b`.
+    /// Zero for `r = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r > m`.
+    pub fn rate_down(&self, r: usize) -> f64 {
+        assert!(r <= self.m, "state {r} out of range (m = {})", self.m);
+        r as f64 * self.ipp.off_to_on_rate()
+    }
+
+    /// The stationary distribution of `r`: Binomial(`m`, `p_off`).
+    pub fn steady_state(&self) -> Vec<f64> {
+        let p_off = self.ipp.off_probability();
+        binomial_pmf(self.m, p_off)
+    }
+
+    /// Long-run mean aggregate packet rate, `m·λ·p_on`.
+    pub fn mean_rate(&self) -> f64 {
+        self.m as f64 * self.ipp.mean_rate()
+    }
+
+    /// Probability that a *newly joining* source starts in the off state
+    /// (the paper assumes sources join in IPP steady state): `a/(a+b)`.
+    pub fn join_off_probability(&self) -> f64 {
+        self.ipp.off_probability()
+    }
+}
+
+/// Binomial(`n`, `p`) probability mass function as a vector over
+/// `0..=n`, computed by the stable multiplicative recurrence.
+pub fn binomial_pmf(n: usize, p: f64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1], got {p}");
+    let mut pmf = vec![0.0f64; n + 1];
+    if p == 0.0 {
+        pmf[0] = 1.0;
+        return pmf;
+    }
+    if p == 1.0 {
+        pmf[n] = 1.0;
+        return pmf;
+    }
+    // pmf[k+1]/pmf[k] = (n-k)/(k+1) · p/(1-p); start from log pmf[0].
+    let ratio = p / (1.0 - p);
+    let mut log_terms = vec![0.0f64; n + 1];
+    for k in 0..n {
+        log_terms[k + 1] =
+            log_terms[k] + ((n - k) as f64 / (k + 1) as f64).ln() + ratio.ln();
+    }
+    let max_log = log_terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut total = 0.0;
+    for (dst, &lt) in pmf.iter_mut().zip(&log_terms) {
+        *dst = (lt - max_log).exp();
+        total += *dst;
+    }
+    for x in &mut pmf {
+        *x /= total;
+    }
+    pmf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_ipp() -> Ipp {
+        Ipp::new(0.32, 0.32, 8.0) // traffic model 3 rates
+    }
+
+    #[test]
+    fn steady_state_is_binomial() {
+        let agg = AggregatedMmpp::new(test_ipp(), 4);
+        let pi = agg.steady_state();
+        // p_off = 0.5 => Binomial(4, 0.5) = [1,4,6,4,1]/16.
+        let expect = [1.0, 4.0, 6.0, 4.0, 1.0].map(|x| x / 16.0);
+        for (i, &e) in expect.iter().enumerate() {
+            assert!((pi[i] - e).abs() < 1e-12, "state {i}");
+        }
+    }
+
+    #[test]
+    fn rates_follow_table1() {
+        let agg = AggregatedMmpp::new(test_ipp(), 10);
+        // With r = 3 sources off: arrival (10-3)*8, up (10-3)*a, down 3*b.
+        assert!((agg.arrival_rate(3) - 56.0).abs() < 1e-12);
+        assert!((agg.rate_up(3) - 7.0 * 0.32).abs() < 1e-12);
+        assert!((agg.rate_down(3) - 3.0 * 0.32).abs() < 1e-12);
+        // Boundary states.
+        assert_eq!(agg.rate_up(10), 0.0);
+        assert_eq!(agg.rate_down(0), 0.0);
+        assert_eq!(agg.arrival_rate(10), 0.0);
+    }
+
+    #[test]
+    fn mean_rate_matches_steady_state_average() {
+        let agg = AggregatedMmpp::new(test_ipp(), 7);
+        let pi = agg.steady_state();
+        let avg: f64 = pi
+            .iter()
+            .enumerate()
+            .map(|(r, &p)| p * agg.arrival_rate(r))
+            .sum();
+        assert!((avg - agg.mean_rate()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn steady_state_satisfies_detailed_balance() {
+        // The r-chain is a birth-death chain: check pi_r * up(r) ==
+        // pi_{r+1} * down(r+1).
+        let agg = AggregatedMmpp::new(Ipp::new(0.08, 1.0 / 412.0, 2.0), 12);
+        let pi = agg.steady_state();
+        for r in 0..12 {
+            let lhs = pi[r] * agg.rate_up(r);
+            let rhs = pi[r + 1] * agg.rate_down(r + 1);
+            assert!(
+                (lhs - rhs).abs() < 1e-12 * lhs.max(rhs).max(1e-30),
+                "r = {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_sources_is_trivial() {
+        let agg = AggregatedMmpp::new(test_ipp(), 0);
+        assert_eq!(agg.num_states(), 1);
+        assert_eq!(agg.steady_state(), vec![1.0]);
+        assert_eq!(agg.arrival_rate(0), 0.0);
+        assert_eq!(agg.mean_rate(), 0.0);
+    }
+
+    #[test]
+    fn binomial_pmf_edges() {
+        assert_eq!(binomial_pmf(3, 0.0), vec![1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(binomial_pmf(3, 1.0), vec![0.0, 0.0, 0.0, 1.0]);
+        let pmf = binomial_pmf(0, 0.4);
+        assert_eq!(pmf, vec![1.0]);
+    }
+
+    #[test]
+    fn binomial_pmf_large_n_is_stable() {
+        let pmf = binomial_pmf(500, 0.3);
+        let sum: f64 = pmf.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        let mean: f64 = pmf.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+        assert!((mean - 150.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rate_out_of_range_panics() {
+        let agg = AggregatedMmpp::new(test_ipp(), 3);
+        let _ = agg.arrival_rate(4);
+    }
+}

@@ -1,0 +1,270 @@
+//! Session parameters of the 3GPP traffic model and the paper's Table 3
+//! presets.
+
+use std::fmt;
+
+/// Data packet size at the network layer, in bytes (paper Section 3,
+/// citing ETSI TR 101 112).
+pub const PACKET_SIZE_BYTES: f64 = 480.0;
+
+/// Data packet size in bits.
+pub const PACKET_SIZE_BITS: f64 = PACKET_SIZE_BYTES * 8.0;
+
+/// Parameters of one packet service session (3GPP / ETSI TR 101 112).
+///
+/// All durations are in seconds. The derived quantities (`a`, `b`,
+/// `λ_packet`, session duration) follow the paper's Section 3:
+///
+/// * on→off rate `a = 1/(Nd·Dd)`,
+/// * off→on rate `b = 1/Dpc`,
+/// * packet rate while on `λ_packet = 1/Dd`,
+/// * mean session duration `1/μ_GPRS = Npc·(Dpc + Nd·Dd)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionParams {
+    /// Mean number of packet calls per session (`Npc`, geometric).
+    pub packet_calls_per_session: f64,
+    /// Mean reading time between packet calls in seconds (`Dpc`,
+    /// exponential).
+    pub reading_time: f64,
+    /// Mean number of packets per packet call (`Nd`, geometric).
+    pub packets_per_call: f64,
+    /// Mean packet inter-arrival time within a call in seconds (`Dd`,
+    /// exponential).
+    pub packet_interarrival: f64,
+}
+
+impl SessionParams {
+    /// Validates and constructs session parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mean is non-finite, if the counts are below 1, or if
+    /// the durations are not strictly positive.
+    pub fn new(
+        packet_calls_per_session: f64,
+        reading_time: f64,
+        packets_per_call: f64,
+        packet_interarrival: f64,
+    ) -> Self {
+        assert!(
+            packet_calls_per_session.is_finite() && packet_calls_per_session >= 1.0,
+            "packet calls per session must be >= 1"
+        );
+        assert!(
+            packets_per_call.is_finite() && packets_per_call >= 1.0,
+            "packets per call must be >= 1"
+        );
+        assert!(
+            reading_time.is_finite() && reading_time > 0.0,
+            "reading time must be positive"
+        );
+        assert!(
+            packet_interarrival.is_finite() && packet_interarrival > 0.0,
+            "packet inter-arrival time must be positive"
+        );
+        SessionParams {
+            packet_calls_per_session,
+            reading_time,
+            packets_per_call,
+            packet_interarrival,
+        }
+    }
+
+    /// Traffic model 1 (Table 3): 8 kbit/s WWW browsing.
+    /// `Npc = 5`, `Dpc = 412 s`, `Nd = 25`, `Dd = 0.5 s`.
+    pub fn traffic_model_1() -> Self {
+        SessionParams::new(5.0, 412.0, 25.0, 0.5)
+    }
+
+    /// Traffic model 2 (Table 3): 32 kbit/s WWW browsing.
+    /// `Npc = 5`, `Dpc = 412 s`, `Nd = 25`, `Dd = 0.125 s`.
+    pub fn traffic_model_2() -> Self {
+        SessionParams::new(5.0, 412.0, 25.0, 0.125)
+    }
+
+    /// Traffic model 3 (Table 3): the heavier-load variant used for the
+    /// validation and Figs. 11–15 — traffic model 2 with the off-duration
+    /// set equal to the on-duration and 50 packet calls per session.
+    /// `Npc = 50`, `Dpc = Nd·Dd = 3.125 s`, `Nd = 25`, `Dd = 0.125 s`.
+    pub fn traffic_model_3() -> Self {
+        SessionParams::new(50.0, 25.0 * 0.125, 25.0, 0.125)
+    }
+
+    /// Mean on-period (packet call) duration `Nd·Dd` in seconds
+    /// (the paper's `1/a`).
+    pub fn mean_on_duration(&self) -> f64 {
+        self.packets_per_call * self.packet_interarrival
+    }
+
+    /// IPP on→off rate `a = 1/(Nd·Dd)`.
+    pub fn on_to_off_rate(&self) -> f64 {
+        1.0 / self.mean_on_duration()
+    }
+
+    /// IPP off→on rate `b = 1/Dpc`.
+    pub fn off_to_on_rate(&self) -> f64 {
+        1.0 / self.reading_time
+    }
+
+    /// Packet arrival rate during a packet call, `λ_packet = 1/Dd`
+    /// (packets per second).
+    pub fn packet_rate(&self) -> f64 {
+        1.0 / self.packet_interarrival
+    }
+
+    /// Gross bit rate during a packet call in bit/s
+    /// (`PACKET_SIZE_BITS / Dd`). Traffic model 1 ⇒ ≈ 8 kbit/s,
+    /// models 2 and 3 ⇒ ≈ 32 kbit/s.
+    pub fn bit_rate_during_call(&self) -> f64 {
+        PACKET_SIZE_BITS / self.packet_interarrival
+    }
+
+    /// Mean session duration `Npc·(Dpc + Nd·Dd)` in seconds (the paper's
+    /// `1/μ_GPRS`).
+    pub fn mean_session_duration(&self) -> f64 {
+        self.packet_calls_per_session * (self.reading_time + self.mean_on_duration())
+    }
+
+    /// Session completion rate `μ_GPRS`.
+    pub fn session_completion_rate(&self) -> f64 {
+        1.0 / self.mean_session_duration()
+    }
+
+    /// Mean number of packets generated per session,
+    /// `Npc·Nd`.
+    pub fn mean_packets_per_session(&self) -> f64 {
+        self.packet_calls_per_session * self.packets_per_call
+    }
+
+    /// Long-run fraction of time the source is on,
+    /// `b/(a+b) = Nd·Dd / (Nd·Dd + Dpc)`.
+    pub fn on_probability(&self) -> f64 {
+        let on = self.mean_on_duration();
+        on / (on + self.reading_time)
+    }
+
+    /// Converts to the single-user IPP representation.
+    pub fn to_ipp(&self) -> crate::ipp::Ipp {
+        crate::ipp::Ipp::new(
+            self.on_to_off_rate(),
+            self.off_to_on_rate(),
+            self.packet_rate(),
+        )
+    }
+}
+
+/// The three named traffic models of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficModel {
+    /// 8 kbit/s WWW browsing; paper pairs it with `M = 50`.
+    Model1,
+    /// 32 kbit/s WWW browsing; paper pairs it with `M = 50`.
+    Model2,
+    /// Heavier-load 32 kbit/s variant; paper pairs it with `M = 20`.
+    Model3,
+}
+
+impl TrafficModel {
+    /// The session parameters of this model.
+    pub fn params(self) -> SessionParams {
+        match self {
+            TrafficModel::Model1 => SessionParams::traffic_model_1(),
+            TrafficModel::Model2 => SessionParams::traffic_model_2(),
+            TrafficModel::Model3 => SessionParams::traffic_model_3(),
+        }
+    }
+
+    /// The maximum number of concurrently active GPRS sessions `M` the
+    /// paper uses with this model (Table 3).
+    pub fn default_max_sessions(self) -> usize {
+        match self {
+            TrafficModel::Model1 | TrafficModel::Model2 => 50,
+            TrafficModel::Model3 => 20,
+        }
+    }
+
+    /// All three models, in paper order.
+    pub const ALL: [TrafficModel; 3] =
+        [TrafficModel::Model1, TrafficModel::Model2, TrafficModel::Model3];
+}
+
+impl fmt::Display for TrafficModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficModel::Model1 => write!(f, "traffic model 1 (8 kbit/s)"),
+            TrafficModel::Model2 => write!(f, "traffic model 2 (32 kbit/s)"),
+            TrafficModel::Model3 => write!(f, "traffic model 3 (32 kbit/s, heavy)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_session_durations() {
+        // The paper's Table 3 lists these (model 2's 2075.6 is a rounding
+        // of 5·(412 + 3.125) = 2075.625).
+        assert!((SessionParams::traffic_model_1().mean_session_duration() - 2122.5).abs() < 1e-9);
+        assert!(
+            (SessionParams::traffic_model_2().mean_session_duration() - 2075.625).abs() < 1e-9
+        );
+        assert!((SessionParams::traffic_model_3().mean_session_duration() - 312.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table3_on_off_durations() {
+        let tm1 = SessionParams::traffic_model_1();
+        assert!((1.0 / tm1.on_to_off_rate() - 12.5).abs() < 1e-12);
+        assert!((1.0 / tm1.off_to_on_rate() - 412.0).abs() < 1e-12);
+        let tm3 = SessionParams::traffic_model_3();
+        // Model 3: on-duration equals off-duration (3.125 s).
+        assert!((1.0 / tm3.on_to_off_rate() - 3.125).abs() < 1e-12);
+        assert!((1.0 / tm3.off_to_on_rate() - 3.125).abs() < 1e-12);
+        assert!((tm3.on_probability() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_rates_match_table3() {
+        assert!((SessionParams::traffic_model_1().bit_rate_during_call() - 7680.0).abs() < 1e-9);
+        assert!((SessionParams::traffic_model_2().bit_rate_during_call() - 30720.0).abs() < 1e-9);
+        // 7.68 and 30.72 kbit/s are the "8" and "32" kbit/s of Table 3.
+    }
+
+    #[test]
+    fn packet_rates() {
+        assert!((SessionParams::traffic_model_1().packet_rate() - 2.0).abs() < 1e-12);
+        assert!((SessionParams::traffic_model_2().packet_rate() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_enum_round_trip() {
+        for m in TrafficModel::ALL {
+            let p = m.params();
+            assert!(p.mean_session_duration() > 0.0);
+            assert!(m.default_max_sessions() >= 20);
+            assert!(!m.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn to_ipp_preserves_rates() {
+        let p = SessionParams::traffic_model_2();
+        let ipp = p.to_ipp();
+        assert!((ipp.on_probability() - p.on_probability()).abs() < 1e-15);
+        assert!((ipp.mean_rate() - p.packet_rate() * p.on_probability()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "packet calls per session")]
+    fn rejects_fractional_call_count_below_one() {
+        let _ = SessionParams::new(0.5, 1.0, 5.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reading time")]
+    fn rejects_zero_reading_time() {
+        let _ = SessionParams::new(5.0, 0.0, 5.0, 1.0);
+    }
+}

@@ -1,0 +1,331 @@
+//! Generative sampling of packet service sessions for the discrete-event
+//! simulator.
+//!
+//! Two granularities are offered:
+//!
+//! * [`sample_session`] materializes an entire session realization —
+//!   convenient for statistics and tests;
+//! * [`SessionProcess`] is an incremental state machine producing one
+//!   event at a time — what the simulator drives, so that a session's
+//!   future need not be stored.
+//!
+//! Both implement exactly the 3GPP model: geometric(≥1) packet calls per
+//! session, exponential reading times, geometric(≥1) packets per call,
+//! exponential packet inter-arrival times. Because a geometric sum of
+//! exponentials is again exponential, the induced on/off process is
+//! *exactly* the IPP of [`crate::ipp`] — a property the tests check.
+
+use crate::distributions::{exp_mean, geometric_min1};
+use crate::params::SessionParams;
+use rand::Rng;
+
+/// A fully materialized packet call: packet inter-arrival gaps (seconds)
+/// followed by a reading time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketCallRealization {
+    /// Gap before each packet of the call (length = number of packets).
+    pub packet_gaps: Vec<f64>,
+    /// Reading time after the call, seconds.
+    pub reading_time_after: f64,
+}
+
+impl PacketCallRealization {
+    /// Number of packets in the call.
+    pub fn num_packets(&self) -> usize {
+        self.packet_gaps.len()
+    }
+
+    /// Duration of the active (on) phase of the call.
+    pub fn on_duration(&self) -> f64 {
+        self.packet_gaps.iter().sum()
+    }
+}
+
+/// A fully materialized packet service session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRealization {
+    /// The packet calls, in order.
+    pub calls: Vec<PacketCallRealization>,
+}
+
+impl SessionRealization {
+    /// Total session duration: all packet gaps plus all reading times.
+    pub fn duration(&self) -> f64 {
+        self.calls
+            .iter()
+            .map(|c| c.on_duration() + c.reading_time_after)
+            .sum()
+    }
+
+    /// Total number of packets across all calls.
+    pub fn total_packets(&self) -> usize {
+        self.calls.iter().map(|c| c.num_packets()).sum()
+    }
+}
+
+/// Samples a complete session realization.
+///
+/// # Example
+///
+/// ```
+/// use gprs_traffic::{params::SessionParams, sampler::sample_session};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let s = sample_session(&SessionParams::traffic_model_3(), &mut rng);
+/// assert!(s.total_packets() >= 1);
+/// assert!(s.duration() > 0.0);
+/// ```
+pub fn sample_session<R: Rng + ?Sized>(
+    params: &SessionParams,
+    rng: &mut R,
+) -> SessionRealization {
+    let num_calls = geometric_min1(rng, params.packet_calls_per_session);
+    let mut calls = Vec::with_capacity(num_calls as usize);
+    for _ in 0..num_calls {
+        let num_packets = geometric_min1(rng, params.packets_per_call);
+        let packet_gaps = (0..num_packets)
+            .map(|_| exp_mean(rng, params.packet_interarrival))
+            .collect();
+        let reading_time_after = exp_mean(rng, params.reading_time);
+        calls.push(PacketCallRealization {
+            packet_gaps,
+            reading_time_after,
+        });
+    }
+    SessionRealization { calls }
+}
+
+/// The next thing a session will do, produced by [`SessionProcess::next_event`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SessionEvent {
+    /// A packet is generated `after` seconds from now.
+    Packet {
+        /// Delay from the previous event, seconds.
+        after: f64,
+    },
+    /// The current packet call ended; the source reads for `reading_time`
+    /// seconds before the next call starts.
+    ReadingTime {
+        /// Duration of the reading period, seconds.
+        reading_time: f64,
+    },
+    /// The session is over (after the last call's reading time).
+    SessionEnd,
+}
+
+/// Incremental session state machine for the simulator.
+///
+/// Draw events one at a time with [`next_event`](Self::next_event); the
+/// delays returned are relative to the previous event.
+#[derive(Debug, Clone)]
+pub struct SessionProcess {
+    params: SessionParams,
+    calls_remaining: u64,
+    packets_remaining_in_call: u64,
+    in_call: bool,
+}
+
+impl SessionProcess {
+    /// Starts a new session: draws the number of packet calls and the
+    /// size of the first call.
+    pub fn begin<R: Rng + ?Sized>(params: &SessionParams, rng: &mut R) -> Self {
+        let calls = geometric_min1(rng, params.packet_calls_per_session);
+        let packets = geometric_min1(rng, params.packets_per_call);
+        SessionProcess {
+            params: *params,
+            calls_remaining: calls,
+            packets_remaining_in_call: packets,
+            in_call: true,
+        }
+    }
+
+    /// Whether the session is currently inside a packet call.
+    pub fn is_in_call(&self) -> bool {
+        self.in_call
+    }
+
+    /// Packet calls not yet completed (including the current one).
+    pub fn calls_remaining(&self) -> u64 {
+        self.calls_remaining
+    }
+
+    /// Produces the next event of the session.
+    ///
+    /// Every packet call — including the last — is followed by a reading
+    /// time, so the mean session duration matches the paper's
+    /// `Npc·(Dpc + Nd·Dd)`.
+    pub fn next_event<R: Rng + ?Sized>(&mut self, rng: &mut R) -> SessionEvent {
+        if self.in_call {
+            if self.packets_remaining_in_call > 0 {
+                self.packets_remaining_in_call -= 1;
+                return SessionEvent::Packet {
+                    after: exp_mean(rng, self.params.packet_interarrival),
+                };
+            }
+            // Call finished; read (even after the final call).
+            self.in_call = false;
+            self.calls_remaining -= 1;
+            return SessionEvent::ReadingTime {
+                reading_time: exp_mean(rng, self.params.reading_time),
+            };
+        }
+        if self.calls_remaining == 0 {
+            return SessionEvent::SessionEnd;
+        }
+        // Reading time elapsed: start the next call.
+        self.packets_remaining_in_call = geometric_min1(rng, self.params.packets_per_call);
+        self.in_call = true;
+        self.next_event(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn session_means_match_analytics() {
+        let params = SessionParams::traffic_model_3();
+        let mut rng = SmallRng::seed_from_u64(1234);
+        let n = 4000;
+        let mut dur = 0.0;
+        let mut packets = 0usize;
+        for _ in 0..n {
+            let s = sample_session(&params, &mut rng);
+            dur += s.duration();
+            packets += s.total_packets();
+        }
+        let mean_dur = dur / n as f64;
+        let mean_packets = packets as f64 / n as f64;
+        // Session duration is heavy-ish tailed (geometric number of
+        // calls); 5 % tolerance at n = 4000 is comfortable.
+        let expect_dur = params.mean_session_duration();
+        assert!(
+            (mean_dur - expect_dur).abs() / expect_dur < 0.05,
+            "duration {mean_dur} vs {expect_dur}"
+        );
+        let expect_packets = params.mean_packets_per_session();
+        assert!(
+            (mean_packets - expect_packets).abs() / expect_packets < 0.05,
+            "packets {mean_packets} vs {expect_packets}"
+        );
+    }
+
+    #[test]
+    fn on_duration_matches_ipp_mean() {
+        // The generative on-period must equal the IPP's 1/a = Nd·Dd.
+        let params = SessionParams::traffic_model_2();
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut total_on = 0.0;
+        let mut calls = 0usize;
+        for _ in 0..2000 {
+            let s = sample_session(&params, &mut rng);
+            for c in &s.calls {
+                total_on += c.on_duration();
+                calls += 1;
+            }
+        }
+        let mean_on = total_on / calls as f64;
+        let expect = params.mean_on_duration();
+        assert!(
+            (mean_on - expect).abs() / expect < 0.05,
+            "{mean_on} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn process_replays_same_structure_as_batch_sampler() {
+        // The incremental process must produce: for each call, its packets,
+        // then a reading time (or session end after the last call).
+        let params = SessionParams::new(3.0, 10.0, 4.0, 0.5);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut proc = SessionProcess::begin(&params, &mut rng);
+        let mut packets = 0usize;
+        let mut readings = 0usize;
+        loop {
+            match proc.next_event(&mut rng) {
+                SessionEvent::Packet { after } => {
+                    assert!(after > 0.0);
+                    packets += 1;
+                }
+                SessionEvent::ReadingTime { reading_time } => {
+                    assert!(reading_time > 0.0);
+                    readings += 1;
+                }
+                SessionEvent::SessionEnd => break,
+            }
+            assert!(packets < 1_000_000, "runaway session");
+        }
+        assert!(packets >= 1);
+        // One reading time per packet call, including the final one.
+        assert!(readings >= 1);
+    }
+
+    #[test]
+    fn process_event_mean_counts() {
+        let params = SessionParams::traffic_model_3();
+        let mut rng = SmallRng::seed_from_u64(77);
+        let n = 1500;
+        let mut packets = 0u64;
+        for _ in 0..n {
+            let mut proc = SessionProcess::begin(&params, &mut rng);
+            loop {
+                match proc.next_event(&mut rng) {
+                    SessionEvent::Packet { .. } => packets += 1,
+                    SessionEvent::ReadingTime { .. } => {}
+                    SessionEvent::SessionEnd => break,
+                }
+            }
+        }
+        let mean = packets as f64 / n as f64;
+        let expect = params.mean_packets_per_session(); // 1250
+        assert!(
+            (mean - expect).abs() / expect < 0.08,
+            "{mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn single_call_session_has_one_reading_time() {
+        // Npc = 1 (FTP-like): packets, one reading time, then SessionEnd.
+        let params = SessionParams::new(1.0, 10.0, 2.0, 0.5);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut proc = SessionProcess::begin(&params, &mut rng);
+        let mut readings = 0usize;
+        loop {
+            match proc.next_event(&mut rng) {
+                SessionEvent::Packet { .. } => {}
+                SessionEvent::ReadingTime { .. } => readings += 1,
+                SessionEvent::SessionEnd => break,
+            }
+        }
+        assert_eq!(readings, 1);
+    }
+
+    #[test]
+    fn process_duration_matches_analytic_mean() {
+        let params = SessionParams::new(4.0, 20.0, 10.0, 0.25);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let n = 3000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let mut proc = SessionProcess::begin(&params, &mut rng);
+            loop {
+                match proc.next_event(&mut rng) {
+                    SessionEvent::Packet { after } => total += after,
+                    SessionEvent::ReadingTime { reading_time } => total += reading_time,
+                    SessionEvent::SessionEnd => break,
+                }
+            }
+        }
+        let mean = total / n as f64;
+        let expect = params.mean_session_duration();
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "{mean} vs {expect}"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Monte-Carlo validation of the closed-form second-order analytics:
+//! simulate the raw IPP point process and compare empirical count
+//! statistics against `analysis::Mmpp2`'s formulas. This ties the
+//! *generative* side of the crate (what the network simulator consumes)
+//! to the *analytic* side (what the Markov model consumes) — if either
+//! drifted, this test breaks.
+
+use gprs_traffic::analysis::{Hyperexponential, Mmpp2};
+use gprs_traffic::distributions::exp_mean;
+use gprs_traffic::Ipp;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Simulates the IPP for `windows` consecutive windows of length `t`
+/// starting in phase steady state; returns the per-window arrival
+/// counts.
+fn simulate_counts(ipp: &Ipp, t: f64, windows: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut counts = vec![0u64; windows];
+    let horizon = t * windows as f64;
+
+    // Start in steady state.
+    let mut on = {
+        use rand::Rng;
+        rng.gen::<f64>() < ipp.on_probability()
+    };
+    let mut now = 0.0f64;
+    let mut next_arrival = if ipp.rate_on() > 0.0 {
+        exp_mean(&mut rng, 1.0 / ipp.rate_on())
+    } else {
+        f64::INFINITY
+    };
+
+    while now < horizon {
+        let switch_in = if on {
+            exp_mean(&mut rng, 1.0 / ipp.on_to_off_rate())
+        } else {
+            exp_mean(&mut rng, 1.0 / ipp.off_to_on_rate())
+        };
+        let switch_at = now + switch_in;
+        if on {
+            // Emit arrivals until the phase switches.
+            let mut arrival_at = now + next_arrival;
+            while arrival_at < switch_at && arrival_at < horizon {
+                let w = (arrival_at / t) as usize;
+                counts[w.min(windows - 1)] += 1;
+                arrival_at += exp_mean(&mut rng, 1.0 / ipp.rate_on());
+            }
+            // Residual time to the next arrival carries over (memoryless,
+            // so redrawing at the next on-period is equally valid).
+            next_arrival = exp_mean(&mut rng, 1.0 / ipp.rate_on());
+        }
+        now = switch_at;
+        on = !on;
+    }
+    counts
+}
+
+fn mean_var(counts: &[u64]) -> (f64, f64) {
+    let n = counts.len() as f64;
+    let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / n;
+    let var = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / (n - 1.0);
+    (mean, var)
+}
+
+#[test]
+fn empirical_mean_rate_matches_closed_form() {
+    let ipp = Ipp::new(0.32, 0.32, 8.0);
+    let t = 2.0;
+    let counts = simulate_counts(&ipp, t, 40_000, 7);
+    let (mean, _) = mean_var(&counts);
+    let expect = ipp.mean_rate() * t;
+    let rel = (mean - expect).abs() / expect;
+    assert!(rel < 0.05, "mean count {mean} vs {expect} (rel {rel:.3})");
+}
+
+#[test]
+fn empirical_idc_matches_closed_form_at_two_scales() {
+    let ipp = Ipp::new(0.32, 0.32, 8.0);
+    let m = Mmpp2::from(ipp);
+    for (t, windows, tol) in [(0.5, 60_000, 0.15), (5.0, 20_000, 0.25)] {
+        let counts = simulate_counts(&ipp, t, windows, 11);
+        let (mean, var) = mean_var(&counts);
+        let idc = var / mean;
+        let expect = m.idc(t);
+        let rel = (idc - expect).abs() / expect;
+        assert!(
+            rel < tol,
+            "IDC({t}) empirical {idc:.3} vs closed form {expect:.3} (rel {rel:.3})"
+        );
+        // And both must exceed Poisson dispersion clearly at these scales.
+        assert!(idc > 1.2, "IPP counts look Poisson at t = {t}");
+    }
+}
+
+#[test]
+fn empirical_interarrivals_match_kuczura_h2() {
+    // The IPP's arrival process is a renewal process with H2
+    // interarrivals: compare empirical first two interarrival moments.
+    let ipp = Ipp::new(0.4, 0.2, 6.0);
+    let h2 = Hyperexponential::from_ipp(&ipp);
+    let mut rng = SmallRng::seed_from_u64(23);
+    use rand::Rng;
+    let mut on = rng.gen::<f64>() < ipp.on_probability();
+    let mut now = 0.0f64;
+    let mut last_arrival: Option<f64> = None;
+    let mut gaps = Vec::with_capacity(200_000);
+    while gaps.len() < 200_000 {
+        if on {
+            let switch_at = now + exp_mean(&mut rng, 1.0 / ipp.on_to_off_rate());
+            let mut arrival = now + exp_mean(&mut rng, 1.0 / ipp.rate_on());
+            while arrival < switch_at && gaps.len() < 200_000 {
+                if let Some(prev) = last_arrival {
+                    gaps.push(arrival - prev);
+                }
+                last_arrival = Some(arrival);
+                arrival += exp_mean(&mut rng, 1.0 / ipp.rate_on());
+            }
+            now = switch_at;
+        } else {
+            now += exp_mean(&mut rng, 1.0 / ipp.off_to_on_rate());
+        }
+        on = !on;
+    }
+    let n = gaps.len() as f64;
+    let mean: f64 = gaps.iter().sum::<f64>() / n;
+    let second: f64 = gaps.iter().map(|g| g * g).sum::<f64>() / n;
+    assert!(
+        (mean - h2.mean()).abs() / h2.mean() < 0.03,
+        "interarrival mean {mean} vs H2 {}",
+        h2.mean()
+    );
+    assert!(
+        (second - h2.raw_moment(2)).abs() / h2.raw_moment(2) < 0.10,
+        "interarrival second moment {second} vs H2 {}",
+        h2.raw_moment(2)
+    );
+    // Over-dispersion shows up as SCV > 1.
+    let scv = (second - mean * mean) / (mean * mean);
+    assert!(scv > 1.1, "empirical SCV {scv} not over-dispersed");
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the 3GPP traffic model.
+
+use gprs_traffic::analysis::{Hyperexponential, Mmpp2};
+use gprs_traffic::mmpp::binomial_pmf;
+use gprs_traffic::sampler::{sample_session, SessionEvent, SessionProcess};
+use gprs_traffic::{Ipp, SessionParams};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn params_strategy() -> impl Strategy<Value = SessionParams> {
+    (1.0f64..20.0, 0.1f64..500.0, 1.0f64..50.0, 0.01f64..5.0)
+        .prop_map(|(npc, dpc, nd, dd)| SessionParams::new(npc, dpc, nd, dd))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn derived_quantities_are_consistent(p in params_strategy()) {
+        // 1/a = Nd·Dd, 1/b = Dpc, session duration = Npc(Dpc + Nd·Dd).
+        prop_assert!((1.0 / p.on_to_off_rate() - p.mean_on_duration()).abs() < 1e-9);
+        prop_assert!((1.0 / p.off_to_on_rate() - p.reading_time).abs() < 1e-12);
+        let expect = p.packet_calls_per_session * (p.reading_time + p.mean_on_duration());
+        prop_assert!((p.mean_session_duration() - expect).abs() < 1e-9);
+        // on probability in (0, 1).
+        prop_assert!(p.on_probability() > 0.0 && p.on_probability() < 1.0);
+        // IPP mean rate = packet_rate · p_on.
+        let ipp = p.to_ipp();
+        prop_assert!(
+            (ipp.mean_rate() - p.packet_rate() * p.on_probability()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn sampled_sessions_have_valid_structure(p in params_strategy(), seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let s = sample_session(&p, &mut rng);
+        prop_assert!(!s.calls.is_empty());
+        prop_assert!(s.total_packets() >= s.calls.len()); // >= 1 packet per call
+        prop_assert!(s.duration() > 0.0);
+        for call in &s.calls {
+            prop_assert!(call.num_packets() >= 1);
+            prop_assert!(call.reading_time_after > 0.0);
+            prop_assert!(call.on_duration() > 0.0);
+        }
+    }
+
+    #[test]
+    fn session_process_terminates_and_counts_match(
+        p in params_strategy(), seed in 0u64..1000
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut proc = SessionProcess::begin(&p, &mut rng);
+        let mut packets = 0u64;
+        let mut readings = 0u64;
+        let mut guard = 0u64;
+        loop {
+            guard += 1;
+            prop_assert!(guard < 5_000_000, "session did not terminate");
+            match proc.next_event(&mut rng) {
+                SessionEvent::Packet { after } => {
+                    prop_assert!(after > 0.0);
+                    packets += 1;
+                }
+                SessionEvent::ReadingTime { reading_time } => {
+                    prop_assert!(reading_time > 0.0);
+                    readings += 1;
+                }
+                SessionEvent::SessionEnd => break,
+            }
+        }
+        // One reading time per packet call; at least one packet per call.
+        prop_assert!(readings >= 1);
+        prop_assert!(packets >= readings);
+    }
+
+    #[test]
+    fn binomial_pmf_is_a_distribution(n in 0usize..300, p in 0.0f64..1.0) {
+        let pmf = binomial_pmf(n, p);
+        prop_assert_eq!(pmf.len(), n + 1);
+        let sum: f64 = pmf.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        let mean: f64 = pmf.iter().enumerate().map(|(k, &q)| k as f64 * q).sum();
+        prop_assert!((mean - n as f64 * p).abs() < 1e-6 * (n as f64).max(1.0));
+    }
+
+    #[test]
+    fn aggregation_preserves_mean_rate(
+        a in 0.01f64..10.0, b in 0.01f64..10.0, lam in 0.0f64..100.0, m in 0usize..100
+    ) {
+        let ipp = Ipp::new(a, b, lam);
+        let agg = ipp.aggregate(m);
+        let pi = agg.steady_state();
+        let mean: f64 = pi
+            .iter()
+            .enumerate()
+            .map(|(r, &p)| p * agg.arrival_rate(r))
+            .sum();
+        prop_assert!((mean - agg.mean_rate()).abs() < 1e-7 * agg.mean_rate().max(1.0));
+    }
+
+    #[test]
+    fn idc_of_any_ipp_is_at_least_one_and_monotone(
+        a in 0.001f64..10.0, b in 0.001f64..10.0, lam in 0.01f64..100.0
+    ) {
+        let m = Mmpp2::from(Ipp::new(a, b, lam));
+        let mut last = 0.0;
+        for &t in &[1e-3, 1e-1, 1.0, 1e2, 1e4] {
+            let idc = m.idc(t);
+            prop_assert!(idc >= 1.0 - 1e-9, "IDC({t}) = {idc} < 1");
+            prop_assert!(idc >= last - 1e-9, "IDC not monotone at {t}");
+            last = idc;
+        }
+        prop_assert!(m.asymptotic_idc() >= last - 1e-9);
+    }
+
+    #[test]
+    fn superposition_fit_is_moment_exact(
+        a in 0.001f64..10.0, b in 0.001f64..10.0, lam in 0.01f64..100.0,
+        n in 1usize..200
+    ) {
+        let ipp = Ipp::new(a, b, lam);
+        let fit = Mmpp2::fit_superposition(&ipp, n);
+        let nf = n as f64;
+        let mean = nf * ipp.mean_rate();
+        let var = nf * lam * lam * ipp.on_probability() * ipp.off_probability();
+        prop_assert!((fit.mean_rate() - mean).abs() <= 1e-7 * mean);
+        prop_assert!((fit.rate_variance() - var).abs() <= 1e-6 * var);
+        prop_assert!((fit.relaxation_rate() - (a + b)).abs() <= 1e-9 * (a + b));
+        prop_assert!(fit.rate2() >= 0.0);
+        prop_assert!(fit.rate1() > fit.rate2());
+    }
+
+    #[test]
+    fn kuczura_renewal_equivalence_holds(
+        a in 0.001f64..10.0, b in 0.001f64..10.0, lam in 0.01f64..100.0
+    ) {
+        let ipp = Ipp::new(a, b, lam);
+        let h2 = Hyperexponential::from_ipp(&ipp);
+        // Interarrival mean must equal the reciprocal mean rate, SCV >= 1.
+        let expect = 1.0 / ipp.mean_rate();
+        prop_assert!((h2.mean() - expect).abs() <= 1e-7 * expect);
+        prop_assert!(h2.scv() >= 1.0 - 1e-9);
+        prop_assert!((0.0..=1.0).contains(&h2.phase1_probability()));
+        prop_assert!(h2.rate1() >= h2.rate2());
+    }
+
+    #[test]
+    fn renewal_identity_idc_equals_interarrival_scv(
+        a in 0.001f64..10.0, b in 0.001f64..10.0, lam in 0.01f64..100.0
+    ) {
+        // For any renewal process IDC(∞) = SCV of the interarrival
+        // distribution; the IPP is renewal (Kuczura), so the counting-
+        // process formula (via Mmpp2) and the interarrival formula (via
+        // H2) must agree — two independent derivations, one number.
+        let ipp = Ipp::new(a, b, lam);
+        let idc = Mmpp2::from(ipp).asymptotic_idc();
+        let scv = Hyperexponential::from_ipp(&ipp).scv();
+        prop_assert!(
+            (idc - scv).abs() <= 1e-6 * idc.max(scv),
+            "IDC(inf) = {idc} vs interarrival SCV = {scv}"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Capacity planning: the paper's design question (Section 5.3).
+//!
+//! "How many PDCHs must be reserved for GPRS so that users keep at
+//! least half of their unloaded throughput?" — answered for a grid of
+//! arrival rates and GPRS shares, reproducing the paper's conclusion
+//! that 4 reserved PDCHs cover 2 % GPRS users up to ≈ 1 call/s but 5 %
+//! and 10 % only up to ≈ 0.5 and ≈ 0.3 calls/s.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use gprs_repro::core::{qos, CellConfig};
+use gprs_repro::ctmc::SolveOptions;
+use gprs_repro::traffic::TrafficModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A reduced buffer keeps this example interactive (~seconds); the
+    // repro binary runs the paper-exact version.
+    let opts = SolveOptions::quick();
+    let max_degradation = 0.5;
+
+    println!("minimum reserved PDCHs for <= 50% throughput degradation");
+    println!("(traffic model 3, N = 20 channels, M = 20 sessions, K = 40)\n");
+    println!("  rate\\share   2% GPRS   5% GPRS   10% GPRS");
+    for &rate in &[0.2, 0.4, 0.6, 0.8, 1.0] {
+        let mut row = format!("  {rate:>4.1}      ");
+        for &share in &[0.02, 0.05, 0.10] {
+            let base = CellConfig::builder()
+                .traffic_model(TrafficModel::Model3)
+                .buffer_capacity(40)
+                .gprs_fraction(share)
+                .call_arrival_rate(rate)
+                .build()?;
+            let answer = qos::min_reserved_pdchs_for_qos(&base, max_degradation, 6, &opts)?;
+            row.push_str(&match answer {
+                Some(n) => format!("{n:>8}  "),
+                None => format!("{:>8}  ", ">6"),
+            });
+        }
+        println!("{row}");
+    }
+
+    println!();
+    // And the inverse question: with 4 reserved PDCHs, what degradation
+    // does each share see at 0.5 calls/s?
+    for &share in &[0.02, 0.05, 0.10] {
+        let cfg = CellConfig::builder()
+            .traffic_model(TrafficModel::Model3)
+            .buffer_capacity(40)
+            .reserved_pdchs(4)
+            .gprs_fraction(share)
+            .call_arrival_rate(0.5)
+            .build()?;
+        let check = qos::check_throughput_degradation(&cfg, max_degradation, &opts)?;
+        println!(
+            "4 PDCHs, {:>4.0}% GPRS at 0.5 calls/s: {:.1} of {:.1} kbit/s ({:.0}% degradation) -> {}",
+            share * 100.0,
+            check.throughput_kbps,
+            check.reference_kbps,
+            check.degradation * 100.0,
+            if check.satisfied { "QoS met" } else { "QoS violated" }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Model-vs-simulator validation at one operating point — a miniature
+//! of the paper's Section 5.2.
+//!
+//! Runs the CTMC and the 7-cell network simulator (TCP Reno, explicit
+//! handovers) on the same configuration and prints the measures side by
+//! side with the simulator's 95 % confidence intervals.
+//!
+//! ```text
+//! cargo run --release --example model_vs_simulator [arrival_rate] [seed]
+//! ```
+
+use gprs_repro::core::{CellConfig, GprsModel};
+use gprs_repro::ctmc::SolveOptions;
+use gprs_repro::sim::{GprsSimulator, SimConfig};
+use gprs_repro::traffic::TrafficModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let rate: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0.5);
+    let seed: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(7);
+
+    let cell = CellConfig::builder()
+        .traffic_model(TrafficModel::Model3)
+        .buffer_capacity(40)
+        .call_arrival_rate(rate)
+        .build()?;
+
+    println!("analytic model ({} states)...", cell.num_states());
+    let solved = GprsModel::new(cell.clone())?.solve(&SolveOptions::quick(), None)?;
+    let m = solved.measures();
+
+    println!("simulator (7 cells, TCP, mid-cell statistics)...");
+    let sim_cfg = SimConfig::builder(cell)
+        .seed(seed)
+        .warmup(1_500.0)
+        .batches(8, 2_000.0)
+        .build();
+    let r = GprsSimulator::new(sim_cfg).run();
+    println!(
+        "  simulated {:.0} s, {} events, {} TCP retransmissions\n",
+        r.simulated_time, r.events_processed, r.tcp_retransmissions
+    );
+
+    println!("measure                         model      simulator (95% CI)");
+    let row = |name: &str, model: f64, ci: &gprs_repro::des::ConfidenceInterval| {
+        let inside = ci.contains(model);
+        println!(
+            "  {name:<28} {model:>9.4}    {:>9.4} ± {:<8.4} {}",
+            ci.mean,
+            ci.half_width,
+            if inside { "(model inside CI)" } else { "" }
+        );
+    };
+    row("carried data traffic", m.carried_data_traffic, &r.carried_data_traffic);
+    row("carried voice traffic", m.carried_voice_traffic, &r.carried_voice_traffic);
+    row("avg GPRS sessions", m.avg_gprs_sessions, &r.avg_gprs_sessions);
+    row("packet loss probability", m.packet_loss_probability, &r.packet_loss_probability);
+    row("queueing delay (s)", m.queueing_delay, &r.queueing_delay);
+    row("throughput/user (kbit/s)", m.throughput_per_user_kbps, &r.throughput_per_user_kbps);
+    row("GSM blocking", m.gsm_blocking_probability, &r.gsm_blocking_probability);
+    row("GPRS blocking", m.gprs_blocking_probability, &r.gprs_blocking_probability);
+
+    // The balancing assumption the model makes, tested by the simulator:
+    println!(
+        "\nhandover balance: model λ_h,GPRS = {:.4}/s; simulator mid-cell inflow = {:.4} ± {:.4}/s",
+        m.gprs_handover_rate,
+        r.gprs_handover_in_rate.mean,
+        r.gprs_handover_in_rate.half_width
+    );
+    Ok(())
+}

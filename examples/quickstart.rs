@@ -1,0 +1,58 @@
+//! Quickstart: solve the paper's base configuration (Table 2, traffic
+//! model 3) at one arrival rate and print all performance measures.
+//!
+//! ```text
+//! cargo run --release --example quickstart [arrival_rate]
+//! ```
+
+use gprs_repro::core::{CellConfig, GprsModel};
+use gprs_repro::traffic::TrafficModel;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rate: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(0.5);
+
+    // The paper's base setting: N = 20 channels, 1 reserved PDCH,
+    // K = 100, CS-2, traffic model 3 (M = 20), 5 % GPRS users.
+    let config = CellConfig::paper_base(TrafficModel::Model3, rate)?;
+    println!(
+        "cell: {} channels, {} reserved PDCH(s), buffer {}, {} states",
+        config.total_channels,
+        config.reserved_pdchs,
+        config.buffer_capacity,
+        config.num_states()
+    );
+
+    let t0 = Instant::now();
+    let model = GprsModel::new(config)?;
+    println!(
+        "balanced handover flows: GSM {:.4}/s, GPRS {:.4}/s",
+        model.balanced_gsm().handover_arrival_rate,
+        model.balanced_gprs().handover_arrival_rate,
+    );
+
+    let solved = model.solve_default()?;
+    let m = solved.measures();
+    println!(
+        "solved {} states in {:.2?} ({} sweeps, residual {:.1e})\n",
+        model.config().num_states(),
+        t0.elapsed(),
+        solved.sweeps(),
+        solved.residual()
+    );
+
+    println!("measures at {rate} calls/s:");
+    println!("  carried data traffic (CDT) ...... {:.3} PDCHs", m.carried_data_traffic);
+    println!("  carried voice traffic (CVT) ..... {:.3} channels", m.carried_voice_traffic);
+    println!("  avg GPRS sessions (AGS) ......... {:.3}", m.avg_gprs_sessions);
+    println!("  packet loss probability (PLP) ... {:.3e}", m.packet_loss_probability);
+    println!("  queueing delay (QD) ............. {:.3} s", m.queueing_delay);
+    println!("  throughput per user (ATU) ....... {:.2} kbit/s", m.throughput_per_user_kbps);
+    println!("  GSM voice blocking .............. {:.3e}", m.gsm_blocking_probability);
+    println!("  GPRS session blocking ........... {:.3e}", m.gprs_blocking_probability);
+    Ok(())
+}

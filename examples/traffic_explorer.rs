@@ -1,0 +1,53 @@
+//! Explore the 3GPP traffic model: analytic IPP/MMPP quantities versus
+//! Monte-Carlo estimates from the generative sampler.
+//!
+//! ```text
+//! cargo run --release --example traffic_explorer
+//! ```
+
+use gprs_repro::traffic::{sampler, SessionParams, TrafficModel};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2026);
+    println!("3GPP packet service session model (ETSI TR 101 112)\n");
+
+    for model in TrafficModel::ALL {
+        let p: SessionParams = model.params();
+        let ipp = p.to_ipp();
+
+        // Monte-Carlo over full sessions.
+        let n = 5_000;
+        let mut duration = 0.0;
+        let mut packets = 0usize;
+        let mut on_time = 0.0;
+        for _ in 0..n {
+            let s = sampler::sample_session(&p, &mut rng);
+            duration += s.duration();
+            packets += s.total_packets();
+            on_time += s.calls.iter().map(|c| c.on_duration()).sum::<f64>();
+        }
+        let mc_duration = duration / n as f64;
+        let mc_packets = packets as f64 / n as f64;
+        let mc_on_share = on_time / duration;
+
+        println!("{model}");
+        println!("  mean session duration  analytic {:>9.1} s   sampled {:>9.1} s",
+                 p.mean_session_duration(), mc_duration);
+        println!("  packets per session    analytic {:>9.1}     sampled {:>9.1}",
+                 p.mean_packets_per_session(), mc_packets);
+        println!("  on-state share         analytic {:>9.3}     sampled {:>9.3}",
+                 p.on_probability(), mc_on_share);
+        println!("  mean packet rate       {:.3} packets/s  (burstiness IDC(inf) = {:.1})",
+                 ipp.mean_rate(), ipp.asymptotic_idc());
+
+        // Aggregation: 10 users as one MMPP.
+        let agg = ipp.aggregate(10);
+        let pi = agg.steady_state();
+        let all_on = pi[0];
+        let all_off = pi[10];
+        println!("  10 aggregated users: mean rate {:.2} packets/s, P(all on) = {:.2e}, P(all off) = {:.2e}\n",
+                 agg.mean_rate(), all_on, all_off);
+    }
+}

@@ -1,0 +1,48 @@
+//! Smoke tests of the experiment harness through the umbrella crate:
+//! the closed-form figures run in milliseconds and their shape checks
+//! encode the paper's prose claims, so they belong in the test suite.
+
+use gprs_repro::experiments::figures::{run_figure, tables};
+use gprs_repro::experiments::{chart, Scale};
+
+#[test]
+fn tables_render_the_paper_parameters() {
+    let all = tables::render_all();
+    // Table 2 anchors.
+    assert!(all.contains("13.4"));
+    assert!(all.contains("eta"));
+    // Table 3 anchors (session durations).
+    assert!(all.contains("2122.5"));
+    assert!(all.contains("312.5"));
+}
+
+#[test]
+fn fig14_voice_impact_reproduces() {
+    let fig = run_figure("fig14", Scale::Quick).expect("fig14 runs");
+    assert!(fig.all_pass(), "checks: {:#?}", fig.checks);
+    // Rendering must include every series and its legend.
+    let txt = chart::render_figure(&fig);
+    assert!(txt.contains("0 reserved PDCHs"));
+    assert!(txt.contains("4 reserved PDCHs"));
+    let csv = chart::to_csv(&fig);
+    assert!(csv.lines().count() > 50);
+}
+
+#[test]
+fn fig15_session_blocking_reproduces() {
+    let fig = run_figure("fig15", Scale::Quick).expect("fig15 runs");
+    assert!(fig.all_pass(), "checks: {:#?}", fig.checks);
+    // The paper's two claims, re-stated here as belt and braces: 2 %
+    // blocking invisible, 10 % blocking visible.
+    let blocking_panel = &fig.panels[1];
+    let two = &blocking_panel.series[0];
+    let ten = &blocking_panel.series[1];
+    assert!(two.y.iter().all(|&b| b < 1e-5));
+    assert!(ten.y.last().copied().unwrap() > 1e-3);
+}
+
+#[test]
+fn unknown_figure_is_a_clean_error() {
+    let err = run_figure("fig99", Scale::Quick).unwrap_err();
+    assert!(err.contains("unknown figure"));
+}

@@ -1,0 +1,146 @@
+//! Property-based invariants of the solved model: every randomly drawn
+//! (small) configuration must satisfy the paper's measure identities and
+//! the product-form marginal structure, not just the hand-picked
+//! configurations of `model_theory.rs`.
+
+use gprs_repro::core::{CellConfig, GprsModel};
+use gprs_repro::ctmc::SolveOptions;
+use gprs_repro::queueing::erlang;
+use gprs_repro::traffic::mmpp::binomial_pmf;
+use gprs_repro::traffic::TrafficModel;
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = CellConfig> {
+    (
+        3usize..=8,   // total channels
+        0usize..=2,   // reserved PDCHs
+        3usize..=10,  // buffer capacity
+        1usize..=4,   // max GPRS sessions
+        0.05f64..2.0, // call arrival rate
+        0.01f64..0.3, // GPRS fraction
+        0u8..3,       // traffic model
+    )
+        .prop_filter_map(
+            "reserved must leave a voice channel",
+            |(n, res, k, m, rate, frac, tm)| {
+                if res >= n {
+                    return None;
+                }
+                let tm = match tm {
+                    0 => TrafficModel::Model1,
+                    1 => TrafficModel::Model2,
+                    _ => TrafficModel::Model3,
+                };
+                let mut cfg = CellConfig::builder()
+                    .traffic_model(tm)
+                    .total_channels(n)
+                    .reserved_pdchs(res)
+                    .buffer_capacity(k)
+                    .max_gprs_sessions(m)
+                    .call_arrival_rate(rate)
+                    .build()
+                    .ok()?;
+                cfg.gprs_fraction = frac;
+                Some(cfg)
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn measure_identities_hold_for_random_configurations(cfg in config_strategy()) {
+        let model = GprsModel::new(cfg).unwrap();
+        let solved = model.solve(&SolveOptions::default(), None).unwrap();
+        let m = solved.measures();
+
+        // Probabilities are probabilities.
+        prop_assert!((0.0..=1.0).contains(&m.packet_loss_probability));
+        prop_assert!((0.0..=1.0).contains(&m.gsm_blocking_probability));
+        prop_assert!((0.0..=1.0).contains(&m.gprs_blocking_probability));
+
+        // Eq. 9's structure: accepted = offered · (1 − PLP).
+        let accepted = m.offered_packet_rate * (1.0 - m.packet_loss_probability);
+        prop_assert!(
+            (m.accepted_packet_rate - accepted).abs()
+                <= 1e-6 * m.accepted_packet_rate.max(1e-12),
+            "accepted {} vs offered·(1−PLP) {}",
+            m.accepted_packet_rate,
+            accepted
+        );
+
+        // Throughput = CDT·μ_service (the definition behind Eqs. 9–11).
+        let mu = model.config().packet_service_rate();
+        prop_assert!(
+            (m.data_throughput - m.carried_data_traffic * mu).abs()
+                <= 1e-6 * m.data_throughput.max(1e-12)
+        );
+
+        // Little's law on the BSC buffer (Eq. 10).
+        prop_assert!(
+            (m.queueing_delay * m.data_throughput - m.mean_queue_length).abs()
+                <= 1e-6 * m.mean_queue_length.max(1e-9)
+        );
+
+        // Eq. 11: ATU·AGS = throughput.
+        prop_assert!(
+            (m.throughput_per_user_pkts * m.avg_gprs_sessions - m.data_throughput)
+                .abs()
+                <= 1e-6 * m.data_throughput.max(1e-12)
+        );
+
+        // Physical bounds.
+        prop_assert!(m.carried_data_traffic <= model.config().total_channels as f64 + 1e-9);
+        prop_assert!(m.carried_voice_traffic <= model.config().gsm_channels() as f64 + 1e-9);
+        prop_assert!(m.mean_queue_length <= model.config().buffer_capacity as f64 + 1e-9);
+    }
+
+    #[test]
+    fn product_form_marginals_hold_for_random_configurations(cfg in config_strategy()) {
+        let model = GprsModel::new(cfg).unwrap();
+        let solved = model.solve(&SolveOptions::default(), None).unwrap();
+        let space = *model.space();
+
+        // Voice marginal = balanced Erlang loss system.
+        let voice = solved
+            .stationary()
+            .marginal(space.n_gsm() + 1, |idx| space.decode(idx).n);
+        let gsm = &model.balanced_gsm().queue;
+        let erl = erlang::mmcc_distribution(gsm.servers(), gsm.offered_load()).unwrap();
+        for (n, (&a, &b)) in voice.iter().zip(&erl).enumerate() {
+            prop_assert!((a - b).abs() < 1e-7, "voice marginal at n={n}: {a} vs {b}");
+        }
+
+        // Session marginal = balanced Erlang(M) system.
+        let sessions = solved
+            .stationary()
+            .marginal(space.m_cap() + 1, |idx| space.decode(idx).m);
+        let gprs = &model.balanced_gprs().queue;
+        let erl = erlang::mmcc_distribution(gprs.servers(), gprs.offered_load()).unwrap();
+        for (mm, (&a, &b)) in sessions.iter().zip(&erl).enumerate() {
+            prop_assert!((a - b).abs() < 1e-7, "session marginal at m={mm}: {a} vs {b}");
+        }
+
+        // Off-source count given m sessions is Binomial(m, p_off).
+        let p_off = model.config().traffic.to_ipp().off_probability();
+        let m_pick = space.m_cap();
+        let joint_m: f64 = sessions[m_pick];
+        if joint_m > 1e-8 {
+            let mut r_marginal = vec![0.0; m_pick + 1];
+            for (idx, st) in space.states().enumerate() {
+                if st.m == m_pick {
+                    r_marginal[st.r] += solved.stationary()[idx];
+                }
+            }
+            let pmf = binomial_pmf(m_pick, p_off);
+            for (r, (&a, &b)) in r_marginal.iter().zip(&pmf).enumerate() {
+                prop_assert!(
+                    (a / joint_m - b).abs() < 1e-6,
+                    "r|m={m_pick} marginal at r={r}: {} vs {b}",
+                    a / joint_m
+                );
+            }
+        }
+    }
+}
