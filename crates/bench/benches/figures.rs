@@ -20,8 +20,7 @@ fn main() {
         .collect();
 
     let figure_ids = [
-        "fig14", "fig15", "fig11", "fig12", "fig13", "fig07", "fig08", "fig09",
-        "fig10", "ext01",
+        "fig14", "fig15", "fig11", "fig12", "fig13", "fig07", "fig08", "fig09", "fig10", "ext01",
     ];
     let mut failures = 0;
     for id in figure_ids {
@@ -35,12 +34,8 @@ fn main() {
                 println!("{} — regenerated in {elapsed:.2?}", fig.title);
                 for panel in &fig.panels {
                     for s in &panel.series {
-                        let head: Vec<String> = s
-                            .y
-                            .iter()
-                            .take(6)
-                            .map(|v| format!("{v:.4}"))
-                            .collect();
+                        let head: Vec<String> =
+                            s.y.iter().take(6).map(|v| format!("{v:.4}")).collect();
                         println!(
                             "    {} / {}: [{}{}]",
                             panel.title,

@@ -1,0 +1,111 @@
+//! Sequential vs parallel pipeline benchmarks — the evidence behind the
+//! parallel solve pipeline:
+//!
+//! * `sweep8_*` — an 8-point arrival-rate sweep (the paper's x-axis)
+//!   run sequentially vs fanned out over the machine's threads, at the
+//!   ~15k-state and ~190k-state fixtures. On a multi-core runner the
+//!   parallel sweep approaches `min(threads, 8)`× the sequential
+//!   throughput; before timing, both paths are checked to agree within
+//!   solver tolerance.
+//! * `solve_*` — one stationary solve: sequential point Gauss–Seidel vs
+//!   parallel red-black SOR vs damped parallel Jacobi on the assembled
+//!   chain.
+//! * `assemble_*` — Table 1 transition enumeration + CSR assembly,
+//!   sequential vs row-parallel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gprs_bench::{medium_model, small_model};
+use gprs_core::sweep::{par_sweep_arrival_rates, rate_grid, sweep_arrival_rates};
+use gprs_core::GprsModel;
+use gprs_ctmc::parallel::{num_threads, solve_jacobi, RedBlackSor};
+use gprs_ctmc::solver::{solve_gauss_seidel, SolveOptions};
+use gprs_ctmc::SparseGenerator;
+
+fn opts() -> SolveOptions {
+    SolveOptions::quick().with_max_sweeps(200_000)
+}
+
+fn check_agreement(model: &GprsModel, rates: &[f64]) {
+    let seq = sweep_arrival_rates(model.config(), rates, &opts()).expect("sequential sweep");
+    let par = par_sweep_arrival_rates(model.config(), rates, &opts()).expect("parallel sweep");
+    assert_eq!(seq.len(), par.len());
+    for (s, p) in seq.iter().zip(&par) {
+        assert_eq!(s.rate, p.rate, "points must come back in rate order");
+        let diff = (s.measures.carried_data_traffic - p.measures.carried_data_traffic).abs();
+        assert!(
+            diff <= 1e-8,
+            "sequential and parallel sweeps disagree at rate {}: {diff:.3e}",
+            s.rate
+        );
+    }
+}
+
+fn bench_sweep_pipeline(c: &mut Criterion) {
+    println!("parallel sweep workers: {}", num_threads());
+    for (label, model) in [
+        ("small_15k", small_model()),
+        ("medium_190k", medium_model()),
+    ] {
+        let rates = rate_grid(0.1, 1.0, 8);
+        check_agreement(&model, &rates);
+        let mut g = c.benchmark_group(format!("sweep8_{label}"));
+        g.sample_size(3);
+        g.bench_function("sequential", |b| {
+            b.iter(|| sweep_arrival_rates(model.config(), &rates, &opts()).unwrap())
+        });
+        g.bench_function("parallel", |b| {
+            b.iter(|| par_sweep_arrival_rates(model.config(), &rates, &opts()).unwrap())
+        });
+        g.finish();
+    }
+}
+
+fn bench_parallel_solvers(c: &mut Criterion) {
+    let model = small_model();
+    let sparse = model.assemble_sparse().expect("assembly");
+    let guess = model.product_form_guess();
+    let sor = RedBlackSor::new(&sparse).expect("coloring");
+    println!(
+        "small fixture: {} states, {} nonzeros, {} colors",
+        sparse.num_states(),
+        sparse.num_nonzeros(),
+        sor.num_colors()
+    );
+    let mut g = c.benchmark_group("solve_small_15k");
+    g.sample_size(3);
+    g.bench_function("point_gauss_seidel_seq", |b| {
+        b.iter(|| solve_gauss_seidel(&sparse, Some(&guess), &opts()).unwrap())
+    });
+    g.bench_function("red_black_sor_par", |b| {
+        b.iter(|| sor.solve(Some(&guess), &opts()).unwrap())
+    });
+    g.bench_function("jacobi_par", |b| {
+        b.iter(|| solve_jacobi(&sparse, Some(&guess), &opts()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    for (label, model) in [
+        ("small_15k", small_model()),
+        ("medium_190k", medium_model()),
+    ] {
+        let mut g = c.benchmark_group(format!("assemble_{label}"));
+        g.sample_size(5);
+        g.bench_function("sequential", |b| {
+            b.iter(|| SparseGenerator::from_transitions(&model).unwrap())
+        });
+        g.bench_function("parallel", |b| {
+            b.iter(|| SparseGenerator::from_transitions_par(&model, num_threads()).unwrap())
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_sweep_pipeline,
+    bench_parallel_solvers,
+    bench_assembly
+);
+criterion_main!(benches);

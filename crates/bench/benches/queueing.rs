@@ -14,16 +14,12 @@ fn bench_erlang(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("blocking", servers),
             &servers,
-            |b, &servers| {
-                b.iter(|| erlang_b(servers, servers as f64 * 0.9).unwrap())
-            },
+            |b, &servers| b.iter(|| erlang_b(servers, servers as f64 * 0.9).unwrap()),
         );
         g.bench_with_input(
             BenchmarkId::new("distribution", servers),
             &servers,
-            |b, &servers| {
-                b.iter(|| mmcc_distribution(servers, servers as f64 * 0.9).unwrap())
-            },
+            |b, &servers| b.iter(|| mmcc_distribution(servers, servers as f64 * 0.9).unwrap()),
         );
     }
     g.finish();
@@ -80,9 +76,7 @@ fn bench_ipp_mck(c: &mut Criterion) {
             BenchmarkId::new("solve", capacity),
             &capacity,
             |b, &capacity| {
-                b.iter(|| {
-                    IppMckQueue::new(0.32, 0.32, 8.33, 4, 3.49, capacity).unwrap()
-                })
+                b.iter(|| IppMckQueue::new(0.32, 0.32, 8.33, 4, 3.49, capacity).unwrap())
             },
         );
     }

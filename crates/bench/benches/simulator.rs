@@ -112,8 +112,7 @@ fn bench_stats(c: &mut Criterion) {
     g.throughput(Throughput::Elements(n));
     g.bench_function("time_weighted_updates", |b| {
         b.iter(|| {
-            let mut tw =
-                gprs_des::stats::TimeWeighted::new(SimTime::ZERO, 0.0);
+            let mut tw = gprs_des::stats::TimeWeighted::new(SimTime::ZERO, 0.0);
             for i in 0..n {
                 tw.set(SimTime::new(i as f64 * 0.001), (i % 20) as f64);
             }

@@ -60,9 +60,7 @@ fn bench_solver_comparison(c: &mut Criterion) {
     let mut g = c.benchmark_group("solver_small_15k");
     g.sample_size(10);
     g.bench_function("mbd_projected", |b| {
-        b.iter(|| {
-            solve_mbd_projected(&model, &marginal, Some(&guess), &opts()).unwrap()
-        })
+        b.iter(|| solve_mbd_projected(&model, &marginal, Some(&guess), &opts()).unwrap())
     });
     g.bench_function("mbd_plain", |b| {
         b.iter(|| solve_mbd(&model, Some(&guess), &opts()).unwrap())

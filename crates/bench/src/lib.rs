@@ -5,6 +5,10 @@
 //! * `solver` — steady-state solver comparison (block tridiagonal vs
 //!   point Gauss–Seidel vs GTH) across state-space sizes — the ablation
 //!   behind DESIGN.md's solver choice.
+//! * `parallel` — sequential vs parallel pipeline: 8-point sweeps
+//!   fanned out across threads, red-black SOR / Jacobi vs sequential
+//!   Gauss–Seidel, and row-parallel sparse assembly, at the
+//!   [`small_model`] and [`medium_model`] fixtures.
 //! * `generator` — transition enumeration and sparse assembly
 //!   throughput.
 //! * `simulator` — discrete-event throughput (events/s) for both radio

@@ -474,8 +474,7 @@ pub fn reconfiguration_transient(
             .map(|(a, b)| (a - b).abs())
             .sum::<f64>()
             / 2.0;
-        let measures =
-            Measures::compute(&new_model, &StationaryDistribution::new(pi_t));
+        let measures = Measures::compute(&new_model, &StationaryDistribution::new(pi_t));
         points.push(TransientPoint {
             time: t,
             measures,
@@ -549,16 +548,10 @@ mod tests {
     fn rejects_bad_grids() {
         let base = small_base();
         let opts = SolveOptions::quick();
-        assert!(PolicyTable::compute(&base, &QosTargets::new(), &[], 0..=2, &opts)
-            .is_err());
-        assert!(PolicyTable::compute(
-            &base,
-            &QosTargets::new(),
-            &[0.5, 0.5],
-            0..=2,
-            &opts
-        )
-        .is_err());
+        assert!(PolicyTable::compute(&base, &QosTargets::new(), &[], 0..=2, &opts).is_err());
+        assert!(
+            PolicyTable::compute(&base, &QosTargets::new(), &[0.5, 0.5], 0..=2, &opts).is_err()
+        );
         assert!(PolicyTable::compute(
             &base,
             &QosTargets::new(),
@@ -588,10 +581,7 @@ mod tests {
         assert_eq!(ctl.observe(hi_rate), Decision::Keep(lo));
         assert_eq!(ctl.observe(hi_rate), Decision::Keep(lo));
         // Third consecutive: switch.
-        assert_eq!(
-            ctl.observe(hi_rate),
-            Decision::Switch { from: lo, to: hi }
-        );
+        assert_eq!(ctl.observe(hi_rate), Decision::Switch { from: lo, to: hi });
         assert_eq!(ctl.current(), hi);
     }
 
@@ -624,7 +614,7 @@ mod tests {
         );
         let _ = ctl.observe(1.5); // streak 1
         let _ = ctl.observe(0.1); // back to current: reset
-        // Needs a fresh streak of 2 again.
+                                  // Needs a fresh streak of 2 again.
         assert!(matches!(ctl.observe(1.5), Decision::Keep(_)));
         assert!(matches!(ctl.observe(1.5), Decision::Switch { .. }));
     }
@@ -653,12 +643,10 @@ mod tests {
         let pi_big = big.solve(&opts, None).unwrap();
 
         // Grow: inject.
-        let grown =
-            map_distribution(small.space(), big.space(), pi_small.stationary()).unwrap();
+        let grown = map_distribution(small.space(), big.space(), pi_small.stationary()).unwrap();
         assert!((grown.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // Shrink: censor to the boundary.
-        let shrunk =
-            map_distribution(big.space(), small.space(), pi_big.stationary()).unwrap();
+        let shrunk = map_distribution(big.space(), small.space(), pi_big.stationary()).unwrap();
         assert!((shrunk.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // The shrunk law's boundary voice state absorbed the tail mass:
         // P(n = 3) under the new space >= P(n = 3) under the old.
@@ -683,10 +671,7 @@ mod tests {
     fn map_distribution_rejects_mismatched_buffers() {
         let a = StateSpace::new(3, 5, 2);
         let b = StateSpace::new(3, 6, 2);
-        let pi = StationaryDistribution::new(vec![
-            1.0 / a.num_states() as f64;
-            a.num_states()
-        ]);
+        let pi = StationaryDistribution::new(vec![1.0 / a.num_states() as f64; a.num_states()]);
         assert!(map_distribution(&a, &b, &pi).is_err());
     }
 
@@ -695,13 +680,9 @@ mod tests {
         let old = small_base();
         let mut new = small_base();
         new.reserved_pdchs = 3;
-        let pts = reconfiguration_transient(
-            &old,
-            &new,
-            &[0.0, 10.0, 2000.0],
-            &SolveOptions::quick(),
-        )
-        .unwrap();
+        let pts =
+            reconfiguration_transient(&old, &new, &[0.0, 10.0, 2000.0], &SolveOptions::quick())
+                .unwrap();
         assert_eq!(pts.len(), 3);
         // Distance decreases and ends near zero.
         assert!(pts[0].distance_to_steady_state >= pts[1].distance_to_steady_state);

@@ -74,10 +74,7 @@ impl CellConfig {
     /// # Errors
     ///
     /// Returns [`ModelError::Config`] if `call_arrival_rate` is invalid.
-    pub fn paper_base(
-        model: TrafficModel,
-        call_arrival_rate: f64,
-    ) -> Result<Self, ModelError> {
+    pub fn paper_base(model: TrafficModel, call_arrival_rate: f64) -> Result<Self, ModelError> {
         CellConfigBuilder::new()
             .traffic_model(model)
             .call_arrival_rate(call_arrival_rate)
@@ -183,9 +180,7 @@ impl CellConfig {
         if self.max_gprs_sessions == 0 {
             return fail("max_gprs_sessions must be >= 1".into());
         }
-        if !(self.block_error_rate.is_finite()
-            && (0.0..1.0).contains(&self.block_error_rate))
-        {
+        if !(self.block_error_rate.is_finite() && (0.0..1.0).contains(&self.block_error_rate)) {
             return fail(format!(
                 "block_error_rate must lie in [0, 1), got {}",
                 self.block_error_rate
@@ -360,7 +355,10 @@ mod tests {
 
     #[test]
     fn arrival_split() {
-        let c = CellConfig::builder().call_arrival_rate(1.0).build().unwrap();
+        let c = CellConfig::builder()
+            .call_arrival_rate(1.0)
+            .build()
+            .unwrap();
         assert!((c.gsm_arrival_rate() - 0.95).abs() < 1e-12);
         assert!((c.gprs_arrival_rate() - 0.05).abs() < 1e-12);
     }
@@ -368,11 +366,11 @@ mod tests {
     #[test]
     fn block_errors_scale_the_effective_service_rate() {
         let clean = CellConfig::builder().build().unwrap();
-        let noisy = CellConfig::builder().block_error_rate(0.25).build().unwrap();
-        assert!(
-            (noisy.packet_service_rate() - 0.75 * clean.packet_service_rate()).abs()
-                < 1e-12
-        );
+        let noisy = CellConfig::builder()
+            .block_error_rate(0.25)
+            .build()
+            .unwrap();
+        assert!((noisy.packet_service_rate() - 0.75 * clean.packet_service_rate()).abs() < 1e-12);
         // The paper's setting is the default: no retransmissions.
         assert_eq!(clean.block_error_rate, 0.0);
     }
@@ -380,7 +378,10 @@ mod tests {
     #[test]
     fn bler_outside_unit_interval_is_rejected() {
         assert!(CellConfig::builder().block_error_rate(1.0).build().is_err());
-        assert!(CellConfig::builder().block_error_rate(-0.1).build().is_err());
+        assert!(CellConfig::builder()
+            .block_error_rate(-0.1)
+            .build()
+            .is_err());
         assert!(CellConfig::builder()
             .block_error_rate(f64::NAN)
             .build()
@@ -430,9 +431,15 @@ mod tests {
         assert!(CellConfig::builder().tcp_threshold(1.5).build().is_err());
         assert!(CellConfig::builder().gprs_fraction(0.0).build().is_err());
         assert!(CellConfig::builder().gprs_fraction(1.0).build().is_err());
-        assert!(CellConfig::builder().call_arrival_rate(0.0).build().is_err());
+        assert!(CellConfig::builder()
+            .call_arrival_rate(0.0)
+            .build()
+            .is_err());
         assert!(CellConfig::builder().max_gprs_sessions(0).build().is_err());
-        assert!(CellConfig::builder().gsm_call_duration(-5.0).build().is_err());
+        assert!(CellConfig::builder()
+            .gsm_call_duration(-5.0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -188,14 +188,20 @@ impl GprsModel {
         }
     }
 
-    /// Assembles the full sparse generator (for tests and small
-    /// instances; prefer the matrix-free traits for production solves).
+    /// Assembles the full sparse generator, enumerating Table 1's rows
+    /// across threads (`RAYON_NUM_THREADS` workers, see
+    /// [`gprs_ctmc::parallel::num_threads`]). The result is identical
+    /// for any thread count. Prefer the matrix-free traits for solves
+    /// that never need the assembled matrix.
     ///
     /// # Errors
     ///
     /// Propagates CTMC assembly errors.
     pub fn assemble_sparse(&self) -> Result<SparseGenerator, ModelError> {
-        Ok(SparseGenerator::from_transitions(self)?)
+        Ok(SparseGenerator::from_transitions_par(
+            self,
+            gprs_ctmc::parallel::num_threads(),
+        )?)
     }
 
     /// The **exact** stationary distribution of the phase process
@@ -264,10 +270,7 @@ impl Transitions for GprsModel {
         // (ii) GPRS session arrival / handover in, joining in IPP steady
         // state: on with p_on (r unchanged), off with p_off (r + 1).
         if m < sp.m_cap() {
-            visit(
-                sp.index(CellState { m: m + 1, ..s }),
-                rt.p_on * rt.lam_gprs,
-            );
+            visit(sp.index(CellState { m: m + 1, ..s }), rt.p_on * rt.lam_gprs);
             visit(
                 sp.index(CellState {
                     m: m + 1,
@@ -279,10 +282,7 @@ impl Transitions for GprsModel {
         }
         // (iii) GSM call completes or hands over out.
         if n > 0 {
-            visit(
-                sp.index(CellState { n: n - 1, ..s }),
-                n as f64 * rt.mu_gsm,
-            );
+            visit(sp.index(CellState { n: n - 1, ..s }), n as f64 * rt.mu_gsm);
         }
         // (iv) GPRS session leaves; the departing session is off with
         // probability r/m, on with (m−r)/m.
@@ -321,10 +321,7 @@ impl Transitions for GprsModel {
         }
         // (vii) MMPP phase changes.
         if r < m {
-            visit(
-                sp.index(CellState { r: r + 1, ..s }),
-                (m - r) as f64 * rt.a,
-            );
+            visit(sp.index(CellState { r: r + 1, ..s }), (m - r) as f64 * rt.a);
         }
         if r > 0 {
             visit(sp.index(CellState { r: r - 1, ..s }), r as f64 * rt.b);
@@ -354,10 +351,7 @@ impl IncomingTransitions for GprsModel {
         // needs r ≤ m−1) or off (from (m−1, r−1)).
         if m > 0 {
             if r < m {
-                visit(
-                    sp.index(CellState { m: m - 1, ..s }),
-                    rt.p_on * rt.lam_gprs,
-                );
+                visit(sp.index(CellState { m: m - 1, ..s }), rt.p_on * rt.lam_gprs);
             }
             if r > 0 {
                 visit(
@@ -415,10 +409,7 @@ impl IncomingTransitions for GprsModel {
             );
         }
         if r < m {
-            visit(
-                sp.index(CellState { r: r + 1, ..s }),
-                (r + 1) as f64 * rt.b,
-            );
+            visit(sp.index(CellState { r: r + 1, ..s }), (r + 1) as f64 * rt.b);
         }
     }
 }
@@ -501,14 +492,8 @@ impl ModulatedBirthDeath for GprsModel {
             }
         }
         if m < sp.m_cap() {
-            visit(
-                sp.phase_index(n, m + 1, r),
-                (m + 1 - r) as f64 * rt.mu_gprs,
-            );
-            visit(
-                sp.phase_index(n, m + 1, r + 1),
-                (r + 1) as f64 * rt.mu_gprs,
-            );
+            visit(sp.phase_index(n, m + 1, r), (m + 1 - r) as f64 * rt.mu_gprs);
+            visit(sp.phase_index(n, m + 1, r + 1), (r + 1) as f64 * rt.mu_gprs);
         }
         if r > 0 {
             visit(sp.phase_index(n, m, r - 1), (m - (r - 1)) as f64 * rt.a);
@@ -624,16 +609,31 @@ mod tests {
             .unwrap();
         let model = GprsModel::new(config).unwrap();
         // State above threshold (k=5 > 3), all 3 sessions on.
-        let s = CellState { n: 0, k: 5, m: 3, r: 0 };
+        let s = CellState {
+            n: 0,
+            k: 5,
+            m: 3,
+            r: 0,
+        };
         let offered = model.offered_packet_rate(s);
         let service = model.busy_pdchs(5, 0) as f64 * model.rates().mu_service;
         let full = 3.0 * model.rates().lam_packet;
         assert!((offered - full.min(service)).abs() < 1e-12);
         // Below threshold: full rate.
-        let s = CellState { n: 0, k: 2, m: 3, r: 0 };
+        let s = CellState {
+            n: 0,
+            k: 2,
+            m: 3,
+            r: 0,
+        };
         assert!((model.offered_packet_rate(s) - full).abs() < 1e-12);
         // All sources off: zero.
-        let s = CellState { n: 0, k: 2, m: 3, r: 3 };
+        let s = CellState {
+            n: 0,
+            k: 2,
+            m: 3,
+            r: 3,
+        };
         assert_eq!(model.offered_packet_rate(s), 0.0);
     }
 
@@ -650,7 +650,12 @@ mod tests {
             .unwrap();
         let model = GprsModel::new(config).unwrap();
         // Even at k = K the offered rate is the full source rate.
-        let s = CellState { n: 0, k: 6, m: 2, r: 0 };
+        let s = CellState {
+            n: 0,
+            k: 6,
+            m: 2,
+            r: 0,
+        };
         let full = 2.0 * model.rates().lam_packet;
         assert!((model.offered_packet_rate(s) - full).abs() < 1e-12);
     }
@@ -737,8 +742,6 @@ mod tests {
         assert!(model.rates().lam_gsm > config.gsm_arrival_rate());
         assert!(model.rates().lam_gprs > config.gprs_arrival_rate());
         // Leave rates are completion + handover.
-        assert!(
-            (model.rates().mu_gsm - (1.0 / 120.0 + 1.0 / 60.0)).abs() < 1e-12
-        );
+        assert!((model.rates().mu_gsm - (1.0 / 120.0 + 1.0 / 60.0)).abs() < 1e-12);
     }
 }

@@ -53,7 +53,8 @@
 //!   (matrix-free), implementing the `gprs-ctmc` traits.
 //! * [`measures`] — Eqs. 6–11: CVT, AGS, CDT, PLP, QD, ATU, blocking.
 //! * [`solve`] — handover balancing + steady-state solution.
-//! * [`sweep`] — warm-started arrival-rate sweeps (the paper's x-axes).
+//! * [`sweep`] — warm-started arrival-rate sweeps (the paper's x-axes),
+//!   sequential and thread-parallel (`par_sweep_arrival_rates`).
 //! * [`qos`] — PDCH dimensioning against a QoS profile (Section 5.3).
 //! * [`adaptive`] — dynamic PDCH re-dimensioning (policy table +
 //!   hysteresis controller + reconfiguration transients), the paper's

@@ -99,7 +99,11 @@ impl Measures {
         } else {
             0.0
         };
-        let qd = if throughput > 0.0 { mql / throughput } else { 0.0 };
+        let qd = if throughput > 0.0 {
+            mql / throughput
+        } else {
+            0.0
+        };
 
         let gsm = model.balanced_gsm();
         let gprs = model.balanced_gprs();
@@ -151,11 +155,7 @@ impl GprsModel {
     /// # Panics
     ///
     /// Panics if `pi` does not match the model or `level > K`.
-    pub fn buffer_tail_probability(
-        &self,
-        pi: &StationaryDistribution,
-        level: usize,
-    ) -> f64 {
+    pub fn buffer_tail_probability(&self, pi: &StationaryDistribution, level: usize) -> f64 {
         let dist = self.buffer_distribution(pi);
         assert!(level < dist.len(), "level {level} exceeds buffer capacity");
         dist[level..].iter().sum()
@@ -169,11 +169,7 @@ impl GprsModel {
     ///
     /// Panics if `pi` does not match the model or `q` is outside
     /// `(0, 1]`.
-    pub fn buffer_occupancy_quantile(
-        &self,
-        pi: &StationaryDistribution,
-        q: f64,
-    ) -> usize {
+    pub fn buffer_occupancy_quantile(&self, pi: &StationaryDistribution, q: f64) -> usize {
         assert!(q > 0.0 && q <= 1.0, "quantile must lie in (0, 1]");
         let dist = self.buffer_distribution(pi);
         let mut cum = 0.0;
@@ -207,8 +203,7 @@ mod tests {
             .unwrap();
         let model = GprsModel::new(config).unwrap();
         let guess = model.product_form_guess();
-        let sol =
-            solve_gauss_seidel(&model, Some(&guess), &SolveOptions::default()).unwrap();
+        let sol = solve_gauss_seidel(&model, Some(&guess), &SolveOptions::default()).unwrap();
         (model, sol.pi)
     }
 

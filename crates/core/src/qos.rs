@@ -201,9 +201,7 @@ mod tests {
 
     #[test]
     fn reference_throughput_is_positive_and_bounded() {
-        let r =
-            reference_throughput_per_user(&small_base(0.5), &SolveOptions::quick())
-                .unwrap();
+        let r = reference_throughput_per_user(&small_base(0.5), &SolveOptions::quick()).unwrap();
         assert!(r > 0.0);
         // Cannot exceed the 8-slot multislot cap.
         assert!(r <= 8.0 * 13.4 + 1e-9);
@@ -211,18 +209,10 @@ mod tests {
 
     #[test]
     fn degradation_grows_with_load() {
-        let lo = check_throughput_degradation(
-            &small_base(0.05),
-            0.5,
-            &SolveOptions::quick(),
-        )
-        .unwrap();
-        let hi = check_throughput_degradation(
-            &small_base(2.0),
-            0.5,
-            &SolveOptions::quick(),
-        )
-        .unwrap();
+        let lo =
+            check_throughput_degradation(&small_base(0.05), 0.5, &SolveOptions::quick()).unwrap();
+        let hi =
+            check_throughput_degradation(&small_base(2.0), 0.5, &SolveOptions::quick()).unwrap();
         assert!(hi.degradation >= lo.degradation);
         assert!((0.0..=1.0).contains(&lo.degradation));
     }
@@ -231,11 +221,9 @@ mod tests {
     fn more_reserved_pdchs_reduce_degradation() {
         let mut base = small_base(1.5);
         base.reserved_pdchs = 0;
-        let none =
-            check_throughput_degradation(&base, 0.5, &SolveOptions::quick()).unwrap();
+        let none = check_throughput_degradation(&base, 0.5, &SolveOptions::quick()).unwrap();
         base.reserved_pdchs = 3;
-        let three =
-            check_throughput_degradation(&base, 0.5, &SolveOptions::quick()).unwrap();
+        let three = check_throughput_degradation(&base, 0.5, &SolveOptions::quick()).unwrap();
         assert!(three.degradation <= none.degradation + 1e-9);
     }
 
@@ -243,13 +231,11 @@ mod tests {
     fn min_reserved_search_finds_a_feasible_point_or_none() {
         let base = small_base(1.0);
         // A very lax profile is satisfiable with few PDCHs.
-        let lax = min_reserved_pdchs_for_qos(&base, 0.95, 4, &SolveOptions::quick())
-            .unwrap();
+        let lax = min_reserved_pdchs_for_qos(&base, 0.95, 4, &SolveOptions::quick()).unwrap();
         assert!(lax.is_some());
         // An impossible profile (0 % degradation at high load) returns None.
         let strict =
-            min_reserved_pdchs_for_qos(&small_base(3.0), 0.0, 2, &SolveOptions::quick())
-                .unwrap();
+            min_reserved_pdchs_for_qos(&small_base(3.0), 0.0, 2, &SolveOptions::quick()).unwrap();
         assert!(strict.is_none());
     }
 
@@ -268,7 +254,10 @@ mod tests {
             let mut cfg = base.clone();
             cfg.call_arrival_rate = rate;
             let m = GprsModel::new(cfg).unwrap();
-            m.solve(&opts, None).unwrap().measures().packet_loss_probability
+            m.solve(&opts, None)
+                .unwrap()
+                .measures()
+                .packet_loss_probability
         };
         assert!(check(limit * 0.9) <= 9e-2 + 1e-6);
         assert!(check(limit * 1.2) > 9e-2);
@@ -280,13 +269,17 @@ mod tests {
         let base = small_base(0.5);
         let opts = SolveOptions::quick();
         // Impossible target: no feasible region.
-        let none =
-            max_sustainable_rate(&base, &QosTargets::new().max_packet_loss(0.0), 2.0, 0.05, &opts)
-                .unwrap();
+        let none = max_sustainable_rate(
+            &base,
+            &QosTargets::new().max_packet_loss(0.0),
+            2.0,
+            0.05,
+            &opts,
+        )
+        .unwrap();
         assert!(none.is_none());
         // Trivial target: the probed ceiling comes back.
-        let all = max_sustainable_rate(&base, &QosTargets::new(), 2.0, 0.05, &opts)
-            .unwrap();
+        let all = max_sustainable_rate(&base, &QosTargets::new(), 2.0, 0.05, &opts).unwrap();
         assert_eq!(all, Some(2.0));
         // Bad parameters are rejected.
         assert!(max_sustainable_rate(&base, &QosTargets::new(), -1.0, 0.05, &opts).is_err());

@@ -201,9 +201,7 @@ mod tests {
             .unwrap();
         assert!(again.sweeps() <= 4, "took {} sweeps", again.sweeps());
         assert!(
-            (again.measures().carried_data_traffic
-                - first.measures().carried_data_traffic)
-                .abs()
+            (again.measures().carried_data_traffic - first.measures().carried_data_traffic).abs()
                 < 1e-9
         );
     }
@@ -225,9 +223,7 @@ mod tests {
             )
             .unwrap();
         assert!(
-            (warm.measures().carried_data_traffic
-                - cold.measures().carried_data_traffic)
-                .abs()
+            (warm.measures().carried_data_traffic - cold.measures().carried_data_traffic).abs()
                 < 1e-7
         );
     }

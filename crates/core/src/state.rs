@@ -207,11 +207,13 @@ mod tests {
     #[test]
     fn index_is_phase_times_levels_plus_k() {
         let ss = StateSpace::new(3, 9, 4);
-        let s = CellState { n: 2, k: 5, m: 3, r: 1 };
-        assert_eq!(
-            ss.index(s),
-            ss.phase_index(2, 3, 1) * (ss.k_cap() + 1) + 5
-        );
+        let s = CellState {
+            n: 2,
+            k: 5,
+            m: 3,
+            r: 1,
+        };
+        assert_eq!(ss.index(s), ss.phase_index(2, 3, 1) * (ss.k_cap() + 1) + 5);
     }
 
     #[test]
@@ -230,10 +232,23 @@ mod tests {
         let all: Vec<CellState> = ss.states().collect();
         assert_eq!(all.len(), ss.num_states());
         // First state is the empty cell; last is the fullest.
-        assert_eq!(all[0], CellState { n: 0, k: 0, m: 0, r: 0 });
+        assert_eq!(
+            all[0],
+            CellState {
+                n: 0,
+                k: 0,
+                m: 0,
+                r: 0
+            }
+        );
         assert_eq!(
             all[all.len() - 1],
-            CellState { n: 1, k: 2, m: 2, r: 2 }
+            CellState {
+                n: 1,
+                k: 2,
+                m: 2,
+                r: 2
+            }
         );
     }
 

@@ -6,12 +6,24 @@
 //! balanced Erlang systems), which the block solver converges from in a
 //! handful of sweeps — measurably better than chaining the previous
 //! point's solution, whose phase marginals belong to the wrong rate.
+//!
+//! Because every point seeds from its own product-form guess, the points
+//! of a sweep are completely independent — which makes the sweep
+//! embarrassingly parallel. [`par_sweep_arrival_rates`] fans the points
+//! out across threads (worker count from
+//! [`gprs_ctmc::parallel::num_threads`], i.e. `RAYON_NUM_THREADS` or the
+//! machine width) through a work-stealing index queue, and returns the
+//! points in rate order with results bit-identical to the sequential
+//! sweep: each point runs the same deterministic solver code regardless
+//! of which worker picks it up.
 
 use crate::config::CellConfig;
 use crate::error::ModelError;
 use crate::generator::GprsModel;
 use crate::measures::Measures;
+use gprs_ctmc::parallel::num_threads;
 use gprs_ctmc::solver::SolveOptions;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One point of a sweep.
 #[derive(Debug, Clone)]
@@ -91,20 +103,156 @@ pub fn sweep_arrival_rates_with(
 ) -> Result<Vec<SweepPoint>, ModelError> {
     let mut results = Vec::with_capacity(rates.len());
     for (i, &rate) in rates.iter().enumerate() {
-        let mut cfg = base.clone();
-        cfg.call_arrival_rate = rate;
-        let model = GprsModel::new(cfg)?;
-        let solved = model.solve(opts, None)?;
-        let point = SweepPoint {
-            rate,
-            measures: *solved.measures(),
-            sweeps: solved.sweeps(),
-            residual: solved.residual(),
-        };
+        let point = solve_point(base, rate, opts)?;
         progress(i, &point);
         results.push(point);
     }
     Ok(results)
+}
+
+/// Solves one sweep point from its product-form guess.
+fn solve_point(
+    base: &CellConfig,
+    rate: f64,
+    opts: &SolveOptions,
+) -> Result<SweepPoint, ModelError> {
+    let mut cfg = base.clone();
+    cfg.call_arrival_rate = rate;
+    let model = GprsModel::new(cfg)?;
+    let solved = model.solve(opts, None)?;
+    Ok(SweepPoint {
+        rate,
+        measures: *solved.measures(),
+        sweeps: solved.sweeps(),
+        residual: solved.residual(),
+    })
+}
+
+/// Runs the model at each arrival rate across threads.
+///
+/// Every point is independent (each warm-starts from its own
+/// product-form guess), so the sweep fans out over a work queue of
+/// point indices; the worker count comes from
+/// [`gprs_ctmc::parallel::num_threads`] (`RAYON_NUM_THREADS`, or the
+/// machine width). Results come back **in rate order** and are
+/// bit-identical to [`sweep_arrival_rates`] for any thread count — the
+/// per-point solves are the same deterministic code, only their
+/// scheduling varies.
+///
+/// # Errors
+///
+/// Propagates the construction or convergence error of the *lowest-rate*
+/// failing point (matching what callers observe from the sequential
+/// sweep when every earlier point succeeds).
+///
+/// # Example
+///
+/// ```
+/// use gprs_core::sweep::{par_sweep_arrival_rates, rate_grid, sweep_arrival_rates};
+/// use gprs_core::CellConfig;
+/// use gprs_ctmc::SolveOptions;
+/// use gprs_traffic::TrafficModel;
+///
+/// let base = CellConfig::builder()
+///     .traffic_model(TrafficModel::Model3)
+///     .total_channels(5)
+///     .buffer_capacity(6)
+///     .max_gprs_sessions(2)
+///     .build()?;
+/// let rates = rate_grid(0.1, 0.5, 4);
+/// let par = par_sweep_arrival_rates(&base, &rates, &SolveOptions::quick())?;
+/// let seq = sweep_arrival_rates(&base, &rates, &SolveOptions::quick())?;
+/// assert_eq!(par.len(), seq.len());
+/// for (p, s) in par.iter().zip(&seq) {
+///     assert_eq!(p.measures.carried_data_traffic, s.measures.carried_data_traffic);
+/// }
+/// # Ok::<(), gprs_core::ModelError>(())
+/// ```
+pub fn par_sweep_arrival_rates(
+    base: &CellConfig,
+    rates: &[f64],
+    opts: &SolveOptions,
+) -> Result<Vec<SweepPoint>, ModelError> {
+    par_sweep_arrival_rates_threads(base, rates, opts, num_threads())
+}
+
+/// [`par_sweep_arrival_rates`] with an explicit worker count (used by
+/// benches and the determinism tests; `1` degrades to the sequential
+/// sweep).
+///
+/// # Errors
+///
+/// As [`par_sweep_arrival_rates`].
+pub fn par_sweep_arrival_rates_threads(
+    base: &CellConfig,
+    rates: &[f64],
+    opts: &SolveOptions,
+    threads: usize,
+) -> Result<Vec<SweepPoint>, ModelError> {
+    par_sweep_arrival_rates_with(base, rates, opts, threads, |_, _| {})
+}
+
+/// Like [`par_sweep_arrival_rates_threads`], invoking
+/// `progress(index, &point)` as each point completes. Points finish out
+/// of order across workers, so the callback must be `Sync`; the
+/// *returned* vector is always in rate order.
+///
+/// # Errors
+///
+/// As [`par_sweep_arrival_rates`].
+pub fn par_sweep_arrival_rates_with(
+    base: &CellConfig,
+    rates: &[f64],
+    opts: &SolveOptions,
+    threads: usize,
+    progress: impl Fn(usize, &SweepPoint) + Sync,
+) -> Result<Vec<SweepPoint>, ModelError> {
+    let threads = threads.clamp(1, rates.len().max(1));
+    if threads <= 1 {
+        return sweep_arrival_rates_with(base, rates, opts, |i, p| progress(i, p));
+    }
+
+    // Work queue of point indices: long points (high rates converge
+    // slower) do not stall the batch the way fixed chunking would.
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, Result<SweepPoint, ModelError>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let progress = &progress;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= rates.len() {
+                            break;
+                        }
+                        let result = solve_point(base, rates[i], opts);
+                        if let Ok(point) = &result {
+                            progress(i, point);
+                        }
+                        local.push((i, result));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<Result<SweepPoint, ModelError>>> =
+        (0..rates.len()).map(|_| None).collect();
+    for (i, result) in buckets.into_iter().flatten() {
+        slots[i] = Some(result);
+    }
+    let mut points = Vec::with_capacity(rates.len());
+    for slot in slots {
+        points.push(slot.expect("every queued point is processed")?);
+    }
+    Ok(points)
 }
 
 #[cfg(test)]
@@ -146,16 +294,12 @@ mod tests {
         assert_eq!(pts.len(), 4);
         // Carried voice traffic grows with the arrival rate.
         for w in pts.windows(2) {
-            assert!(
-                w[1].measures.carried_voice_traffic
-                    > w[0].measures.carried_voice_traffic
-            );
+            assert!(w[1].measures.carried_voice_traffic > w[0].measures.carried_voice_traffic);
         }
         // Blocking too.
         for w in pts.windows(2) {
             assert!(
-                w[1].measures.gsm_blocking_probability
-                    >= w[0].measures.gsm_blocking_probability
+                w[1].measures.gsm_blocking_probability >= w[0].measures.gsm_blocking_probability
             );
         }
     }

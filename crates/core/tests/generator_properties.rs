@@ -22,21 +22,19 @@ fn config_strategy() -> impl Strategy<Value = CellConfig> {
         1.0f64..30.0, // reading time
         0.05f64..2.0, // packet interarrival
     )
-        .prop_map(
-            |(n, reserved, k, m, rate, frac, eta, read, dd)| {
-                CellConfig::builder()
-                    .total_channels(n)
-                    .reserved_pdchs(reserved.min(n - 1))
-                    .buffer_capacity(k)
-                    .max_gprs_sessions(m)
-                    .call_arrival_rate(rate)
-                    .gprs_fraction(frac)
-                    .tcp_threshold(eta)
-                    .traffic_params(SessionParams::new(3.0, read, 5.0, dd))
-                    .build()
-                    .expect("strategy yields valid configs")
-            },
-        )
+        .prop_map(|(n, reserved, k, m, rate, frac, eta, read, dd)| {
+            CellConfig::builder()
+                .total_channels(n)
+                .reserved_pdchs(reserved.min(n - 1))
+                .buffer_capacity(k)
+                .max_gprs_sessions(m)
+                .call_arrival_rate(rate)
+                .gprs_fraction(frac)
+                .tcp_threshold(eta)
+                .traffic_params(SessionParams::new(3.0, read, 5.0, dd))
+                .build()
+                .expect("strategy yields valid configs")
+        })
 }
 
 proptest! {

@@ -1,0 +1,126 @@
+//! End-to-end tests of the parallel solve pipeline on the GPRS model:
+//! the parallel solvers must agree with GTH ground truth and the
+//! sequential Gauss–Seidel path, and the parallel sweep must be
+//! deterministic — bit-identical results in rate order for any worker
+//! count.
+
+use gprs_core::sweep::{
+    par_sweep_arrival_rates_threads, par_sweep_arrival_rates_with, rate_grid, sweep_arrival_rates,
+};
+use gprs_core::{CellConfig, GprsModel};
+use gprs_ctmc::gth::solve_gth;
+use gprs_ctmc::parallel::{solve_jacobi, solve_parallel, RedBlackSor};
+use gprs_ctmc::solver::SolveOptions;
+use gprs_traffic::TrafficModel;
+use std::sync::Mutex;
+
+fn tiny_base() -> CellConfig {
+    CellConfig::builder()
+        .total_channels(4)
+        .reserved_pdchs(1)
+        .buffer_capacity(5)
+        .traffic_model(TrafficModel::Model3)
+        .max_gprs_sessions(2)
+        .call_arrival_rate(0.5)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn parallel_solvers_match_gth_on_the_gprs_chain() {
+    let model = GprsModel::new(tiny_base()).unwrap();
+    let sparse = model.assemble_sparse().unwrap();
+    let exact = solve_gth(&sparse).unwrap();
+    let opts = SolveOptions::default().with_max_sweeps(500_000);
+
+    let sor = RedBlackSor::new(&sparse).unwrap();
+    let rb = sor.solve(Some(&model.product_form_guess()), &opts).unwrap();
+    let jac = solve_jacobi(&sparse, Some(&model.product_form_guess()), &opts).unwrap();
+    let seq = model.solve_gauss_seidel(&opts, None).unwrap();
+
+    for s in 0..model.space().num_states() {
+        assert!(
+            (exact[s] - rb.pi[s]).abs() < 1e-8,
+            "red-black vs GTH at state {s}"
+        );
+        assert!(
+            (exact[s] - jac.pi[s]).abs() < 1e-8,
+            "jacobi vs GTH at state {s}"
+        );
+        assert!(
+            (seq.stationary()[s] - rb.pi[s]).abs() < 1e-8,
+            "red-black vs sequential GS at state {s}"
+        );
+    }
+}
+
+#[test]
+fn auto_dispatch_solves_the_model_chain() {
+    let model = GprsModel::new(tiny_base()).unwrap();
+    let sparse = model.assemble_sparse().unwrap();
+    let sol = solve_parallel(&sparse, None, &SolveOptions::default()).unwrap();
+    assert!(sol.residual <= 1e-10);
+    // The GPRS chain colors in a handful of classes, so Auto picks SOR;
+    // either way the stationary vector is the same.
+    let exact = solve_gth(&sparse).unwrap();
+    for s in 0..sparse.num_states() {
+        assert!((exact[s] - sol.pi[s]).abs() < 1e-8);
+    }
+}
+
+#[test]
+fn par_sweep_is_bit_identical_across_thread_counts() {
+    let base = tiny_base();
+    let rates = rate_grid(0.2, 0.8, 7);
+    let opts = SolveOptions::default();
+    let reference = sweep_arrival_rates(&base, &rates, &opts).unwrap();
+    for threads in [1usize, 2, 3, 8] {
+        let par = par_sweep_arrival_rates_threads(&base, &rates, &opts, threads).unwrap();
+        assert_eq!(par.len(), reference.len(), "threads {threads}");
+        for (p, r) in par.iter().zip(&reference) {
+            // Points must come back in rate order with *exactly* the
+            // sequential results: same solver code runs per point, only
+            // the scheduling differs.
+            assert_eq!(p.rate, r.rate, "threads {threads}");
+            assert_eq!(p.measures, r.measures, "threads {threads} rate {}", p.rate);
+            assert_eq!(p.sweeps, r.sweeps, "threads {threads}");
+            assert_eq!(
+                p.residual.to_bits(),
+                r.residual.to_bits(),
+                "threads {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn par_sweep_progress_reports_every_point_once() {
+    let base = tiny_base();
+    let rates = rate_grid(0.2, 0.6, 5);
+    let seen = Mutex::new(Vec::new());
+    let pts = par_sweep_arrival_rates_with(&base, &rates, &SolveOptions::quick(), 4, |i, p| {
+        seen.lock().unwrap().push((i, p.rate))
+    })
+    .unwrap();
+    assert_eq!(pts.len(), 5);
+    let mut seen = seen.into_inner().unwrap();
+    seen.sort_by_key(|&(i, _)| i);
+    assert_eq!(seen.len(), 5);
+    for (k, (i, rate)) in seen.into_iter().enumerate() {
+        assert_eq!(k, i);
+        assert_eq!(rate, rates[i]);
+    }
+}
+
+#[test]
+fn par_sweep_propagates_lowest_rate_error() {
+    let base = tiny_base();
+    let rates = rate_grid(0.2, 0.8, 4);
+    // One sweep cannot converge: every point fails, and the parallel
+    // sweep must report the same (deterministic) error the sequential
+    // sweep hits first.
+    let opts = SolveOptions::default().with_max_sweeps(1);
+    let seq_err = sweep_arrival_rates(&base, &rates, &opts).unwrap_err();
+    let par_err = par_sweep_arrival_rates_threads(&base, &rates, &opts, 4).unwrap_err();
+    assert_eq!(format!("{par_err}"), format!("{seq_err}"));
+}

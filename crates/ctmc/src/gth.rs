@@ -43,9 +43,7 @@ pub const RECOMMENDED_MAX_STATES: usize = 2000;
 /// assert!((pi[0] - 0.25).abs() < 1e-14);
 /// # Ok::<(), gprs_ctmc::CtmcError>(())
 /// ```
-pub fn solve_gth<G: Transitions + ?Sized>(
-    gen: &G,
-) -> Result<StationaryDistribution, CtmcError> {
+pub fn solve_gth<G: Transitions + ?Sized>(gen: &G) -> Result<StationaryDistribution, CtmcError> {
     let n = gen.num_states();
     if n == 0 {
         return Err(CtmcError::EmptyChain);

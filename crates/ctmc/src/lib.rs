@@ -23,6 +23,10 @@
 //! * [`power::solve_power`] — uniformization-based power iteration over
 //!   *outgoing* transitions. Simple and robust but slow on stiff chains;
 //!   used for cross-checks.
+//! * [`parallel`] — multithreaded solvers over assembled sparse
+//!   generators: red-black (multicolor) SOR and damped Jacobi, with the
+//!   balance residual fused into the sweeps. Thread counts honour
+//!   `RAYON_NUM_THREADS`.
 //!
 //! Generators can be represented either as an assembled sparse matrix
 //! ([`SparseGenerator`], built via [`TripletBuilder`]) or as a matrix-free
@@ -52,6 +56,7 @@ pub mod dense;
 pub mod error;
 pub mod gth;
 pub mod mbd;
+pub mod parallel;
 pub mod power;
 pub mod solver;
 pub mod sparse;
@@ -60,7 +65,8 @@ pub mod transient;
 pub mod transitions;
 
 pub use error::CtmcError;
-pub use solver::{SolveOptions, Solution};
+pub use parallel::{solve_parallel, ParallelMethod, RedBlackSor};
+pub use solver::{Solution, SolveOptions};
 pub use sparse::{SparseGenerator, TripletBuilder};
 pub use stationary::StationaryDistribution;
 pub use transitions::{IncomingTransitions, Transitions};

@@ -22,7 +22,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::error::CtmcError;
-use crate::solver::{SolveOptions, Solution};
+use crate::solver::{Solution, SolveOptions};
 use crate::stationary::StationaryDistribution;
 
 /// Structural access to a Markov-modulated birth–death chain.
@@ -147,9 +147,7 @@ pub fn solve_mbd_projected<G: ModulatedBirthDeath + ?Sized>(
         });
     }
     let total: f64 = phase_marginal.iter().sum();
-    if phase_marginal.iter().any(|&x| !x.is_finite() || x < 0.0)
-        || (total - 1.0).abs() > 1e-6
-    {
+    if phase_marginal.iter().any(|&x| !x.is_finite() || x < 0.0) || (total - 1.0).abs() > 1e-6 {
         return Err(CtmcError::InvalidGenerator {
             reason: "phase marginal must be a probability vector".into(),
         });
@@ -355,11 +353,7 @@ fn solve_single_birth_death<G: ModulatedBirthDeath + ?Sized>(gen: &G, pi: &mut [
 }
 
 /// Relative L1 balance residual of the full MBD chain.
-fn mbd_residual<G: ModulatedBirthDeath + ?Sized>(
-    gen: &G,
-    pi: &[f64],
-    phase_exit: &[f64],
-) -> f64 {
+fn mbd_residual<G: ModulatedBirthDeath + ?Sized>(gen: &G, pi: &[f64], phase_exit: &[f64]) -> f64 {
     let p_count = gen.num_phases();
     let l_count = gen.num_levels();
     let mut num = 0.0f64;
@@ -407,8 +401,8 @@ mod tests {
     struct TableMbd {
         phases: usize,
         levels: usize,
-        birth: Vec<f64>,         // [phase][level]
-        death: Vec<f64>,         // [phase][level]
+        birth: Vec<f64>,                     // [phase][level]
+        death: Vec<f64>,                     // [phase][level]
         phase_rates: Vec<Vec<(usize, f64)>>, // outgoing per phase
     }
 
@@ -543,8 +537,7 @@ mod tests {
     fn warm_start_converges_immediately() {
         let mbd = TableMbd::random(4, 10, 3);
         let first = solve_mbd(&mbd, None, &SolveOptions::default()).unwrap();
-        let second = solve_mbd(&mbd, Some(first.pi.as_slice()), &SolveOptions::default())
-            .unwrap();
+        let second = solve_mbd(&mbd, Some(first.pi.as_slice()), &SolveOptions::default()).unwrap();
         assert!(second.sweeps <= 4);
     }
 
@@ -607,9 +600,7 @@ mod tests {
         for seed in [2u64, 77, 4242] {
             let mbd = TableMbd::random(6, 10, seed);
             let marginal = exact_phase_marginal(&mbd);
-            let sol =
-                solve_mbd_projected(&mbd, &marginal, None, &SolveOptions::default())
-                    .unwrap();
+            let sol = solve_mbd_projected(&mbd, &marginal, None, &SolveOptions::default()).unwrap();
             let exact = solve_gth(&mbd.to_sparse()).unwrap();
             for i in 0..mbd.phases * mbd.levels {
                 assert!(
@@ -628,8 +619,7 @@ mod tests {
         let marginal = exact_phase_marginal(&mbd);
         let plain = solve_mbd(&mbd, None, &SolveOptions::default()).unwrap();
         let projected =
-            solve_mbd_projected(&mbd, &marginal, None, &SolveOptions::default())
-                .unwrap();
+            solve_mbd_projected(&mbd, &marginal, None, &SolveOptions::default()).unwrap();
         assert!(
             projected.sweeps <= plain.sweeps,
             "projected {} vs plain {}",

@@ -10,7 +10,7 @@
 //! [`crate::solver::solve_gauss_seidel`] for production runs.
 
 use crate::error::CtmcError;
-use crate::solver::{SolveOptions, Solution};
+use crate::solver::{Solution, SolveOptions};
 use crate::stationary::StationaryDistribution;
 use crate::transitions::{balance_residual, Transitions};
 
@@ -93,7 +93,7 @@ pub fn solve_power<G: Transitions + ?Sized>(
         std::mem::swap(&mut pi, &mut next);
         iterations += 1;
 
-        if iterations.is_multiple_of(opts.check_every) || iterations == opts.max_sweeps {
+        if iterations.is_multiple_of(opts.check_cadence()) || iterations == opts.max_sweeps {
             residual = balance_residual(gen, &pi);
             if residual <= opts.tolerance {
                 return Ok(Solution {
@@ -155,11 +155,8 @@ mod tests {
             b.push(i, (i + 2) % 6, 0.2);
         }
         let g = b.build().unwrap();
-        let gs =
-            crate::solver::solve_gauss_seidel(&g, None, &SolveOptions::default())
-                .unwrap();
-        let pw = solve_power(&g, None, &SolveOptions::default().with_max_sweeps(100_000))
-            .unwrap();
+        let gs = crate::solver::solve_gauss_seidel(&g, None, &SolveOptions::default()).unwrap();
+        let pw = solve_power(&g, None, &SolveOptions::default().with_max_sweeps(100_000)).unwrap();
         for s in 0..6 {
             assert!((gs.pi[s] - pw.pi[s]).abs() < 1e-8);
         }

@@ -20,8 +20,12 @@ pub struct SolveOptions {
     /// SOR over-relaxation factor in `(0, 2)`; `1.0` is plain
     /// Gauss–Seidel.
     pub sor_omega: f64,
-    /// How many sweeps between residual evaluations (a residual pass
-    /// costs about as much as a sweep).
+    /// How many sweeps between residual evaluations, for the solvers
+    /// that pay a separate residual pass (the Gauss–Seidel and parallel
+    /// solvers fuse the residual into every sweep and only use this as
+    /// an upper bound on verification cadence). Values of `0` are
+    /// treated as `1`: a zero cadence would otherwise never fire and
+    /// silently disable convergence checks until `max_sweeps`.
     pub check_every: usize,
 }
 
@@ -66,6 +70,23 @@ impl SolveOptions {
     pub fn with_max_sweeps(mut self, max: usize) -> Self {
         self.max_sweeps = max;
         self
+    }
+
+    /// Sets the residual-check cadence, returning `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero (which would disable convergence
+    /// checks entirely).
+    pub fn with_check_every(mut self, every: usize) -> Self {
+        assert!(every > 0, "check cadence must be positive");
+        self.check_every = every;
+        self
+    }
+
+    /// The check cadence with the zero guard applied.
+    pub(crate) fn check_cadence(&self) -> usize {
+        self.check_every.max(1)
     }
 }
 
@@ -155,17 +176,24 @@ pub fn solve_gauss_seidel<G: IncomingTransitions + ?Sized>(
 
     while sweeps < opts.max_sweeps {
         // One forward Gauss–Seidel sweep (in place: uses freshly updated
-        // values for already-visited states).
+        // values for already-visited states), accumulating the balance
+        // residual of the pre-update values as it goes — so convergence
+        // is observed every sweep without a second O(nnz) residual pass.
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
         for j in 0..n {
             let mut inflow = 0.0f64;
             gen.for_each_incoming(j, &mut |i, rate| {
                 inflow += pi[i] * rate;
             });
+            let old = pi[j];
+            num += (inflow - old * exit[j]).abs();
+            den += old * exit[j];
             let new = inflow / exit[j];
             pi[j] = if omega == 1.0 {
                 new
             } else {
-                (1.0 - omega) * pi[j] + omega * new
+                (1.0 - omega) * old + omega * new
             };
             if pi[j] < 0.0 {
                 // Over-relaxation can momentarily produce tiny negatives.
@@ -185,15 +213,20 @@ pub fn solve_gauss_seidel<G: IncomingTransitions + ?Sized>(
         }
         sweeps += 1;
 
-        if sweeps.is_multiple_of(opts.check_every) || sweeps == opts.max_sweeps {
-            residual = residual_incoming(gen, &pi, &exit);
-            if residual <= opts.tolerance {
+        // The fused estimate mixes pre- and mid-sweep values, so when it
+        // signals convergence an exact evaluation on the frozen iterate
+        // confirms before returning (once per solve, not per check).
+        residual = if den == 0.0 { 0.0 } else { num / den };
+        if residual <= opts.tolerance {
+            let exact = residual_incoming(gen, &pi, &exit);
+            if exact <= opts.tolerance {
                 return Ok(Solution {
                     pi: StationaryDistribution::new(pi),
                     sweeps,
-                    residual,
+                    residual: exact,
                 });
             }
+            residual = exact;
         }
     }
 
@@ -206,11 +239,7 @@ pub fn solve_gauss_seidel<G: IncomingTransitions + ?Sized>(
 
 /// Relative L1 balance residual computed via incoming transitions
 /// (single pass, no extra `O(n)` flow buffer).
-fn residual_incoming<G: IncomingTransitions + ?Sized>(
-    gen: &G,
-    pi: &[f64],
-    exit: &[f64],
-) -> f64 {
+fn residual_incoming<G: IncomingTransitions + ?Sized>(gen: &G, pi: &[f64], exit: &[f64]) -> f64 {
     let mut num = 0.0f64;
     let mut den = 0.0f64;
     for j in 0..pi.len() {
@@ -259,8 +288,7 @@ mod tests {
         for seed in [1u64, 42, 1234, 98765] {
             let g = random_irreducible(30, seed);
             let exact = solve_gth(&g).unwrap();
-            let sol =
-                solve_gauss_seidel(&g, None, &SolveOptions::default()).unwrap();
+            let sol = solve_gauss_seidel(&g, None, &SolveOptions::default()).unwrap();
             for s in 0..30 {
                 assert!(
                     (exact[s] - sol.pi[s]).abs() < 1e-8,
@@ -277,8 +305,7 @@ mod tests {
         let g = random_irreducible(100, 7);
         let cold = solve_gauss_seidel(&g, None, &SolveOptions::default()).unwrap();
         let warm =
-            solve_gauss_seidel(&g, Some(cold.pi.as_slice()), &SolveOptions::default())
-                .unwrap();
+            solve_gauss_seidel(&g, Some(cold.pi.as_slice()), &SolveOptions::default()).unwrap();
         assert!(warm.sweeps <= cold.sweeps);
         assert!(warm.residual <= 1e-10);
     }
@@ -318,8 +345,7 @@ mod tests {
         let mut b = TripletBuilder::new(2);
         b.push(0, 1, 1.0);
         let err =
-            solve_gauss_seidel(&b.build().unwrap(), None, &SolveOptions::default())
-                .unwrap_err();
+            solve_gauss_seidel(&b.build().unwrap(), None, &SolveOptions::default()).unwrap_err();
         assert!(matches!(err, CtmcError::InvalidGenerator { .. }));
     }
 
@@ -343,8 +369,7 @@ mod tests {
     #[test]
     fn warm_start_dimension_mismatch() {
         let g = random_irreducible(5, 13);
-        let err = solve_gauss_seidel(&g, Some(&[1.0; 4]), &SolveOptions::default())
-            .unwrap_err();
+        let err = solve_gauss_seidel(&g, Some(&[1.0; 4]), &SolveOptions::default()).unwrap_err();
         assert_eq!(
             err,
             CtmcError::DimensionMismatch {
@@ -358,5 +383,41 @@ mod tests {
     #[should_panic(expected = "SOR omega")]
     fn invalid_sor_panics() {
         let _ = SolveOptions::default().with_sor(2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "check cadence")]
+    fn zero_check_cadence_panics() {
+        let _ = SolveOptions::default().with_check_every(0);
+    }
+
+    #[test]
+    fn zero_check_every_is_guarded() {
+        // A hand-built options value with check_every = 0 must still
+        // converge (historically the cadence test `sweeps % 0` never
+        // fired, disabling checks until max_sweeps).
+        let opts = SolveOptions {
+            check_every: 0,
+            ..SolveOptions::default()
+        };
+        assert_eq!(opts.check_cadence(), 1);
+        let g = random_irreducible(20, 9);
+        let sol = solve_gauss_seidel(&g, None, &opts).unwrap();
+        assert!(sol.residual <= opts.tolerance);
+        assert!(sol.sweeps < opts.max_sweeps);
+        let power = crate::power::solve_power(&g, None, &opts).unwrap();
+        assert!(power.residual <= opts.tolerance);
+    }
+
+    #[test]
+    fn converges_at_exact_sweep_not_cadence_multiple() {
+        // The fused residual observes convergence every sweep; a restart
+        // from the solution must finish in a single sweep even though
+        // check_every is 16.
+        let g = random_irreducible(50, 21);
+        let first = solve_gauss_seidel(&g, None, &SolveOptions::default()).unwrap();
+        let again =
+            solve_gauss_seidel(&g, Some(first.pi.as_slice()), &SolveOptions::default()).unwrap();
+        assert_eq!(again.sweeps, 1);
     }
 }

@@ -1,8 +1,19 @@
 //! Sparse (CSR) generator matrices and the triplet builder that assembles
 //! them.
+//!
+//! Assembly is a single validation-and-build pass: triplets are
+//! validated while the sort runs (in parallel chunks for large inputs —
+//! see [`crate::parallel`]), then merged straight into the CSR arrays
+//! and their transpose. Large matrix-free models can also be assembled
+//! with [`SparseGenerator::from_transitions_par`], which enumerates
+//! row ranges across threads.
 
 use crate::error::CtmcError;
+use crate::parallel::{num_threads, par_map_chunks_mut, par_map_ranges, par_map_vec};
 use crate::transitions::{IncomingTransitions, Transitions};
+
+/// Triplet counts below this stay on the single-threaded sort path.
+const PAR_SORT_MIN: usize = 1 << 16;
 
 /// Accumulates `(source, target, rate)` triplets and assembles a
 /// [`SparseGenerator`].
@@ -32,7 +43,13 @@ pub struct TripletBuilder {
 
 impl TripletBuilder {
     /// Creates a builder for a chain with `n` states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32::MAX` (state indices are stored as
+    /// `u32`).
     pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "state count {n} exceeds u32 range");
         TripletBuilder {
             n,
             entries: Vec::new(),
@@ -40,7 +57,12 @@ impl TripletBuilder {
     }
 
     /// Creates a builder with pre-allocated capacity for `cap` triplets.
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](TripletBuilder::new).
     pub fn with_capacity(n: usize, cap: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "state count {n} exceeds u32 range");
         TripletBuilder {
             n,
             entries: Vec::with_capacity(cap),
@@ -52,16 +74,35 @@ impl TripletBuilder {
     /// Rates of exactly zero are silently dropped (convenient when a rate
     /// formula can evaluate to zero).
     ///
+    /// Bounds are checked here only in debug builds — `push` sits on the
+    /// hot path of model enumeration. Release builds validate every
+    /// triplet once, at [`build`](TripletBuilder::build) time.
+    ///
     /// # Panics
     ///
-    /// Panics if `source` or `target` is out of bounds.
+    /// Panics in debug builds if `source` or `target` is out of bounds.
+    #[inline]
     pub fn push(&mut self, source: usize, target: usize, rate: f64) {
-        assert!(source < self.n, "source {source} out of bounds ({})", self.n);
-        assert!(target < self.n, "target {target} out of bounds ({})", self.n);
+        debug_assert!(
+            source < self.n,
+            "source {source} out of bounds ({})",
+            self.n
+        );
+        debug_assert!(
+            target < self.n,
+            "target {target} out of bounds ({})",
+            self.n
+        );
         if rate == 0.0 {
             return;
         }
-        self.entries.push((source as u32, target as u32, rate));
+        // Saturating narrowing: an index beyond u32 becomes u32::MAX,
+        // which is always >= n (builders cap n at u32::MAX), so the
+        // build-time validation still rejects it — a plain `as` cast
+        // could alias a wild index back into bounds.
+        let source = source.min(u32::MAX as usize) as u32;
+        let target = target.min(u32::MAX as usize) as u32;
+        self.entries.push((source, target, rate));
     }
 
     /// Number of recorded (nonzero) triplets so far.
@@ -76,29 +117,124 @@ impl TripletBuilder {
 
     /// Assembles the CSR generator, summing duplicates.
     ///
+    /// Validation is fused into assembly: each triplet is checked during
+    /// the (parallel, for large inputs) sort pass, rather than in a
+    /// separate scan before a second assembly scan.
+    ///
     /// # Errors
     ///
     /// Returns [`CtmcError::EmptyChain`] for `n == 0`, and
-    /// [`CtmcError::InvalidGenerator`] if any rate is negative, non-finite,
-    /// or sits on the diagonal.
+    /// [`CtmcError::InvalidGenerator`] if any rate is negative,
+    /// non-finite, out of bounds, or sits on the diagonal.
     pub fn build(self) -> Result<SparseGenerator, CtmcError> {
-        if self.n == 0 {
-            return Err(CtmcError::EmptyChain);
-        }
-        for &(i, j, rate) in &self.entries {
-            if i == j {
-                return Err(CtmcError::InvalidGenerator {
-                    reason: format!("diagonal entry at state {i}"),
-                });
-            }
-            if !rate.is_finite() || rate < 0.0 {
-                return Err(CtmcError::InvalidGenerator {
-                    reason: format!("rate {rate} on transition {i} -> {j}"),
-                });
-            }
-        }
-        Ok(SparseGenerator::from_triplets(self.n, self.entries))
+        SparseGenerator::try_from_triplets(self.n, self.entries)
     }
+}
+
+/// Checks one triplet slice; returns the first defect found.
+fn validate_triplets(n: usize, entries: &[(u32, u32, f64)]) -> Result<(), CtmcError> {
+    for &(i, j, rate) in entries {
+        if i as usize >= n || j as usize >= n {
+            return Err(CtmcError::InvalidGenerator {
+                reason: format!("transition {i} -> {j} out of bounds (n = {n})"),
+            });
+        }
+        if i == j {
+            return Err(CtmcError::InvalidGenerator {
+                reason: format!("diagonal entry at state {i}"),
+            });
+        }
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(CtmcError::InvalidGenerator {
+                reason: format!("rate {rate} on transition {i} -> {j}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Sorts triplets by `(row, col)`, validating each entry exactly once
+/// along the way. Large inputs sort in parallel chunks which are then
+/// merged pairwise across threads.
+fn sort_and_validate(
+    n: usize,
+    mut entries: Vec<(u32, u32, f64)>,
+    threads: usize,
+) -> Result<Vec<(u32, u32, f64)>, CtmcError> {
+    if threads <= 1 || entries.len() < PAR_SORT_MIN {
+        validate_triplets(n, &entries)?;
+        entries.sort_unstable_by_key(|e| (e.0, e.1));
+        return Ok(entries);
+    }
+
+    // Chunk pass: validate + sort each chunk concurrently.
+    let chunk = entries.len().div_ceil(threads);
+    let results = par_map_chunks_mut(&mut entries, threads, |_, ch| {
+        let r = validate_triplets(n, ch);
+        if r.is_ok() {
+            ch.sort_unstable_by_key(|e| (e.0, e.1));
+        }
+        r
+    });
+    results.into_iter().collect::<Result<Vec<_>, _>>()?;
+
+    // Pairwise merge rounds until a single sorted run remains.
+    let mut runs: Vec<Vec<(u32, u32, f64)>> = entries.chunks(chunk).map(<[_]>::to_vec).collect();
+    drop(entries);
+    while runs.len() > 1 {
+        let mut pairs = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            pairs.push((a, it.next()));
+        }
+        runs = par_map_vec(pairs, threads, |(a, b)| match b {
+            None => a,
+            Some(b) => merge_sorted(a, b),
+        });
+    }
+    Ok(runs.pop().unwrap_or_default())
+}
+
+/// Enumerates (and validates) the outgoing triplets of a row range of a
+/// matrix-free model.
+fn enumerate_rows<G: Transitions + ?Sized>(
+    gen: &G,
+    rows: std::ops::Range<usize>,
+) -> Result<Vec<(u32, u32, f64)>, CtmcError> {
+    let n = gen.num_states();
+    let mut out = Vec::new();
+    for i in rows {
+        let mut bad: Option<String> = None;
+        gen.for_each_outgoing(i, &mut |j, rate| {
+            if j >= n || j == i || !rate.is_finite() || rate < 0.0 {
+                bad = Some(format!("transition {i} -> {j} with rate {rate}"));
+            } else if rate > 0.0 {
+                out.push((i as u32, j as u32, rate));
+            }
+        });
+        if let Some(reason) = bad {
+            return Err(CtmcError::InvalidGenerator { reason });
+        }
+    }
+    Ok(out)
+}
+
+fn merge_sorted(a: Vec<(u32, u32, f64)>, b: Vec<(u32, u32, f64)>) -> Vec<(u32, u32, f64)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (0, 0);
+    while ia < a.len() && ib < b.len() {
+        // `<=` keeps the earlier run's duplicates first (stable merge).
+        if (a[ia].0, a[ia].1) <= (b[ib].0, b[ib].1) {
+            out.push(a[ia]);
+            ia += 1;
+        } else {
+            out.push(b[ib]);
+            ib += 1;
+        }
+    }
+    out.extend_from_slice(&a[ia..]);
+    out.extend_from_slice(&b[ib..]);
+    out
 }
 
 /// A CTMC generator stored in compressed sparse row form, together with
@@ -119,51 +255,59 @@ pub struct SparseGenerator {
 }
 
 impl SparseGenerator {
-    fn from_triplets(n: usize, mut entries: Vec<(u32, u32, f64)>) -> Self {
-        // Sort by (row, col) and merge duplicates.
-        entries.sort_unstable_by_key(|e| (e.0, e.1));
-        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(entries.len());
-        for (i, j, r) in entries {
-            if let Some(last) = merged.last_mut() {
-                if last.0 == i && last.1 == j {
-                    last.2 += r;
-                    continue;
-                }
-            }
-            merged.push((i, j, r));
+    /// Validates, sorts (in parallel for large inputs), deduplicates and
+    /// assembles triplets into CSR plus transpose — one logical pass per
+    /// triplet instead of the historical validate-scan followed by an
+    /// assembly re-scan.
+    fn try_from_triplets(n: usize, entries: Vec<(u32, u32, f64)>) -> Result<Self, CtmcError> {
+        if n == 0 {
+            return Err(CtmcError::EmptyChain);
         }
+        let sorted = sort_and_validate(n, entries, num_threads())?;
+        Ok(Self::assemble_sorted(n, sorted))
+    }
 
-        let nnz = merged.len();
+    /// Assembles already-sorted, already-validated triplets.
+    fn assemble_sorted(n: usize, sorted: Vec<(u32, u32, f64)>) -> Self {
+        // Single merge pass: deduplicate while filling the CSR arrays,
+        // the exit rates, and the transpose's column counts.
         let mut row_ptr = vec![0usize; n + 1];
-        let mut col = Vec::with_capacity(nnz);
-        let mut val = Vec::with_capacity(nnz);
+        let mut col: Vec<u32> = Vec::with_capacity(sorted.len());
+        let mut val: Vec<f64> = Vec::with_capacity(sorted.len());
         let mut exit = vec![0.0f64; n];
-        for &(i, j, r) in &merged {
+        let mut trow_ptr = vec![0usize; n + 1];
+        let mut last: Option<(u32, u32)> = None;
+        for (i, j, r) in sorted {
+            exit[i as usize] += r;
+            if last == Some((i, j)) {
+                // Duplicate (row, col): merge into the previous entry.
+                *val.last_mut().expect("duplicate follows an entry") += r;
+                continue;
+            }
+            last = Some((i, j));
             row_ptr[i as usize + 1] += 1;
+            trow_ptr[j as usize + 1] += 1;
             col.push(j);
             val.push(r);
-            exit[i as usize] += r;
         }
         for i in 0..n {
             row_ptr[i + 1] += row_ptr[i];
+            trow_ptr[i + 1] += trow_ptr[i];
         }
 
-        // Transpose (incoming lists), via counting sort on target.
-        let mut trow_ptr = vec![0usize; n + 1];
-        for &(_, j, _) in &merged {
-            trow_ptr[j as usize + 1] += 1;
-        }
-        for j in 0..n {
-            trow_ptr[j + 1] += trow_ptr[j];
-        }
+        // Transpose scatter (counting sort on target).
+        let nnz = col.len();
         let mut tcol = vec![0u32; nnz];
         let mut tval = vec![0.0f64; nnz];
         let mut cursor = trow_ptr.clone();
-        for &(i, j, r) in &merged {
-            let slot = cursor[j as usize];
-            tcol[slot] = i;
-            tval[slot] = r;
-            cursor[j as usize] += 1;
+        for i in 0..n {
+            for k in row_ptr[i]..row_ptr[i + 1] {
+                let j = col[k] as usize;
+                let slot = cursor[j];
+                tcol[slot] = i as u32;
+                tval[slot] = val[k];
+                cursor[j] += 1;
+            }
         }
 
         SparseGenerator {
@@ -188,21 +332,45 @@ impl SparseGenerator {
     /// transition.
     pub fn from_transitions<G: Transitions + ?Sized>(gen: &G) -> Result<Self, CtmcError> {
         let n = gen.num_states();
-        let mut b = TripletBuilder::new(n);
-        for i in 0..n {
-            let mut bad: Option<String> = None;
-            gen.for_each_outgoing(i, &mut |j, rate| {
-                if j >= n || j == i || !rate.is_finite() || rate < 0.0 {
-                    bad = Some(format!("transition {i} -> {j} with rate {rate}"));
-                } else if rate > 0.0 {
-                    b.entries.push((i as u32, j as u32, rate));
-                }
-            });
-            if let Some(reason) = bad {
-                return Err(CtmcError::InvalidGenerator { reason });
-            }
+        if n == 0 {
+            return Err(CtmcError::EmptyChain);
         }
-        b.build()
+        let entries = enumerate_rows(gen, 0..n)?;
+        // Rows arrive in order and validated; only the in-row column
+        // sort remains (pdqsort is adaptive on the nearly-sorted input).
+        let mut sorted = entries;
+        sorted.sort_unstable_by_key(|e| (e.0, e.1));
+        Ok(Self::assemble_sorted(n, sorted))
+    }
+
+    /// Like [`from_transitions`](Self::from_transitions), enumerating
+    /// row ranges across up to `threads` workers (pass
+    /// [`crate::parallel::num_threads`] for the default). The result is
+    /// identical to the sequential assembly regardless of thread count:
+    /// workers own contiguous row ranges whose triplet blocks concatenate
+    /// back in row order.
+    ///
+    /// # Errors
+    ///
+    /// As [`from_transitions`](Self::from_transitions).
+    pub fn from_transitions_par<G: Transitions + Sync + ?Sized>(
+        gen: &G,
+        threads: usize,
+    ) -> Result<Self, CtmcError> {
+        let n = gen.num_states();
+        if n == 0 {
+            return Err(CtmcError::EmptyChain);
+        }
+        let blocks = par_map_ranges(n, threads, |range| enumerate_rows(gen, range));
+        let mut entries = Vec::new();
+        for block in blocks {
+            entries.append(&mut block?);
+        }
+        // Rows are globally ordered already (workers own contiguous row
+        // ranges, concatenated in order); the adaptive sort finishes the
+        // in-row column ordering cheaply.
+        entries.sort_unstable_by_key(|e| (e.0, e.1));
+        Ok(Self::assemble_sorted(n, entries))
     }
 
     /// Number of states.
@@ -355,20 +523,14 @@ mod tests {
     fn rejects_diagonal() {
         let mut b = TripletBuilder::new(2);
         b.push(0, 0, 1.0);
-        assert!(matches!(
-            b.build(),
-            Err(CtmcError::InvalidGenerator { .. })
-        ));
+        assert!(matches!(b.build(), Err(CtmcError::InvalidGenerator { .. })));
     }
 
     #[test]
     fn rejects_negative_rate() {
         let mut b = TripletBuilder::new(2);
         b.push(0, 1, -1.0);
-        assert!(matches!(
-            b.build(),
-            Err(CtmcError::InvalidGenerator { .. })
-        ));
+        assert!(matches!(b.build(), Err(CtmcError::InvalidGenerator { .. })));
     }
 
     #[test]
@@ -378,10 +540,73 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "out of bounds")]
-    fn push_panics_out_of_bounds() {
+    fn push_panics_out_of_bounds_in_debug() {
         let mut b = TripletBuilder::new(2);
         b.push(0, 5, 1.0);
+    }
+
+    #[test]
+    fn build_rejects_out_of_bounds() {
+        // Bypass the debug-only push check to exercise the build-time
+        // validation release builds rely on.
+        let mut b = TripletBuilder::new(2);
+        b.entries.push((0, 5, 1.0));
+        assert!(matches!(b.build(), Err(CtmcError::InvalidGenerator { .. })));
+    }
+
+    #[test]
+    fn parallel_sort_path_matches_sequential() {
+        // Enough triplets to cross the parallel-sort threshold.
+        let n = 600;
+        let mut seq = TripletBuilder::new(n);
+        let mut state = 12345u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..(1 << 17) {
+            let i = (next() % n as u64) as usize;
+            let mut j = (next() % n as u64) as usize;
+            if j == i {
+                j = (j + 1) % n;
+            }
+            let r = (next() >> 40) as f64 / 100.0 + 0.01;
+            seq.push(i, j, r);
+        }
+        let entries = seq.entries.clone();
+        let g_par = seq.build().unwrap();
+        // Force the sequential path for comparison.
+        let sorted = {
+            let mut e = entries;
+            e.sort_by_key(|e| (e.0, e.1));
+            e
+        };
+        let g_seq = SparseGenerator::assemble_sorted(n, sorted);
+        assert_eq!(g_par.num_nonzeros(), g_seq.num_nonzeros());
+        for s in 0..n {
+            assert_eq!(g_par.row(s).0, g_seq.row(s).0, "row {s} structure");
+            for (a, b) in g_par.row(s).1.iter().zip(g_seq.row(s).1) {
+                assert!((a - b).abs() < 1e-12 * b.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn from_transitions_par_is_identical_across_thread_counts() {
+        let g = three_cycle();
+        let base = SparseGenerator::from_transitions(&g).unwrap();
+        for threads in [1usize, 2, 4] {
+            let par = SparseGenerator::from_transitions_par(&g, threads).unwrap();
+            assert_eq!(par.num_nonzeros(), base.num_nonzeros());
+            for s in 0..3 {
+                assert_eq!(par.row(s), base.row(s));
+                assert_eq!(par.column(s), base.column(s));
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,10 @@ impl StationaryDistribution {
         assert!(!pi.is_empty(), "distribution must have at least one state");
         let mut total = 0.0f64;
         for &p in &pi {
-            assert!(p.is_finite() && p >= 0.0, "probabilities must be finite and >= 0");
+            assert!(
+                p.is_finite() && p >= 0.0,
+                "probabilities must be finite and >= 0"
+            );
             total += p;
         }
         assert!(total > 0.0, "distribution must have positive total mass");

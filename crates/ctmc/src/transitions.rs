@@ -50,7 +50,11 @@ pub trait IncomingTransitions: Transitions {
 ///
 /// Panics if `pi.len() != gen.num_states()`.
 pub fn balance_residual<G: Transitions + ?Sized>(gen: &G, pi: &[f64]) -> f64 {
-    assert_eq!(pi.len(), gen.num_states(), "pi length must match state count");
+    assert_eq!(
+        pi.len(),
+        gen.num_states(),
+        "pi length must match state count"
+    );
     let n = gen.num_states();
     let mut flow = vec![0.0f64; n];
     let mut scale = 0.0f64;

@@ -49,8 +49,16 @@ mod tests {
     #[test]
     fn streams_are_reproducible() {
         let f = RngStreams::new(42);
-        let a: Vec<u64> = f.stream(3).sample_iter(rand::distributions::Standard).take(5).collect();
-        let b: Vec<u64> = f.stream(3).sample_iter(rand::distributions::Standard).take(5).collect();
+        let a: Vec<u64> = f
+            .stream(3)
+            .sample_iter(rand::distributions::Standard)
+            .take(5)
+            .collect();
+        let b: Vec<u64> = f
+            .stream(3)
+            .sample_iter(rand::distributions::Standard)
+            .take(5)
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -75,8 +83,7 @@ mod tests {
         let f = RngStreams::new(7);
         for s in 0..4u64 {
             let mut rng = f.stream(s);
-            let mean: f64 =
-                (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
+            let mean: f64 = (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
             assert!((mean - 0.5).abs() < 0.02, "stream {s} mean {mean}");
         }
     }

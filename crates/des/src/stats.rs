@@ -188,7 +188,7 @@ mod tests {
         let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
         tw.set(SimTime::new(10.0), 2.0); // 0 for 10 s
         tw.set(SimTime::new(20.0), 4.0); // 2 for 10 s
-        // then 4 for 10 s
+                                         // then 4 for 10 s
         let avg = tw.average(SimTime::new(30.0));
         assert!((avg - (0.0 * 10.0 + 2.0 * 10.0 + 4.0 * 10.0) / 30.0).abs() < 1e-12);
         assert_eq!(tw.current(), 4.0);

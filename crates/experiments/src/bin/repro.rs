@@ -37,13 +37,13 @@ fn parse_args() -> Result<Args, String> {
                 if v == "all" {
                     args.figures = ALL_FIGURES.iter().map(|s| s.to_string()).collect();
                 } else {
-                    args.figures.extend(v.split(',').map(|s| s.trim().to_string()));
+                    args.figures
+                        .extend(v.split(',').map(|s| s.trim().to_string()));
                 }
             }
             "--scale" | "-s" => {
                 let v = it.next().ok_or("--scale needs a value")?;
-                args.scale =
-                    Scale::parse(&v).ok_or_else(|| format!("unknown scale: {v}"))?;
+                args.scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale: {v}"))?;
             }
             "--out" | "-o" => {
                 args.out = Some(it.next().ok_or("--out needs a directory")?);

@@ -90,16 +90,13 @@ pub fn render_panel(panel: &Panel, x_label: &str) -> String {
         } else {
             " ".repeat(9)
         };
-        let line: String =
-            grid[row * WIDTH..(row + 1) * WIDTH].iter().map(|&b| b as char).collect();
+        let line: String = grid[row * WIDTH..(row + 1) * WIDTH]
+            .iter()
+            .map(|&b| b as char)
+            .collect();
         let _ = writeln!(out, "  {label} |{line}");
     }
-    let _ = writeln!(
-        out,
-        "  {} +{}",
-        " ".repeat(9),
-        "-".repeat(WIDTH)
-    );
+    let _ = writeln!(out, "  {} +{}", " ".repeat(9), "-".repeat(WIDTH));
     let _ = writeln!(
         out,
         "  {} {:<8.3}{}{:>8.3}  ({})",
@@ -113,7 +110,12 @@ pub fn render_panel(panel: &Panel, x_label: &str) -> String {
         let sym = SYMBOLS[si % SYMBOLS.len()] as char;
         let _ = writeln!(out, "    {sym} = {}", s.label);
     }
-    let _ = writeln!(out, "  y: {}{}", panel.y_label, if panel.log_y { " (log scale)" } else { "" });
+    let _ = writeln!(
+        out,
+        "  y: {}{}",
+        panel.y_label,
+        if panel.log_y { " (log scale)" } else { "" }
+    );
     out
 }
 
@@ -164,18 +166,16 @@ pub fn to_csv(fig: &FigureResult) -> String {
         for &x in &xs {
             let mut row = vec![format!("{x}")];
             for s in &panel.series {
-                let val = s
-                    .x
-                    .iter()
-                    .position(|&sx| (sx - x).abs() < 1e-12)
-                    .map(|i| s.y[i]);
+                let val =
+                    s.x.iter()
+                        .position(|&sx| (sx - x).abs() < 1e-12)
+                        .map(|i| s.y[i]);
                 row.push(val.map(|v| format!("{v}")).unwrap_or_default());
                 if let Some(err) = &s.err {
-                    let e = s
-                        .x
-                        .iter()
-                        .position(|&sx| (sx - x).abs() < 1e-12)
-                        .map(|i| err[i]);
+                    let e =
+                        s.x.iter()
+                            .position(|&sx| (sx - x).abs() < 1e-12)
+                            .map(|i| err[i]);
                     row.push(e.map(|v| format!("{v}")).unwrap_or_default());
                 }
             }
@@ -202,12 +202,7 @@ mod tests {
                 log_y: false,
                 series: vec![
                     Series::new("one", vec![0.1, 0.5, 1.0], vec![1.0, 2.0, 3.0]),
-                    Series::with_error(
-                        "two",
-                        vec![0.1, 1.0],
-                        vec![1.5, 2.5],
-                        vec![0.2, 0.3],
-                    ),
+                    Series::with_error("two", vec![0.1, 1.0], vec![1.5, 2.5], vec![0.2, 0.3]),
                 ],
             }],
             checks: vec![ShapeCheck::new("sanity", true, "ok")],
@@ -230,11 +225,7 @@ mod tests {
             title: "log".into(),
             y_label: "plp".into(),
             log_y: true,
-            series: vec![Series::new(
-                "s",
-                vec![0.1, 0.2, 0.3],
-                vec![0.0, 1e-6, 1e-2],
-            )],
+            series: vec![Series::new("s", vec![0.1, 0.2, 0.3], vec![0.0, 1e-6, 1e-2])],
         };
         let s = render_panel(&panel, "x");
         assert!(s.contains("log scale"));

@@ -10,7 +10,7 @@
 
 use crate::scale::Scale;
 use crate::series::{FigureResult, Panel, Series, ShapeCheck};
-use gprs_core::sweep::sweep_arrival_rates;
+use gprs_core::sweep::par_sweep_arrival_rates;
 use gprs_core::{CellConfig, CodingScheme, ModelError};
 use gprs_traffic::TrafficModel;
 
@@ -32,7 +32,7 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
             .build()?;
         base.coding_scheme = scheme;
         eprintln!("  ext01: sweeping {scheme} ({} states)", base.num_states());
-        let points = sweep_arrival_rates(&base, &rates, &opts)?;
+        let points = par_sweep_arrival_rates(&base, &rates, &opts)?;
         atu_series.push(Series::new(
             format!("{scheme} ({:.2} kbit/s)", scheme.data_rate_kbps()),
             rates.clone(),
@@ -73,8 +73,7 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
     let atu_hi: Vec<f64> = atu_series.iter().map(|s| s.y[last]).collect();
     checks.push(ShapeCheck::new(
         "saturated per-user throughput orders by coding rate",
-        atu_hi.windows(2).all(|w| w[0] <= w[1] + 1e-9)
-            && atu_hi[3] > 1.2 * atu_hi[0],
+        atu_hi.windows(2).all(|w| w[0] <= w[1] + 1e-9) && atu_hi[3] > 1.2 * atu_hi[0],
         format!(
             "ATU at {:.2} calls/s: {:.2} / {:.2} / {:.2} / {:.2} kbit/s",
             rates[last], atu_hi[0], atu_hi[1], atu_hi[2], atu_hi[3]

@@ -14,7 +14,11 @@ use gprs_core::{CellConfig, ModelError};
 use gprs_sim::{GprsSimulator, SimConfig, SupervisionConfig};
 use gprs_traffic::TrafficModel;
 
-fn run_point(rate: f64, supervised: bool, scale: Scale) -> Result<gprs_sim::SimResults, ModelError> {
+fn run_point(
+    rate: f64,
+    supervised: bool,
+    scale: Scale,
+) -> Result<gprs_sim::SimResults, ModelError> {
     let mut cell = CellConfig::builder()
         .traffic_model(TrafficModel::Model3)
         .buffer_capacity(scale.buffer_capacity())
@@ -106,7 +110,11 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
         Series::new(
             format!(
                 "{} ({label})",
-                if which == 0 { "static 1 PDCH" } else { "capacity on demand" }
+                if which == 0 {
+                    "static 1 PDCH"
+                } else {
+                    "capacity on demand"
+                }
             ),
             rates.clone(),
             data[which].clone(),
@@ -115,8 +123,7 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
 
     Ok(FigureResult {
         id: "ext02".into(),
-        title: "Ext. 2: capacity on demand vs static reservation (10% GPRS, simulator)"
-            .into(),
+        title: "Ext. 2: capacity on demand vs static reservation (10% GPRS, simulator)".into(),
         x_label: "call arrival rate (calls/s)".into(),
         panels: vec![
             Panel {

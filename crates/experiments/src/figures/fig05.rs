@@ -9,7 +9,7 @@
 
 use crate::scale::Scale;
 use crate::series::{FigureResult, Panel, Series, ShapeCheck};
-use gprs_core::sweep::sweep_arrival_rates;
+use gprs_core::sweep::par_sweep_arrival_rates;
 use gprs_core::ModelError;
 use gprs_traffic::TrafficModel;
 
@@ -31,7 +31,7 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
         let mut base = super::shared::figure_config(TrafficModel::Model3, 1, 0.05, scale)?;
         base.tcp_threshold = eta;
         eprintln!("  fig05: model sweep eta = {eta}");
-        let pts = sweep_arrival_rates(&base, &rates, &opts)?;
+        let pts = par_sweep_arrival_rates(&base, &rates, &opts)?;
         let (x, y) = super::shared::extract(&pts, |m| m.packet_loss_probability);
         eta_curves.push(y.clone());
         series.push(Series::new(format!("model, eta = {eta}"), x, y));
@@ -61,7 +61,9 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
     // PLP grows with eta at high load (less throttling, more loss).
     checks.push(ShapeCheck::new(
         "PLP at 1 call/s increases with eta",
-        eta_curves.windows(2).all(|w| w[0][last] <= w[1][last] + 1e-9),
+        eta_curves
+            .windows(2)
+            .all(|w| w[0][last] <= w[1][last] + 1e-9),
         format!(
             "PLP = {:.2e} / {:.2e} / {:.2e} / {:.2e} for eta = 0.5/0.7/0.9/1.0",
             eta_curves[0][last], eta_curves[1][last], eta_curves[2][last], eta_curves[3][last]
@@ -75,7 +77,11 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
     ));
     // eta = 0.7 tracks the simulator: same order of magnitude at most
     // simulated points.
-    let model07: Vec<(f64, f64)> = rates.iter().copied().zip(eta_curves[1].iter().copied()).collect();
+    let model07: Vec<(f64, f64)> = rates
+        .iter()
+        .copied()
+        .zip(eta_curves[1].iter().copied())
+        .collect();
     let sim_pts: Vec<(f64, f64, f64)> = sim_x
         .iter()
         .zip(&sim_y)

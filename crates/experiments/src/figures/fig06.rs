@@ -75,7 +75,11 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
         format!("peak {peak:.2}, at 1 call/s {last_val:.2}"),
     ));
     // More GPRS users carry more data at the peak.
-    let peak2 = cdt_model_curves[0].1.iter().cloned().fold(f64::MIN, f64::max);
+    let peak2 = cdt_model_curves[0]
+        .1
+        .iter()
+        .cloned()
+        .fold(f64::MIN, f64::max);
     checks.push(ShapeCheck::new(
         "peak CDT grows with the GPRS share (10% > 2%)",
         peak > peak2,

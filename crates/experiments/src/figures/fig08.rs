@@ -39,9 +39,7 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
             ordered,
             format!(
                 "PLP(1)={:.2e} PLP(2)={:.2e} PLP(4)={:.2e}",
-                panel.series[0].y[last],
-                panel.series[1].y[last],
-                panel.series[2].y[last]
+                panel.series[0].y[last], panel.series[1].y[last], panel.series[2].y[last]
             ),
         ));
     }
@@ -52,8 +50,7 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
         p2.series[0].y[last] >= p1.series[0].y[last],
         format!(
             "TM2 {:.2e} vs TM1 {:.2e}",
-            p2.series[0].y[last],
-            p1.series[0].y[last]
+            p2.series[0].y[last], p1.series[0].y[last]
         ),
     ));
     // PLP grows with load.

@@ -38,9 +38,7 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
             ordered,
             format!(
                 "QD(1)={:.3}s QD(2)={:.3}s QD(4)={:.3}s",
-                panel.series[0].y[last],
-                panel.series[1].y[last],
-                panel.series[2].y[last]
+                panel.series[0].y[last], panel.series[1].y[last], panel.series[2].y[last]
             ),
         ));
     }
@@ -50,8 +48,7 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
         p2.series[0].y[last] >= p1.series[0].y[last],
         format!(
             "TM2 {:.3}s vs TM1 {:.3}s",
-            p2.series[0].y[last],
-            p1.series[0].y[last]
+            p2.series[0].y[last], p1.series[0].y[last]
         ),
     ));
     // Delays are physical: bounded by K / (1 PDCH drain rate).

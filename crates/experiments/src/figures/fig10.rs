@@ -31,8 +31,7 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
     for &m in &SESSION_LIMITS {
         let mut blk = Vec::with_capacity(fine_rates.len());
         for &rate in &fine_rates {
-            let mut cfg =
-                super::shared::figure_config(TrafficModel::Model1, 2, 0.05, scale)?;
+            let mut cfg = super::shared::figure_config(TrafficModel::Model1, 2, 0.05, scale)?;
             cfg.max_gprs_sessions = m;
             cfg.call_arrival_rate = rate;
             let model = GprsModel::new(cfg)?;
@@ -53,7 +52,7 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
             base.num_states(),
             coarse.len()
         );
-        let pts = gprs_core::sweep::sweep_arrival_rates(&base, &coarse, &opts)?;
+        let pts = gprs_core::sweep::par_sweep_arrival_rates(&base, &coarse, &opts)?;
         let (x, y) = super::shared::extract(&pts, |meas| meas.carried_data_traffic);
         cdt_series.push(Series::new(format!("M = {m}"), x, y));
     }

@@ -22,7 +22,11 @@ pub(crate) fn run_fraction(
         let pts = super::shared::swept(TrafficModel::Model3, reserved, fraction, None, scale)?;
         let (x, cdt) = super::shared::extract(&pts, |m| m.carried_data_traffic);
         let (_, atu) = super::shared::extract(&pts, |m| m.throughput_per_user_kbps);
-        cdt_series.push(Series::new(format!("{reserved} reserved PDCHs"), x.clone(), cdt));
+        cdt_series.push(Series::new(
+            format!("{reserved} reserved PDCHs"),
+            x.clone(),
+            cdt,
+        ));
         atu_series.push(Series::new(format!("{reserved} reserved PDCHs"), x, atu));
     }
 
@@ -140,8 +144,7 @@ pub(crate) fn qos_limit_rate(fraction: f64, scale: Scale) -> Result<Option<f64>,
     let pts = super::shared::swept(TrafficModel::Model3, 4, fraction, None, scale)?;
     let (x, atu) = super::shared::extract(&pts, |m| m.throughput_per_user_kbps);
     let reference = atu[0];
-    Ok(x
-        .iter()
+    Ok(x.iter()
         .zip(&atu)
         .take_while(|&(_, &a)| a >= 0.5 * reference)
         .map(|(&r, _)| r)

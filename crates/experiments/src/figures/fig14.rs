@@ -42,7 +42,11 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
                 blk_at_03.push(q.blocking_probability());
             }
         }
-        cvt_series.push(Series::new(format!("{reserved} reserved PDCHs"), rates.clone(), cvt));
+        cvt_series.push(Series::new(
+            format!("{reserved} reserved PDCHs"),
+            rates.clone(),
+            cvt,
+        ));
         blocking_series.push(Series::new(
             format!("{reserved} reserved PDCHs"),
             rates.clone(),
@@ -85,8 +89,8 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
     // (3) The paper's qualitative claim: at moderate load the penalty of
     // reserving up to 4 PDCHs is small (blocking increase < 0.1 at 0.3
     // calls/s).
-    let penalty = blk_at_03.last().copied().unwrap_or(0.0)
-        - blk_at_03.first().copied().unwrap_or(0.0);
+    let penalty =
+        blk_at_03.last().copied().unwrap_or(0.0) - blk_at_03.first().copied().unwrap_or(0.0);
     checks.push(ShapeCheck::new(
         "blocking penalty of 4 reserved PDCHs is small at 0.3 calls/s",
         penalty < 0.1,

@@ -27,8 +27,7 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
         let mut ags = Vec::with_capacity(rates.len());
         let mut blk = Vec::with_capacity(rates.len());
         for &rate in &rates {
-            let mut cfg =
-                super::shared::figure_config(TrafficModel::Model3, 1, fraction, scale)?;
+            let mut cfg = super::shared::figure_config(TrafficModel::Model3, 1, fraction, scale)?;
             cfg.call_arrival_rate = rate;
             let model = GprsModel::new(cfg)?;
             let q = &model.balanced_gprs().queue;
@@ -55,16 +54,24 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
     checks.push(ShapeCheck::new(
         "10% GPRS: average sessions approach the M = 20 limit",
         ags_series[1].y[last] > 0.75 * m_cap,
-        format!("AGS at 1.0 calls/s = {:.2} of {m_cap}", ags_series[1].y[last]),
+        format!(
+            "AGS at 1.0 calls/s = {:.2} of {m_cap}",
+            ags_series[1].y[last]
+        ),
     ));
     checks.push(ShapeCheck::new(
         "10% GPRS: visible blocking at high arrival rates",
         blocking_series[1].y[last] > 1e-3,
-        format!("blocking at 1.0 calls/s = {:.2e}", blocking_series[1].y[last]),
+        format!(
+            "blocking at 1.0 calls/s = {:.2e}",
+            blocking_series[1].y[last]
+        ),
     ));
     checks.push(ShapeCheck::new(
         "session count never exceeds the admission limit",
-        ags_series.iter().all(|s| s.y.iter().all(|&v| v <= m_cap + 1e-9)),
+        ags_series
+            .iter()
+            .all(|s| s.y.iter().all(|&v| v <= m_cap + 1e-9)),
         String::new(),
     ));
 

@@ -23,8 +23,8 @@ use crate::series::FigureResult;
 /// All figure ids: the paper's figures in paper order, then the
 /// extension figures (coding-scheme ablation, capacity on demand).
 pub const ALL_FIGURES: [&str; 13] = [
-    "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
-    "fig13", "fig15", "fig14", "ext01", "ext02",
+    "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig15",
+    "fig14", "ext01", "ext02",
 ];
 
 /// Runs a figure by id.

@@ -1,10 +1,16 @@
 //! Shared sweep machinery and a process-wide memo so figures that reuse
 //! the same parameter sweep (Figs. 7–9 all read the TM1/TM2 sweeps;
 //! Fig. 13's cross-check reuses Figs. 11–12's data) only pay once.
+//!
+//! Sweeps run through the parallel pipeline
+//! ([`gprs_core::sweep::par_sweep_arrival_rates`]): each figure's rate
+//! grid fans out across `RAYON_NUM_THREADS` workers (machine width by
+//! default), with results identical to the sequential sweep.
 
 use crate::scale::Scale;
-use gprs_core::sweep::{sweep_arrival_rates, SweepPoint};
+use gprs_core::sweep::{par_sweep_arrival_rates, SweepPoint};
 use gprs_core::{CellConfig, ModelError};
+use gprs_ctmc::parallel::num_threads;
 use gprs_traffic::TrafficModel;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -34,8 +40,7 @@ pub fn figure_config(
 type SweepKey = (u8, usize, u64, usize, u8);
 
 fn cache() -> &'static Mutex<HashMap<SweepKey, Arc<Vec<SweepPoint>>>> {
-    static CACHE: OnceLock<Mutex<HashMap<SweepKey, Arc<Vec<SweepPoint>>>>> =
-        OnceLock::new();
+    static CACHE: OnceLock<Mutex<HashMap<SweepKey, Arc<Vec<SweepPoint>>>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -77,13 +82,14 @@ pub fn swept(
     let rates = scale.rate_grid();
     let opts = scale.solve_options();
     eprintln!(
-        "  sweep: {tm}, {reserved_pdchs} PDCH, {:.0}% GPRS, M={} ({} states x {} rates)",
+        "  sweep: {tm}, {reserved_pdchs} PDCH, {:.0}% GPRS, M={} ({} states x {} rates, {} threads)",
         gprs_fraction * 100.0,
         base.max_gprs_sessions,
         base.num_states(),
-        rates.len()
+        rates.len(),
+        num_threads().min(rates.len())
     );
-    let points = sweep_arrival_rates(&base, &rates, &opts)?;
+    let points = par_sweep_arrival_rates(&base, &rates, &opts)?;
     let arc = Arc::new(points);
     cache()
         .lock()
@@ -93,7 +99,10 @@ pub fn swept(
 }
 
 /// Extracts `(x, f(measures))` vectors from sweep points.
-pub fn extract(points: &[SweepPoint], f: impl Fn(&gprs_core::Measures) -> f64) -> (Vec<f64>, Vec<f64>) {
+pub fn extract(
+    points: &[SweepPoint],
+    f: impl Fn(&gprs_core::Measures) -> f64,
+) -> (Vec<f64>, Vec<f64>) {
     let x = points.iter().map(|p| p.rate).collect();
     let y = points.iter().map(|p| f(&p.measures)).collect();
     (x, y)

@@ -12,24 +12,45 @@ pub fn table2() -> String {
     let c = CellConfig::builder().build().expect("base config is valid");
     let mut s = String::new();
     s.push_str("Table 2: base parameter setting of the Markov model\n");
-    s.push_str(&format!("  physical channels N ............ {}\n", c.total_channels));
-    s.push_str(&format!("  fixed PDCHs N_GPRS ............. {}\n", c.reserved_pdchs));
-    s.push_str(&format!("  BSC buffer K ................... {} packets\n", c.buffer_capacity));
+    s.push_str(&format!(
+        "  physical channels N ............ {}\n",
+        c.total_channels
+    ));
+    s.push_str(&format!(
+        "  fixed PDCHs N_GPRS ............. {}\n",
+        c.reserved_pdchs
+    ));
+    s.push_str(&format!(
+        "  BSC buffer K ................... {} packets\n",
+        c.buffer_capacity
+    ));
     s.push_str(&format!(
         "  PDCH rate ({}) .............. {} kbit/s ({:.4} packets/s)\n",
         c.coding_scheme,
         c.coding_scheme.data_rate_kbps(),
         c.packet_service_rate()
     ));
-    s.push_str(&format!("  GSM call duration 1/mu ......... {} s\n", c.gsm_call_duration));
-    s.push_str(&format!("  GSM dwell time ................. {} s\n", c.gsm_dwell_time));
-    s.push_str(&format!("  GPRS dwell time ................ {} s\n", c.gprs_dwell_time));
+    s.push_str(&format!(
+        "  GSM call duration 1/mu ......... {} s\n",
+        c.gsm_call_duration
+    ));
+    s.push_str(&format!(
+        "  GSM dwell time ................. {} s\n",
+        c.gsm_dwell_time
+    ));
+    s.push_str(&format!(
+        "  GPRS dwell time ................ {} s\n",
+        c.gprs_dwell_time
+    ));
     s.push_str(&format!(
         "  GSM / GPRS user split .......... {:.0}% / {:.0}%\n",
         (1.0 - c.gprs_fraction) * 100.0,
         c.gprs_fraction * 100.0
     ));
-    s.push_str(&format!("  TCP threshold eta .............. {}\n", c.tcp_threshold));
+    s.push_str(&format!(
+        "  TCP threshold eta .............. {}\n",
+        c.tcp_threshold
+    ));
     s
 }
 
@@ -37,9 +58,7 @@ pub fn table2() -> String {
 pub fn table3() -> String {
     let mut s = String::new();
     s.push_str("Table 3: traffic model parameters\n");
-    s.push_str(
-        "  parameter                     model 1    model 2    model 3\n",
-    );
+    s.push_str("  parameter                     model 1    model 2    model 3\n");
     let models: Vec<SessionParams> = TrafficModel::ALL.iter().map(|m| m.params()).collect();
     let row = |label: &str, f: &dyn Fn(&SessionParams) -> f64| {
         format!(
@@ -56,7 +75,9 @@ pub fn table3() -> String {
         TrafficModel::Model2.default_max_sessions(),
         TrafficModel::Model3.default_max_sessions()
     ));
-    s.push_str(&row("session duration 1/mu [s]", &|p| p.mean_session_duration()));
+    s.push_str(&row("session duration 1/mu [s]", &|p| {
+        p.mean_session_duration()
+    }));
     s.push_str(&row("packet-call rate [kbit/s]", &|p| {
         p.bit_rate_during_call() / 1000.0
     }));

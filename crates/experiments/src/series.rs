@@ -26,12 +26,7 @@ impl Series {
     }
 
     /// A series with symmetric error bars.
-    pub fn with_error(
-        label: impl Into<String>,
-        x: Vec<f64>,
-        y: Vec<f64>,
-        err: Vec<f64>,
-    ) -> Self {
+    pub fn with_error(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>, err: Vec<f64>) -> Self {
         assert_eq!(x.len(), y.len(), "x/y length mismatch");
         assert_eq!(x.len(), err.len(), "x/err length mismatch");
         Series {

@@ -93,10 +93,7 @@ mod tests {
         // for handover flow balance.
         for a in 0..NUM_CELLS {
             for &b in &neighbors(a) {
-                assert!(
-                    neighbors(b).contains(&a),
-                    "asymmetry between {a} and {b}"
-                );
+                assert!(neighbors(b).contains(&a), "asymmetry between {a} and {b}");
             }
         }
     }

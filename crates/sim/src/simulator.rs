@@ -246,9 +246,7 @@ impl GprsSimulator {
             rng_radio: streams.stream(4),
             cfg,
         };
-        s.stats
-            .reserved
-            .set(SimTime::ZERO, initial_reserved as f64);
+        s.stats.reserved.set(SimTime::ZERO, initial_reserved as f64);
         s.prime();
         s
     }
@@ -375,8 +373,7 @@ impl GprsSimulator {
 
     fn admit_voice(&mut self, cell: usize) {
         self.cells[cell].voice_calls += 1;
-        let leave_rate =
-            self.cfg.cell.gsm_completion_rate() + self.cfg.cell.gsm_handover_rate();
+        let leave_rate = self.cfg.cell.gsm_completion_rate() + self.cfg.cell.gsm_handover_rate();
         let d = exp_mean(&mut self.rng_voice, 1.0 / leave_rate);
         self.sim.schedule_in(d, Event::GsmLeave { cell });
         self.channels_changed(cell);
@@ -678,16 +675,14 @@ impl GprsSimulator {
         }
         // Deliver finished packets (preserving FIFO order).
         let mut delivered = Vec::new();
-        self.cells[cell]
-            .buffer
-            .retain(|p| {
-                if p.blocks_remaining == 0 {
-                    delivered.push(*p);
-                    false
-                } else {
-                    true
-                }
-            });
+        self.cells[cell].buffer.retain(|p| {
+            if p.blocks_remaining == 0 {
+                delivered.push(*p);
+                false
+            } else {
+                true
+            }
+        });
         for p in delivered {
             self.deliver(now, p);
         }
@@ -733,8 +728,7 @@ impl GprsSimulator {
             return;
         };
         transfer.resolved += 1;
-        if transfer.resolved >= transfer.total_packets
-            && transfer.emitted >= transfer.total_packets
+        if transfer.resolved >= transfer.total_packets && transfer.emitted >= transfer.total_packets
         {
             self.finish_call(now, id);
         }
@@ -753,8 +747,7 @@ impl GprsSimulator {
         let retx_before = transfer.sender.retransmissions();
         let to_send = transfer.sender.on_ack(ack, now.as_secs());
         let retx_after = transfer.sender.retransmissions();
-        let complete = transfer.sender.all_acked()
-            && transfer.emitted >= transfer.total_packets;
+        let complete = transfer.sender.all_acked() && transfer.emitted >= transfer.total_packets;
         let cell = session.cell;
         if cell == MID_CELL && self.stats.collecting {
             self.stats.tcp_retx += retx_after - retx_before;

@@ -182,9 +182,7 @@ impl LoadSupervisor {
         }
         if self.ewma < self.cfg.lower_below {
             self.quiet_epochs += 1;
-            if self.quiet_epochs >= self.cfg.down_streak
-                && self.reserved > self.cfg.min_reserved
-            {
+            if self.quiet_epochs >= self.cfg.down_streak && self.reserved > self.cfg.min_reserved {
                 self.quiet_epochs = 0;
                 self.reserved -= 1;
                 return Some(Adjustment::Lowered);

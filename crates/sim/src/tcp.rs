@@ -134,7 +134,9 @@ impl TcpSender {
     }
 
     fn window(&self) -> usize {
-        (self.cwnd.floor() as usize).min(self.cfg.receiver_window as usize).max(1)
+        (self.cwnd.floor() as usize)
+            .min(self.cfg.receiver_window as usize)
+            .max(1)
     }
 
     /// Fills the window with new data, returning sequences to transmit.
@@ -344,7 +346,11 @@ mod tests {
             let ack = s.cum_ack() + 1;
             let _ = s.on_ack(ack, 0.0);
         }
-        assert!((s.cwnd() - (w0 + 1.0)).abs() < 0.1, "w0={w0} w1={}", s.cwnd());
+        assert!(
+            (s.cwnd() - (w0 + 1.0)).abs() < 0.1,
+            "w0={w0} w1={}",
+            s.cwnd()
+        );
     }
 
     #[test]

@@ -37,9 +37,8 @@ fn tdma_throughput_scales_with_block_success_rate() {
     // clean channel's.
     let clean = run(saturated_cell(0.0), RadioModel::TdmaBlocks, 41);
     let noisy = run(saturated_cell(0.4), RadioModel::TdmaBlocks, 41);
-    let tput = |r: &gprs_sim::SimResults| {
-        r.throughput_per_user_kbps.mean * r.avg_gprs_sessions.mean
-    };
+    let tput =
+        |r: &gprs_sim::SimResults| r.throughput_per_user_kbps.mean * r.avg_gprs_sessions.mean;
     let ratio = tput(&noisy) / tput(&clean);
     assert!(
         (0.45..0.8).contains(&ratio),

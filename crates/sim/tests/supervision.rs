@@ -86,10 +86,10 @@ fn idle_data_path_keeps_the_minimum() {
 #[test]
 fn voice_saturation_starves_data_and_supervision_reacts() {
     // The counterpart of the idle test: raise the call rate with the
-    // same tiny GPRS share, and the voice side (population ≈ 57 calls
+    // same tiny GPRS share, and the voice side (population ≈ 80 calls
     // offered on 19 channels) starves the data path; the occupancy-
     // driven supervisor must respond by reserving more PDCHs.
-    let cfg = SimConfig::builder(cell(0.5, 0.002))
+    let cfg = SimConfig::builder(cell(0.7, 0.002))
         .seed(13)
         .warmup(300.0)
         .batches(4, 600.0)
@@ -130,8 +130,7 @@ fn supervision_improves_data_qos_over_static_minimum() {
     );
     // And the voice side pays: blocking must not *improve*.
     assert!(
-        adaptive.gsm_blocking_probability.mean
-            >= fixed.gsm_blocking_probability.mean - 0.02,
+        adaptive.gsm_blocking_probability.mean >= fixed.gsm_blocking_probability.mean - 0.02,
         "voice blocking: adaptive {} vs static {}",
         adaptive.gsm_blocking_probability.mean,
         fixed.gsm_blocking_probability.mean
@@ -153,9 +152,7 @@ fn supervised_runs_stay_deterministic_per_seed() {
     assert_eq!(a.events_processed, b.events_processed);
     assert_eq!(a.reconfigurations, b.reconfigurations);
     assert!((a.avg_reserved_pdchs.mean - b.avg_reserved_pdchs.mean).abs() < 1e-12);
-    assert!(
-        (a.carried_data_traffic.mean - b.carried_data_traffic.mean).abs() < 1e-12
-    );
+    assert!((a.carried_data_traffic.mean - b.carried_data_traffic.mean).abs() < 1e-12);
 }
 
 #[test]
@@ -163,7 +160,5 @@ fn supervised_runs_stay_deterministic_per_seed() {
 fn supervision_range_must_leave_voice_room() {
     let mut sup = supervision();
     sup.max_reserved = 20; // the whole cell
-    let _ = SimConfig::builder(cell(0.5, 0.05))
-        .supervision(sup)
-        .build();
+    let _ = SimConfig::builder(cell(0.5, 0.05)).supervision(sup).build();
 }

@@ -12,10 +12,10 @@ fn config_strategy() -> impl Strategy<Value = SupervisionConfig> {
         // Strictly positive: with the threshold at exactly 0.0 a zero
         // occupancy is not "below" it and no quiet streak can ever form.
         0.001f64..0.45, // lower_below
-        0.5f64..=1.0,  // raise_above (always > lower_below by ranges)
-        0usize..3,     // min reserved
-        3usize..8,     // max reserved
-        1usize..6,     // down streak
+        0.5f64..=1.0,   // raise_above (always > lower_below by ranges)
+        0usize..3,      // min reserved
+        3usize..8,      // max reserved
+        1usize..6,      // down streak
     )
         .prop_map(
             |(epoch, w, lower, raise, min_r, max_r, streak)| SupervisionConfig {

@@ -362,8 +362,7 @@ impl Hyperexponential {
             factorial *= i as f64;
         }
         factorial
-            * (self.p / self.rate1.powi(k as i32)
-                + (1.0 - self.p) / self.rate2.powi(k as i32))
+            * (self.p / self.rate1.powi(k as i32) + (1.0 - self.p) / self.rate2.powi(k as i32))
     }
 
     /// Mean, `p/γ1 + (1−p)/γ2`.
@@ -485,8 +484,7 @@ mod tests {
             let fit = Mmpp2::fit_superposition(&ipp, n);
             let nf = n as f64;
             let mean = nf * ipp.mean_rate();
-            let var =
-                nf * ipp.rate_on().powi(2) * ipp.on_probability() * ipp.off_probability();
+            let var = nf * ipp.rate_on().powi(2) * ipp.on_probability() * ipp.off_probability();
             assert!(
                 (fit.mean_rate() - mean).abs() / mean < 1e-9,
                 "mean, n = {n}"
@@ -496,9 +494,7 @@ mod tests {
                 "variance, n = {n}"
             );
             assert!(
-                (fit.relaxation_rate()
-                    - (ipp.on_to_off_rate() + ipp.off_to_on_rate()))
-                .abs()
+                (fit.relaxation_rate() - (ipp.on_to_off_rate() + ipp.off_to_on_rate())).abs()
                     < 1e-9,
                 "theta, n = {n}"
             );

@@ -108,8 +108,7 @@ pub fn binomial_pmf(n: usize, p: f64) -> Vec<f64> {
     let ratio = p / (1.0 - p);
     let mut log_terms = vec![0.0f64; n + 1];
     for k in 0..n {
-        log_terms[k + 1] =
-            log_terms[k] + ((n - k) as f64 / (k + 1) as f64).ln() + ratio.ln();
+        log_terms[k + 1] = log_terms[k] + ((n - k) as f64 / (k + 1) as f64).ln() + ratio.ln();
     }
     let max_log = log_terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let mut total = 0.0;

@@ -184,8 +184,11 @@ impl TrafficModel {
     }
 
     /// All three models, in paper order.
-    pub const ALL: [TrafficModel; 3] =
-        [TrafficModel::Model1, TrafficModel::Model2, TrafficModel::Model3];
+    pub const ALL: [TrafficModel; 3] = [
+        TrafficModel::Model1,
+        TrafficModel::Model2,
+        TrafficModel::Model3,
+    ];
 }
 
 impl fmt::Display for TrafficModel {
@@ -207,9 +210,7 @@ mod tests {
         // The paper's Table 3 lists these (model 2's 2075.6 is a rounding
         // of 5·(412 + 3.125) = 2075.625).
         assert!((SessionParams::traffic_model_1().mean_session_duration() - 2122.5).abs() < 1e-9);
-        assert!(
-            (SessionParams::traffic_model_2().mean_session_duration() - 2075.625).abs() < 1e-9
-        );
+        assert!((SessionParams::traffic_model_2().mean_session_duration() - 2075.625).abs() < 1e-9);
         assert!((SessionParams::traffic_model_3().mean_session_duration() - 312.5).abs() < 1e-9);
     }
 

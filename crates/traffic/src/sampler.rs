@@ -76,10 +76,7 @@ impl SessionRealization {
 /// assert!(s.total_packets() >= 1);
 /// assert!(s.duration() > 0.0);
 /// ```
-pub fn sample_session<R: Rng + ?Sized>(
-    params: &SessionParams,
-    rng: &mut R,
-) -> SessionRealization {
+pub fn sample_session<R: Rng + ?Sized>(params: &SessionParams, rng: &mut R) -> SessionRealization {
     let num_calls = geometric_min1(rng, params.packet_calls_per_session);
     let mut calls = Vec::with_capacity(num_calls as usize);
     for _ in 0..num_calls {
@@ -282,10 +279,7 @@ mod tests {
         }
         let mean = packets as f64 / n as f64;
         let expect = params.mean_packets_per_session(); // 1250
-        assert!(
-            (mean - expect).abs() / expect < 0.08,
-            "{mean} vs {expect}"
-        );
+        assert!((mean - expect).abs() / expect < 0.08, "{mean} vs {expect}");
     }
 
     #[test]
@@ -323,9 +317,6 @@ mod tests {
         }
         let mean = total / n as f64;
         let expect = params.mean_session_duration();
-        assert!(
-            (mean - expect).abs() / expect < 0.05,
-            "{mean} vs {expect}"
-        );
+        assert!((mean - expect).abs() / expect < 0.05, "{mean} vs {expect}");
     }
 }

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .max_throughput_degradation(0.5) // the paper's Section 5.3 profile
         .max_queueing_delay(1.0);
     let rates = [0.1, 0.2, 0.35, 0.5, 0.75, 1.0];
-    println!("computing policy table ({} rates x up to 5 reservations)...", rates.len());
+    println!(
+        "computing policy table ({} rates x up to 5 reservations)...",
+        rates.len()
+    );
     let table = PolicyTable::compute(&base, &targets, &rates, 0..=4, &opts)?;
     println!("\n  rate [calls/s]   min reserved PDCHs for QoS");
     for (r, rec) in table.rates().iter().zip(table.recommendations()) {

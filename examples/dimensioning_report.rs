@@ -16,7 +16,7 @@
 //! The default uses a reduced buffer so the report builds in about a
 //! minute; `--full` solves the paper-exact configuration (much slower).
 
-use gprs_repro::core::sweep::{rate_grid, sweep_arrival_rates};
+use gprs_repro::core::sweep::{par_sweep_arrival_rates, rate_grid};
 use gprs_repro::core::{CellConfig, Measures};
 use gprs_repro::ctmc::SolveOptions;
 use gprs_repro::traffic::TrafficModel;
@@ -87,9 +87,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ref_cfg.call_arrival_rate = 1e-3;
             let reference = {
                 let model = gprs_repro::core::GprsModel::new(ref_cfg)?;
-                model.solve(&opts, None)?.measures().throughput_per_user_kbps
+                model
+                    .solve(&opts, None)?
+                    .measures()
+                    .throughput_per_user_kbps
             };
-            let points = sweep_arrival_rates(&base, &rates, &opts)?;
+            let points = par_sweep_arrival_rates(&base, &rates, &opts)?;
             let degradation: Vec<f64> = points
                 .iter()
                 .map(|p: &gprs_repro::core::sweep::SweepPoint| {

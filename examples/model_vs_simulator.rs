@@ -51,21 +51,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if inside { "(model inside CI)" } else { "" }
         );
     };
-    row("carried data traffic", m.carried_data_traffic, &r.carried_data_traffic);
-    row("carried voice traffic", m.carried_voice_traffic, &r.carried_voice_traffic);
-    row("avg GPRS sessions", m.avg_gprs_sessions, &r.avg_gprs_sessions);
-    row("packet loss probability", m.packet_loss_probability, &r.packet_loss_probability);
+    row(
+        "carried data traffic",
+        m.carried_data_traffic,
+        &r.carried_data_traffic,
+    );
+    row(
+        "carried voice traffic",
+        m.carried_voice_traffic,
+        &r.carried_voice_traffic,
+    );
+    row(
+        "avg GPRS sessions",
+        m.avg_gprs_sessions,
+        &r.avg_gprs_sessions,
+    );
+    row(
+        "packet loss probability",
+        m.packet_loss_probability,
+        &r.packet_loss_probability,
+    );
     row("queueing delay (s)", m.queueing_delay, &r.queueing_delay);
-    row("throughput/user (kbit/s)", m.throughput_per_user_kbps, &r.throughput_per_user_kbps);
-    row("GSM blocking", m.gsm_blocking_probability, &r.gsm_blocking_probability);
-    row("GPRS blocking", m.gprs_blocking_probability, &r.gprs_blocking_probability);
+    row(
+        "throughput/user (kbit/s)",
+        m.throughput_per_user_kbps,
+        &r.throughput_per_user_kbps,
+    );
+    row(
+        "GSM blocking",
+        m.gsm_blocking_probability,
+        &r.gsm_blocking_probability,
+    );
+    row(
+        "GPRS blocking",
+        m.gprs_blocking_probability,
+        &r.gprs_blocking_probability,
+    );
 
     // The balancing assumption the model makes, tested by the simulator:
     println!(
         "\nhandover balance: model λ_h,GPRS = {:.4}/s; simulator mid-cell inflow = {:.4} ± {:.4}/s",
-        m.gprs_handover_rate,
-        r.gprs_handover_in_rate.mean,
-        r.gprs_handover_in_rate.half_width
+        m.gprs_handover_rate, r.gprs_handover_in_rate.mean, r.gprs_handover_in_rate.half_width
     );
     Ok(())
 }

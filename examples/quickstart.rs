@@ -46,13 +46,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("measures at {rate} calls/s:");
-    println!("  carried data traffic (CDT) ...... {:.3} PDCHs", m.carried_data_traffic);
-    println!("  carried voice traffic (CVT) ..... {:.3} channels", m.carried_voice_traffic);
-    println!("  avg GPRS sessions (AGS) ......... {:.3}", m.avg_gprs_sessions);
-    println!("  packet loss probability (PLP) ... {:.3e}", m.packet_loss_probability);
-    println!("  queueing delay (QD) ............. {:.3} s", m.queueing_delay);
-    println!("  throughput per user (ATU) ....... {:.2} kbit/s", m.throughput_per_user_kbps);
-    println!("  GSM voice blocking .............. {:.3e}", m.gsm_blocking_probability);
-    println!("  GPRS session blocking ........... {:.3e}", m.gprs_blocking_probability);
+    println!(
+        "  carried data traffic (CDT) ...... {:.3} PDCHs",
+        m.carried_data_traffic
+    );
+    println!(
+        "  carried voice traffic (CVT) ..... {:.3} channels",
+        m.carried_voice_traffic
+    );
+    println!(
+        "  avg GPRS sessions (AGS) ......... {:.3}",
+        m.avg_gprs_sessions
+    );
+    println!(
+        "  packet loss probability (PLP) ... {:.3e}",
+        m.packet_loss_probability
+    );
+    println!(
+        "  queueing delay (QD) ............. {:.3} s",
+        m.queueing_delay
+    );
+    println!(
+        "  throughput per user (ATU) ....... {:.2} kbit/s",
+        m.throughput_per_user_kbps
+    );
+    println!(
+        "  GSM voice blocking .............. {:.3e}",
+        m.gsm_blocking_probability
+    );
+    println!(
+        "  GPRS session blocking ........... {:.3e}",
+        m.gprs_blocking_probability
+    );
     Ok(())
 }

@@ -33,14 +33,26 @@ fn main() {
         let mc_on_share = on_time / duration;
 
         println!("{model}");
-        println!("  mean session duration  analytic {:>9.1} s   sampled {:>9.1} s",
-                 p.mean_session_duration(), mc_duration);
-        println!("  packets per session    analytic {:>9.1}     sampled {:>9.1}",
-                 p.mean_packets_per_session(), mc_packets);
-        println!("  on-state share         analytic {:>9.3}     sampled {:>9.3}",
-                 p.on_probability(), mc_on_share);
-        println!("  mean packet rate       {:.3} packets/s  (burstiness IDC(inf) = {:.1})",
-                 ipp.mean_rate(), ipp.asymptotic_idc());
+        println!(
+            "  mean session duration  analytic {:>9.1} s   sampled {:>9.1} s",
+            p.mean_session_duration(),
+            mc_duration
+        );
+        println!(
+            "  packets per session    analytic {:>9.1}     sampled {:>9.1}",
+            p.mean_packets_per_session(),
+            mc_packets
+        );
+        println!(
+            "  on-state share         analytic {:>9.3}     sampled {:>9.3}",
+            p.on_probability(),
+            mc_on_share
+        );
+        println!(
+            "  mean packet rate       {:.3} packets/s  (burstiness IDC(inf) = {:.1})",
+            ipp.mean_rate(),
+            ipp.asymptotic_idc()
+        );
 
         // Aggregation: 10 users as one MMPP.
         let agg = ipp.aggregate(10);

@@ -41,8 +41,14 @@ fn three_solvers_agree_end_to_end() {
     let sparse = model.assemble_sparse().unwrap();
     let direct = solve_gth(&sparse).unwrap();
     for i in 0..model.space().num_states() {
-        assert!((block.stationary()[i] - direct[i]).abs() < 1e-8, "block vs gth at {i}");
-        assert!((point.stationary()[i] - direct[i]).abs() < 1e-7, "gs vs gth at {i}");
+        assert!(
+            (block.stationary()[i] - direct[i]).abs() < 1e-8,
+            "block vs gth at {i}"
+        );
+        assert!(
+            (point.stationary()[i] - direct[i]).abs() < 1e-7,
+            "gs vs gth at {i}"
+        );
     }
 }
 
@@ -94,8 +100,7 @@ fn little_law_holds_for_the_bsc_buffer() {
         "Little's law violated"
     );
     assert!(
-        (m.accepted_packet_rate - m.data_throughput).abs()
-            < 1e-6 * m.data_throughput.max(1e-12)
+        (m.accepted_packet_rate - m.data_throughput).abs() < 1e-6 * m.data_throughput.max(1e-12)
     );
 }
 
@@ -109,33 +114,26 @@ fn loss_increases_with_offered_traffic() {
         .unwrap()
         .solve_default()
         .unwrap();
-    assert!(
-        hi.measures().packet_loss_probability
-            >= lo.measures().packet_loss_probability
-    );
-    assert!(
-        hi.measures().gsm_blocking_probability
-            > lo.measures().gsm_blocking_probability
-    );
+    assert!(hi.measures().packet_loss_probability >= lo.measures().packet_loss_probability);
+    assert!(hi.measures().gsm_blocking_probability > lo.measures().gsm_blocking_probability);
 }
 
 #[test]
 fn reserving_more_pdchs_helps_data_hurts_voice() {
     let mut base = small_config(1.0);
     base.reserved_pdchs = 0;
-    let none = GprsModel::new(base.clone()).unwrap().solve_default().unwrap();
+    let none = GprsModel::new(base.clone())
+        .unwrap()
+        .solve_default()
+        .unwrap();
     base.reserved_pdchs = 3;
     let three = GprsModel::new(base).unwrap().solve_default().unwrap();
     // Data: better (or equal) loss and delay with reservations.
     assert!(
-        three.measures().packet_loss_probability
-            <= none.measures().packet_loss_probability + 1e-12
+        three.measures().packet_loss_probability <= none.measures().packet_loss_probability + 1e-12
     );
     // Voice: higher blocking with fewer voice channels.
-    assert!(
-        three.measures().gsm_blocking_probability
-            >= none.measures().gsm_blocking_probability
-    );
+    assert!(three.measures().gsm_blocking_probability >= none.measures().gsm_blocking_probability);
 }
 
 #[test]
@@ -150,11 +148,13 @@ fn transient_solution_approaches_steady_state() {
     // nothing but wall-clock.
     let mut pi0 = vec![0.0; n];
     pi0[0] = 1.0;
-    let pi_t =
-        gprs_repro::ctmc::transient::solve_transient(&model, &pi0, 5_000.0).unwrap();
+    let pi_t = gprs_repro::ctmc::transient::solve_transient(&model, &pi0, 5_000.0).unwrap();
     let mut max_err: f64 = 0.0;
     for (i, &p_t) in pi_t.iter().enumerate() {
         max_err = max_err.max((p_t - solved.stationary()[i]).abs());
     }
-    assert!(max_err < 1e-4, "transient did not reach steady state: {max_err}");
+    assert!(
+        max_err < 1e-4,
+        "transient did not reach steady state: {max_err}"
+    );
 }

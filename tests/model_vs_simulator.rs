@@ -64,8 +64,8 @@ fn session_population_matches_the_model_at_light_load() {
     let solved = model.solve(&SolveOptions::quick(), None).unwrap();
     let sim = run_sim(c, 13);
     let m = solved.measures();
-    let rel = (sim.avg_gprs_sessions.mean - m.avg_gprs_sessions).abs()
-        / m.avg_gprs_sessions.max(1e-9);
+    let rel =
+        (sim.avg_gprs_sessions.mean - m.avg_gprs_sessions).abs() / m.avg_gprs_sessions.max(1e-9);
     assert!(
         rel < 0.25,
         "AGS: sim {} vs model {} (rel {rel:.2})",
@@ -86,8 +86,7 @@ fn congestion_stretches_simulated_sessions() {
     let solved = model.solve(&SolveOptions::quick(), None).unwrap();
     let sim = run_sim(c, 13);
     let m = solved.measures();
-    let rel = (sim.avg_gprs_sessions.mean - m.avg_gprs_sessions)
-        / m.avg_gprs_sessions.max(1e-9);
+    let rel = (sim.avg_gprs_sessions.mean - m.avg_gprs_sessions) / m.avg_gprs_sessions.max(1e-9);
     assert!(
         rel > -0.15,
         "AGS: sim {} unexpectedly far below model {}",
@@ -177,8 +176,7 @@ fn disabling_tcp_increases_loss_under_pressure() {
         .build();
     let without = GprsSimulator::new(no_tcp_cfg).run();
     assert!(
-        without.packet_loss_probability.mean
-            >= with_tcp.packet_loss_probability.mean * 0.8,
+        without.packet_loss_probability.mean >= with_tcp.packet_loss_probability.mean * 0.8,
         "no-TCP loss {} should not be much below TCP loss {}",
         without.packet_loss_probability.mean,
         with_tcp.packet_loss_probability.mean

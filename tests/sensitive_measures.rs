@@ -61,8 +61,7 @@ fn simulation_budget_cannot_pin_down_small_plp() {
     assert!(
         !result.converged,
         "unexpectedly precise: {} after {} replications",
-        result.interval,
-        result.replications
+        result.interval, result.replications
     );
     // ...but it is not *wrong*, just wide: the solver's value must be
     // consistent with the simulation evidence (within the interval
@@ -93,15 +92,13 @@ fn sequential_runner_converges_on_a_robust_measure() {
     assert!(
         result.converged,
         "CVT did not converge: {} after {}",
-        result.interval,
-        result.replications
+        result.interval, result.replications
     );
     let model = GprsModel::new(cell).unwrap();
     let solved = model.solve(&SolveOptions::quick(), None).unwrap();
     let cvt_model = solved.measures().carried_voice_traffic;
     assert!(
-        (result.interval.mean - cvt_model).abs()
-            <= 3.0 * result.interval.half_width + 0.3,
+        (result.interval.mean - cvt_model).abs() <= 3.0 * result.interval.half_width + 0.3,
         "CVT: solver {cvt_model} vs simulated {}",
         result.interval
     );

@@ -1,0 +1,263 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion API this workspace's benches
+//! use — `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Throughput`, `BenchmarkId` —
+//! backed by a plain wall-clock harness: each benchmark is warmed up
+//! once, then timed for `sample_size` samples, and the mean / min /
+//! max per-iteration times are printed in a criterion-like format.
+//!
+//! No statistical analysis, outlier detection, or HTML reports; swap
+//! the path dependency for the real `criterion = "0.5"` when a registry
+//! is available.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes free arguments through.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            default_sample_size: 10,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` directly under `id` (ungrouped).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        run_benchmark(self, id.to_string(), sample_size, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares the work per iteration, enabling a rate report.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `self.name/id`.
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let n = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        run_benchmark(self.criterion, full, n, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `self.name/id`.
+    pub fn bench_with_input<I: fmt::Display, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter, rendered as
+/// `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `name/param`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Times closures handed to it by a benchmark function.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    planned_samples: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once as warm-up, then for the planned number of timed
+    /// samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.planned_samples {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(filter) = &criterion.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        planned_samples: sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = *b.samples.iter().min().expect("nonempty");
+    let max = *b.samples.iter().max().expect("nonempty");
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<50} time: [{} {} {}]{rate}",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts_samples() {
+        let mut c = Criterion {
+            default_sample_size: 3,
+            filter: None,
+        };
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).bench_function("f", |b| {
+                b.iter(|| calls += 1);
+            });
+            g.finish();
+        }
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("solve", 42).to_string(), "solve/42");
+    }
+}

@@ -1,0 +1,190 @@
+//! Offline stand-in for the `rand` crate, covering exactly the API
+//! surface this workspace uses: the [`Rng`] / [`SeedableRng`] traits and
+//! [`rngs::SmallRng`] (xoshiro256++ seeded via splitmix64, the same
+//! generator family the real `SmallRng` uses on 64-bit targets).
+//!
+//! The container this repository builds in has no crates.io access, so
+//! the workspace vendors this minimal implementation instead of the real
+//! dependency. Swap the `[patch]`-free path dependency for the real
+//! `rand = "0.8"` when a registry is available; no call sites need to
+//! change.
+
+#![forbid(unsafe_code)]
+
+/// Types that can be sampled from a uniform-bits generator.
+///
+/// Mirrors the role of `rand::distributions::Standard`: `f64` samples
+/// uniformly on `[0, 1)`, integer types take uniform bits.
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits, exactly the real rand's Standard.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for usize {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Distribution types accepted by [`Rng::sample_iter`].
+pub mod distributions {
+    /// The standard distribution: uniform on `[0, 1)` for floats,
+    /// uniform bits for integers.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+}
+
+/// Iterator over samples drawn from a generator (see
+/// [`Rng::sample_iter`]).
+#[derive(Debug)]
+pub struct DistIter<R, T> {
+    rng: R,
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<R: Rng, T: StandardSample> Iterator for DistIter<R, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.rng.gen())
+    }
+}
+
+/// A random-number generator.
+pub trait Rng {
+    /// Returns the next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` (uniform on `[0, 1)` for `f64`,
+    /// uniform bits for integers).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Consumes the generator into an infinite iterator of samples from
+    /// the standard distribution.
+    fn sample_iter<T: StandardSample>(self, _distr: distributions::Standard) -> DistIter<Self, T>
+    where
+        Self: Sized,
+    {
+        DistIter {
+            rng: self,
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Generators that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (expanded via splitmix64).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn reproducible_and_distinct_seeds() {
+        let a: u64 = SmallRng::seed_from_u64(1).gen();
+        let b: u64 = SmallRng::seed_from_u64(1).gen();
+        let c: u64 = SmallRng::seed_from_u64(2).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_is_uniform_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 5e-3, "mean {mean}");
+    }
+}
