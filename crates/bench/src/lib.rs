@@ -9,6 +9,9 @@
 //!   fanned out across threads, red-black SOR / Jacobi vs sequential
 //!   Gauss–Seidel, and row-parallel sparse assembly, at the
 //!   [`small_model`] and [`medium_model`] fixtures.
+//! * `cluster` — the heterogeneous 7-cell fixed point: per-iteration
+//!   cell solves sequential vs thread-parallel, plus the load-scale
+//!   sweep (determinism is asserted before timing).
 //! * `generator` — transition enumeration and sparse assembly
 //!   throughput.
 //! * `simulator` — discrete-event throughput (events/s) for both radio

@@ -1,0 +1,798 @@
+//! Heterogeneous multi-cell fixed-point model on the 7-cell cluster.
+//!
+//! The paper's Markov model describes **one** cell and balances its
+//! handover flows under the homogeneity assumption: every cell carries
+//! identical load, so incoming handover flow equals outgoing flow and
+//! the scalar Erlang iteration of `gprs_queueing::handover` closes the
+//! model. Real deployments are not homogeneous — a hot-spot cell next to
+//! lightly loaded neighbours receives *less* handover traffic than its
+//! own outflow, which the scalar balance cannot represent.
+//!
+//! [`ClusterModel`] drops the assumption. It holds one [`CellConfig`]
+//! per cell of the closed 7-cell wraparound topology (the same topology
+//! the `gprs-sim` network simulator moves users over) and iterates a
+//! **cluster-wide fixed point on the handover arrival vectors**:
+//!
+//! 1. solve each cell's CTMC under its current incoming handover rates
+//!    `(λ_h,GSM[i], λ_h,GPRS[i])` — via
+//!    [`GprsModel::with_handover_arrivals`], warm-started from the
+//!    cell's previous iterate;
+//! 2. read the mean populations `E[n_i]`, `E[m_i]` off the stationary
+//!    distributions and form the outgoing fluxes `μ_h,GSM·E[n_i]` and
+//!    `μ_h,GPRS·E[m_i]`, split uniformly over the six neighbours
+//!    (matching the simulator's uniform handover-target choice);
+//! 3. set each cell's next incoming rate to the sum of its neighbours'
+//!    per-neighbour fluxes and repeat until the vector is stationary.
+//!
+//! Under uniform load the fixed point coincides with the scalar balance
+//! (every cell's inflow equals its own outflow), which is both the
+//! initialization and the oracle the test suite checks against. The
+//! seven per-iteration cell solves are independent, so they fan out over
+//! [`gprs_ctmc::parallel::par_map_tasks`] — results are bit-identical
+//! for any thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use gprs_core::cluster::{ClusterModel, ClusterSolveOptions, MID_CELL};
+//! use gprs_core::CellConfig;
+//! use gprs_traffic::TrafficModel;
+//!
+//! // Ring cells at 0.3 calls/s, mid cell overloaded at 0.6 calls/s
+//! // (small buffer keeps the doc test fast).
+//! let base = CellConfig::builder()
+//!     .traffic_model(TrafficModel::Model3)
+//!     .buffer_capacity(6)
+//!     .max_gprs_sessions(2)
+//!     .call_arrival_rate(0.3)
+//!     .build()?;
+//! let cluster = ClusterModel::hot_spot(base, 0.6)?;
+//! let solved = cluster.solve(&ClusterSolveOptions::quick())?;
+//! // The hot mid cell receives less handover inflow than it emits:
+//! // its lightly loaded neighbours cannot match its outflow.
+//! let mid = solved.mid();
+//! assert!(mid.gsm_handover_in < mid.gsm_handover_out);
+//! assert_eq!(solved.cells().len(), 7);
+//! # Ok::<(), gprs_core::ModelError>(())
+//! ```
+
+use crate::config::CellConfig;
+use crate::error::ModelError;
+use crate::generator::GprsModel;
+use crate::measures::Measures;
+use gprs_ctmc::parallel::{num_threads, par_map_tasks};
+use gprs_ctmc::solver::SolveOptions;
+use gprs_queueing::handover::{balance_default, HandoverParams};
+use gprs_queueing::QueueingError;
+
+/// Number of cells in the cluster.
+pub const NUM_CELLS: usize = 7;
+
+/// Index of the mid (statistics) cell.
+pub const MID_CELL: usize = 0;
+
+/// The handover neighbours of `cell` (always 6, by wraparound).
+///
+/// Cell 0 is the mid cell; cells 1–6 form the ring. The cluster is
+/// closed under handover: movements that would leave it wrap back onto
+/// it under the standard 7-cell tiling of the plane, so the mid cell's
+/// neighbours are the six ring cells and a ring cell's neighbours are
+/// the mid cell plus the five other ring cells.
+///
+/// # Panics
+///
+/// Panics if `cell >= NUM_CELLS`.
+pub fn neighbors(cell: usize) -> [usize; 6] {
+    assert!(cell < NUM_CELLS, "cell {cell} out of range");
+    if cell == MID_CELL {
+        [1, 2, 3, 4, 5, 6]
+    } else {
+        // Mid cell plus the five other ring cells.
+        let mut out = [0usize; 6];
+        out[0] = MID_CELL;
+        let mut slot = 1;
+        for other in 1..NUM_CELLS {
+            if other != cell {
+                out[slot] = other;
+                slot += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Picks a uniform handover target for a user leaving `cell`, given a
+/// uniform random value `u ∈ [0, 1)` — the sampling counterpart of the
+/// analytical model's uniform 1/6 flux split, used by the simulator.
+///
+/// # Panics
+///
+/// Panics if `cell >= NUM_CELLS` or `u` is outside `[0, 1)`.
+pub fn handover_target(cell: usize, u: f64) -> usize {
+    assert!((0.0..1.0).contains(&u), "u must lie in [0, 1), got {u}");
+    let nbrs = neighbors(cell);
+    nbrs[(u * 6.0) as usize % 6]
+}
+
+/// Options for the cluster fixed point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSolveOptions {
+    /// Convergence tolerance on the handover arrival vector: the maximum
+    /// relative change of any of the `2·NUM_CELLS` entries between
+    /// successive iterations.
+    pub tolerance: f64,
+    /// Cap on outer (cluster) iterations.
+    pub max_iterations: usize,
+    /// Options for the inner per-cell CTMC solves.
+    pub solve: SolveOptions,
+    /// Worker threads for the per-iteration cell fan-out; `0` (the
+    /// default) uses [`gprs_ctmc::parallel::num_threads`]. Results are
+    /// identical for any value.
+    pub threads: usize,
+}
+
+impl Default for ClusterSolveOptions {
+    fn default() -> Self {
+        ClusterSolveOptions {
+            tolerance: 1e-10,
+            max_iterations: 500,
+            solve: SolveOptions::default(),
+            threads: 0,
+        }
+    }
+}
+
+impl ClusterSolveOptions {
+    /// A looser profile for quick exploration.
+    pub fn quick() -> Self {
+        ClusterSolveOptions {
+            tolerance: 1e-8,
+            solve: SolveOptions::quick(),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the outer tolerance, returning `self` for chaining.
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+
+    /// Sets the worker count, returning `self` for chaining.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the inner solver options, returning `self` for chaining.
+    pub fn with_solve(mut self, solve: SolveOptions) -> Self {
+        self.solve = solve;
+        self
+    }
+}
+
+/// One cell of a solved cluster.
+#[derive(Debug, Clone)]
+pub struct SolvedCell {
+    /// The full single-cell performance measures (Eqs. 6–11) under the
+    /// converged handover arrival rates.
+    pub measures: Measures,
+    /// Converged incoming GSM handover rate `λ_h,GSM`.
+    pub gsm_handover_in: f64,
+    /// Converged incoming GPRS handover rate `λ_h,GPRS`.
+    pub gprs_handover_in: f64,
+    /// Outgoing GSM handover flux `μ_h,GSM·E[n]` at the fixed point.
+    pub gsm_handover_out: f64,
+    /// Outgoing GPRS handover flux `μ_h,GPRS·E[m]` at the fixed point.
+    pub gprs_handover_out: f64,
+    /// Mean voice-call population `E[n]` from the stationary chain.
+    pub mean_voice_calls: f64,
+    /// Mean GPRS session population `E[m]` from the stationary chain.
+    pub mean_sessions: f64,
+    /// Inner solver sweeps accumulated over all outer iterations.
+    pub sweeps: usize,
+    /// Balance residual of the final solve.
+    pub residual: f64,
+}
+
+/// A converged cluster fixed point.
+#[derive(Debug, Clone)]
+pub struct SolvedCluster {
+    cells: Vec<SolvedCell>,
+    iterations: usize,
+    handover_delta: f64,
+}
+
+impl SolvedCluster {
+    /// All seven cells, in cell order (index [`MID_CELL`] first).
+    pub fn cells(&self) -> &[SolvedCell] {
+        &self.cells
+    }
+
+    /// The mid (statistics) cell.
+    pub fn mid(&self) -> &SolvedCell {
+        &self.cells[MID_CELL]
+    }
+
+    /// Outer iterations the fixed point took.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Final maximum relative change of the handover arrival vector.
+    pub fn handover_delta(&self) -> f64 {
+        self.handover_delta
+    }
+
+    /// The cluster-wide flow conservation defect: relative difference
+    /// between total incoming and total outgoing handover flux (GSM +
+    /// GPRS). The cluster is closed, so this is ~0 at a genuine fixed
+    /// point regardless of heterogeneity.
+    pub fn flow_imbalance(&self) -> f64 {
+        let total_in: f64 = self
+            .cells
+            .iter()
+            .map(|c| c.gsm_handover_in + c.gprs_handover_in)
+            .sum();
+        let total_out: f64 = self
+            .cells
+            .iter()
+            .map(|c| c.gsm_handover_out + c.gprs_handover_out)
+            .sum();
+        (total_in - total_out).abs() / total_in.max(total_out).max(1e-300)
+    }
+}
+
+/// Outcome of one inner cell solve (one cell, one outer iteration).
+struct CellSolve {
+    pi: Vec<f64>,
+    measures: Measures,
+    mean_voice_calls: f64,
+    mean_sessions: f64,
+    sweeps: usize,
+    residual: f64,
+}
+
+/// The heterogeneous 7-cell analytical model: one configuration per
+/// cell, solved to a cluster-wide handover fixed point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterModel {
+    configs: Vec<CellConfig>,
+}
+
+impl ClusterModel {
+    /// Builds a cluster from exactly [`NUM_CELLS`] per-cell
+    /// configurations (index [`MID_CELL`] is the mid cell).
+    ///
+    /// The handover split is a rate split, so cells may differ in any
+    /// parameter; for the cross-validated scenarios only the arrival
+    /// rates vary (the simulator shares the remaining parameters across
+    /// cells).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Config`] if the count is wrong or any cell
+    /// configuration is invalid.
+    pub fn new(configs: Vec<CellConfig>) -> Result<Self, ModelError> {
+        if configs.len() != NUM_CELLS {
+            return Err(ModelError::Config {
+                reason: format!("cluster needs {NUM_CELLS} cells, got {}", configs.len()),
+            });
+        }
+        for (i, cfg) in configs.iter().enumerate() {
+            cfg.validate().map_err(|e| ModelError::Config {
+                reason: format!("cell {i}: {e}"),
+            })?;
+        }
+        Ok(ClusterModel { configs })
+    }
+
+    /// A homogeneous cluster: all seven cells share `config`. Its fixed
+    /// point reproduces the single-cell model of [`GprsModel::new`] —
+    /// the oracle tests rely on this.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterModel::new`].
+    pub fn uniform(config: CellConfig) -> Result<Self, ModelError> {
+        Self::new(vec![config; NUM_CELLS])
+    }
+
+    /// A hot-spot cluster: the six ring cells run `base` unchanged, the
+    /// mid cell runs at `mid_arrival_rate` calls/s — the asymmetric
+    /// scenario the homogeneous model cannot represent.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterModel::new`].
+    pub fn hot_spot(base: CellConfig, mid_arrival_rate: f64) -> Result<Self, ModelError> {
+        let mut configs = vec![base; NUM_CELLS];
+        configs[MID_CELL].call_arrival_rate = mid_arrival_rate;
+        Self::new(configs)
+    }
+
+    /// The per-cell configurations.
+    pub fn configs(&self) -> &[CellConfig] {
+        &self.configs
+    }
+
+    /// A copy with every cell's call arrival rate multiplied by `scale`
+    /// (heterogeneity pattern preserved) — the cluster analogue of the
+    /// paper's arrival-rate x-axis.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Config`] if a scaled rate is invalid.
+    pub fn scaled(&self, scale: f64) -> Result<Self, ModelError> {
+        let configs = self
+            .configs
+            .iter()
+            .map(|cfg| {
+                let mut c = cfg.clone();
+                c.call_arrival_rate *= scale;
+                c
+            })
+            .collect();
+        Self::new(configs)
+    }
+
+    /// Runs the cluster fixed point to convergence.
+    ///
+    /// Initialization: each cell starts from its own *scalar* balance
+    /// (`gprs_queueing::handover::balance_default`) — exact under
+    /// uniform load, a good neighbourhood for heterogeneous loads. Each
+    /// outer iteration fans the seven cell solves out over
+    /// `opts.threads` workers and warm-starts every cell from its
+    /// previous stationary distribution; once the handover arrival
+    /// vector moves less than `opts.tolerance` (relative), one final
+    /// pass at the converged rates produces the reported measures.
+    /// Results are deterministic and bit-identical for any thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::Queueing`] with
+    ///   [`QueueingError::BalanceNotConverged`] if `opts.max_iterations`
+    ///   outer iterations do not converge.
+    /// * Any cell construction or inner solver error, attributed to the
+    ///   lowest failing cell index (deterministic across thread
+    ///   counts).
+    pub fn solve(&self, opts: &ClusterSolveOptions) -> Result<SolvedCluster, ModelError> {
+        let threads = if opts.threads == 0 {
+            num_threads()
+        } else {
+            opts.threads
+        };
+
+        // Scalar-balance initialization, per cell and per class.
+        let mut lam_gsm = Vec::with_capacity(NUM_CELLS);
+        let mut lam_gprs = Vec::with_capacity(NUM_CELLS);
+        for cfg in &self.configs {
+            lam_gsm.push(
+                balance_default(&HandoverParams {
+                    new_arrival_rate: cfg.gsm_arrival_rate(),
+                    completion_rate: cfg.gsm_completion_rate(),
+                    handover_rate: cfg.gsm_handover_rate(),
+                    servers: cfg.gsm_channels(),
+                })?
+                .handover_arrival_rate,
+            );
+            lam_gprs.push(
+                balance_default(&HandoverParams {
+                    new_arrival_rate: cfg.gprs_arrival_rate(),
+                    completion_rate: cfg.gprs_completion_rate(),
+                    handover_rate: cfg.gprs_handover_rate(),
+                    servers: cfg.max_gprs_sessions,
+                })?
+                .handover_arrival_rate,
+            );
+        }
+
+        let mut warm: Vec<Option<Vec<f64>>> = vec![None; NUM_CELLS];
+        let mut total_sweeps = [0usize; NUM_CELLS];
+        let mut delta = f64::INFINITY;
+        let mut converged = false;
+
+        // One slot past the cap: the cap bounds *balance* iterations,
+        // and the reporting pass of a vector that converged exactly at
+        // the cap still needs its re-solve (it updates nothing).
+        for iteration in 1..=opts.max_iterations + 1 {
+            if iteration > opts.max_iterations && !converged {
+                break;
+            }
+            // Solve all cells at the current arrival vector (parallel,
+            // deterministic: results come back in cell order).
+            let solves: Vec<Result<CellSolve, ModelError>> =
+                par_map_tasks(NUM_CELLS, threads, |i| {
+                    solve_cell(
+                        &self.configs[i],
+                        lam_gsm[i],
+                        lam_gprs[i],
+                        warm[i].as_deref(),
+                        &opts.solve,
+                    )
+                });
+            let mut cells = Vec::with_capacity(NUM_CELLS);
+            for solve in solves {
+                cells.push(solve?); // lowest failing cell wins
+            }
+
+            // Outgoing fluxes from the stationary populations, split
+            // uniformly over the six neighbours.
+            let out_gsm: Vec<f64> = cells
+                .iter()
+                .zip(&self.configs)
+                .map(|(c, cfg)| cfg.gsm_handover_rate() * c.mean_voice_calls)
+                .collect();
+            let out_gprs: Vec<f64> = cells
+                .iter()
+                .zip(&self.configs)
+                .map(|(c, cfg)| cfg.gprs_handover_rate() * c.mean_sessions)
+                .collect();
+
+            for (i, cell) in cells.iter().enumerate() {
+                total_sweeps[i] += cell.sweeps;
+            }
+
+            if converged {
+                // Final pass ran at the converged vector: report it.
+                let solved = cells
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, c)| SolvedCell {
+                        measures: c.measures,
+                        gsm_handover_in: lam_gsm[i],
+                        gprs_handover_in: lam_gprs[i],
+                        gsm_handover_out: out_gsm[i],
+                        gprs_handover_out: out_gprs[i],
+                        mean_voice_calls: c.mean_voice_calls,
+                        mean_sessions: c.mean_sessions,
+                        sweeps: total_sweeps[i],
+                        residual: c.residual,
+                    })
+                    .collect();
+                return Ok(SolvedCluster {
+                    cells: solved,
+                    iterations: iteration,
+                    handover_delta: delta,
+                });
+            }
+
+            // Next arrival vector: each cell receives 1/6 of every
+            // neighbour's outgoing flux.
+            delta = 0.0f64;
+            for j in 0..NUM_CELLS {
+                let mut next_gsm = 0.0;
+                let mut next_gprs = 0.0;
+                for &i in &neighbors(j) {
+                    next_gsm += out_gsm[i] / 6.0;
+                    next_gprs += out_gprs[i] / 6.0;
+                }
+                for (cur, next) in [(&mut lam_gsm[j], next_gsm), (&mut lam_gprs[j], next_gprs)] {
+                    let scale = cur.abs().max(next.abs()).max(1e-300);
+                    delta = delta.max((next - *cur).abs() / scale);
+                    *cur = next;
+                }
+            }
+            for (slot, cell) in warm.iter_mut().zip(cells) {
+                *slot = Some(cell.pi);
+            }
+            if delta <= opts.tolerance {
+                converged = true; // one more pass at the converged rates
+            }
+        }
+
+        Err(ModelError::Queueing(QueueingError::BalanceNotConverged {
+            iterations: opts.max_iterations,
+            last_delta: delta,
+        }))
+    }
+}
+
+/// Solves one cell under given incoming handover rates and reads the
+/// populations off the stationary distribution.
+fn solve_cell(
+    config: &CellConfig,
+    lam_gsm: f64,
+    lam_gprs: f64,
+    warm: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> Result<CellSolve, ModelError> {
+    let model = GprsModel::with_handover_arrivals(config.clone(), lam_gsm, lam_gprs)?;
+    let solved = model.solve(opts, warm)?;
+    let space = model.space();
+    let mut mean_voice_calls = 0.0f64;
+    let mut mean_sessions = 0.0f64;
+    for (idx, &p) in solved.stationary().as_slice().iter().enumerate() {
+        if p == 0.0 {
+            continue;
+        }
+        let s = space.decode(idx);
+        mean_voice_calls += p * s.n as f64;
+        mean_sessions += p * s.m as f64;
+    }
+    let measures = *solved.measures();
+    let sweeps = solved.sweeps();
+    let residual = solved.residual();
+    Ok(CellSolve {
+        pi: solved.into_stationary().into_inner(),
+        measures,
+        mean_voice_calls,
+        mean_sessions,
+        sweeps,
+        residual,
+    })
+}
+
+/// One point of a cluster load sweep.
+#[derive(Debug, Clone)]
+pub struct ClusterSweepPoint {
+    /// The load scale this point was solved at.
+    pub scale: f64,
+    /// The mid cell's call arrival rate at this scale.
+    pub mid_rate: f64,
+    /// The converged cluster.
+    pub solved: SolvedCluster,
+}
+
+/// Solves the cluster at each load scale sequentially (every cell's
+/// arrival rate multiplied by the scale; see [`ClusterModel::scaled`]).
+///
+/// # Errors
+///
+/// Propagates the first construction or convergence error.
+pub fn sweep_load_scales(
+    base: &ClusterModel,
+    scales: &[f64],
+    opts: &ClusterSolveOptions,
+) -> Result<Vec<ClusterSweepPoint>, ModelError> {
+    scales
+        .iter()
+        .map(|&scale| solve_scale_point(base, scale, opts))
+        .collect()
+}
+
+/// Like [`sweep_load_scales`], fanning the points out across
+/// [`gprs_ctmc::parallel::num_threads`] workers. Each point solves its
+/// cells sequentially (the parallelism budget goes to the points), and
+/// results are returned in scale order, bit-identical to the sequential
+/// sweep for any thread count.
+///
+/// # Errors
+///
+/// Propagates the error of the lowest-index failing point.
+pub fn par_sweep_load_scales(
+    base: &ClusterModel,
+    scales: &[f64],
+    opts: &ClusterSolveOptions,
+) -> Result<Vec<ClusterSweepPoint>, ModelError> {
+    par_sweep_load_scales_threads(base, scales, opts, num_threads())
+}
+
+/// [`par_sweep_load_scales`] with an explicit worker count (`1`
+/// degrades to the sequential sweep).
+///
+/// # Errors
+///
+/// As [`par_sweep_load_scales`].
+pub fn par_sweep_load_scales_threads(
+    base: &ClusterModel,
+    scales: &[f64],
+    opts: &ClusterSolveOptions,
+    threads: usize,
+) -> Result<Vec<ClusterSweepPoint>, ModelError> {
+    let results = par_map_tasks(scales.len(), threads.clamp(1, scales.len().max(1)), |i| {
+        solve_scale_point(base, scales[i], opts)
+    });
+    let mut points = Vec::with_capacity(scales.len());
+    for result in results {
+        points.push(result?);
+    }
+    Ok(points)
+}
+
+fn solve_scale_point(
+    base: &ClusterModel,
+    scale: f64,
+    opts: &ClusterSolveOptions,
+) -> Result<ClusterSweepPoint, ModelError> {
+    // Inner solves run sequentially: the sweep already saturates the
+    // workers with points, and a fixed inner thread count keeps the
+    // point's result independent of how the sweep is scheduled.
+    let point_opts = opts.clone().with_threads(1);
+    let scaled = base.scaled(scale)?;
+    let solved = scaled.solve(&point_opts)?;
+    Ok(ClusterSweepPoint {
+        scale,
+        mid_rate: scaled.configs()[MID_CELL].call_arrival_rate,
+        solved,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gprs_traffic::TrafficModel;
+
+    fn tiny(rate: f64) -> CellConfig {
+        CellConfig::builder()
+            .total_channels(4)
+            .reserved_pdchs(1)
+            .buffer_capacity(5)
+            .traffic_model(TrafficModel::Model3)
+            .max_gprs_sessions(2)
+            .call_arrival_rate(rate)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn topology_mid_cell_neighbours_are_the_ring() {
+        assert_eq!(neighbors(0), [1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn topology_every_cell_has_six_distinct_neighbours() {
+        for c in 0..NUM_CELLS {
+            let mut n = neighbors(c).to_vec();
+            n.sort_unstable();
+            n.dedup();
+            assert_eq!(n.len(), 6, "cell {c}");
+            assert!(!n.contains(&c), "cell {c} neighbours itself");
+        }
+    }
+
+    #[test]
+    fn topology_is_symmetric() {
+        // If b is a neighbour of a, then a is a neighbour of b — needed
+        // for handover flow balance.
+        for a in 0..NUM_CELLS {
+            for &b in &neighbors(a) {
+                assert!(neighbors(b).contains(&a), "asymmetry between {a} and {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn topology_handover_target_covers_all_neighbours() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..6 {
+            let u = (i as f64 + 0.5) / 6.0;
+            seen.insert(handover_target(0, u));
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn topology_bad_cell_panics() {
+        let _ = neighbors(7);
+    }
+
+    #[test]
+    fn cluster_needs_exactly_seven_cells() {
+        assert!(ClusterModel::new(vec![tiny(0.4); 6]).is_err());
+        assert!(ClusterModel::new(vec![tiny(0.4); 7]).is_ok());
+    }
+
+    #[test]
+    fn uniform_cluster_balances_every_cell() {
+        let cluster = ClusterModel::uniform(tiny(0.5)).unwrap();
+        let solved = cluster.solve(&ClusterSolveOptions::default()).unwrap();
+        assert!(solved.iterations() >= 1);
+        assert!(solved.flow_imbalance() < 1e-8);
+        for cell in solved.cells() {
+            // Homogeneity: inflow equals own outflow, per class.
+            assert!(
+                (cell.gsm_handover_in - cell.gsm_handover_out).abs()
+                    < 1e-8 * cell.gsm_handover_out.max(1e-12),
+                "GSM inflow {} vs outflow {}",
+                cell.gsm_handover_in,
+                cell.gsm_handover_out
+            );
+            assert!(
+                (cell.gprs_handover_in - cell.gprs_handover_out).abs()
+                    < 1e-8 * cell.gprs_handover_out.max(1e-12)
+            );
+        }
+    }
+
+    #[test]
+    fn hot_spot_mid_cell_exports_load_to_the_ring() {
+        let cluster = ClusterModel::hot_spot(tiny(0.3), 0.9).unwrap();
+        let solved = cluster.solve(&ClusterSolveOptions::default()).unwrap();
+        let mid = solved.mid();
+        // The hot cell emits more than its light neighbours send back.
+        assert!(mid.gsm_handover_out > mid.gsm_handover_in);
+        // Ring cells are net importers, and by symmetry identical.
+        let ring = &solved.cells()[1..];
+        for cell in ring {
+            assert!(cell.gsm_handover_in > cell.gsm_handover_out);
+            assert!(
+                (cell.gsm_handover_in - ring[0].gsm_handover_in).abs() < 1e-9,
+                "ring cells must stay symmetric"
+            );
+        }
+        // The closed cluster still conserves flow overall.
+        assert!(solved.flow_imbalance() < 1e-7);
+        // And the hot cell carries visibly more voice than the ring.
+        assert!(mid.measures.carried_voice_traffic > ring[0].measures.carried_voice_traffic);
+    }
+
+    #[test]
+    fn ring_load_raises_mid_cell_inflow() {
+        // Heavier ring cells push more handover traffic into the mid
+        // cell, even at a fixed mid-cell arrival rate.
+        let mut light_cfgs = vec![tiny(0.2); NUM_CELLS];
+        light_cfgs[MID_CELL] = tiny(0.4);
+        let mut heavy_cfgs = vec![tiny(0.8); NUM_CELLS];
+        heavy_cfgs[MID_CELL] = tiny(0.4);
+        let light = ClusterModel::new(light_cfgs)
+            .unwrap()
+            .solve(&ClusterSolveOptions::default())
+            .unwrap();
+        let heavy = ClusterModel::new(heavy_cfgs)
+            .unwrap()
+            .solve(&ClusterSolveOptions::default())
+            .unwrap();
+        assert!(heavy.mid().gsm_handover_in > light.mid().gsm_handover_in);
+        assert!(heavy.mid().gprs_handover_in > light.mid().gprs_handover_in);
+    }
+
+    #[test]
+    fn scaled_preserves_the_heterogeneity_pattern() {
+        let cluster = ClusterModel::hot_spot(tiny(0.3), 0.6).unwrap();
+        let doubled = cluster.scaled(2.0).unwrap();
+        for (a, b) in cluster.configs().iter().zip(doubled.configs()) {
+            assert!((b.call_arrival_rate - 2.0 * a.call_arrival_rate).abs() < 1e-12);
+        }
+        assert!(cluster.scaled(-1.0).is_err());
+    }
+
+    #[test]
+    fn sweep_points_come_back_in_scale_order() {
+        let cluster = ClusterModel::hot_spot(tiny(0.3), 0.6).unwrap();
+        let scales = [0.5, 1.0, 1.5];
+        let opts = ClusterSolveOptions::quick();
+        let seq = sweep_load_scales(&cluster, &scales, &opts).unwrap();
+        assert_eq!(seq.len(), 3);
+        for (p, &s) in seq.iter().zip(&scales) {
+            assert_eq!(p.scale, s);
+            assert!((p.mid_rate - 0.6 * s).abs() < 1e-12);
+        }
+        // Load monotonicity along the sweep.
+        assert!(
+            seq[2].solved.mid().measures.carried_voice_traffic
+                > seq[0].solved.mid().measures.carried_voice_traffic
+        );
+    }
+
+    #[test]
+    fn convergence_exactly_at_the_cap_still_succeeds() {
+        // Uniform load converges after the first balance update (the
+        // scalar init is already the fixed point), so a cap of 1 leaves
+        // no loop slot for the reporting pass — which must run anyway.
+        let cluster = ClusterModel::uniform(tiny(0.5)).unwrap();
+        let opts = ClusterSolveOptions {
+            max_iterations: 1,
+            ..ClusterSolveOptions::default()
+        };
+        let solved = cluster.solve(&opts).unwrap();
+        assert_eq!(solved.iterations(), 2); // balance pass + reporting pass
+        assert!(solved.handover_delta() <= opts.tolerance);
+    }
+
+    #[test]
+    fn iteration_cap_reports_balance_not_converged() {
+        let cluster = ClusterModel::hot_spot(tiny(0.3), 0.9).unwrap();
+        let opts = ClusterSolveOptions {
+            max_iterations: 1,
+            tolerance: 1e-15,
+            ..ClusterSolveOptions::default()
+        };
+        match cluster.solve(&opts) {
+            Err(ModelError::Queueing(QueueingError::BalanceNotConverged { .. })) => {}
+            other => panic!("expected BalanceNotConverged, got {other:?}"),
+        }
+    }
+}

@@ -36,6 +36,7 @@ use crate::state::{CellState, StateSpace};
 use gprs_ctmc::mbd::ModulatedBirthDeath;
 use gprs_ctmc::{IncomingTransitions, SparseGenerator, Transitions};
 use gprs_queueing::handover::{balance_default, BalancedCell, HandoverParams};
+use gprs_queueing::mmcc::MmccQueue;
 
 /// Derived transition rates, precomputed once per configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,6 +107,73 @@ impl GprsModel {
             servers: config.max_gprs_sessions,
         })?;
 
+        Self::from_balanced(config, balanced_gsm, balanced_gprs)
+    }
+
+    /// Builds the model with **externally specified** incoming handover
+    /// rates instead of running the scalar balancing fixed point.
+    ///
+    /// This is the entry point of the heterogeneous multi-cell model
+    /// ([`crate::cluster`]): there the incoming flows of a cell are
+    /// determined by its *neighbours'* stationary populations, so the
+    /// homogeneity assumption behind Eqs. (4)–(5) does not apply and the
+    /// cluster-level fixed point supplies `λ_h,GSM` and `λ_h,GPRS`
+    /// directly. The closed-form Erlang marginals (used by the phase
+    /// projection and the CVT/AGS/blocking measures) are built from the
+    /// same rates, so everything downstream stays consistent.
+    ///
+    /// `GprsModel::new(cfg)` is equivalent to calling this with the
+    /// rates the scalar balance converges to.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Config`] for invalid parameters or negative /
+    /// non-finite handover rates; [`ModelError::Queueing`] if an Erlang
+    /// system cannot be built.
+    pub fn with_handover_arrivals(
+        config: CellConfig,
+        gsm_handover_rate: f64,
+        gprs_handover_rate: f64,
+    ) -> Result<Self, ModelError> {
+        config.validate()?;
+        for (name, v) in [
+            ("gsm_handover_rate", gsm_handover_rate),
+            ("gprs_handover_rate", gprs_handover_rate),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ModelError::Config {
+                    reason: format!("{name} must be finite and >= 0, got {v}"),
+                });
+            }
+        }
+        let balanced_gsm = BalancedCell {
+            new_arrival_rate: config.gsm_arrival_rate(),
+            handover_arrival_rate: gsm_handover_rate,
+            queue: MmccQueue::new(
+                config.gsm_channels(),
+                config.gsm_arrival_rate() + gsm_handover_rate,
+                config.gsm_completion_rate() + config.gsm_handover_rate(),
+            )?,
+            iterations: 0,
+        };
+        let balanced_gprs = BalancedCell {
+            new_arrival_rate: config.gprs_arrival_rate(),
+            handover_arrival_rate: gprs_handover_rate,
+            queue: MmccQueue::new(
+                config.max_gprs_sessions,
+                config.gprs_arrival_rate() + gprs_handover_rate,
+                config.gprs_completion_rate() + config.gprs_handover_rate(),
+            )?,
+            iterations: 0,
+        };
+        Self::from_balanced(config, balanced_gsm, balanced_gprs)
+    }
+
+    fn from_balanced(
+        config: CellConfig,
+        balanced_gsm: BalancedCell,
+        balanced_gprs: BalancedCell,
+    ) -> Result<Self, ModelError> {
         let a = config.traffic.on_to_off_rate();
         let b = config.traffic.off_to_on_rate();
         let rates = Rates {
@@ -733,6 +801,45 @@ mod tests {
                 assert!((a.1 - b.1).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn explicit_handover_arrivals_reproduce_the_balanced_model() {
+        // Feeding the scalar fixed point's own rates back in must yield
+        // the identical generator (new() is the special case of
+        // with_handover_arrivals() under homogeneity).
+        let config = tiny_config();
+        let balanced = GprsModel::new(config.clone()).unwrap();
+        let explicit = GprsModel::with_handover_arrivals(
+            config,
+            balanced.balanced_gsm().handover_arrival_rate,
+            balanced.balanced_gprs().handover_arrival_rate,
+        )
+        .unwrap();
+        assert_eq!(balanced.rates(), explicit.rates());
+        assert_eq!(
+            balanced.balanced_gsm().queue.distribution(),
+            explicit.balanced_gsm().queue.distribution()
+        );
+    }
+
+    #[test]
+    fn with_handover_arrivals_rejects_bad_rates() {
+        for (gsm, gprs) in [
+            (-0.1, 0.0),
+            (0.0, -1.0),
+            (f64::NAN, 0.0),
+            (0.0, f64::INFINITY),
+        ] {
+            assert!(
+                GprsModel::with_handover_arrivals(tiny_config(), gsm, gprs).is_err(),
+                "({gsm}, {gprs})"
+            );
+        }
+        // Zero inflow is a valid isolated cell.
+        let isolated = GprsModel::with_handover_arrivals(tiny_config(), 0.0, 0.0).unwrap();
+        assert_eq!(isolated.balanced_gsm().handover_arrival_rate, 0.0);
+        assert!(isolated.rates().lam_gsm < GprsModel::new(tiny_config()).unwrap().rates().lam_gsm);
     }
 
     #[test]

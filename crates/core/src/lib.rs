@@ -46,6 +46,9 @@
 //!
 //! # Modules
 //!
+//! * [`cluster`] — the heterogeneous 7-cell fixed-point model: per-cell
+//!   configs on the wraparound topology, full-CTMC handover balancing
+//!   across cells, hot-spot scenarios, load-scale sweeps.
 //! * [`config`] — cell parameters, Table 2 defaults, builder.
 //! * [`coding`] — GPRS coding schemes CS-1..CS-4 and per-PDCH rates.
 //! * [`state`] — the `(n, k, m, r)` state space and its linear indexing.
@@ -64,6 +67,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adaptive;
+pub mod cluster;
 pub mod coding;
 pub mod config;
 pub mod error;
@@ -74,6 +78,7 @@ pub mod solve;
 pub mod state;
 pub mod sweep;
 
+pub use cluster::{ClusterModel, ClusterSolveOptions, SolvedCluster};
 pub use coding::CodingScheme;
 pub use config::{CellConfig, CellConfigBuilder};
 pub use error::ModelError;

@@ -21,9 +21,8 @@ use crate::config::CellConfig;
 use crate::error::ModelError;
 use crate::generator::GprsModel;
 use crate::measures::Measures;
-use gprs_ctmc::parallel::num_threads;
+use gprs_ctmc::parallel::{num_threads, par_map_tasks};
 use gprs_ctmc::solver::SolveOptions;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One point of a sweep.
 #[derive(Debug, Clone)]
@@ -212,45 +211,19 @@ pub fn par_sweep_arrival_rates_with(
         return sweep_arrival_rates_with(base, rates, opts, |i, p| progress(i, p));
     }
 
-    // Work queue of point indices: long points (high rates converge
-    // slower) do not stall the batch the way fixed chunking would.
-    let next = AtomicUsize::new(0);
-    let buckets: Vec<Vec<(usize, Result<SweepPoint, ModelError>)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let next = &next;
-                let progress = &progress;
-                s.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= rates.len() {
-                            break;
-                        }
-                        let result = solve_point(base, rates[i], opts);
-                        if let Ok(point) = &result {
-                            progress(i, point);
-                        }
-                        local.push((i, result));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
+    // Work queue of point indices (the shared few-heavy-tasks executor):
+    // long points (high rates converge slower) do not stall the batch
+    // the way fixed chunking would.
+    let results = par_map_tasks(rates.len(), threads, |i| {
+        let result = solve_point(base, rates[i], opts);
+        if let Ok(point) = &result {
+            progress(i, point);
+        }
+        result
     });
-
-    let mut slots: Vec<Option<Result<SweepPoint, ModelError>>> =
-        (0..rates.len()).map(|_| None).collect();
-    for (i, result) in buckets.into_iter().flatten() {
-        slots[i] = Some(result);
-    }
     let mut points = Vec::with_capacity(rates.len());
-    for slot in slots {
-        points.push(slot.expect("every queued point is processed")?);
+    for result in results {
+        points.push(result?);
     }
     Ok(points)
 }

@@ -4,6 +4,9 @@
 //! deterministic — bit-identical results in rate order for any worker
 //! count.
 
+use gprs_core::cluster::{
+    par_sweep_load_scales_threads, sweep_load_scales, ClusterModel, ClusterSolveOptions,
+};
 use gprs_core::sweep::{
     par_sweep_arrival_rates_threads, par_sweep_arrival_rates_with, rate_grid, sweep_arrival_rates,
 };
@@ -109,6 +112,81 @@ fn par_sweep_progress_reports_every_point_once() {
     for (k, (i, rate)) in seen.into_iter().enumerate() {
         assert_eq!(k, i);
         assert_eq!(rate, rates[i]);
+    }
+}
+
+#[test]
+fn cluster_fixed_point_is_bit_identical_across_thread_counts() {
+    // The heterogeneous cluster fans its 7 per-iteration cell solves
+    // over a work queue; like the arrival-rate sweep, the worker count
+    // (RAYON_NUM_THREADS in production, explicit here) must not change
+    // a single bit of the result.
+    let cluster = ClusterModel::hot_spot(tiny_base(), 1.0).unwrap();
+    let reference = cluster
+        .solve(&ClusterSolveOptions::default().with_threads(1))
+        .unwrap();
+    assert!(
+        reference.iterations() > 1,
+        "heterogeneous load must iterate"
+    );
+    for threads in [2usize, 4] {
+        let par = cluster
+            .solve(&ClusterSolveOptions::default().with_threads(threads))
+            .unwrap();
+        assert_eq!(
+            par.iterations(),
+            reference.iterations(),
+            "threads {threads}"
+        );
+        assert_eq!(
+            par.handover_delta().to_bits(),
+            reference.handover_delta().to_bits(),
+            "threads {threads}"
+        );
+        for (cell, (p, r)) in par.cells().iter().zip(reference.cells()).enumerate() {
+            assert_eq!(p.measures, r.measures, "threads {threads} cell {cell}");
+            assert_eq!(
+                p.gsm_handover_in.to_bits(),
+                r.gsm_handover_in.to_bits(),
+                "threads {threads} cell {cell}"
+            );
+            assert_eq!(
+                p.gprs_handover_in.to_bits(),
+                r.gprs_handover_in.to_bits(),
+                "threads {threads} cell {cell}"
+            );
+            assert_eq!(p.sweeps, r.sweeps, "threads {threads} cell {cell}");
+            assert_eq!(
+                p.residual.to_bits(),
+                r.residual.to_bits(),
+                "threads {threads} cell {cell}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cluster_par_sweep_is_bit_identical_across_thread_counts() {
+    let cluster = ClusterModel::hot_spot(tiny_base(), 1.0).unwrap();
+    let scales = [0.5, 0.8, 1.1, 1.4];
+    let opts = ClusterSolveOptions::default();
+    let reference = sweep_load_scales(&cluster, &scales, &opts).unwrap();
+    for threads in [1usize, 2, 4] {
+        let par = par_sweep_load_scales_threads(&cluster, &scales, &opts, threads).unwrap();
+        assert_eq!(par.len(), reference.len(), "threads {threads}");
+        for (p, r) in par.iter().zip(&reference) {
+            assert_eq!(p.scale, r.scale, "threads {threads}");
+            assert_eq!(p.mid_rate, r.mid_rate, "threads {threads}");
+            assert_eq!(p.solved.iterations(), r.solved.iterations());
+            for (a, b) in p.solved.cells().iter().zip(r.solved.cells()) {
+                assert_eq!(
+                    a.measures, b.measures,
+                    "threads {threads} scale {}",
+                    p.scale
+                );
+                assert_eq!(a.gsm_handover_in.to_bits(), b.gsm_handover_in.to_bits());
+            }
+        }
     }
 }
 

@@ -114,6 +114,68 @@ where
     })
 }
 
+/// Runs `f(i)` for every task index `0..n` across up to `threads`
+/// workers through an atomic work queue, returning the results **in
+/// task order**.
+///
+/// Where [`par_map_ranges`] splits *many cheap items* into contiguous
+/// ranges (and runs inline below [`MIN_PARALLEL_WORK`] items), this is
+/// the executor for *few heavy tasks* — sweep points, per-cell solves of
+/// a cluster fixed point — where even `n = 7` deserves fan-out and task
+/// costs are uneven enough that a work queue beats fixed chunking.
+/// Each task runs exactly once on exactly one worker, so as long as `f`
+/// is deterministic per index, the returned vector is bit-identical for
+/// any thread count.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the worker threads are joined).
+pub fn par_map_tasks<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let f = &f;
+        let next = &next;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("task worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every queued task is processed"))
+        .collect()
+}
+
 /// Splits `data` into up to `threads` contiguous chunks and runs
 /// `f(start_offset, chunk)` on each concurrently, returning per-chunk
 /// results in order.
@@ -816,6 +878,19 @@ mod tests {
         assert_eq!(a, b);
         let total: u64 = a.into_iter().sum();
         assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn par_map_tasks_preserves_order_for_any_thread_count() {
+        let reference: Vec<u64> = (0..23).map(|i| (i as u64) * (i as u64) + 7).collect();
+        for threads in [1usize, 2, 3, 8, 64] {
+            let got = par_map_tasks(23, threads, |i| (i as u64) * (i as u64) + 7);
+            assert_eq!(got, reference, "threads {threads}");
+        }
+        assert!(par_map_tasks(0, 4, |i| i).is_empty());
+        // Unlike par_map_ranges, tiny task counts still fan out (no
+        // minimum-work cutoff): 2 tasks on 2 threads must both run.
+        assert_eq!(par_map_tasks(2, 2, |i| i + 1), vec![1, 2]);
     }
 
     #[test]

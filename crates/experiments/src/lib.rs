@@ -19,6 +19,7 @@
 //! | Fig. 11–13 | CDT & ATU for 2/5/10 % GPRS users, 0/1/2/4 PDCHs | [`figures::fig11`], [`figures::fig12`], [`figures::fig13`] |
 //! | Fig. 14 | voice CVT & blocking vs reserved PDCHs | [`figures::fig14`] |
 //! | Fig. 15 | session count & blocking, 2 % vs 10 % | [`figures::fig15`] |
+//! | Ext. 3 | hot-spot 7-cell cluster vs homogeneous model | [`figures::ext03`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

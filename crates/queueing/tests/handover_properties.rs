@@ -1,0 +1,107 @@
+//! Property tests of the handover-balancing fixed point (paper
+//! Eqs. 4–5): flow conservation at the fixed point, monotonicity in the
+//! offered load, and degeneration to the plain Erlang system when users
+//! never move.
+
+use gprs_queueing::handover::{balance_default, HandoverParams};
+use gprs_queueing::mmcc::MmccQueue;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fixed_point_conserves_flow(
+        rate in 0.01f64..5.0,
+        duration in 5.0f64..2000.0,
+        dwell in 5.0f64..2000.0,
+        servers in 1usize..80,
+    ) {
+        // At convergence the incoming handover rate equals the outgoing
+        // flux λ_h = μ_h·E[n] of the balanced Erlang system.
+        let p = HandoverParams {
+            new_arrival_rate: rate,
+            completion_rate: 1.0 / duration,
+            handover_rate: 1.0 / dwell,
+            servers,
+        };
+        let cell = balance_default(&p).unwrap();
+        let outgoing = p.handover_rate * cell.queue.mean_busy();
+        prop_assert!(
+            (cell.handover_arrival_rate - outgoing).abs()
+                <= 1e-8 * outgoing.max(1e-12),
+            "λ_h = {} vs μ_h·E[n] = {}", cell.handover_arrival_rate, outgoing
+        );
+        // The balanced queue really is driven by λ + λ_h.
+        prop_assert!(
+            (cell.queue.offered_load()
+                - cell.total_arrival_rate() / (p.completion_rate + p.handover_rate))
+                .abs()
+                < 1e-9 * cell.queue.offered_load().max(1e-12)
+        );
+    }
+
+    #[test]
+    fn fixed_point_is_monotone_in_the_new_arrival_rate(
+        rate in 0.01f64..3.0,
+        step in 1.01f64..2.0,
+        duration in 10.0f64..1000.0,
+        dwell in 10.0f64..1000.0,
+        servers in 1usize..60,
+    ) {
+        // More offered load can only raise the balanced handover flow:
+        // E[n] is monotone in the total arrival rate and the map
+        // preserves that through the fixed point.
+        let base = HandoverParams {
+            new_arrival_rate: rate,
+            completion_rate: 1.0 / duration,
+            handover_rate: 1.0 / dwell,
+            servers,
+        };
+        let mut loaded = base;
+        loaded.new_arrival_rate = rate * step;
+        let lo = balance_default(&base).unwrap();
+        let hi = balance_default(&loaded).unwrap();
+        prop_assert!(
+            hi.handover_arrival_rate >= lo.handover_arrival_rate - 1e-10,
+            "λ_h({}) = {} > λ_h({}) = {}",
+            rate, lo.handover_arrival_rate,
+            rate * step, hi.handover_arrival_rate
+        );
+        // Carried traffic is monotone too.
+        prop_assert!(hi.queue.mean_busy() >= lo.queue.mean_busy() - 1e-10);
+    }
+
+    #[test]
+    fn zero_handover_rate_degenerates_to_plain_erlang(
+        rate in 0.01f64..5.0,
+        duration in 5.0f64..2000.0,
+        servers in 1usize..80,
+    ) {
+        // Users that never move: the fixed point is λ_h = 0 and the
+        // balanced system is exactly the M/M/c/c queue of the new
+        // arrivals alone.
+        let p = HandoverParams {
+            new_arrival_rate: rate,
+            completion_rate: 1.0 / duration,
+            handover_rate: 0.0,
+            servers,
+        };
+        let cell = balance_default(&p).unwrap();
+        prop_assert_eq!(cell.handover_arrival_rate, 0.0);
+        let erlang = MmccQueue::new(servers, rate, 1.0 / duration).unwrap();
+        let balanced = cell.queue.distribution();
+        let plain = erlang.distribution();
+        prop_assert_eq!(balanced.len(), plain.len());
+        for (i, (b, e)) in balanced.iter().zip(plain).enumerate() {
+            prop_assert!(
+                (b - e).abs() < 1e-12,
+                "state {}: balanced {} vs erlang {}", i, b, e
+            );
+        }
+        prop_assert!(
+            (cell.queue.blocking_probability() - erlang.blocking_probability()).abs()
+                < 1e-12
+        );
+    }
+}

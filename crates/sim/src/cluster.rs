@@ -1,74 +1,31 @@
 //! The seven-cell hexagonal cluster and its handover topology.
 //!
-//! Cell 0 is the *mid cell* (where statistics are collected, as in the
-//! paper); cells 1–6 form the surrounding ring. The cluster is closed
-//! under handover — movements that would leave the cluster wrap back
-//! onto it — so that in steady state every cell sees statistically
-//! identical traffic and the mid cell's incoming handover flow equals
-//! its outgoing flow (the assumption the Markov model's balancing
-//! procedure makes, which the simulator lets us *test*).
+//! The topology is **shared with the analytical side**: it lives in
+//! [`gprs_core::cluster`] and is re-exported here so the simulator and
+//! the heterogeneous fixed-point model ([`gprs_core::cluster::ClusterModel`])
+//! provably move users over the same graph. Cell 0 is the *mid cell*
+//! (where statistics are collected, as in the paper); cells 1–6 form the
+//! surrounding ring, and the cluster is closed under handover —
+//! movements that would leave it wrap back onto it under the standard
+//! 7-cell tiling of the plane.
 //!
-//! Wraparound scheme: the mid cell's six geometric neighbours are the
-//! six ring cells. A ring cell's six geometric neighbours are the mid
-//! cell, its two ring-adjacent cells, and three cells outside the
-//! cluster; under the standard 7-cell tiling of the plane those outside
-//! images are the remaining three ring cells. Hence: from the mid cell
-//! a handover target is uniform over the ring; from a ring cell it is
-//! uniform over the mid cell and the other five ring cells.
+//! From the mid cell a handover target is uniform over the ring; from a
+//! ring cell it is uniform over the mid cell and the other five ring
+//! cells — exactly the uniform 1/6 flux split the analytical cluster
+//! model assumes.
 
-/// Number of cells in the cluster.
-pub const NUM_CELLS: usize = 7;
-
-/// Index of the mid (statistics) cell.
-pub const MID_CELL: usize = 0;
-
-/// The handover neighbours of `cell` (always 6, by wraparound).
-///
-/// # Panics
-///
-/// Panics if `cell >= NUM_CELLS`.
-pub fn neighbors(cell: usize) -> [usize; 6] {
-    assert!(cell < NUM_CELLS, "cell {cell} out of range");
-    if cell == MID_CELL {
-        [1, 2, 3, 4, 5, 6]
-    } else {
-        // Mid cell plus the five other ring cells.
-        let mut out = [0usize; 6];
-        out[0] = MID_CELL;
-        let mut slot = 1;
-        for other in 1..NUM_CELLS {
-            if other != cell {
-                out[slot] = other;
-                slot += 1;
-            }
-        }
-        out
-    }
-}
-
-/// Picks a uniform handover target for a user leaving `cell`, given a
-/// uniform random value `u ∈ [0, 1)`.
-///
-/// # Panics
-///
-/// Panics if `cell >= NUM_CELLS` or `u` is outside `[0, 1)`.
-pub fn handover_target(cell: usize, u: f64) -> usize {
-    assert!((0.0..1.0).contains(&u), "u must lie in [0, 1), got {u}");
-    let nbrs = neighbors(cell);
-    nbrs[(u * 6.0) as usize % 6]
-}
+pub use gprs_core::cluster::{handover_target, neighbors, MID_CELL, NUM_CELLS};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn mid_cell_neighbours_are_the_ring() {
+    fn reexported_topology_matches_the_analytical_model() {
+        // The simulator's graph *is* the model's graph.
+        assert_eq!(NUM_CELLS, 7);
+        assert_eq!(MID_CELL, 0);
         assert_eq!(neighbors(0), [1, 2, 3, 4, 5, 6]);
-    }
-
-    #[test]
-    fn ring_cell_neighbours_include_mid_and_all_others() {
         let n = neighbors(3);
         assert_eq!(n[0], MID_CELL);
         let mut sorted = n.to_vec();
@@ -77,41 +34,14 @@ mod tests {
     }
 
     #[test]
-    fn every_cell_has_six_distinct_neighbours() {
-        for c in 0..NUM_CELLS {
-            let mut n = neighbors(c).to_vec();
-            n.sort_unstable();
-            n.dedup();
-            assert_eq!(n.len(), 6, "cell {c}");
-            assert!(!n.contains(&c), "cell {c} neighbours itself");
-        }
-    }
-
-    #[test]
-    fn topology_is_symmetric() {
-        // If b is a neighbour of a, then a is a neighbour of b — needed
-        // for handover flow balance.
-        for a in 0..NUM_CELLS {
-            for &b in &neighbors(a) {
-                assert!(neighbors(b).contains(&a), "asymmetry between {a} and {b}");
+    fn handover_target_stays_in_range() {
+        for cell in 0..NUM_CELLS {
+            for i in 0..12 {
+                let u = i as f64 / 12.0;
+                let t = handover_target(cell, u);
+                assert!(t < NUM_CELLS);
+                assert_ne!(t, cell);
             }
         }
-    }
-
-    #[test]
-    fn handover_target_is_uniform() {
-        // Exercise all six bins.
-        let mut seen = std::collections::HashSet::new();
-        for i in 0..6 {
-            let u = (i as f64 + 0.5) / 6.0;
-            seen.insert(handover_target(0, u));
-        }
-        assert_eq!(seen.len(), 6);
-    }
-
-    #[test]
-    #[should_panic(expected = "out of range")]
-    fn bad_cell_panics() {
-        let _ = neighbors(7);
     }
 }

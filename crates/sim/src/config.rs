@@ -1,5 +1,6 @@
 //! Simulator configuration.
 
+use crate::cluster::{MID_CELL, NUM_CELLS};
 use crate::supervision::SupervisionConfig;
 use gprs_core::CellConfig;
 
@@ -72,6 +73,11 @@ pub struct SimConfig {
     /// Online PDCH re-dimensioning (capacity on demand). `None` keeps
     /// the static reservation of the Markov model.
     pub supervision: Option<SupervisionConfig>,
+    /// Per-cell combined call arrival rates (calls/s, one per cluster
+    /// cell), overriding `cell.call_arrival_rate` for heterogeneous
+    /// scenarios such as a hot-spot mid cell. `None` keeps the
+    /// homogeneous load of the paper's validation setup.
+    pub cell_arrival_rates: Option<Vec<f64>>,
 }
 
 impl SimConfig {
@@ -90,6 +96,7 @@ impl SimConfig {
                 radio: RadioModel::ProcessorSharing,
                 tcp: TcpConfig::default(),
                 supervision: None,
+                cell_arrival_rates: None,
             },
         }
     }
@@ -97,6 +104,31 @@ impl SimConfig {
     /// Total simulated horizon: warm-up plus all batches.
     pub fn horizon(&self) -> f64 {
         self.warmup + self.num_batches as f64 * self.batch_duration
+    }
+
+    /// The combined call arrival rate of `cell` (the per-cell override
+    /// when set, the shared `cell.call_arrival_rate` otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell >= NUM_CELLS`.
+    pub fn arrival_rate_in(&self, cell: usize) -> f64 {
+        assert!(cell < NUM_CELLS, "cell {cell} out of range");
+        match &self.cell_arrival_rates {
+            Some(rates) => rates[cell],
+            None => self.cell.call_arrival_rate,
+        }
+    }
+
+    /// New-GSM-call arrival rate in `cell`,
+    /// `λ_GSM = (1 − f_GPRS)·λ_cell`.
+    pub fn gsm_arrival_rate_in(&self, cell: usize) -> f64 {
+        (1.0 - self.cell.gprs_fraction) * self.arrival_rate_in(cell)
+    }
+
+    /// New-GPRS-session arrival rate in `cell`, `λ_GPRS = f_GPRS·λ_cell`.
+    pub fn gprs_arrival_rate_in(&self, cell: usize) -> f64 {
+        self.cell.gprs_fraction * self.arrival_rate_in(cell)
     }
 }
 
@@ -156,6 +188,22 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets per-cell combined call arrival rates (one per cluster cell,
+    /// mid cell first), making the cluster heterogeneous.
+    pub fn cell_arrival_rates(mut self, rates: Vec<f64>) -> Self {
+        self.config.cell_arrival_rates = Some(rates);
+        self
+    }
+
+    /// Hot-spot convenience: the mid cell runs at `mid_rate` calls/s,
+    /// the six ring cells keep the base cell's arrival rate.
+    pub fn hot_spot(self, mid_rate: f64) -> Self {
+        let ring = self.config.cell.call_arrival_rate;
+        let mut rates = vec![ring; NUM_CELLS];
+        rates[MID_CELL] = mid_rate;
+        self.cell_arrival_rates(rates)
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -176,6 +224,17 @@ impl SimConfigBuilder {
             assert!(
                 sup.max_reserved < c.cell.total_channels,
                 "supervision must leave at least one voice channel"
+            );
+        }
+        if let Some(rates) = &c.cell_arrival_rates {
+            assert_eq!(
+                rates.len(),
+                NUM_CELLS,
+                "need one arrival rate per cluster cell"
+            );
+            assert!(
+                rates.iter().all(|r| r.is_finite() && *r > 0.0),
+                "per-cell arrival rates must be finite and positive"
             );
         }
         self.config
@@ -224,5 +283,41 @@ mod tests {
     #[should_panic(expected = "at least two batches")]
     fn one_batch_rejected() {
         let _ = SimConfig::builder(cell()).batches(1, 100.0).build();
+    }
+
+    #[test]
+    fn homogeneous_default_uses_the_shared_rate() {
+        let cfg = SimConfig::builder(cell()).build();
+        assert!(cfg.cell_arrival_rates.is_none());
+        for c in 0..NUM_CELLS {
+            assert!((cfg.arrival_rate_in(c) - 0.5).abs() < 1e-12);
+        }
+        assert!((cfg.gsm_arrival_rate_in(0) - 0.95 * 0.5).abs() < 1e-12);
+        assert!((cfg.gprs_arrival_rate_in(0) - 0.05 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_spot_overrides_only_the_mid_cell() {
+        let cfg = SimConfig::builder(cell()).hot_spot(1.2).build();
+        assert!((cfg.arrival_rate_in(MID_CELL) - 1.2).abs() < 1e-12);
+        for c in 1..NUM_CELLS {
+            assert!((cfg.arrival_rate_in(c) - 0.5).abs() < 1e-12, "cell {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one arrival rate per cluster cell")]
+    fn wrong_rate_count_rejected() {
+        let _ = SimConfig::builder(cell())
+            .cell_arrival_rates(vec![0.5; 3])
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn non_positive_rate_rejected() {
+        let mut rates = vec![0.5; NUM_CELLS];
+        rates[3] = 0.0;
+        let _ = SimConfig::builder(cell()).cell_arrival_rates(rates).build();
     }
 }

@@ -252,11 +252,11 @@ impl GprsSimulator {
     }
 
     fn prime(&mut self) {
-        let gsm_gap = 1.0 / self.cfg.cell.gsm_arrival_rate();
-        let gprs_gap = 1.0 / self.cfg.cell.gprs_arrival_rate();
         for cell in 0..NUM_CELLS {
+            let gsm_gap = 1.0 / self.cfg.gsm_arrival_rate_in(cell);
             let d = exp_mean(&mut self.rng_arrivals, gsm_gap);
             self.sim.schedule_in(d, Event::GsmArrival { cell });
+            let gprs_gap = 1.0 / self.cfg.gprs_arrival_rate_in(cell);
             let d = exp_mean(&mut self.rng_arrivals, gprs_gap);
             self.sim.schedule_in(d, Event::GprsArrival { cell });
         }
@@ -302,7 +302,10 @@ impl GprsSimulator {
             ConfidenceInterval::from_batch_means(&means)
         };
         SimResults {
-            call_arrival_rate: self.cfg.cell.call_arrival_rate,
+            // Statistics are collected in the mid cell, so report its
+            // arrival rate (differs from the shared one only for
+            // heterogeneous clusters).
+            call_arrival_rate: self.cfg.arrival_rate_in(MID_CELL),
             carried_data_traffic: pick(&|r| r.cdt),
             carried_voice_traffic: pick(&|r| r.cvt),
             packet_loss_probability: pick(&|r| r.plp),
@@ -357,7 +360,7 @@ impl GprsSimulator {
 
     fn on_gsm_arrival(&mut self, _now: SimTime, cell: usize) {
         // Next arrival of the per-cell Poisson stream.
-        let gap = 1.0 / self.cfg.cell.gsm_arrival_rate();
+        let gap = 1.0 / self.cfg.gsm_arrival_rate_in(cell);
         let d = exp_mean(&mut self.rng_arrivals, gap);
         self.sim.schedule_in(d, Event::GsmArrival { cell });
 
@@ -401,7 +404,7 @@ impl GprsSimulator {
     // --- GPRS session lifecycle ----------------------------------------
 
     fn on_gprs_arrival(&mut self, now: SimTime, cell: usize) {
-        let gap = 1.0 / self.cfg.cell.gprs_arrival_rate();
+        let gap = 1.0 / self.cfg.gprs_arrival_rate_in(cell);
         let d = exp_mean(&mut self.rng_arrivals, gap);
         self.sim.schedule_in(d, Event::GprsArrival { cell });
 
@@ -993,6 +996,36 @@ mod tests {
         let r = GprsSimulator::new(cfg).run();
         assert_eq!(r.carried_data_traffic.batches, 3);
         assert_eq!(r.tcp_retransmissions, 0);
+    }
+
+    #[test]
+    fn hot_spot_mid_cell_carries_more_voice_than_homogeneous() {
+        // Doubling only the mid cell's arrival rate must raise the
+        // mid-cell voice load relative to the homogeneous run, and the
+        // heterogeneous run stays deterministic.
+        let homogeneous = GprsSimulator::new(quick_cfg(0.3, 21)).run();
+        let hot_cfg = || {
+            SimConfig::builder(small_cell(0.3))
+                .seed(21)
+                .warmup(200.0)
+                .batches(4, 500.0)
+                .hot_spot(0.9)
+                .build()
+        };
+        let hot = GprsSimulator::new(hot_cfg()).run();
+        assert!(
+            hot.carried_voice_traffic.mean > homogeneous.carried_voice_traffic.mean,
+            "hot {} vs homogeneous {}",
+            hot.carried_voice_traffic.mean,
+            homogeneous.carried_voice_traffic.mean
+        );
+        assert!((hot.call_arrival_rate - 0.9).abs() < 1e-12);
+        let again = GprsSimulator::new(hot_cfg()).run();
+        assert_eq!(hot.events_processed, again.events_processed);
+        assert_eq!(
+            hot.carried_data_traffic.mean,
+            again.carried_data_traffic.mean
+        );
     }
 
     #[test]

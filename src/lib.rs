@@ -10,7 +10,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
-//! | [`core`] | `gprs-core` | the paper's CTMC model (Table 1 generator, Eqs. 6–11 measures, sweeps, QoS dimensioning, adaptive PDCH management) |
+//! | [`core`] | `gprs-core` | the paper's CTMC model (Table 1 generator, Eqs. 6–11 measures, sweeps, QoS dimensioning, adaptive PDCH management) and the heterogeneous 7-cell cluster fixed point (`core::cluster`: per-cell configs, hot-spot scenarios, full-CTMC handover balancing across cells) |
 //! | [`sim`] | `gprs-sim` | network-level simulator: 7-cell cluster, handovers, BSC buffers, TCP Reno, TDMA radio blocks, load supervision |
 //! | [`ctmc`] | `gprs-ctmc` | CTMC solvers: GTH, Gauss–Seidel/SOR, uniformization (stationary + transient), block tridiagonal (MBD) |
 //! | [`queueing`] | `gprs-queueing` | Erlang-B / M/M/c/c closed forms, handover-flow balancing, exact IPP/M/c/K |
@@ -38,6 +38,28 @@
 //! let solved = GprsModel::new(config)?.solve_default()?;
 //! println!("carried data traffic: {:.2} PDCHs",
 //!          solved.measures().carried_data_traffic);
+//! # Ok::<(), gprs_repro::core::ModelError>(())
+//! ```
+//!
+//! Solve a heterogeneous hot-spot cluster (the scenario the paper's
+//! homogeneity assumption cannot represent):
+//!
+//! ```
+//! use gprs_repro::core::cluster::{ClusterModel, ClusterSolveOptions};
+//! use gprs_repro::core::CellConfig;
+//! use gprs_repro::traffic::TrafficModel;
+//!
+//! let ring = CellConfig::builder()
+//!     .traffic_model(TrafficModel::Model3)
+//!     .buffer_capacity(6)
+//!     .max_gprs_sessions(2)
+//!     .call_arrival_rate(0.3)
+//!     .build()?;
+//! // Mid cell at twice the ring load.
+//! let cluster = ClusterModel::hot_spot(ring, 0.6)?;
+//! let solved = cluster.solve(&ClusterSolveOptions::quick())?;
+//! // The hot cell exports handover flow to its light neighbours.
+//! assert!(solved.mid().gsm_handover_out > solved.mid().gsm_handover_in);
 //! # Ok::<(), gprs_repro::core::ModelError>(())
 //! ```
 //!

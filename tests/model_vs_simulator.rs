@@ -7,9 +7,10 @@
 //! lengths), but means must land in the right neighbourhood and CIs
 //! must behave like CIs.
 
+use gprs_repro::core::cluster::{ClusterModel, ClusterSolveOptions, SolvedCluster};
 use gprs_repro::core::{CellConfig, GprsModel};
 use gprs_repro::ctmc::SolveOptions;
-use gprs_repro::sim::{GprsSimulator, RadioModel, SimConfig};
+use gprs_repro::sim::{GprsSimulator, RadioModel, SimConfig, SimResults};
 use gprs_repro::traffic::TrafficModel;
 
 fn cell(rate: f64) -> CellConfig {
@@ -159,6 +160,119 @@ fn radio_models_agree_with_each_other() {
         ps.carried_data_traffic.mean,
         tdma.carried_data_traffic.mean
     );
+}
+
+// --- Hot-spot cluster cross-validation ---------------------------------
+//
+// The heterogeneous fixed point (gprs_core::cluster) claims the mid
+// cell of a hot-spot cluster behaves *differently* from what the
+// homogeneous model predicts at the same rate — its lightly loaded
+// neighbours send back less handover traffic than it emits. The 7-cell
+// simulator runs the same scenario with emergent mobility, so it can
+// adjudicate: mid-cell voice load, blocking and handover inflow must
+// land within the simulator's batch-means confidence intervals.
+
+const HOT_RING_RATE: f64 = 0.3;
+const HOT_MID_RATE: f64 = 0.75;
+
+fn hot_spot_model() -> SolvedCluster {
+    let mut configs = vec![cell(HOT_RING_RATE); 7];
+    configs[0] = cell(HOT_MID_RATE);
+    ClusterModel::new(configs)
+        .unwrap()
+        .solve(&ClusterSolveOptions::quick())
+        .unwrap()
+}
+
+fn run_hot_spot_sim(seed: u64, batches: usize, batch_secs: f64, warmup: f64) -> SimResults {
+    let cfg = SimConfig::builder(cell(HOT_RING_RATE))
+        .seed(seed)
+        .warmup(warmup)
+        .batches(batches, batch_secs)
+        .hot_spot(HOT_MID_RATE)
+        .build();
+    GprsSimulator::new(cfg).run()
+}
+
+/// Shared assertions; `ci_factor` scales the CI half-widths and `slack`
+/// is the additive allowance for genuine model/simulator bias (the
+/// simulator's TCP and emergent mobility are more detailed by design).
+fn check_hot_spot_agreement(model: &SolvedCluster, sim: &SimResults, ci_factor: f64, slack: f64) {
+    let mid = model.mid();
+
+    // Mid-cell carried voice traffic: the voice side has no modelling
+    // gap, so this is the tight check.
+    let tol = ci_factor * sim.carried_voice_traffic.half_width + slack;
+    assert!(
+        (sim.carried_voice_traffic.mean - mid.measures.carried_voice_traffic).abs() < tol,
+        "hot-spot CVT: sim {} ± {} vs cluster model {}",
+        sim.carried_voice_traffic.mean,
+        sim.carried_voice_traffic.half_width,
+        mid.measures.carried_voice_traffic
+    );
+
+    // Mid-cell GSM blocking probability.
+    let tol = ci_factor * sim.gsm_blocking_probability.half_width + 0.05 * slack;
+    assert!(
+        (sim.gsm_blocking_probability.mean - mid.measures.gsm_blocking_probability).abs() < tol,
+        "hot-spot blocking: sim {} ± {} vs cluster model {}",
+        sim.gsm_blocking_probability.mean,
+        sim.gsm_blocking_probability.half_width,
+        mid.measures.gsm_blocking_probability
+    );
+
+    // Mid-cell data throughput (CDT, busy PDCHs).
+    let rel = (sim.carried_data_traffic.mean - mid.measures.carried_data_traffic).abs()
+        / mid.measures.carried_data_traffic.max(1e-9);
+    assert!(
+        rel < 0.45,
+        "hot-spot CDT: sim {} vs cluster model {} (rel {rel:.2})",
+        sim.carried_data_traffic.mean,
+        mid.measures.carried_data_traffic
+    );
+
+    // The heterogeneous prediction itself: the hot cell's incoming GPRS
+    // handover flow sits *below* its homogeneously balanced value, and
+    // the simulator's measured inflow must side with the cluster model.
+    let homogeneous = GprsModel::new(cell(HOT_MID_RATE))
+        .unwrap()
+        .balanced_gprs()
+        .handover_arrival_rate;
+    assert!(
+        mid.gprs_handover_in < homogeneous,
+        "cluster inflow {} should undercut the homogeneous balance {homogeneous}",
+        mid.gprs_handover_in
+    );
+    let rel = (sim.gprs_handover_in_rate.mean - mid.gprs_handover_in).abs()
+        / mid.gprs_handover_in.max(1e-9);
+    assert!(
+        rel < 0.45,
+        "hot-spot handover inflow: sim {} vs cluster model {} (rel {rel:.2})",
+        sim.gprs_handover_in_rate.mean,
+        mid.gprs_handover_in
+    );
+}
+
+#[test]
+fn hot_spot_cluster_matches_the_simulator_smoke() {
+    // Tier-1 smoke variant: short run, loose (3×CI + bias slack)
+    // tolerances. The long calibration variant below tightens both.
+    let model = hot_spot_model();
+    let sim = run_hot_spot_sim(37, 6, 1_500.0, 800.0);
+    check_hot_spot_agreement(&model, &sim, 3.0, 0.4);
+}
+
+#[test]
+#[ignore = "long cross-validation run; executed by the scheduled CI job"]
+fn hot_spot_cluster_matches_the_simulator_long() {
+    // Long batch-means run: the CIs shrink enough that the cluster
+    // model's predictions must hold with far less additive slack.
+    let model = hot_spot_model();
+    let sim = run_hot_spot_sim(37, 12, 6_000.0, 2_000.0);
+    check_hot_spot_agreement(&model, &sim, 3.0, 0.15);
+    // With this much data the CIs must behave like CIs.
+    assert!(sim.carried_voice_traffic.half_width < 0.4);
+    assert_eq!(sim.carried_voice_traffic.batches, 12);
 }
 
 #[test]

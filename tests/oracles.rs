@@ -7,11 +7,13 @@
 //! traffic-analysis formulas get the same treatment against brute-force
 //! constructions.
 
+use gprs_repro::core::cluster::{ClusterModel, ClusterSolveOptions};
+use gprs_repro::core::{CellConfig, GprsModel};
 use gprs_repro::ctmc::gth::solve_gth;
-use gprs_repro::ctmc::TripletBuilder;
+use gprs_repro::ctmc::{SolveOptions, TripletBuilder};
 use gprs_repro::queueing::IppMckQueue;
 use gprs_repro::traffic::analysis::Mmpp2;
-use gprs_repro::traffic::Ipp;
+use gprs_repro::traffic::{Ipp, TrafficModel};
 
 /// Assembles the IPP/M/c/K generator explicitly: state `2j + phase`
 /// with phase 0 = on, 1 = off.
@@ -79,6 +81,106 @@ fn ipp_mck_loss_matches_gth_derived_loss() {
     let p_on: f64 = (0..=capacity).map(|j| gth[2 * j]).sum();
     let loss = gth[2 * capacity] / p_on;
     assert!((queue.loss_probability() - loss).abs() < 1e-10);
+}
+
+#[test]
+fn uniform_cluster_fixed_point_matches_the_homogeneous_model() {
+    // The heterogeneous 7-cell fixed point generalizes the paper's
+    // scalar handover balance; under uniform load the two must coincide.
+    // The single-cell model (scalar Erlang balancing + one CTMC solve)
+    // is the oracle: every mid-cell measure of the uniform cluster must
+    // reproduce it to <= 1e-8 relative error.
+    let config = CellConfig::builder()
+        .total_channels(5)
+        .reserved_pdchs(1)
+        .buffer_capacity(6)
+        .traffic_model(TrafficModel::Model3)
+        .max_gprs_sessions(3)
+        .call_arrival_rate(0.5)
+        .build()
+        .unwrap();
+
+    let tight = SolveOptions::default().with_tolerance(1e-12);
+    let single = GprsModel::new(config.clone()).unwrap();
+    let solved_single = single.solve(&tight, None).unwrap();
+    let oracle = solved_single.measures();
+
+    let cluster = ClusterModel::uniform(config).unwrap();
+    let opts = ClusterSolveOptions::default()
+        .with_tolerance(1e-12)
+        .with_solve(tight);
+    let solved = cluster.solve(&opts).unwrap();
+    let mid = solved.mid();
+
+    let rel = |got: f64, want: f64| (got - want).abs() / want.abs().max(1e-12);
+    for (name, got, want) in [
+        (
+            "carried_data_traffic",
+            mid.measures.carried_data_traffic,
+            oracle.carried_data_traffic,
+        ),
+        (
+            "carried_voice_traffic",
+            mid.measures.carried_voice_traffic,
+            oracle.carried_voice_traffic,
+        ),
+        (
+            "avg_gprs_sessions",
+            mid.measures.avg_gprs_sessions,
+            oracle.avg_gprs_sessions,
+        ),
+        (
+            "packet_loss_probability",
+            mid.measures.packet_loss_probability,
+            oracle.packet_loss_probability,
+        ),
+        (
+            "queueing_delay",
+            mid.measures.queueing_delay,
+            oracle.queueing_delay,
+        ),
+        (
+            "throughput_per_user_kbps",
+            mid.measures.throughput_per_user_kbps,
+            oracle.throughput_per_user_kbps,
+        ),
+        (
+            "gsm_blocking_probability",
+            mid.measures.gsm_blocking_probability,
+            oracle.gsm_blocking_probability,
+        ),
+        (
+            "gprs_blocking_probability",
+            mid.measures.gprs_blocking_probability,
+            oracle.gprs_blocking_probability,
+        ),
+        (
+            "gsm_handover_rate",
+            mid.gsm_handover_in,
+            oracle.gsm_handover_rate,
+        ),
+        (
+            "gprs_handover_rate",
+            mid.gprs_handover_in,
+            oracle.gprs_handover_rate,
+        ),
+    ] {
+        assert!(
+            rel(got, want) <= 1e-8,
+            "{name}: cluster {got} vs single-cell {want} (rel {:.2e})",
+            rel(got, want)
+        );
+    }
+    // All seven cells are exchangeable under uniform load.
+    for (i, cell) in solved.cells().iter().enumerate() {
+        assert!(
+            rel(
+                cell.measures.carried_data_traffic,
+                mid.measures.carried_data_traffic
+            ) <= 1e-9,
+            "cell {i} deviates from the mid cell"
+        );
+    }
 }
 
 #[test]
