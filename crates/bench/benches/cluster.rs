@@ -9,8 +9,8 @@ use gprs_core::cluster::{
     par_sweep_load_scales_threads, sweep_load_scales, ClusterModel, ClusterSolveOptions,
 };
 use gprs_core::CellConfig;
-use gprs_ctmc::parallel::num_threads;
 use gprs_ctmc::solver::SolveOptions;
+use gprs_exec::num_threads;
 use gprs_traffic::TrafficModel;
 
 fn hot_spot_cluster() -> ClusterModel {

@@ -17,9 +17,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use gprs_bench::{medium_model, small_model};
 use gprs_core::sweep::{par_sweep_arrival_rates, rate_grid, sweep_arrival_rates};
 use gprs_core::GprsModel;
-use gprs_ctmc::parallel::{num_threads, solve_jacobi, RedBlackSor};
+use gprs_ctmc::parallel::{solve_jacobi, RedBlackSor};
 use gprs_ctmc::solver::{solve_gauss_seidel, SolveOptions};
 use gprs_ctmc::SparseGenerator;
+use gprs_exec::num_threads;
 
 fn opts() -> SolveOptions {
     SolveOptions::quick().with_max_sweeps(200_000)

@@ -1,0 +1,68 @@
+//! Replication-engine scaling: a fixed count of independent simulator
+//! replications (min == max pins the stopping rule, so every thread
+//! count performs *exactly* the same eight runs) executed at 1/2/4/8
+//! worker threads. The ratio of the 1-thread time to the N-thread time
+//! is the scaling efficiency of the wave executor on this machine —
+//! the evidence behind moving the nightly cross-validation onto the
+//! parallel replication path. Determinism is asserted before timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gprs_core::{CellConfig, Scenario};
+use gprs_exec::num_threads;
+use gprs_sim::{run_replications, ReplicationOptions, SimConfig, TargetMeasure};
+use gprs_traffic::TrafficModel;
+
+const REPLICATIONS: usize = 8;
+
+fn fixture_cfg() -> SimConfig {
+    let cell = CellConfig::builder()
+        .traffic_model(TrafficModel::Model3)
+        .total_channels(8)
+        .buffer_capacity(15)
+        .max_gprs_sessions(4)
+        .call_arrival_rate(0.3)
+        .build()
+        .expect("valid config");
+    SimConfig::for_scenario(&Scenario::homogeneous(cell).expect("valid scenario"))
+        .expect("lowerable scenario")
+        .seed(2024)
+        .warmup(100.0)
+        .batches(2, 400.0)
+        .build()
+}
+
+fn opts(threads: usize) -> ReplicationOptions {
+    // min == max: exactly REPLICATIONS runs, no speculative variance.
+    ReplicationOptions::new(0.01, REPLICATIONS, REPLICATIONS)
+        .with_target(TargetMeasure::CarriedVoiceTraffic)
+        .with_threads(threads)
+}
+
+fn bench_replication(c: &mut Criterion) {
+    println!(
+        "replication wave workers available: {} (benching 1/2/4/8)",
+        num_threads()
+    );
+    let cfg = fixture_cfg();
+
+    // Thread counts must agree bit-for-bit before any timing is
+    // trusted.
+    let reference = run_replications(&cfg, &opts(1));
+    assert_eq!(reference.replications, REPLICATIONS);
+    for threads in [2usize, 4, 8] {
+        let got = run_replications(&cfg, &opts(threads));
+        assert_eq!(got, reference, "threads {threads} diverged");
+    }
+
+    let mut g = c.benchmark_group(format!("replication_fixed{REPLICATIONS}"));
+    g.sample_size(3);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| run_replications(&cfg, &opts(threads)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_replication);
+criterion_main!(benches);

@@ -12,6 +12,10 @@
 //! * `cluster` — the heterogeneous 7-cell fixed point: per-iteration
 //!   cell solves sequential vs thread-parallel, plus the load-scale
 //!   sweep (determinism is asserted before timing).
+//! * `replication` — the wave-parallel replication engine: a fixed
+//!   count of simulator replications at 1/2/4/8 threads, recording the
+//!   scaling efficiency of the shared `gprs-exec` work queue
+//!   (determinism asserted before timing).
 //! * `generator` — transition enumeration and sparse assembly
 //!   throughput.
 //! * `simulator` — discrete-event throughput (events/s) for both radio

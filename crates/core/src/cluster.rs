@@ -28,7 +28,7 @@
 //! (every cell's inflow equals its own outflow), which is both the
 //! initialization and the oracle the test suite checks against. The
 //! seven per-iteration cell solves are independent, so they fan out over
-//! [`gprs_ctmc::parallel::par_map_tasks`] — results are bit-identical
+//! [`gprs_exec::par_map_tasks`] — results are bit-identical
 //! for any thread count.
 //!
 //! # Example
@@ -60,8 +60,8 @@ use crate::config::CellConfig;
 use crate::error::ModelError;
 use crate::generator::GprsModel;
 use crate::measures::Measures;
-use gprs_ctmc::parallel::{num_threads, par_map_tasks};
 use gprs_ctmc::solver::SolveOptions;
+use gprs_exec::{num_threads, par_map_tasks};
 use gprs_queueing::handover::{balance_default, HandoverParams};
 use gprs_queueing::QueueingError;
 
@@ -126,7 +126,7 @@ pub struct ClusterSolveOptions {
     /// Options for the inner per-cell CTMC solves.
     pub solve: SolveOptions,
     /// Worker threads for the per-iteration cell fan-out; `0` (the
-    /// default) uses [`gprs_ctmc::parallel::num_threads`]. Results are
+    /// default) uses [`gprs_exec::num_threads`]. Results are
     /// identical for any value.
     pub threads: usize,
 }
@@ -553,7 +553,7 @@ pub fn sweep_load_scales(
 }
 
 /// Like [`sweep_load_scales`], fanning the points out across
-/// [`gprs_ctmc::parallel::num_threads`] workers. Each point solves its
+/// [`gprs_exec::num_threads`] workers. Each point solves its
 /// cells sequentially (the parallelism budget goes to the points), and
 /// results are returned in scale order, bit-identical to the sequential
 /// sweep for any thread count.

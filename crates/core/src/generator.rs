@@ -258,7 +258,7 @@ impl GprsModel {
 
     /// Assembles the full sparse generator, enumerating Table 1's rows
     /// across threads (`RAYON_NUM_THREADS` workers, see
-    /// [`gprs_ctmc::parallel::num_threads`]). The result is identical
+    /// [`gprs_exec::num_threads`]). The result is identical
     /// for any thread count. Prefer the matrix-free traits for solves
     /// that never need the assembled matrix.
     ///
@@ -268,7 +268,7 @@ impl GprsModel {
     pub fn assemble_sparse(&self) -> Result<SparseGenerator, ModelError> {
         Ok(SparseGenerator::from_transitions_par(
             self,
-            gprs_ctmc::parallel::num_threads(),
+            gprs_exec::num_threads(),
         )?)
     }
 

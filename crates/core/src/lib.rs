@@ -58,6 +58,10 @@
 //! * [`solve`] — handover balancing + steady-state solution.
 //! * [`sweep`] — warm-started arrival-rate sweeps (the paper's x-axes),
 //!   sequential and thread-parallel (`par_sweep_arrival_rates`).
+//! * [`scenario`] — the unified scenario layer: one workload
+//!   description (topology + per-cell traffic + radio/TCP knobs + load
+//!   scale) lowered to the single-cell model, the cluster fixed point,
+//!   and (via `gprs-sim`) the network simulator.
 //! * [`qos`] — PDCH dimensioning against a QoS profile (Section 5.3).
 //! * [`adaptive`] — dynamic PDCH re-dimensioning (policy table +
 //!   hysteresis controller + reconfiguration transients), the paper's
@@ -74,6 +78,7 @@ pub mod error;
 pub mod generator;
 pub mod measures;
 pub mod qos;
+pub mod scenario;
 pub mod solve;
 pub mod state;
 pub mod sweep;
@@ -84,5 +89,6 @@ pub use config::{CellConfig, CellConfigBuilder};
 pub use error::ModelError;
 pub use generator::GprsModel;
 pub use measures::Measures;
+pub use scenario::Scenario;
 pub use solve::SolvedModel;
 pub use state::{CellState, StateSpace};

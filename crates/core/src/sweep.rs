@@ -11,7 +11,7 @@
 //! of a sweep are completely independent — which makes the sweep
 //! embarrassingly parallel. [`par_sweep_arrival_rates`] fans the points
 //! out across threads (worker count from
-//! [`gprs_ctmc::parallel::num_threads`], i.e. `RAYON_NUM_THREADS` or the
+//! [`gprs_exec::num_threads`], i.e. `RAYON_NUM_THREADS` or the
 //! machine width) through a work-stealing index queue, and returns the
 //! points in rate order with results bit-identical to the sequential
 //! sweep: each point runs the same deterministic solver code regardless
@@ -21,8 +21,8 @@ use crate::config::CellConfig;
 use crate::error::ModelError;
 use crate::generator::GprsModel;
 use crate::measures::Measures;
-use gprs_ctmc::parallel::{num_threads, par_map_tasks};
 use gprs_ctmc::solver::SolveOptions;
+use gprs_exec::{num_threads, par_map_tasks};
 
 /// One point of a sweep.
 #[derive(Debug, Clone)]
@@ -132,7 +132,7 @@ fn solve_point(
 /// Every point is independent (each warm-starts from its own
 /// product-form guess), so the sweep fans out over a work queue of
 /// point indices; the worker count comes from
-/// [`gprs_ctmc::parallel::num_threads`] (`RAYON_NUM_THREADS`, or the
+/// [`gprs_exec::num_threads`] (`RAYON_NUM_THREADS`, or the
 /// machine width). Results come back **in rate order** and are
 /// bit-identical to [`sweep_arrival_rates`] for any thread count — the
 /// per-point solves are the same deterministic code, only their

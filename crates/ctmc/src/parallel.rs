@@ -37,210 +37,109 @@
 //!
 //! # Thread control
 //!
-//! Worker counts default to [`num_threads`], which honours the
-//! `RAYON_NUM_THREADS` environment variable (the convention the rest of
-//! the Rust ecosystem uses) and falls back to the machine's available
-//! parallelism. The helpers run inline when one thread is requested or
-//! the work is trivially small, so everything in this module is safe to
-//! call unconditionally.
+//! Worker counts default to [`gprs_exec::num_threads`], which honours
+//! the `RAYON_NUM_THREADS` environment variable (the convention the
+//! rest of the Rust ecosystem uses) and falls back to the machine's
+//! available parallelism. The executors run inline when one thread is
+//! requested or the work is trivially small, so everything in this
+//! module is safe to call unconditionally.
+//!
+//! The thread fan-out helpers that used to live here (`par_map_tasks`,
+//! `num_threads`, ...) moved to the dependency-free [`gprs_exec`]
+//! crate, which the whole workspace — model sweeps, cluster fixed
+//! points, simulator replications — now shares. Deprecated wrappers
+//! remain below so existing imports keep compiling; new code should
+//! import from `gprs_exec` directly.
 
 use crate::error::CtmcError;
 use crate::solver::{Solution, SolveOptions};
 use crate::sparse::SparseGenerator;
 use crate::stationary::StationaryDistribution;
+use gprs_exec::{
+    chunk_ranges as exec_chunk_ranges, num_threads as exec_num_threads,
+    par_map_chunks_mut as exec_par_map_chunks_mut, par_map_ranges as exec_par_map_ranges,
+    MIN_PARALLEL_WORK,
+};
 use std::ops::Range;
 
 /// Maximum number of color classes [`RedBlackSor`] accepts before
 /// [`solve_parallel`] falls back to damped Jacobi.
 pub const MAX_COLORS: usize = 64;
 
-/// Work below this many items is run inline rather than fanned out.
-const MIN_PARALLEL_WORK: usize = 4096;
-
 // ---------------------------------------------------------------------------
-// Thread fan-out helpers
+// Deprecated wrappers around the fan-out helpers (moved to `gprs-exec`)
 // ---------------------------------------------------------------------------
 
-/// The worker count used when callers do not specify one: the
-/// `RAYON_NUM_THREADS` environment variable when set to a positive
-/// integer, otherwise the machine's available parallelism.
+/// Deprecated wrapper around [`gprs_exec::num_threads`].
+#[deprecated(
+    since = "0.2.0",
+    note = "moved to `gprs_exec`; use `gprs_exec::num_threads`"
+)]
 pub fn num_threads() -> usize {
-    match std::env::var("RAYON_NUM_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
-    }
+    gprs_exec::num_threads()
 }
 
-/// Splits `0..n` into at most `chunks` contiguous ranges of near-equal
-/// length (deterministic for given `n` and `chunks`).
+/// Deprecated wrapper around [`gprs_exec::chunk_ranges`].
+#[deprecated(
+    since = "0.2.0",
+    note = "moved to `gprs_exec`; use `gprs_exec::chunk_ranges`"
+)]
 pub fn chunk_ranges(n: usize, chunks: usize) -> Vec<Range<usize>> {
-    if n == 0 {
-        return Vec::new();
-    }
-    let chunks = chunks.clamp(1, n);
-    let size = n.div_ceil(chunks);
-    (0..n.div_ceil(size))
-        .map(|c| c * size..((c + 1) * size).min(n))
-        .collect()
+    gprs_exec::chunk_ranges(n, chunks)
 }
 
-/// Runs `f` over contiguous ranges covering `0..n` on up to `threads`
-/// workers, returning the per-range results in range order (so the
-/// concatenation is deterministic regardless of how many workers ran).
+/// Deprecated wrapper around [`gprs_exec::par_map_ranges`].
+#[deprecated(
+    since = "0.2.0",
+    note = "moved to `gprs_exec`; use `gprs_exec::par_map_ranges`"
+)]
 pub fn par_map_ranges<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(Range<usize>) -> R + Sync,
 {
-    if n == 0 {
-        return Vec::new();
-    }
-    if threads <= 1 || n < MIN_PARALLEL_WORK {
-        return vec![f(0..n)];
-    }
-    let ranges = chunk_ranges(n, threads);
-    std::thread::scope(|s| {
-        let f = &f;
-        let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(move || f(r))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
-    })
+    gprs_exec::par_map_ranges(n, threads, f)
 }
 
-/// Runs `f(i)` for every task index `0..n` across up to `threads`
-/// workers through an atomic work queue, returning the results **in
-/// task order**.
-///
-/// Where [`par_map_ranges`] splits *many cheap items* into contiguous
-/// ranges (and runs inline below [`MIN_PARALLEL_WORK`] items), this is
-/// the executor for *few heavy tasks* — sweep points, per-cell solves of
-/// a cluster fixed point — where even `n = 7` deserves fan-out and task
-/// costs are uneven enough that a work queue beats fixed chunking.
-/// Each task runs exactly once on exactly one worker, so as long as `f`
-/// is deterministic per index, the returned vector is bit-identical for
-/// any thread count.
-///
-/// # Panics
-///
-/// Propagates panics from `f` (the worker threads are joined).
+/// Deprecated wrapper around [`gprs_exec::par_map_tasks`].
+#[deprecated(
+    since = "0.2.0",
+    note = "moved to `gprs_exec`; use `gprs_exec::par_map_tasks`"
+)]
 pub fn par_map_tasks<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, n);
-    if threads <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
-        let f = &f;
-        let next = &next;
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("task worker panicked"))
-            .collect()
-    });
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    for (i, r) in buckets.into_iter().flatten() {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every queued task is processed"))
-        .collect()
+    gprs_exec::par_map_tasks(n, threads, f)
 }
 
-/// Splits `data` into up to `threads` contiguous chunks and runs
-/// `f(start_offset, chunk)` on each concurrently, returning per-chunk
-/// results in order.
+/// Deprecated wrapper around [`gprs_exec::par_map_chunks_mut`].
+#[deprecated(
+    since = "0.2.0",
+    note = "moved to `gprs_exec`; use `gprs_exec::par_map_chunks_mut`"
+)]
 pub fn par_map_chunks_mut<T, R, F>(data: &mut [T], threads: usize, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(usize, &mut [T]) -> R + Sync,
 {
-    let len = data.len();
-    if len == 0 {
-        return Vec::new();
-    }
-    if threads <= 1 || len < MIN_PARALLEL_WORK {
-        return vec![f(0, data)];
-    }
-    let chunk = len.div_ceil(threads.min(len));
-    std::thread::scope(|s| {
-        let f = &f;
-        let handles: Vec<_> = data
-            .chunks_mut(chunk)
-            .enumerate()
-            .map(|(ci, ch)| s.spawn(move || f(ci * chunk, ch)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
-    })
+    gprs_exec::par_map_chunks_mut(data, threads, f)
 }
 
-/// Applies `f` to each element of `items` on up to `threads` workers,
-/// preserving order. Items are grouped into at most `threads` contiguous
-/// batches, one worker per batch.
+/// Deprecated wrapper around [`gprs_exec::par_map_vec`].
+#[deprecated(
+    since = "0.2.0",
+    note = "moved to `gprs_exec`; use `gprs_exec::par_map_vec`"
+)]
 pub fn par_map_vec<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let len = items.len();
-    if threads <= 1 || len <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let chunk = len.div_ceil(threads.min(len));
-    let mut groups: Vec<Vec<T>> = Vec::with_capacity(len.div_ceil(chunk));
-    let mut it = items.into_iter();
-    loop {
-        let group: Vec<T> = it.by_ref().take(chunk).collect();
-        if group.is_empty() {
-            break;
-        }
-        groups.push(group);
-    }
-    std::thread::scope(|s| {
-        let f = &f;
-        let handles: Vec<_> = groups
-            .into_iter()
-            .map(|group| s.spawn(move || group.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
-    })
+    gprs_exec::par_map_vec(items, threads, f)
 }
 
 // ---------------------------------------------------------------------------
@@ -293,7 +192,7 @@ pub fn balance_residual_par(gen: &SparseGenerator, pi: &[f64], threads: usize) -
         "pi length must match state count"
     );
     let exit = gen.exit_rates();
-    let parts = par_map_ranges(pi.len(), threads, |range| {
+    let parts = exec_par_map_ranges(pi.len(), threads, |range| {
         let mut num = 0.0f64;
         let mut den = 0.0f64;
         for j in range {
@@ -318,13 +217,13 @@ pub fn balance_residual_par(gen: &SparseGenerator, pi: &[f64], threads: usize) -
 }
 
 fn par_sum(pi: &[f64], threads: usize) -> f64 {
-    par_map_ranges(pi.len(), threads, |range| pi[range].iter().sum::<f64>())
+    exec_par_map_ranges(pi.len(), threads, |range| pi[range].iter().sum::<f64>())
         .into_iter()
         .sum()
 }
 
 fn par_scale(pi: &mut [f64], inv: f64, threads: usize) {
-    par_map_chunks_mut(pi, threads, |_, chunk| {
+    exec_par_map_chunks_mut(pi, threads, |_, chunk| {
         for x in chunk {
             *x *= inv;
         }
@@ -447,7 +346,7 @@ impl RedBlackSor {
             inv[old] = new as u32;
         }
 
-        let threads = num_threads();
+        let threads = exec_num_threads();
 
         // Permuted incoming CSR and exit rates.
         let mut in_ptr = vec![0usize; n + 1];
@@ -462,7 +361,7 @@ impl RedBlackSor {
             // Fill per-state segments in parallel: each worker owns a
             // contiguous range of permuted states, hence a contiguous
             // span of `in_src` / `in_val`.
-            let ranges = chunk_ranges(n, if nnz < MIN_PARALLEL_WORK { 1 } else { threads });
+            let ranges = exec_chunk_ranges(n, if nnz < MIN_PARALLEL_WORK { 1 } else { threads });
             let mut src_rest: &mut [u32] = &mut in_src;
             let mut val_rest: &mut [f64] = &mut in_val;
             let mut exit_rest: &mut [f64] = &mut exit;
@@ -535,7 +434,7 @@ impl RedBlackSor {
         let start = validated_start(n, warm_start)?;
         // Permute the start into class order.
         let mut pi = vec![0.0f64; n];
-        par_map_chunks_mut(&mut pi, self.threads, |off, chunk| {
+        exec_par_map_chunks_mut(&mut pi, self.threads, |off, chunk| {
             for (t, p) in chunk.iter_mut().enumerate() {
                 *p = start[self.perm[off + t] as usize];
             }
@@ -555,7 +454,7 @@ impl RedBlackSor {
                 let hi = self.class_bounds[c + 1];
                 let (left, rest) = pi.split_at_mut(lo);
                 let (mid, right) = rest.split_at_mut(hi - lo);
-                let parts = par_map_chunks_mut(mid, self.threads, |off, chunk| {
+                let parts = exec_par_map_chunks_mut(mid, self.threads, |off, chunk| {
                     let mut num = 0.0f64;
                     let mut den = 0.0f64;
                     for (t, p) in chunk.iter_mut().enumerate() {
@@ -625,7 +524,7 @@ impl RedBlackSor {
 
     /// Exact balance residual of a permuted iterate.
     fn residual_exact(&self, pi: &[f64]) -> f64 {
-        let parts = par_map_ranges(self.n, self.threads, |range| {
+        let parts = exec_par_map_ranges(self.n, self.threads, |range| {
             let mut num = 0.0f64;
             let mut den = 0.0f64;
             for j in range {
@@ -706,7 +605,7 @@ pub fn solve_jacobi(
     let exit = checked_exit_rates(gen)?;
     let mut pi = validated_start(n, warm_start)?;
     let mut next = vec![0.0f64; n];
-    let threads = num_threads();
+    let threads = exec_num_threads();
     let damping = opts.sor_omega.min(0.95);
 
     let mut sweeps = 0usize;
@@ -715,7 +614,7 @@ pub fn solve_jacobi(
     while sweeps < opts.max_sweeps {
         let parts = {
             let pi = &pi;
-            par_map_chunks_mut(&mut next, threads, |off, chunk| {
+            exec_par_map_chunks_mut(&mut next, threads, |off, chunk| {
                 let mut num = 0.0f64;
                 let mut den = 0.0f64;
                 let mut sum = 0.0f64;
@@ -851,46 +750,6 @@ mod tests {
             }
         }
         b.build().unwrap()
-    }
-
-    #[test]
-    fn chunk_ranges_cover_exactly() {
-        for (n, c) in [(10, 3), (1, 5), (7, 7), (100, 1), (5, 10)] {
-            let ranges = chunk_ranges(n, c);
-            let mut covered = 0;
-            for w in ranges.windows(2) {
-                assert_eq!(w[0].end, w[1].start);
-            }
-            for r in &ranges {
-                covered += r.len();
-            }
-            assert_eq!(covered, n);
-            assert_eq!(ranges.first().unwrap().start, 0);
-            assert_eq!(ranges.last().unwrap().end, n);
-        }
-        assert!(chunk_ranges(0, 4).is_empty());
-    }
-
-    #[test]
-    fn par_map_ranges_is_deterministic() {
-        let a = par_map_ranges(10_000, 4, |r| r.map(|i| i as u64).sum::<u64>());
-        let b = par_map_ranges(10_000, 4, |r| r.map(|i| i as u64).sum::<u64>());
-        assert_eq!(a, b);
-        let total: u64 = a.into_iter().sum();
-        assert_eq!(total, 10_000 * 9_999 / 2);
-    }
-
-    #[test]
-    fn par_map_tasks_preserves_order_for_any_thread_count() {
-        let reference: Vec<u64> = (0..23).map(|i| (i as u64) * (i as u64) + 7).collect();
-        for threads in [1usize, 2, 3, 8, 64] {
-            let got = par_map_tasks(23, threads, |i| (i as u64) * (i as u64) + 7);
-            assert_eq!(got, reference, "threads {threads}");
-        }
-        assert!(par_map_tasks(0, 4, |i| i).is_empty());
-        // Unlike par_map_ranges, tiny task counts still fan out (no
-        // minimum-work cutoff): 2 tasks on 2 threads must both run.
-        assert_eq!(par_map_tasks(2, 2, |i| i + 1), vec![1, 2]);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! row ranges across threads.
 
 use crate::error::CtmcError;
-use crate::parallel::{num_threads, par_map_chunks_mut, par_map_ranges, par_map_vec};
 use crate::transitions::{IncomingTransitions, Transitions};
+use gprs_exec::{num_threads, par_map_chunks_mut, par_map_ranges, par_map_vec};
 
 /// Triplet counts below this stay on the single-threaded sort path.
 const PAR_SORT_MIN: usize = 1 << 16;
@@ -345,7 +345,7 @@ impl SparseGenerator {
 
     /// Like [`from_transitions`](Self::from_transitions), enumerating
     /// row ranges across up to `threads` workers (pass
-    /// [`crate::parallel::num_threads`] for the default). The result is
+    /// [`gprs_exec::num_threads`] for the default). The result is
     /// identical to the sequential assembly regardless of thread count:
     /// workers own contiguous row ranges whose triplet blocks concatenate
     /// back in row order.

@@ -16,6 +16,9 @@
 //!   methodology for its simulator validation).
 //! * [`sequential`] — run independent replications until a relative-
 //!   precision target is met (or provably is not, within budget).
+//! * [`replication`] — the same stopping rule fanned out over threads
+//!   in speculative waves, bit-identical to the sequential runner for
+//!   any thread count.
 //!
 //! # Example
 //!
@@ -53,6 +56,7 @@
 pub mod batch;
 pub mod calendar;
 pub mod engine;
+pub mod replication;
 pub mod rng;
 pub mod sequential;
 pub mod stats;
@@ -61,5 +65,6 @@ pub mod time;
 pub use batch::ConfidenceInterval;
 pub use calendar::{EventCalendar, EventId};
 pub use engine::Simulation;
+pub use replication::{run_replications_par, run_replications_waves, ReplicatedRun};
 pub use sequential::{run_until_precision, SequentialOptions, SequentialResult};
 pub use time::SimTime;

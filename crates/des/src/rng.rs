@@ -31,6 +31,16 @@ impl RngStreams {
     pub fn stream(&self, stream: u64) -> SmallRng {
         SmallRng::seed_from_u64(mix(self.master_seed, stream))
     }
+
+    /// The raw 64-bit seed behind [`RngStreams::stream`] — for handing
+    /// a decorrelated *child master seed* to a subsystem that builds
+    /// its own `RngStreams` (e.g. one simulator replication per
+    /// stream). `RngStreams::new(f.stream_seed(r))` gives replication
+    /// `r` a full family of streams of its own, deterministic in
+    /// `(master_seed, r)` and independent of sibling replications.
+    pub fn stream_seed(&self, stream: u64) -> u64 {
+        mix(self.master_seed, stream)
+    }
 }
 
 /// SplitMix64-style avalanche of `(seed, stream)` into one 64-bit seed.

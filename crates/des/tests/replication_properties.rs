@@ -1,0 +1,79 @@
+//! Property tests for the wave-based parallel replication engine:
+//! the stopping rule must honour its replication bounds and agree
+//! bit-for-bit with the sequential runner for any thread count.
+
+use gprs_des::replication::run_replications_par;
+use gprs_des::sequential::{run_until_precision, SequentialOptions};
+use proptest::prelude::*;
+
+/// A deterministic noisy observation: splitmix-style hash of
+/// `(seed, rep)` mapped to `[25, 125)` (positive mean, so a relative
+/// target is attainable for loose targets and unattainable for tight
+/// ones — both branches of the stopping rule get exercised).
+fn observation(seed: u64, rep: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(rep.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    25.0 + (z % 1000) as f64 / 10.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn wave_stopping_rule_honours_the_replication_bounds(
+        seed in 0u64..1_000_000,
+        target_pct in 1u32..60,
+        min in 2usize..10,
+        extra in 0usize..40,
+        threads in 1usize..9,
+    ) {
+        let target = target_pct as f64 / 100.0;
+        let max = min + extra;
+        let opts = SequentialOptions::new(target, min, max);
+        let r = run_replications_par(&opts, threads, |rep| observation(seed, rep));
+
+        // The budget is a hard ceiling and the minimum is always
+        // honoured, for every thread count.
+        prop_assert!(r.replications >= min, "stopped before min: {}", r.replications);
+        prop_assert!(r.replications <= max, "budget exceeded: {}", r.replications);
+        prop_assert_eq!(r.observations.len(), r.replications);
+
+        if r.converged {
+            // Converged means the target really was met...
+            prop_assert!(r.interval.relative_half_width() <= target);
+            // ...and not before the minimum.
+            if r.replications > min {
+                let prefix = &r.observations[..r.replications - 1];
+                let earlier = gprs_des::ConfidenceInterval::from_batch_means(prefix);
+                prop_assert!(
+                    earlier.relative_half_width() > target,
+                    "should have stopped one replication earlier"
+                );
+            }
+        } else {
+            // Not converged is only ever reported at the exhausted
+            // budget.
+            prop_assert_eq!(r.replications, max);
+        }
+    }
+
+    #[test]
+    fn wave_runner_is_bit_identical_to_the_sequential_runner(
+        seed in 0u64..1_000_000,
+        target_pct in 1u32..60,
+        min in 2usize..8,
+        extra in 0usize..24,
+        threads in 2usize..9,
+    ) {
+        let opts = SequentialOptions::new(target_pct as f64 / 100.0, min, min + extra);
+        let par = run_replications_par(&opts, threads, |rep| observation(seed, rep));
+        let seq = run_until_precision(&opts, |rep| observation(seed, rep));
+        prop_assert_eq!(&par.observations, &seq.observations);
+        prop_assert_eq!(par.interval, seq.interval);
+        prop_assert_eq!(par.replications, seq.replications);
+        prop_assert_eq!(par.converged, seq.converged);
+    }
+}

@@ -1,0 +1,319 @@
+//! Deterministic thread fan-out executors for the GPRS reproduction.
+//!
+//! Every parallel stage of the pipeline — sweep points and per-cell
+//! solves in `gprs-core`, solver sweeps in `gprs-ctmc`, simulator
+//! replication waves in `gprs-des`/`gprs-sim` — rides the same small
+//! set of executors, so there is exactly one place that decides how
+//! work maps onto threads and one determinism contract to audit:
+//!
+//! * [`par_map_tasks`] — the **ordered work-queue executor** for *few
+//!   heavy tasks* (sweep points, cluster cells, simulator
+//!   replications). Tasks are handed to workers through an atomic
+//!   index queue, each runs exactly once, and results come back **in
+//!   task order** — so as long as the task closure is deterministic
+//!   per index, the returned vector is bit-identical for any thread
+//!   count.
+//! * [`par_map_ranges`] / [`par_map_chunks_mut`] — contiguous-range
+//!   splitters for *many cheap items* (solver state vectors); they run
+//!   inline below a minimum work size.
+//! * [`par_map_vec`] — order-preserving map over owned items in
+//!   contiguous batches.
+//! * [`num_threads`] / [`chunk_ranges`] — the worker-count convention
+//!   (`RAYON_NUM_THREADS`, falling back to the machine width) and the
+//!   deterministic range splitter behind the helpers above.
+//!
+//! The crate is dependency-free and uses scoped `std::thread` workers
+//! (the build container has no crates.io access, so rayon is not
+//! available; the API is shaped so a rayon-backed implementation could
+//! be swapped in without touching callers).
+//!
+//! # Determinism contract
+//!
+//! All executors guarantee: (1) results are returned in input order,
+//! (2) each task/item is processed exactly once by exactly one worker,
+//! and (3) no executor injects any source of nondeterminism (no
+//! time-based decisions, no racy accumulation). Therefore `f`
+//! deterministic per index ⇒ output bit-identical for any thread
+//! count, including 1. The whole workspace's "seq-vs-par equality"
+//! tests rest on this contract.
+//!
+//! # Example
+//!
+//! ```
+//! use gprs_exec::{num_threads, par_map_tasks};
+//!
+//! // Eight independent "heavy" tasks, fanned out over the machine.
+//! let squares = par_map_tasks(8, num_threads(), |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Work below this many items is run inline rather than fanned out (the
+/// range/chunk executors only; [`par_map_tasks`] always fans out —
+/// its tasks are heavy by contract).
+pub const MIN_PARALLEL_WORK: usize = 4096;
+
+/// The worker count used when callers do not specify one: the
+/// `RAYON_NUM_THREADS` environment variable when set to a positive
+/// integer, otherwise the machine's available parallelism.
+pub fn num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Splits `0..n` into at most `chunks` contiguous ranges of near-equal
+/// length (deterministic for given `n` and `chunks`).
+pub fn chunk_ranges(n: usize, chunks: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, n);
+    let size = n.div_ceil(chunks);
+    (0..n.div_ceil(size))
+        .map(|c| c * size..((c + 1) * size).min(n))
+        .collect()
+}
+
+/// Runs `f` over contiguous ranges covering `0..n` on up to `threads`
+/// workers, returning the per-range results in range order (so the
+/// concatenation is deterministic regardless of how many workers ran).
+pub fn par_map_ranges<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 || n < MIN_PARALLEL_WORK {
+        return vec![f(0..n)];
+    }
+    let ranges = chunk_ranges(n, threads);
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(move || f(r))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// Runs `f(i)` for every task index `0..n` across up to `threads`
+/// workers through an atomic work queue, returning the results **in
+/// task order**.
+///
+/// Where [`par_map_ranges`] splits *many cheap items* into contiguous
+/// ranges (and runs inline below [`MIN_PARALLEL_WORK`] items), this is
+/// the executor for *few heavy tasks* — sweep points, per-cell solves of
+/// a cluster fixed point, simulator replications — where even `n = 7`
+/// deserves fan-out and task costs are uneven enough that a work queue
+/// beats fixed chunking. Each task runs exactly once on exactly one
+/// worker, so as long as `f` is deterministic per index, the returned
+/// vector is bit-identical for any thread count.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the worker threads are joined).
+pub fn par_map_tasks<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let f = &f;
+        let next = &next;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("task worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every queued task is processed"))
+        .collect()
+}
+
+/// Splits `data` into up to `threads` contiguous chunks and runs
+/// `f(start_offset, chunk)` on each concurrently, returning per-chunk
+/// results in order.
+pub fn par_map_chunks_mut<T, R, F>(data: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 || len < MIN_PARALLEL_WORK {
+        return vec![f(0, data)];
+    }
+    let chunk = len.div_ceil(threads.min(len));
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = data
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, ch)| s.spawn(move || f(ci * chunk, ch)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// Applies `f` to each element of `items` on up to `threads` workers,
+/// preserving order. Items are grouped into at most `threads` contiguous
+/// batches, one worker per batch.
+pub fn par_map_vec<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = len.div_ceil(threads.min(len));
+    let mut groups: Vec<Vec<T>> = Vec::with_capacity(len.div_ceil(chunk));
+    let mut it = items.into_iter();
+    loop {
+        let group: Vec<T> = it.by_ref().take(chunk).collect();
+        if group.is_empty() {
+            break;
+        }
+        groups.push(group);
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|group| s.spawn(move || group.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for (n, c) in [(10, 3), (1, 5), (7, 7), (100, 1), (5, 10)] {
+            let ranges = chunk_ranges(n, c);
+            let mut covered = 0;
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            for r in &ranges {
+                covered += r.len();
+            }
+            assert_eq!(covered, n);
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, n);
+        }
+        assert!(chunk_ranges(0, 4).is_empty());
+    }
+
+    #[test]
+    fn par_map_ranges_is_deterministic() {
+        let a = par_map_ranges(10_000, 4, |r| r.map(|i| i as u64).sum::<u64>());
+        let b = par_map_ranges(10_000, 4, |r| r.map(|i| i as u64).sum::<u64>());
+        assert_eq!(a, b);
+        let total: u64 = a.into_iter().sum();
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn par_map_tasks_preserves_order_for_any_thread_count() {
+        let reference: Vec<u64> = (0..23).map(|i| (i as u64) * (i as u64) + 7).collect();
+        for threads in [1usize, 2, 3, 8, 64] {
+            let got = par_map_tasks(23, threads, |i| (i as u64) * (i as u64) + 7);
+            assert_eq!(got, reference, "threads {threads}");
+        }
+        assert!(par_map_tasks(0, 4, |i| i).is_empty());
+        // Unlike par_map_ranges, tiny task counts still fan out (no
+        // minimum-work cutoff): 2 tasks on 2 threads must both run.
+        assert_eq!(par_map_tasks(2, 2, |i| i + 1), vec![1, 2]);
+    }
+
+    #[test]
+    fn par_map_chunks_mut_touches_every_item_once() {
+        let mut data: Vec<u64> = (0..10_000).collect();
+        let sums = par_map_chunks_mut(&mut data, 4, |off, chunk| {
+            let mut s = 0u64;
+            for (t, x) in chunk.iter_mut().enumerate() {
+                assert_eq!(*x, (off + t) as u64);
+                *x += 1;
+                s += *x;
+            }
+            s
+        });
+        let total: u64 = sums.into_iter().sum();
+        assert_eq!(total, (1..=10_000u64).sum::<u64>());
+        assert_eq!(data[0], 1);
+        assert_eq!(data[9_999], 10_000);
+    }
+
+    #[test]
+    fn par_map_vec_preserves_order() {
+        let items: Vec<u32> = (0..97).collect();
+        for threads in [1usize, 2, 5, 16] {
+            let got = par_map_vec(items.clone(), threads, |x| x * 3);
+            let want: Vec<u32> = items.iter().map(|x| x * 3).collect();
+            assert_eq!(got, want, "threads {threads}");
+        }
+        assert!(par_map_vec(Vec::<u32>::new(), 4, |x| x).is_empty());
+    }
+
+    #[test]
+    fn num_threads_is_at_least_one() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -15,9 +15,9 @@
 
 use crate::scale::Scale;
 use crate::series::{FigureResult, Panel, Series, ShapeCheck};
-use gprs_core::cluster::{par_sweep_load_scales, ClusterModel, ClusterSolveOptions};
-use gprs_core::{CellConfig, GprsModel, Measures, ModelError};
-use gprs_ctmc::parallel::{num_threads, par_map_tasks};
+use gprs_core::cluster::{par_sweep_load_scales, ClusterSolveOptions, MID_CELL};
+use gprs_core::{CellConfig, Measures, ModelError, Scenario};
+use gprs_exec::{num_threads, par_map_tasks};
 use gprs_traffic::TrafficModel;
 
 /// Hot-spot factor: the mid cell's arrival rate over the ring cells'.
@@ -58,7 +58,11 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
         Scale::Quick => ClusterSolveOptions::quick(),
     };
 
-    let base = ClusterModel::hot_spot(ring_cell(scale, base_rate)?, HOT_FACTOR * base_rate)?;
+    // One scenario describes the whole campaign; the cluster model and
+    // the homogeneous references below are lowerings of it.
+    let scenario = Scenario::hot_spot(ring_cell(scale, base_rate)?, HOT_FACTOR * base_rate)?
+        .named("ext03 hot-spot");
+    let base = scenario.to_cluster()?;
     eprintln!(
         "  ext03: cluster fixed point at {} load scales ({} states/cell)",
         scales.len(),
@@ -78,12 +82,20 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
 
     // The homogeneous references (two single-cell solves per point) are
     // independent of each other and of the cluster sweep — fan them out
-    // over the same executor instead of leaving a serial tail.
+    // over the same executor instead of leaving a serial tail. Each is
+    // the scenario's own "what would homogeneity predict for this cell"
+    // lowering: the scaled scenario, made uniform at the hot mid cell
+    // (resp. a ring cell), dropped into the single-cell model.
     let homog: Vec<(Measures, Measures)> = {
         let solves = par_map_tasks(points.len(), num_threads(), |i| {
-            let hot =
-                GprsModel::new(ring_cell(scale, points[i].mid_rate)?)?.solve(&opts.solve, None)?;
-            let ring = GprsModel::new(ring_cell(scale, points[i].mid_rate / HOT_FACTOR)?)?
+            let at_scale = scenario.clone().with_load_scale(scales[i])?;
+            let hot = at_scale
+                .homogeneous_at(MID_CELL)?
+                .to_model()?
+                .solve(&opts.solve, None)?;
+            let ring = at_scale
+                .homogeneous_at(1)?
+                .to_model()?
                 .solve(&opts.solve, None)?;
             Ok::<_, ModelError>((*hot.measures(), *ring.measures()))
         });

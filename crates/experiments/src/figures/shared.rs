@@ -10,7 +10,7 @@
 use crate::scale::Scale;
 use gprs_core::sweep::{par_sweep_arrival_rates, SweepPoint};
 use gprs_core::{CellConfig, ModelError};
-use gprs_ctmc::parallel::num_threads;
+use gprs_exec::num_threads;
 use gprs_traffic::TrafficModel;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};

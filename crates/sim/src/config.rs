@@ -2,7 +2,7 @@
 
 use crate::cluster::{MID_CELL, NUM_CELLS};
 use crate::supervision::SupervisionConfig;
-use gprs_core::CellConfig;
+use gprs_core::{CellConfig, ModelError, Scenario};
 
 /// How the radio link serves the BSC buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -101,6 +101,52 @@ impl SimConfig {
         }
     }
 
+    /// Starts a builder from a [`Scenario`] — the same workload
+    /// description the analytical lowerings (`Scenario::to_model`,
+    /// `Scenario::to_cluster`) consume, so model and simulator are
+    /// guaranteed to run the *same* scenario. The builder arrives
+    /// preloaded with the scenario's effective cells (load scale
+    /// applied), per-cell arrival rates (only when heterogeneous, so
+    /// homogeneous scenarios lower to the legacy homogeneous config),
+    /// and TCP switch; run-length knobs (seed, warm-up, batches) stay
+    /// with the caller.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Config`] if the scenario's cells differ in any
+    /// parameter other than the arrival rate — the simulator shares
+    /// channel/buffer/traffic parameters across the cluster (the
+    /// analytical [`Scenario::to_cluster`] lowering has no such
+    /// restriction), or if the effective cells fail validation.
+    pub fn for_scenario(scenario: &Scenario) -> Result<SimConfigBuilder, ModelError> {
+        let cells = scenario.effective_cells()?;
+        let mid = &cells[MID_CELL];
+        for (i, cell) in cells.iter().enumerate() {
+            let mut rate_adjusted = cell.clone();
+            rate_adjusted.call_arrival_rate = mid.call_arrival_rate;
+            if rate_adjusted != *mid {
+                return Err(ModelError::Config {
+                    reason: format!(
+                        "scenario '{}': cell {i} differs from the mid cell beyond the \
+                         arrival rate; the simulator shares all other parameters \
+                         across the cluster",
+                        scenario.name()
+                    ),
+                });
+            }
+        }
+        let rates: Vec<f64> = cells.iter().map(|c| c.call_arrival_rate).collect();
+        let uniform = rates[1..].iter().all(|r| *r == rates[MID_CELL]);
+        let mut builder = SimConfig::builder(cells[MID_CELL].clone());
+        if !uniform {
+            builder = builder.cell_arrival_rates(rates);
+        }
+        if !scenario.tcp_enabled() {
+            builder = builder.without_tcp();
+        }
+        Ok(builder)
+    }
+
     /// Total simulated horizon: warm-up plus all batches.
     pub fn horizon(&self) -> f64 {
         self.warmup + self.num_batches as f64 * self.batch_duration
@@ -190,6 +236,11 @@ impl SimConfigBuilder {
 
     /// Sets per-cell combined call arrival rates (one per cluster cell,
     /// mid cell first), making the cluster heterogeneous.
+    ///
+    /// [`SimConfigBuilder::cell_arrival_rates`] and
+    /// [`SimConfigBuilder::hot_spot`] both assign the *entire* per-cell
+    /// rate vector: **the last call wins**, replacing whatever an
+    /// earlier call of either method set (they do not merge).
     pub fn cell_arrival_rates(mut self, rates: Vec<f64>) -> Self {
         self.config.cell_arrival_rates = Some(rates);
         self
@@ -197,6 +248,13 @@ impl SimConfigBuilder {
 
     /// Hot-spot convenience: the mid cell runs at `mid_rate` calls/s,
     /// the six ring cells keep the base cell's arrival rate.
+    ///
+    /// Like [`SimConfigBuilder::cell_arrival_rates`], this assigns the
+    /// *entire* per-cell rate vector — **the last call wins**: a
+    /// `hot_spot` after `cell_arrival_rates` rebuilds all seven rates
+    /// from the base cell (discarding the earlier vector), and a
+    /// `cell_arrival_rates` after `hot_spot` replaces the hot-spot
+    /// pattern wholesale.
     pub fn hot_spot(self, mid_rate: f64) -> Self {
         let ring = self.config.cell.call_arrival_rate;
         let mut rates = vec![ring; NUM_CELLS];
@@ -303,6 +361,71 @@ mod tests {
         for c in 1..NUM_CELLS {
             assert!((cfg.arrival_rate_in(c) - 0.5).abs() < 1e-12, "cell {c}");
         }
+    }
+
+    #[test]
+    fn per_cell_rate_setters_are_last_call_wins() {
+        // hot_spot after cell_arrival_rates: the earlier vector is
+        // discarded wholesale, every ring cell reverts to the base rate.
+        let cfg = SimConfig::builder(cell())
+            .cell_arrival_rates(vec![9.0; NUM_CELLS])
+            .hot_spot(1.2)
+            .build();
+        assert!((cfg.arrival_rate_in(MID_CELL) - 1.2).abs() < 1e-12);
+        for c in 1..NUM_CELLS {
+            assert!((cfg.arrival_rate_in(c) - 0.5).abs() < 1e-12, "cell {c}");
+        }
+
+        // cell_arrival_rates after hot_spot: the hot-spot pattern is
+        // replaced, not merged.
+        let cfg = SimConfig::builder(cell())
+            .hot_spot(1.2)
+            .cell_arrival_rates(vec![0.7; NUM_CELLS])
+            .build();
+        for c in 0..NUM_CELLS {
+            assert!((cfg.arrival_rate_in(c) - 0.7).abs() < 1e-12, "cell {c}");
+        }
+    }
+
+    #[test]
+    fn scenario_lowering_matches_hand_wiring() {
+        use gprs_core::Scenario;
+        // Homogeneous: no per-cell override, TCP on — exactly the
+        // legacy builder output.
+        let s = Scenario::homogeneous(cell()).unwrap();
+        let lowered = SimConfig::for_scenario(&s).unwrap().seed(7).build();
+        let legacy = SimConfig::builder(cell()).seed(7).build();
+        assert_eq!(lowered, legacy);
+
+        // Hot spot: per-cell rates match the hot_spot() convenience.
+        let s = Scenario::hot_spot(cell(), 1.2).unwrap();
+        let lowered = SimConfig::for_scenario(&s).unwrap().seed(7).build();
+        let legacy = SimConfig::builder(cell()).seed(7).hot_spot(1.2).build();
+        assert_eq!(
+            lowered.cell_arrival_rates, legacy.cell_arrival_rates,
+            "scenario lowering must reproduce the hand-wired rate vector"
+        );
+        assert!((lowered.arrival_rate_in(MID_CELL) - 1.2).abs() < 1e-12);
+
+        // The TCP switch crosses the layer.
+        let s = Scenario::homogeneous(cell()).unwrap().without_tcp();
+        let lowered = SimConfig::for_scenario(&s).unwrap().build();
+        assert!(!lowered.tcp.enabled);
+
+        // Load scale applies to every cell.
+        let s = Scenario::hot_spot(cell(), 1.2)
+            .unwrap()
+            .with_load_scale(2.0)
+            .unwrap();
+        let lowered = SimConfig::for_scenario(&s).unwrap().build();
+        assert!((lowered.arrival_rate_in(MID_CELL) - 2.4).abs() < 1e-12);
+        assert!((lowered.arrival_rate_in(1) - 1.0).abs() < 1e-12);
+
+        // Per-cell heterogeneity beyond rates is rejected.
+        let mut cells = vec![cell(); NUM_CELLS];
+        cells[2].buffer_capacity += 1;
+        let s = Scenario::from_cells("mixed", cells).unwrap();
+        assert!(SimConfig::for_scenario(&s).is_err());
     }
 
     #[test]

@@ -48,12 +48,14 @@ pub mod cluster;
 pub mod config;
 pub mod events;
 pub mod packet;
+pub mod replication;
 pub mod results;
 pub mod simulator;
 pub mod supervision;
 pub mod tcp;
 
 pub use config::{RadioModel, SimConfig, SimConfigBuilder, TcpConfig};
-pub use results::SimResults;
+pub use replication::{run_replications, ReplicationOptions, TargetMeasure};
+pub use results::{ReplicatedResults, SimResults};
 pub use simulator::GprsSimulator;
 pub use supervision::{LoadSupervisor, SupervisionConfig};

@@ -1,0 +1,239 @@
+//! Parallel independent replications of the network simulator.
+//!
+//! The paper's CSIM runs take "in the order of hours" for sensitive
+//! measures because one long batch-means run cannot be parallelized —
+//! but independent *replications* can. [`run_replications`] drives the
+//! wave-parallel stopping rule of [`gprs_des::replication`] with one
+//! full simulator run per replication:
+//!
+//! * replication `r` gets its own master seed,
+//!   `RngStreams::new(cfg.seed).stream_seed(r)`, so its event stream is
+//!   decorrelated from every sibling *and* fully determined by the
+//!   configuration — rerunning the campaign reproduces every
+//!   replication bit-for-bit;
+//! * the waves launch `min_replications` runs concurrently, then top up
+//!   one speculative run per worker until the 95 % confidence interval
+//!   of the chosen [`TargetMeasure`] meets the relative-precision
+//!   target (or the budget is exhausted, which the `converged` flag
+//!   reports honestly);
+//! * the merged [`ReplicatedResults`] carries a Student-t interval over
+//!   the replication means for *every* measure, not just the stopping
+//!   target.
+//!
+//! Because speculative runs past the stopping index are discarded, the
+//! returned results are **bit-identical for any thread count** — the
+//! tier-1 determinism suite asserts full structural equality between
+//! 1-, 2- and 8-thread runs.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use gprs_core::CellConfig;
+//! use gprs_sim::{run_replications, ReplicationOptions, SimConfig, TargetMeasure};
+//! use gprs_traffic::TrafficModel;
+//!
+//! let cell = CellConfig::builder()
+//!     .traffic_model(TrafficModel::Model3)
+//!     .call_arrival_rate(0.5)
+//!     .build()?;
+//! let cfg = SimConfig::builder(cell).seed(7).build();
+//! // 5 % relative precision on carried voice traffic, 4..=32 runs.
+//! let opts = ReplicationOptions::new(0.05, 4, 32)
+//!     .with_target(TargetMeasure::CarriedVoiceTraffic);
+//! let results = run_replications(&cfg, &opts);
+//! println!("{}", results.summary());
+//! # Ok::<(), gprs_core::ModelError>(())
+//! ```
+
+use crate::config::SimConfig;
+use crate::results::{ReplicatedResults, SimResults};
+use crate::simulator::GprsSimulator;
+use gprs_des::replication::run_replications_waves;
+use gprs_des::rng::RngStreams;
+use gprs_des::sequential::SequentialOptions;
+
+/// The simulator measure whose confidence interval drives the
+/// replication stopping rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TargetMeasure {
+    /// CDT: mean PDCHs carrying data (the default — the paper's
+    /// headline data-path measure).
+    #[default]
+    CarriedDataTraffic,
+    /// CVT: mean busy voice channels.
+    CarriedVoiceTraffic,
+    /// PLP: packet loss probability (the paper's canonical *sensitive*
+    /// measure; expect large budgets).
+    PacketLossProbability,
+    /// QD: mean BSC queueing delay.
+    QueueingDelay,
+    /// ATU: per-user throughput.
+    ThroughputPerUser,
+    /// AGS: mean active GPRS sessions.
+    AvgGprsSessions,
+    /// GSM voice blocking probability.
+    GsmBlockingProbability,
+    /// GPRS session blocking probability.
+    GprsBlockingProbability,
+    /// Mid-cell incoming GPRS handover rate.
+    GprsHandoverInRate,
+}
+
+impl TargetMeasure {
+    /// Reads this measure's point estimate off one replication.
+    pub fn extract(&self, results: &SimResults) -> f64 {
+        match self {
+            TargetMeasure::CarriedDataTraffic => results.carried_data_traffic.mean,
+            TargetMeasure::CarriedVoiceTraffic => results.carried_voice_traffic.mean,
+            TargetMeasure::PacketLossProbability => results.packet_loss_probability.mean,
+            TargetMeasure::QueueingDelay => results.queueing_delay.mean,
+            TargetMeasure::ThroughputPerUser => results.throughput_per_user_kbps.mean,
+            TargetMeasure::AvgGprsSessions => results.avg_gprs_sessions.mean,
+            TargetMeasure::GsmBlockingProbability => results.gsm_blocking_probability.mean,
+            TargetMeasure::GprsBlockingProbability => results.gprs_blocking_probability.mean,
+            TargetMeasure::GprsHandoverInRate => results.gprs_handover_in_rate.mean,
+        }
+    }
+}
+
+/// Options for [`run_replications`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicationOptions {
+    /// The sequential stopping rule: relative half-width target,
+    /// minimum and maximum replication counts.
+    pub precision: SequentialOptions,
+    /// The measure the stopping rule watches.
+    pub target: TargetMeasure,
+    /// Worker threads for the replication waves; `0` (the default)
+    /// uses [`gprs_exec::num_threads`]. Results are bit-identical for
+    /// any value.
+    pub threads: usize,
+}
+
+impl ReplicationOptions {
+    /// Creates options targeting `target_rhw` relative half-width on
+    /// the default measure with the given replication bounds.
+    ///
+    /// # Panics
+    ///
+    /// As [`SequentialOptions::new`]: panics if `target_rhw` is not in
+    /// `(0, 1)`, `min_replications < 2`, or `max < min`.
+    pub fn new(target_rhw: f64, min_replications: usize, max_replications: usize) -> Self {
+        ReplicationOptions {
+            precision: SequentialOptions::new(target_rhw, min_replications, max_replications),
+            target: TargetMeasure::default(),
+            threads: 0,
+        }
+    }
+
+    /// Sets the stopping-rule measure, returning `self` for chaining.
+    pub fn with_target(mut self, target: TargetMeasure) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Sets the worker count (`0` = auto), returning `self` for
+    /// chaining.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Runs independent simulator replications in parallel waves until the
+/// target measure's 95 % confidence interval meets the precision
+/// target, merging every measure across replications.
+///
+/// `cfg.seed` seeds the *family*: replication `r` runs with master
+/// seed `RngStreams::new(cfg.seed).stream_seed(r)`. The outcome is
+/// bit-identical for any `opts.threads`, including 1.
+pub fn run_replications(cfg: &SimConfig, opts: &ReplicationOptions) -> ReplicatedResults {
+    let seeds = RngStreams::new(cfg.seed);
+    let target = opts.target;
+    let run = run_replications_waves(
+        &opts.precision,
+        opts.threads,
+        |rep| {
+            let mut c = cfg.clone();
+            c.seed = seeds.stream_seed(rep);
+            GprsSimulator::new(c).run()
+        },
+        |results| target.extract(results),
+    );
+    ReplicatedResults::from_run(run, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gprs_core::CellConfig;
+    use gprs_traffic::TrafficModel;
+
+    fn tiny_cfg() -> SimConfig {
+        // Deliberately short runs: these tests exercise the replication
+        // plumbing, not simulator accuracy.
+        let cell = CellConfig::builder()
+            .traffic_model(TrafficModel::Model3)
+            .total_channels(6)
+            .buffer_capacity(10)
+            .max_gprs_sessions(3)
+            .call_arrival_rate(0.2)
+            .build()
+            .unwrap();
+        SimConfig::builder(cell)
+            .seed(42)
+            .warmup(50.0)
+            .batches(2, 100.0)
+            .build()
+    }
+
+    #[test]
+    fn replications_get_distinct_decorrelated_seeds() {
+        let cfg = tiny_cfg();
+        let opts = ReplicationOptions::new(0.9, 3, 3).with_threads(2);
+        let merged = run_replications(&cfg, &opts);
+        assert_eq!(merged.replications, 3);
+        assert_eq!(merged.runs.len(), 3);
+        // Independent seeds: the event streams must differ.
+        assert_ne!(
+            merged.runs[0].events_processed,
+            merged.runs[1].events_processed
+        );
+        // Totals aggregate over replications.
+        let events: u64 = merged.runs.iter().map(|r| r.events_processed).sum();
+        assert_eq!(merged.events_processed, events);
+        assert!((merged.simulated_time - 3.0 * cfg.horizon()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stopping_rule_watches_the_requested_target() {
+        let cfg = tiny_cfg();
+        // CVT is robust: a loose target converges at the minimum.
+        let opts = ReplicationOptions::new(0.8, 2, 16)
+            .with_target(TargetMeasure::CarriedVoiceTraffic)
+            .with_threads(2);
+        let merged = run_replications(&cfg, &opts);
+        assert!(merged.converged);
+        assert_eq!(
+            merged.target_interval().batches,
+            merged.replications,
+            "target interval must span exactly the performed replications"
+        );
+        let rhw = merged.target_interval().relative_half_width();
+        assert!(rhw <= 0.8, "stopped with rhw {rhw}");
+    }
+
+    #[test]
+    fn merged_intervals_average_the_replication_means() {
+        let cfg = tiny_cfg();
+        let opts = ReplicationOptions::new(0.9, 3, 3).with_threads(1);
+        let merged = run_replications(&cfg, &opts);
+        let want: f64 = merged
+            .runs
+            .iter()
+            .map(|r| r.carried_voice_traffic.mean)
+            .sum::<f64>()
+            / merged.runs.len() as f64;
+        assert!((merged.carried_voice_traffic.mean - want).abs() < 1e-12);
+    }
+}

@@ -1,11 +1,13 @@
 //! Simulation output: the paper's measures with batch-means confidence
-//! intervals.
+//! intervals, plus the merged view over independent replications.
 
+use crate::replication::TargetMeasure;
+use gprs_des::replication::ReplicatedRun;
 use gprs_des::ConfidenceInterval;
 
 /// Mid-cell measures estimated by the simulator, each with a 95 %
 /// batch-means confidence interval.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResults {
     /// Combined call arrival rate the run used (calls/s).
     pub call_arrival_rate: f64,
@@ -59,6 +61,123 @@ impl SimResults {
             self.throughput_per_user_kbps.half_width,
             self.avg_gprs_sessions.mean,
             self.avg_gprs_sessions.half_width,
+        )
+    }
+}
+
+/// Measures merged over independent simulator replications.
+///
+/// Each field's confidence interval is a Student-t interval over the
+/// **per-replication means** (the replication/deletion method): the
+/// replications are genuinely independent runs — distinct RNG seed
+/// families derived from the master seed — so, unlike batch means, no
+/// within-run correlation survives in the interval. Produced by
+/// [`crate::replication::run_replications`], whose wave-parallel
+/// stopping rule is bit-identical to the sequential one for any thread
+/// count; `PartialEq` is derived exactly so determinism tests can
+/// assert full structural equality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicatedResults {
+    /// Replications performed (each one full simulator run).
+    pub replications: usize,
+    /// Whether the precision target on [`ReplicatedResults::target`]
+    /// was met within the replication budget.
+    pub converged: bool,
+    /// The measure that drove the stopping rule.
+    pub target: TargetMeasure,
+    /// CDT: mean PDCHs carrying data, merged across replications.
+    pub carried_data_traffic: ConfidenceInterval,
+    /// CVT: mean busy voice channels.
+    pub carried_voice_traffic: ConfidenceInterval,
+    /// PLP: fraction of packets dropped at the BSC buffer.
+    pub packet_loss_probability: ConfidenceInterval,
+    /// QD: mean packet sojourn in the BSC buffer, seconds.
+    pub queueing_delay: ConfidenceInterval,
+    /// ATU: per-user throughput, kbit/s.
+    pub throughput_per_user_kbps: ConfidenceInterval,
+    /// AGS: mean active GPRS sessions.
+    pub avg_gprs_sessions: ConfidenceInterval,
+    /// GSM voice blocking probability.
+    pub gsm_blocking_probability: ConfidenceInterval,
+    /// GPRS session blocking probability (admission limit `M`).
+    pub gprs_blocking_probability: ConfidenceInterval,
+    /// Mid-cell incoming handover rate of GPRS sessions (sessions/s).
+    pub gprs_handover_in_rate: ConfidenceInterval,
+    /// Mean reserved PDCHs in the mid cell.
+    pub avg_reserved_pdchs: ConfidenceInterval,
+    /// Total events processed across all replications.
+    pub events_processed: u64,
+    /// Total simulated seconds across all replications (incl. warm-up).
+    pub simulated_time: f64,
+    /// Total TCP retransmissions across all replications.
+    pub tcp_retransmissions: u64,
+    /// The individual replication results, in replication order.
+    pub runs: Vec<SimResults>,
+}
+
+impl ReplicatedResults {
+    /// Merges a finished wave-parallel run: per-measure Student-t
+    /// intervals over the replication means, totals summed.
+    pub(crate) fn from_run(run: ReplicatedRun<SimResults>, target: TargetMeasure) -> Self {
+        let runs = run.outputs;
+        let merge = |pick: fn(&SimResults) -> f64| {
+            let means: Vec<f64> = runs.iter().map(pick).collect();
+            ConfidenceInterval::from_batch_means(&means)
+        };
+        ReplicatedResults {
+            replications: run.replications,
+            converged: run.converged,
+            target,
+            carried_data_traffic: merge(|r| r.carried_data_traffic.mean),
+            carried_voice_traffic: merge(|r| r.carried_voice_traffic.mean),
+            packet_loss_probability: merge(|r| r.packet_loss_probability.mean),
+            queueing_delay: merge(|r| r.queueing_delay.mean),
+            throughput_per_user_kbps: merge(|r| r.throughput_per_user_kbps.mean),
+            avg_gprs_sessions: merge(|r| r.avg_gprs_sessions.mean),
+            gsm_blocking_probability: merge(|r| r.gsm_blocking_probability.mean),
+            gprs_blocking_probability: merge(|r| r.gprs_blocking_probability.mean),
+            gprs_handover_in_rate: merge(|r| r.gprs_handover_in_rate.mean),
+            avg_reserved_pdchs: merge(|r| r.avg_reserved_pdchs.mean),
+            events_processed: runs.iter().map(|r| r.events_processed).sum(),
+            simulated_time: runs.iter().map(|r| r.simulated_time).sum(),
+            tcp_retransmissions: runs.iter().map(|r| r.tcp_retransmissions).sum(),
+            runs,
+        }
+    }
+
+    /// The merged interval of the measure that drove the stopping rule.
+    pub fn target_interval(&self) -> &ConfidenceInterval {
+        match self.target {
+            TargetMeasure::CarriedDataTraffic => &self.carried_data_traffic,
+            TargetMeasure::CarriedVoiceTraffic => &self.carried_voice_traffic,
+            TargetMeasure::PacketLossProbability => &self.packet_loss_probability,
+            TargetMeasure::QueueingDelay => &self.queueing_delay,
+            TargetMeasure::ThroughputPerUser => &self.throughput_per_user_kbps,
+            TargetMeasure::AvgGprsSessions => &self.avg_gprs_sessions,
+            TargetMeasure::GsmBlockingProbability => &self.gsm_blocking_probability,
+            TargetMeasure::GprsBlockingProbability => &self.gprs_blocking_probability,
+            TargetMeasure::GprsHandoverInRate => &self.gprs_handover_in_rate,
+        }
+    }
+
+    /// Renders a compact one-line summary (for logs and examples).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} reps ({}): CDT={:.3}±{:.3} CVT={:.3}±{:.3} PLP={:.2e}±{:.1e} ATU={:.2}±{:.2}kbps",
+            self.replications,
+            if self.converged {
+                "converged"
+            } else {
+                "budget exhausted"
+            },
+            self.carried_data_traffic.mean,
+            self.carried_data_traffic.half_width,
+            self.carried_voice_traffic.mean,
+            self.carried_voice_traffic.half_width,
+            self.packet_loss_probability.mean,
+            self.packet_loss_probability.half_width,
+            self.throughput_per_user_kbps.mean,
+            self.throughput_per_user_kbps.half_width,
         )
     }
 }

@@ -2,12 +2,17 @@
 //! mid cell carries twice the ring cells' load, and compare the hot
 //! cell against what the paper's homogeneous model would predict.
 //!
+//! The workload is described **once** as a
+//! [`Scenario`](gprs_repro::core::Scenario); the cluster model and the
+//! homogeneous reference are both lowerings of it (the
+//! `model_vs_simulator` example lowers the same type to the simulator).
+//!
 //! ```text
 //! cargo run --release --example hot_spot_cluster [ring_rate] [mid_rate]
 //! ```
 
-use gprs_repro::core::cluster::{ClusterModel, ClusterSolveOptions, MID_CELL};
-use gprs_repro::core::{CellConfig, GprsModel};
+use gprs_repro::core::cluster::{ClusterSolveOptions, MID_CELL};
+use gprs_repro::core::{CellConfig, Scenario};
 use gprs_repro::traffic::TrafficModel;
 use std::time::Instant;
 
@@ -28,7 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .max_gprs_sessions(8)
         .call_arrival_rate(ring_rate)
         .build()?;
-    let cluster = ClusterModel::hot_spot(ring, mid_rate)?;
+    let scenario = Scenario::hot_spot(ring, mid_rate)?;
+    let cluster = scenario.to_cluster()?;
     println!(
         "7-cell hot-spot cluster: ring at {ring_rate} calls/s, mid at {mid_rate} calls/s \
          ({} states per cell)",
@@ -62,10 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         break; // all ring cells are identical by symmetry
     }
 
-    // What the homogeneity assumption would claim for the hot cell.
-    let mut homogeneous_cfg = cluster.configs()[MID_CELL].clone();
-    homogeneous_cfg.call_arrival_rate = mid_rate;
-    let homogeneous = GprsModel::new(homogeneous_cfg)?;
+    // What the homogeneity assumption would claim for the hot cell: the
+    // scenario's own uniform lowering at the mid cell.
+    let homogeneous = scenario.homogeneous_at(MID_CELL)?.to_model()?;
     let solved_homog = homogeneous.solve_default()?;
     let mid = solved.mid();
     println!(

@@ -1,17 +1,20 @@
 //! Model-vs-simulator validation at one operating point — a miniature
 //! of the paper's Section 5.2.
 //!
-//! Runs the CTMC and the 7-cell network simulator (TCP Reno, explicit
-//! handovers) on the same configuration and prints the measures side by
-//! side with the simulator's 95 % confidence intervals.
+//! One [`Scenario`](gprs_repro::core::Scenario) describes the workload;
+//! it is lowered to the CTMC (`Scenario::to_model`) and to the 7-cell
+//! network simulator (`SimConfig::for_scenario`), then the simulator is
+//! run as parallel independent replications until the carried voice
+//! traffic reaches 5 % relative precision, and the measures are printed
+//! side by side with the merged 95 % confidence intervals.
 //!
 //! ```text
 //! cargo run --release --example model_vs_simulator [arrival_rate] [seed]
 //! ```
 
-use gprs_repro::core::{CellConfig, GprsModel};
+use gprs_repro::core::{CellConfig, Scenario};
 use gprs_repro::ctmc::SolveOptions;
-use gprs_repro::sim::{GprsSimulator, SimConfig};
+use gprs_repro::sim::{run_replications, ReplicationOptions, SimConfig, TargetMeasure};
 use gprs_repro::traffic::TrafficModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,24 +27,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .buffer_capacity(40)
         .call_arrival_rate(rate)
         .build()?;
+    let scenario = Scenario::homogeneous(cell)?.named("validation point");
 
-    println!("analytic model ({} states)...", cell.num_states());
-    let solved = GprsModel::new(cell.clone())?.solve(&SolveOptions::quick(), None)?;
+    println!(
+        "analytic model ({} states)...",
+        scenario.mid_config()?.num_states()
+    );
+    let solved = scenario.to_model()?.solve(&SolveOptions::quick(), None)?;
     let m = solved.measures();
 
-    println!("simulator (7 cells, TCP, mid-cell statistics)...");
-    let sim_cfg = SimConfig::builder(cell)
+    println!("simulator (7 cells, TCP, mid-cell statistics; parallel replications)...");
+    let sim_cfg = SimConfig::for_scenario(&scenario)?
         .seed(seed)
-        .warmup(1_500.0)
-        .batches(8, 2_000.0)
+        .warmup(1_000.0)
+        .batches(4, 2_000.0)
         .build();
-    let r = GprsSimulator::new(sim_cfg).run();
+    let opts = ReplicationOptions::new(0.05, 3, 8).with_target(TargetMeasure::CarriedVoiceTraffic);
+    let r = run_replications(&sim_cfg, &opts);
     println!(
-        "  simulated {:.0} s, {} events, {} TCP retransmissions\n",
-        r.simulated_time, r.events_processed, r.tcp_retransmissions
+        "  {} replications ({}), {:.0} simulated s, {} events, {} TCP retransmissions\n",
+        r.replications,
+        if r.converged {
+            "precision target met"
+        } else {
+            "budget exhausted"
+        },
+        r.simulated_time,
+        r.events_processed,
+        r.tcp_retransmissions
     );
 
-    println!("measure                         model      simulator (95% CI)");
+    println!("measure                         model      simulator (95% CI over replications)");
     let row = |name: &str, model: f64, ci: &gprs_repro::des::ConfidenceInterval| {
         let inside = ci.contains(model);
         println!(

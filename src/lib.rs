@@ -10,12 +10,13 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
-//! | [`core`] | `gprs-core` | the paper's CTMC model (Table 1 generator, Eqs. 6–11 measures, sweeps, QoS dimensioning, adaptive PDCH management) and the heterogeneous 7-cell cluster fixed point (`core::cluster`: per-cell configs, hot-spot scenarios, full-CTMC handover balancing across cells) |
-//! | [`sim`] | `gprs-sim` | network-level simulator: 7-cell cluster, handovers, BSC buffers, TCP Reno, TDMA radio blocks, load supervision |
+//! | [`core`] | `gprs-core` | the paper's CTMC model (Table 1 generator, Eqs. 6–11 measures, sweeps, QoS dimensioning, adaptive PDCH management), the heterogeneous 7-cell cluster fixed point (`core::cluster`), and the unified [`Scenario`](core::scenario) layer that lowers one workload description to model, cluster, and simulator |
+//! | [`sim`] | `gprs-sim` | network-level simulator: 7-cell cluster, handovers, BSC buffers, TCP Reno, TDMA radio blocks, load supervision, wave-parallel replication engine (`sim::replication`) |
 //! | [`ctmc`] | `gprs-ctmc` | CTMC solvers: GTH, Gauss–Seidel/SOR, uniformization (stationary + transient), block tridiagonal (MBD) |
+//! | [`exec`] | `gprs-exec` | deterministic thread fan-out executors shared by the whole pipeline (ordered work queue, range/chunk maps, `RAYON_NUM_THREADS` control) |
 //! | [`queueing`] | `gprs-queueing` | Erlang-B / M/M/c/c closed forms, handover-flow balancing, exact IPP/M/c/K |
 //! | [`traffic`] | `gprs-traffic` | 3GPP packet-session traffic model, IPP/MMPP analytics (IDC, superposition fits, H2 equivalence), samplers |
-//! | [`des`] | `gprs-des` | discrete-event engine, RNG streams, batch-means statistics, sequential-precision runs |
+//! | [`des`] | `gprs-des` | discrete-event engine, RNG streams, batch-means statistics, sequential + wave-parallel replication stopping rules |
 //! | [`experiments`] | `gprs-experiments` | per-figure reproduction harness (Figs. 5–15 + extensions) |
 //!
 //! # Quick start
@@ -75,6 +76,7 @@
 pub use gprs_core as core;
 pub use gprs_ctmc as ctmc;
 pub use gprs_des as des;
+pub use gprs_exec as exec;
 pub use gprs_experiments as experiments;
 pub use gprs_queueing as queueing;
 pub use gprs_sim as sim;

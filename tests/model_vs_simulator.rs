@@ -2,15 +2,26 @@
 //! model — the reproduction's version of the paper's Section 5.2, at
 //! test-friendly scale.
 //!
+//! Every configuration here flows through the unified
+//! [`Scenario`](gprs_repro::core::Scenario) layer: one workload
+//! description is lowered to the analytical model
+//! (`Scenario::to_model` / `Scenario::to_cluster`) *and* to the
+//! simulator (`SimConfig::for_scenario`), so the two sides can never
+//! drift apart through hand-wiring.
+//!
 //! Agreement tolerances are loose (the simulator is *more* detailed by
 //! design: real TCP, emergent handovers, non-exponential session
 //! lengths), but means must land in the right neighbourhood and CIs
 //! must behave like CIs.
 
-use gprs_repro::core::cluster::{ClusterModel, ClusterSolveOptions, SolvedCluster};
-use gprs_repro::core::{CellConfig, GprsModel};
+use gprs_repro::core::cluster::{ClusterSolveOptions, SolvedCluster};
+use gprs_repro::core::{CellConfig, Scenario};
 use gprs_repro::ctmc::SolveOptions;
-use gprs_repro::sim::{GprsSimulator, RadioModel, SimConfig, SimResults};
+use gprs_repro::des::ConfidenceInterval;
+use gprs_repro::sim::{
+    run_replications, GprsSimulator, RadioModel, ReplicatedResults, ReplicationOptions, SimConfig,
+    SimResults, TargetMeasure,
+};
 use gprs_repro::traffic::TrafficModel;
 
 fn cell(rate: f64) -> CellConfig {
@@ -23,8 +34,13 @@ fn cell(rate: f64) -> CellConfig {
         .unwrap()
 }
 
-fn run_sim(c: CellConfig, seed: u64) -> gprs_repro::sim::SimResults {
-    let cfg = SimConfig::builder(c)
+fn scenario(rate: f64) -> Scenario {
+    Scenario::homogeneous(cell(rate)).unwrap()
+}
+
+fn run_sim(s: &Scenario, seed: u64) -> SimResults {
+    let cfg = SimConfig::for_scenario(s)
+        .unwrap()
         .seed(seed)
         .warmup(800.0)
         .batches(6, 1_500.0)
@@ -36,10 +52,13 @@ fn run_sim(c: CellConfig, seed: u64) -> gprs_repro::sim::SimResults {
 fn voice_side_matches_the_model_closely() {
     // Voice is insensitive to everything data-side, so even short runs
     // must agree well with the Erlang marginal.
-    let c = cell(0.5);
-    let model = GprsModel::new(c.clone()).unwrap();
-    let solved = model.solve(&SolveOptions::quick(), None).unwrap();
-    let sim = run_sim(c, 11);
+    let s = scenario(0.5);
+    let solved = s
+        .to_model()
+        .unwrap()
+        .solve(&SolveOptions::quick(), None)
+        .unwrap();
+    let sim = run_sim(&s, 11);
     let m = solved.measures();
     let tol = 3.0 * sim.carried_voice_traffic.half_width + 0.35;
     assert!(
@@ -60,10 +79,13 @@ fn session_population_matches_the_model_at_light_load() {
     // ~17 of 20 channels (population ≈ 0.95·rate·120 s), which starves
     // the data path and stretches deliveries; 0.05 calls/s leaves the
     // cell genuinely idle.
-    let c = cell(0.05);
-    let model = GprsModel::new(c.clone()).unwrap();
-    let solved = model.solve(&SolveOptions::quick(), None).unwrap();
-    let sim = run_sim(c, 13);
+    let s = scenario(0.05);
+    let solved = s
+        .to_model()
+        .unwrap()
+        .solve(&SolveOptions::quick(), None)
+        .unwrap();
+    let sim = run_sim(&s, 13);
     let m = solved.measures();
     let rel =
         (sim.avg_gprs_sessions.mean - m.avg_gprs_sessions).abs() / m.avg_gprs_sessions.max(1e-9);
@@ -82,10 +104,13 @@ fn congestion_stretches_simulated_sessions() {
     // slows with queueing. The Markov model's fixed exponential session
     // duration has no such feedback, so the simulator's AGS should sit
     // *above* the model's (and within a loose band), not match tightly.
-    let c = cell(0.5);
-    let model = GprsModel::new(c.clone()).unwrap();
-    let solved = model.solve(&SolveOptions::quick(), None).unwrap();
-    let sim = run_sim(c, 13);
+    let s = scenario(0.5);
+    let solved = s
+        .to_model()
+        .unwrap()
+        .solve(&SolveOptions::quick(), None)
+        .unwrap();
+    let sim = run_sim(&s, 13);
     let m = solved.measures();
     let rel = (sim.avg_gprs_sessions.mean - m.avg_gprs_sessions) / m.avg_gprs_sessions.max(1e-9);
     assert!(
@@ -104,10 +129,13 @@ fn congestion_stretches_simulated_sessions() {
 
 #[test]
 fn data_path_lands_in_the_models_neighbourhood() {
-    let c = cell(0.4);
-    let model = GprsModel::new(c.clone()).unwrap();
-    let solved = model.solve(&SolveOptions::quick(), None).unwrap();
-    let sim = run_sim(c, 17);
+    let s = scenario(0.4);
+    let solved = s
+        .to_model()
+        .unwrap()
+        .solve(&SolveOptions::quick(), None)
+        .unwrap();
+    let sim = run_sim(&s, 17);
     let m = solved.measures();
     // CDT within 40% relative (the simulator's TCP shapes traffic the
     // model only approximates).
@@ -125,9 +153,9 @@ fn data_path_lands_in_the_models_neighbourhood() {
 fn handover_balance_assumption_holds_in_the_simulator() {
     // The model *assumes* incoming handover flow = outgoing flow; the
     // 7-cell simulator lets us check the assumption directly.
-    let c = cell(0.5);
-    let model = GprsModel::new(c.clone()).unwrap();
-    let sim = run_sim(c, 19);
+    let s = scenario(0.5);
+    let model = s.to_model().unwrap();
+    let sim = run_sim(&s, 19);
     let model_rate = model.balanced_gprs().handover_arrival_rate;
     let rel = (sim.gprs_handover_in_rate.mean - model_rate).abs() / model_rate;
     assert!(
@@ -143,9 +171,10 @@ fn radio_models_agree_with_each_other() {
     // Processor sharing vs TDMA radio blocks: same mean behaviour at
     // moderate load (the PS rate is the fluid limit of the block
     // scheduler).
-    let c = cell(0.4);
-    let ps = run_sim(c.clone(), 23);
-    let tdma_cfg = SimConfig::builder(c)
+    let s = scenario(0.4);
+    let ps = run_sim(&s, 23);
+    let tdma_cfg = SimConfig::for_scenario(&s)
+        .unwrap()
         .seed(23)
         .warmup(800.0)
         .batches(6, 1_500.0)
@@ -170,71 +199,107 @@ fn radio_models_agree_with_each_other() {
 // neighbours send back less handover traffic than it emits. The 7-cell
 // simulator runs the same scenario with emergent mobility, so it can
 // adjudicate: mid-cell voice load, blocking and handover inflow must
-// land within the simulator's batch-means confidence intervals.
+// land within the simulator's confidence intervals. Both sides lower
+// from ONE Scenario value.
 
 const HOT_RING_RATE: f64 = 0.3;
 const HOT_MID_RATE: f64 = 0.75;
 
-fn hot_spot_model() -> SolvedCluster {
-    let mut configs = vec![cell(HOT_RING_RATE); 7];
-    configs[0] = cell(HOT_MID_RATE);
-    ClusterModel::new(configs)
+fn hot_spot_scenario() -> Scenario {
+    Scenario::hot_spot(cell(HOT_RING_RATE), HOT_MID_RATE).unwrap()
+}
+
+fn hot_spot_model(s: &Scenario) -> SolvedCluster {
+    s.to_cluster()
         .unwrap()
         .solve(&ClusterSolveOptions::quick())
         .unwrap()
 }
 
-fn run_hot_spot_sim(seed: u64, batches: usize, batch_secs: f64, warmup: f64) -> SimResults {
-    let cfg = SimConfig::builder(cell(HOT_RING_RATE))
-        .seed(seed)
-        .warmup(warmup)
-        .batches(batches, batch_secs)
-        .hot_spot(HOT_MID_RATE)
-        .build();
-    GprsSimulator::new(cfg).run()
+/// The simulator evidence the agreement checks consume, whichever
+/// estimation path (one batch-means run or merged replications)
+/// produced it.
+struct SimEvidence {
+    cvt: ConfidenceInterval,
+    gsm_block: ConfidenceInterval,
+    cdt: ConfidenceInterval,
+    ho_in: ConfidenceInterval,
+}
+
+impl From<&SimResults> for SimEvidence {
+    fn from(r: &SimResults) -> Self {
+        SimEvidence {
+            cvt: r.carried_voice_traffic,
+            gsm_block: r.gsm_blocking_probability,
+            cdt: r.carried_data_traffic,
+            ho_in: r.gprs_handover_in_rate,
+        }
+    }
+}
+
+impl From<&ReplicatedResults> for SimEvidence {
+    fn from(r: &ReplicatedResults) -> Self {
+        SimEvidence {
+            cvt: r.carried_voice_traffic,
+            gsm_block: r.gsm_blocking_probability,
+            cdt: r.carried_data_traffic,
+            ho_in: r.gprs_handover_in_rate,
+        }
+    }
 }
 
 /// Shared assertions; `ci_factor` scales the CI half-widths and `slack`
 /// is the additive allowance for genuine model/simulator bias (the
 /// simulator's TCP and emergent mobility are more detailed by design).
-fn check_hot_spot_agreement(model: &SolvedCluster, sim: &SimResults, ci_factor: f64, slack: f64) {
+fn check_hot_spot_agreement(
+    scenario: &Scenario,
+    model: &SolvedCluster,
+    sim: &SimEvidence,
+    ci_factor: f64,
+    slack: f64,
+) {
     let mid = model.mid();
 
     // Mid-cell carried voice traffic: the voice side has no modelling
     // gap, so this is the tight check.
-    let tol = ci_factor * sim.carried_voice_traffic.half_width + slack;
+    let tol = ci_factor * sim.cvt.half_width + slack;
     assert!(
-        (sim.carried_voice_traffic.mean - mid.measures.carried_voice_traffic).abs() < tol,
+        (sim.cvt.mean - mid.measures.carried_voice_traffic).abs() < tol,
         "hot-spot CVT: sim {} ± {} vs cluster model {}",
-        sim.carried_voice_traffic.mean,
-        sim.carried_voice_traffic.half_width,
+        sim.cvt.mean,
+        sim.cvt.half_width,
         mid.measures.carried_voice_traffic
     );
 
     // Mid-cell GSM blocking probability.
-    let tol = ci_factor * sim.gsm_blocking_probability.half_width + 0.05 * slack;
+    let tol = ci_factor * sim.gsm_block.half_width + 0.05 * slack;
     assert!(
-        (sim.gsm_blocking_probability.mean - mid.measures.gsm_blocking_probability).abs() < tol,
+        (sim.gsm_block.mean - mid.measures.gsm_blocking_probability).abs() < tol,
         "hot-spot blocking: sim {} ± {} vs cluster model {}",
-        sim.gsm_blocking_probability.mean,
-        sim.gsm_blocking_probability.half_width,
+        sim.gsm_block.mean,
+        sim.gsm_block.half_width,
         mid.measures.gsm_blocking_probability
     );
 
     // Mid-cell data throughput (CDT, busy PDCHs).
-    let rel = (sim.carried_data_traffic.mean - mid.measures.carried_data_traffic).abs()
+    let rel = (sim.cdt.mean - mid.measures.carried_data_traffic).abs()
         / mid.measures.carried_data_traffic.max(1e-9);
     assert!(
         rel < 0.45,
         "hot-spot CDT: sim {} vs cluster model {} (rel {rel:.2})",
-        sim.carried_data_traffic.mean,
+        sim.cdt.mean,
         mid.measures.carried_data_traffic
     );
 
     // The heterogeneous prediction itself: the hot cell's incoming GPRS
     // handover flow sits *below* its homogeneously balanced value, and
     // the simulator's measured inflow must side with the cluster model.
-    let homogeneous = GprsModel::new(cell(HOT_MID_RATE))
+    // The homogeneous reference is the scenario's own uniform lowering
+    // at the hot cell.
+    let homogeneous = scenario
+        .homogeneous_at(0)
+        .unwrap()
+        .to_model()
         .unwrap()
         .balanced_gprs()
         .handover_arrival_rate;
@@ -243,12 +308,11 @@ fn check_hot_spot_agreement(model: &SolvedCluster, sim: &SimResults, ci_factor: 
         "cluster inflow {} should undercut the homogeneous balance {homogeneous}",
         mid.gprs_handover_in
     );
-    let rel = (sim.gprs_handover_in_rate.mean - mid.gprs_handover_in).abs()
-        / mid.gprs_handover_in.max(1e-9);
+    let rel = (sim.ho_in.mean - mid.gprs_handover_in).abs() / mid.gprs_handover_in.max(1e-9);
     assert!(
         rel < 0.45,
         "hot-spot handover inflow: sim {} vs cluster model {} (rel {rel:.2})",
-        sim.gprs_handover_in_rate.mean,
+        sim.ho_in.mean,
         mid.gprs_handover_in
     );
 }
@@ -257,36 +321,67 @@ fn check_hot_spot_agreement(model: &SolvedCluster, sim: &SimResults, ci_factor: 
 fn hot_spot_cluster_matches_the_simulator_smoke() {
     // Tier-1 smoke variant: short run, loose (3×CI + bias slack)
     // tolerances. The long calibration variant below tightens both.
-    let model = hot_spot_model();
-    let sim = run_hot_spot_sim(37, 6, 1_500.0, 800.0);
-    check_hot_spot_agreement(&model, &sim, 3.0, 0.4);
+    let s = hot_spot_scenario();
+    let model = hot_spot_model(&s);
+    let cfg = SimConfig::for_scenario(&s)
+        .unwrap()
+        .seed(37)
+        .warmup(800.0)
+        .batches(6, 1_500.0)
+        .build();
+    let sim = GprsSimulator::new(cfg).run();
+    check_hot_spot_agreement(&s, &model, &SimEvidence::from(&sim), 3.0, 0.4);
 }
 
 #[test]
 #[ignore = "long cross-validation run; executed by the scheduled CI job"]
 fn hot_spot_cluster_matches_the_simulator_long() {
-    // Long batch-means run: the CIs shrink enough that the cluster
-    // model's predictions must hold with far less additive slack.
-    let model = hot_spot_model();
-    let sim = run_hot_spot_sim(37, 12, 6_000.0, 2_000.0);
-    check_hot_spot_agreement(&model, &sim, 3.0, 0.15);
+    // Long variant through the wave-parallel replication engine: up to
+    // twelve independent replications (distinct seed families derived
+    // from the master seed) run concurrently until carried voice
+    // traffic reaches 2 % relative precision, and every merged measure
+    // carries a Student-t interval over the replication means. The
+    // wall clock shrinks by roughly the core count relative to the old
+    // single sequential run; the statistics are bit-identical for any
+    // thread count.
+    let s = hot_spot_scenario();
+    let model = hot_spot_model(&s);
+    let cfg = SimConfig::for_scenario(&s)
+        .unwrap()
+        .seed(37)
+        .warmup(2_000.0)
+        .batches(6, 6_000.0)
+        .build();
+    let opts = ReplicationOptions::new(0.02, 4, 12).with_target(TargetMeasure::CarriedVoiceTraffic);
+    let sim = run_replications(&cfg, &opts);
+    check_hot_spot_agreement(&s, &model, &SimEvidence::from(&sim), 3.0, 0.15);
     // With this much data the CIs must behave like CIs.
     assert!(sim.carried_voice_traffic.half_width < 0.4);
-    assert_eq!(sim.carried_voice_traffic.batches, 12);
+    assert_eq!(sim.carried_voice_traffic.batches, sim.replications);
+    assert!(sim.replications >= 4);
+    assert!(
+        sim.converged,
+        "replication budget exhausted at {} reps: {}",
+        sim.replications,
+        sim.summary()
+    );
 }
 
 #[test]
 fn disabling_tcp_increases_loss_under_pressure() {
     // Without flow control the sources keep hammering a full buffer:
-    // losses must not decrease.
+    // losses must not decrease. The no-TCP variant is one scenario
+    // combinator, not a second hand-wired config.
     let mut c = cell(0.8);
     c.gprs_fraction = 0.2; // plenty of data traffic
-    let with_tcp = run_sim(c.clone(), 29);
-    let no_tcp_cfg = SimConfig::builder(c)
+    let with_tcp_scenario = Scenario::homogeneous(c).unwrap();
+    let without_tcp_scenario = with_tcp_scenario.clone().without_tcp();
+    let with_tcp = run_sim(&with_tcp_scenario, 29);
+    let no_tcp_cfg = SimConfig::for_scenario(&without_tcp_scenario)
+        .unwrap()
         .seed(29)
         .warmup(800.0)
         .batches(6, 1_500.0)
-        .without_tcp()
         .build();
     let without = GprsSimulator::new(no_tcp_cfg).run();
     assert!(

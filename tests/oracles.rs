@@ -7,8 +7,8 @@
 //! traffic-analysis formulas get the same treatment against brute-force
 //! constructions.
 
-use gprs_repro::core::cluster::{ClusterModel, ClusterSolveOptions};
-use gprs_repro::core::{CellConfig, GprsModel};
+use gprs_repro::core::cluster::ClusterSolveOptions;
+use gprs_repro::core::{CellConfig, Scenario};
 use gprs_repro::ctmc::gth::solve_gth;
 use gprs_repro::ctmc::{SolveOptions, TripletBuilder};
 use gprs_repro::queueing::IppMckQueue;
@@ -89,7 +89,9 @@ fn uniform_cluster_fixed_point_matches_the_homogeneous_model() {
     // scalar handover balance; under uniform load the two must coincide.
     // The single-cell model (scalar Erlang balancing + one CTMC solve)
     // is the oracle: every mid-cell measure of the uniform cluster must
-    // reproduce it to <= 1e-8 relative error.
+    // reproduce it to <= 1e-8 relative error. Both sides lower from the
+    // same Scenario value, so this also pins the scenario layer itself:
+    // to_model() and to_cluster() must describe the same workload.
     let config = CellConfig::builder()
         .total_channels(5)
         .reserved_pdchs(1)
@@ -99,13 +101,14 @@ fn uniform_cluster_fixed_point_matches_the_homogeneous_model() {
         .call_arrival_rate(0.5)
         .build()
         .unwrap();
+    let scenario = Scenario::homogeneous(config).unwrap();
 
     let tight = SolveOptions::default().with_tolerance(1e-12);
-    let single = GprsModel::new(config.clone()).unwrap();
+    let single = scenario.to_model().unwrap();
     let solved_single = single.solve(&tight, None).unwrap();
     let oracle = solved_single.measures();
 
-    let cluster = ClusterModel::uniform(config).unwrap();
+    let cluster = scenario.to_cluster().unwrap();
     let opts = ClusterSolveOptions::default()
         .with_tolerance(1e-12)
         .with_solve(tight);

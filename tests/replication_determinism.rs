@@ -1,0 +1,102 @@
+//! Tier-1 determinism guarantees of the parallel replication engine:
+//! `run_replications` must return **bit-identical** results for any
+//! thread count, and must agree exactly with the sequential stopping
+//! rule driven by the same per-replication seeds.
+//!
+//! These tests run the *real* network simulator (tiny configuration,
+//! so they stay tier-1 fast) — the guarantee that matters is the one
+//! on the full pipeline, not on a toy closure.
+
+use gprs_repro::core::{CellConfig, Scenario};
+use gprs_repro::des::rng::RngStreams;
+use gprs_repro::des::sequential::run_until_precision;
+use gprs_repro::sim::{
+    run_replications, GprsSimulator, ReplicationOptions, SimConfig, TargetMeasure,
+};
+use gprs_repro::traffic::TrafficModel;
+
+fn tiny_scenario() -> Scenario {
+    let cell = CellConfig::builder()
+        .traffic_model(TrafficModel::Model3)
+        .total_channels(6)
+        .buffer_capacity(10)
+        .max_gprs_sessions(3)
+        .call_arrival_rate(0.25)
+        .build()
+        .unwrap();
+    Scenario::homogeneous(cell).unwrap()
+}
+
+fn tiny_cfg(seed: u64) -> SimConfig {
+    SimConfig::for_scenario(&tiny_scenario())
+        .unwrap()
+        .seed(seed)
+        .warmup(50.0)
+        .batches(2, 150.0)
+        .build()
+}
+
+#[test]
+fn run_replications_is_bit_identical_for_any_thread_count() {
+    let cfg = tiny_cfg(4242);
+    // A mid-tightness target on a noisy measure: the run tops up past
+    // the minimum wave, so the speculative-discard path is exercised,
+    // not just the first wave.
+    let base_opts = ReplicationOptions::new(0.35, 4, 12).with_target(TargetMeasure::QueueingDelay);
+
+    let reference = run_replications(&cfg, &base_opts.clone().with_threads(1));
+    assert!(
+        reference.replications >= 4,
+        "scenario drifted: {} replications",
+        reference.replications
+    );
+    for threads in [2usize, 8] {
+        let got = run_replications(&cfg, &base_opts.clone().with_threads(threads));
+        // Full structural equality: every merged interval, every
+        // per-replication result, every counter — not a tolerance.
+        assert_eq!(got, reference, "threads {threads} diverged");
+    }
+    // threads = 0 (the RAYON_NUM_THREADS / machine-width default, which
+    // the CI thread matrix varies) must also not move a bit.
+    let auto = run_replications(&cfg, &base_opts.clone().with_threads(0));
+    assert_eq!(auto, reference, "auto thread count diverged");
+}
+
+#[test]
+fn replication_engine_agrees_exactly_with_the_sequential_stopping_rule() {
+    // The wave engine's contract: same observations, same interval,
+    // same stopping index as `run_until_precision` over replications
+    // seeded identically (seed family derived from the master seed).
+    let cfg = tiny_cfg(77);
+    let target = TargetMeasure::CarriedVoiceTraffic;
+    let opts = ReplicationOptions::new(0.2, 3, 10)
+        .with_target(target)
+        .with_threads(8);
+    let merged = run_replications(&cfg, &opts);
+
+    let seeds = RngStreams::new(cfg.seed);
+    let seq = run_until_precision(&opts.precision, |rep| {
+        let mut c = cfg.clone();
+        c.seed = seeds.stream_seed(rep);
+        target.extract(&GprsSimulator::new(c).run())
+    });
+
+    assert_eq!(merged.replications, seq.replications);
+    assert_eq!(merged.converged, seq.converged);
+    assert_eq!(*merged.target_interval(), seq.interval);
+    let merged_obs: Vec<f64> = merged.runs.iter().map(|r| target.extract(r)).collect();
+    assert_eq!(merged_obs, seq.observations);
+}
+
+#[test]
+fn replication_seeds_are_decorrelated_from_the_master_seed_family() {
+    // Two different master seeds must produce different replication
+    // families (no accidental seed reuse across campaigns).
+    let opts = ReplicationOptions::new(0.9, 2, 2).with_threads(2);
+    let a = run_replications(&tiny_cfg(1), &opts);
+    let b = run_replications(&tiny_cfg(2), &opts);
+    assert_ne!(
+        a.runs[0].events_processed, b.runs[0].events_processed,
+        "different master seeds must not replay the same replication"
+    );
+}
