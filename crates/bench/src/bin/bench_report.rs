@@ -1,0 +1,132 @@
+//! Machine-readable performance report: `bench-report [OUTPUT.json]`.
+//!
+//! Times the three repeated-solve pipelines the symbolic/numeric split
+//! targets — arrival-rate sweeps (template refill vs historical
+//! per-point rebuild), the 7-cell cluster fixed point, and the parallel
+//! replication engine — and writes a single JSON document
+//! (`BENCH_sweep.json` by default) with points-per-second throughput
+//! for each. The scheduled CI job uploads the file as an artifact, so
+//! the repository accumulates a perf trajectory over time; the numbers
+//! are wall-clock on whatever runner executes them, meaningful as a
+//! series rather than as absolutes.
+//!
+//! The workloads are sized to finish in a couple of minutes on one CI
+//! core. Determinism is asserted (sequential vs parallel sweeps) before
+//! timing, so a report is also a cheap correctness smoke.
+
+use gprs_bench::{figure_sweep_cell, sweep_rebuild};
+use gprs_core::cluster::{ClusterModel, ClusterSolveOptions};
+use gprs_core::sweep::{par_sweep_arrival_rates_threads, rate_grid, sweep_arrival_rates};
+use gprs_core::{CellConfig, Scenario};
+use gprs_ctmc::SolveOptions;
+use gprs_exec::num_threads;
+use gprs_sim::{run_replications, ReplicationOptions, SimConfig, TargetMeasure};
+use gprs_traffic::TrafficModel;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Times `f` once and returns (seconds, result).
+fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed().as_secs_f64(), out)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let threads = num_threads();
+    let solve_opts = SolveOptions::quick().with_max_sweeps(200_000);
+
+    // --- Sweep: template refill vs historical per-point rebuild, on
+    // the same shared fixture the `sweep` criterion bench times. ---
+    let base = figure_sweep_cell();
+    let rates = rate_grid(0.05, 1.0, 20);
+    let (rebuild_s, _) = timed(|| sweep_rebuild(&base, &rates, &solve_opts));
+    let (refill_s, seq) = timed(|| sweep_arrival_rates(&base, &rates, &solve_opts).expect("sweep"));
+    // Determinism smoke: the parallel sweep must match bitwise.
+    let par = par_sweep_arrival_rates_threads(&base, &rates, &solve_opts, threads.max(2))
+        .expect("par sweep");
+    for (p, s) in par.iter().zip(&seq) {
+        assert_eq!(p.measures, s.measures, "par sweep diverged from seq");
+    }
+    let sweep_rebuild_pps = rates.len() as f64 / rebuild_s;
+    let sweep_refill_pps = rates.len() as f64 / refill_s;
+
+    // --- Cluster: hot-spot fixed point (template path end to end). ---
+    let ring = CellConfig::builder()
+        .traffic_model(TrafficModel::Model3)
+        .buffer_capacity(12)
+        .max_gprs_sessions(5)
+        .call_arrival_rate(0.3)
+        .build()
+        .expect("valid config");
+    let cluster = ClusterModel::hot_spot(ring, 0.6).expect("valid cluster");
+    let cluster_opts = ClusterSolveOptions::quick()
+        .with_solve(solve_opts.clone())
+        .with_threads(threads);
+    let (cluster_s, solved) = timed(|| cluster.solve(&cluster_opts).expect("cluster solve"));
+    // "Points" = per-cell CTMC solves performed across outer iterations.
+    let cluster_cell_solves = solved.iterations() * gprs_core::cluster::NUM_CELLS;
+    let cluster_pps = cluster_cell_solves as f64 / cluster_s;
+
+    // --- Replication engine: fixed replication count. ---
+    let sim_cell = CellConfig::builder()
+        .traffic_model(TrafficModel::Model3)
+        .total_channels(8)
+        .buffer_capacity(15)
+        .max_gprs_sessions(4)
+        .call_arrival_rate(0.3)
+        .build()
+        .expect("valid config");
+    let sim_cfg = SimConfig::for_scenario(&Scenario::homogeneous(sim_cell).expect("scenario"))
+        .expect("lowerable scenario")
+        .seed(2024)
+        .warmup(100.0)
+        .batches(2, 300.0)
+        .build();
+    let replications = 6usize;
+    let rep_opts = ReplicationOptions::new(0.01, replications, replications)
+        .with_target(TargetMeasure::CarriedVoiceTraffic)
+        .with_threads(threads);
+    let (rep_s, results) = timed(|| run_replications(&sim_cfg, &rep_opts));
+    assert_eq!(results.replications, replications);
+    let replication_rps = replications as f64 / rep_s;
+
+    // --- Emit JSON (hand-rolled: the workspace is dependency-free). ---
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"gprs-bench-report/v1\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"sweep\": {{");
+    let _ = writeln!(json, "    \"points\": {},", rates.len());
+    let _ = writeln!(
+        json,
+        "    \"rebuild_points_per_sec\": {sweep_rebuild_pps:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"refill_points_per_sec\": {sweep_refill_pps:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"refill_speedup\": {:.4}",
+        sweep_refill_pps / sweep_rebuild_pps
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"cluster\": {{");
+    let _ = writeln!(json, "    \"cell_solves\": {cluster_cell_solves},");
+    let _ = writeln!(json, "    \"outer_iterations\": {},", solved.iterations());
+    let _ = writeln!(json, "    \"cell_solves_per_sec\": {cluster_pps:.4}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"replication\": {{");
+    let _ = writeln!(json, "    \"replications\": {replications},");
+    let _ = writeln!(json, "    \"replications_per_sec\": {replication_rps:.4}");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("write report");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

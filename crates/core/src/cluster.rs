@@ -15,7 +15,10 @@
 //!
 //! 1. solve each cell's CTMC under its current incoming handover rates
 //!    `(λ_h,GSM[i], λ_h,GPRS[i])` — via
-//!    [`GprsModel::with_handover_arrivals`], warm-started from the
+//!    [`crate::GprsModel::with_handover_arrivals`], lowered through one
+//!    [`GeneratorTemplate`] per cell that persists across all outer
+//!    iterations (shared state space, solver workspace and CSR
+//!    pattern; each pass only refills rates) and warm-starts from the
 //!    cell's previous iterate;
 //! 2. read the mean populations `E[n_i]`, `E[m_i]` off the stationary
 //!    distributions and form the outgoing fluxes `μ_h,GSM·E[n_i]` and
@@ -58,12 +61,13 @@
 
 use crate::config::CellConfig;
 use crate::error::ModelError;
-use crate::generator::GprsModel;
 use crate::measures::Measures;
+use crate::template::{GeneratorTemplate, WarmStart};
 use gprs_ctmc::solver::SolveOptions;
 use gprs_exec::{num_threads, par_map_tasks};
 use gprs_queueing::handover::{balance_default, HandoverParams};
 use gprs_queueing::QueueingError;
+use std::sync::Mutex;
 
 /// Number of cells in the cluster.
 pub const NUM_CELLS: usize = 7;
@@ -244,8 +248,9 @@ impl SolvedCluster {
 }
 
 /// Outcome of one inner cell solve (one cell, one outer iteration).
+/// The stationary vector itself stays in the cell's template (it *is*
+/// the next iteration's warm start), so outer iterations copy nothing.
 struct CellSolve {
-    pi: Vec<f64>,
     measures: Measures,
     mean_voice_calls: f64,
     mean_sessions: f64,
@@ -388,7 +393,18 @@ impl ClusterModel {
             );
         }
 
-        let mut warm: Vec<Option<Vec<f64>>> = vec![None; NUM_CELLS];
+        // One template per cell, shared across *all* outer iterations:
+        // the state space, solver workspace and warm-start chain are
+        // captured once, and each iteration only relowers the new
+        // handover rates — `with_handover_arrivals` no longer rebuilds
+        // seven models' worth of solver state per pass. The mutexes are
+        // uncontended (each task touches exactly its own cell) and keep
+        // the fan-out closure `Fn`.
+        let templates: Vec<Mutex<GeneratorTemplate>> = self
+            .configs
+            .iter()
+            .map(|cfg| Ok(Mutex::new(GeneratorTemplate::new(cfg)?)))
+            .collect::<Result<_, ModelError>>()?;
         let mut total_sweeps = [0usize; NUM_CELLS];
         let mut delta = f64::INFINITY;
         let mut converged = false;
@@ -401,14 +417,17 @@ impl ClusterModel {
                 break;
             }
             // Solve all cells at the current arrival vector (parallel,
-            // deterministic: results come back in cell order).
+            // deterministic: results come back in cell order, and each
+            // cell's warm-start chain advances identically no matter
+            // which worker runs it).
             let solves: Vec<Result<CellSolve, ModelError>> =
                 par_map_tasks(NUM_CELLS, threads, |i| {
+                    let mut template = templates[i].lock().expect("cell template poisoned");
                     solve_cell(
                         &self.configs[i],
                         lam_gsm[i],
                         lam_gprs[i],
-                        warm[i].as_deref(),
+                        &mut template,
                         &opts.solve,
                     )
                 });
@@ -474,9 +493,6 @@ impl ClusterModel {
                     *cur = next;
                 }
             }
-            for (slot, cell) in warm.iter_mut().zip(cells) {
-                *slot = Some(cell.pi);
-            }
             if delta <= opts.tolerance {
                 converged = true; // one more pass at the converged rates
             }
@@ -489,21 +505,23 @@ impl ClusterModel {
     }
 }
 
-/// Solves one cell under given incoming handover rates and reads the
-/// populations off the stationary distribution.
+/// Solves one cell under given incoming handover rates through its
+/// template (warm-started from the cell's previous iterate, zero
+/// `O(states)` allocations per iteration) and reads the populations off
+/// the stationary distribution.
 fn solve_cell(
     config: &CellConfig,
     lam_gsm: f64,
     lam_gprs: f64,
-    warm: Option<&[f64]>,
+    template: &mut GeneratorTemplate,
     opts: &SolveOptions,
 ) -> Result<CellSolve, ModelError> {
-    let model = GprsModel::with_handover_arrivals(config.clone(), lam_gsm, lam_gprs)?;
-    let solved = model.solve(opts, warm)?;
+    let model = template.model_with_handovers(config.clone(), lam_gsm, lam_gprs)?;
+    let solved = template.solve(&model, opts, WarmStart::Chained)?;
     let space = model.space();
     let mut mean_voice_calls = 0.0f64;
     let mut mean_sessions = 0.0f64;
-    for (idx, &p) in solved.stationary().as_slice().iter().enumerate() {
+    for (idx, &p) in template.stationary().iter().enumerate() {
         if p == 0.0 {
             continue;
         }
@@ -511,16 +529,12 @@ fn solve_cell(
         mean_voice_calls += p * s.n as f64;
         mean_sessions += p * s.m as f64;
     }
-    let measures = *solved.measures();
-    let sweeps = solved.sweeps();
-    let residual = solved.residual();
     Ok(CellSolve {
-        pi: solved.into_stationary().into_inner(),
-        measures,
+        measures: solved.measures,
         mean_voice_calls,
         mean_sessions,
-        sweeps,
-        residual,
+        sweeps: solved.sweeps,
+        residual: solved.residual,
     })
 }
 

@@ -225,7 +225,6 @@ impl GprsModel {
         &self.balanced_gprs
     }
 
-    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn rates(&self) -> &Rates {
         &self.rates
     }
@@ -282,6 +281,17 @@ impl GprsModel {
     /// balanced handover flows. The solver projects onto this marginal
     /// every sweep (aggregation/disaggregation with exact aggregate).
     pub fn phase_marginal(&self) -> Vec<f64> {
+        let mut phase = Vec::new();
+        self.phase_marginal_into(&mut phase);
+        phase
+    }
+
+    /// [`phase_marginal`](Self::phase_marginal) into a caller-owned
+    /// buffer (resized to `num_phases()`), so repeated same-shape
+    /// evaluations — one per sweep point — avoid the `O(phases)`
+    /// allocation. Every element is overwritten; the values are
+    /// bit-identical to the allocating variant, which delegates here.
+    pub fn phase_marginal_into(&self, out: &mut Vec<f64>) {
         let gsm = self.balanced_gsm.queue.distribution();
         let gprs = self.balanced_gprs.queue.distribution();
         let p_off = self.rates.p_off;
@@ -294,29 +304,41 @@ impl GprsModel {
                 mr[StateSpace::tri_index(m, r)] = gprs[m] * p;
             }
         }
-        let mut phase = vec![0.0f64; self.space.num_phases()];
+        out.resize(self.space.num_phases(), 0.0);
         for n in 0..=self.space.n_gsm() {
             for (t, &mrp) in mr.iter().enumerate() {
-                phase[n * tri + t] = gsm[n] * mrp;
+                out[n * tri + t] = gsm[n] * mrp;
             }
         }
-        phase
     }
 
     /// A product-form initial guess for the solver: the exact phase
     /// marginal ([`phase_marginal`](Self::phase_marginal)) spread
     /// uniformly over the buffer levels.
     pub fn product_form_guess(&self) -> Vec<f64> {
-        let phase = self.phase_marginal();
+        let mut guess = Vec::new();
+        self.product_form_guess_into(&self.phase_marginal(), &mut guess);
+        guess
+    }
+
+    /// [`product_form_guess`](Self::product_form_guess) into a
+    /// caller-owned buffer, from an already-computed phase marginal
+    /// (resized to `num_states()`, every element overwritten) — the
+    /// zero-allocation path for repeated solves.
+    pub fn product_form_guess_into(&self, phase_marginal: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(
+            phase_marginal.len(),
+            self.space.num_phases(),
+            "phase marginal does not match model"
+        );
         let levels = self.space.k_cap() + 1;
         let inv = 1.0 / levels as f64;
-        let mut guess = vec![0.0f64; self.space.num_states()];
-        for (p, &mass) in phase.iter().enumerate() {
+        out.resize(self.space.num_states(), 0.0);
+        for (p, &mass) in phase_marginal.iter().enumerate() {
             for l in 0..levels {
-                guess[p * levels + l] = mass * inv;
+                out[p * levels + l] = mass * inv;
             }
         }
-        guess
     }
 }
 

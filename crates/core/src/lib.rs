@@ -58,6 +58,10 @@
 //! * [`solve`] — handover balancing + steady-state solution.
 //! * [`sweep`] — warm-started arrival-rate sweeps (the paper's x-axes),
 //!   sequential and thread-parallel (`par_sweep_arrival_rates`).
+//! * [`template`] — the symbolic/numeric split for repeated solves:
+//!   [`GeneratorTemplate`] captures state space, CSR pattern and solver
+//!   workspace once per model shape, then relowers new rates in place
+//!   (sweeps, cluster iterations and scenario campaigns ride on it).
 //! * [`scenario`] — the unified scenario layer: one workload
 //!   description (topology + per-cell traffic + radio/TCP knobs + load
 //!   scale) lowered to the single-cell model, the cluster fixed point,
@@ -82,6 +86,7 @@ pub mod scenario;
 pub mod solve;
 pub mod state;
 pub mod sweep;
+pub mod template;
 
 pub use cluster::{ClusterModel, ClusterSolveOptions, SolvedCluster};
 pub use coding::CodingScheme;
@@ -92,3 +97,4 @@ pub use measures::Measures;
 pub use scenario::Scenario;
 pub use solve::SolvedModel;
 pub use state::{CellState, StateSpace};
+pub use template::{GeneratorTemplate, PointSolve, TemplatePool, WarmStart};

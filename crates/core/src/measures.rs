@@ -66,9 +66,20 @@ impl Measures {
     ///
     /// Panics if `pi` does not match the model's state count.
     pub fn compute(model: &GprsModel, pi: &StationaryDistribution) -> Self {
+        Self::compute_from_slice(model, pi.as_slice())
+    }
+
+    /// [`compute`](Self::compute) from a raw probability slice — the
+    /// entry point for workspace-based solves whose distribution lives
+    /// in a reusable buffer rather than a [`StationaryDistribution`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` does not match the model's state count.
+    pub fn compute_from_slice(model: &GprsModel, pi: &[f64]) -> Self {
         let space = model.space();
         assert_eq!(
-            pi.num_states(),
+            pi.len(),
             space.num_states(),
             "distribution does not match model"
         );
@@ -79,7 +90,7 @@ impl Measures {
         let mut mql = 0.0f64;
         let mut offered = 0.0f64;
         let mut accepted = 0.0f64;
-        for (idx, &p) in pi.as_slice().iter().enumerate() {
+        for (idx, &p) in pi.iter().enumerate() {
             if p == 0.0 {
                 continue;
             }

@@ -1,28 +1,63 @@
 //! Sweeps over the call arrival rate.
 //!
 //! Every figure in the paper's evaluation plots measures against the
-//! combined GSM/GPRS call arrival rate. Each point starts from the
-//! product-form guess (exact phase marginals for *that* rate, from the
-//! balanced Erlang systems), which the block solver converges from in a
-//! handful of sweeps — measurably better than chaining the previous
-//! point's solution, whose phase marginals belong to the wrong rate.
+//! combined GSM/GPRS call arrival rate, so the sweep is the hottest
+//! repeated-solve loop in the workspace. It runs on the
+//! symbolic/numeric split of [`crate::template`]: the state space,
+//! solver workspace and (when needed) CSR pattern are captured once per
+//! model shape, and each point only relowers rates and solves.
 //!
-//! Because every point seeds from its own product-form guess, the points
-//! of a sweep are completely independent — which makes the sweep
-//! embarrassingly parallel. [`par_sweep_arrival_rates`] fans the points
-//! out across threads (worker count from
-//! [`gprs_exec::num_threads`], i.e. `RAYON_NUM_THREADS` or the
-//! machine width) through a work-stealing index queue, and returns the
-//! points in rate order with results bit-identical to the sequential
-//! sweep: each point runs the same deterministic solver code regardless
-//! of which worker picks it up.
+//! # Warm-start contract
+//!
+//! Points are processed in **chunks of [`warm_chunk_len`]`(len)`
+//! consecutive rates** (at most [`WARM_CHUNK`]; short grids split into
+//! ~3 chunks so the parallel path keeps several workers busy). The
+//! first point of every chunk starts cold from its own product-form
+//! guess (exact phase marginals for *that* rate); every later point
+//! warm-starts from its predecessor's solution — multiplicatively
+//! extrapolated along the chain once two predecessors exist, and
+//! re-projected onto the new rate's exact phase marginal. This
+//! better-than-halves solver sweeps against the historical all-cold
+//! sweep.
+//!
+//! The contract is **identical for the sequential and parallel sweeps**
+//! and independent of the worker count: chunk boundaries are a pure
+//! function of the grid length, parallel workers own whole chunks, and
+//! each chunk's solves are the same deterministic code no matter which
+//! worker picks it up. Hence [`par_sweep_arrival_rates`] returns
+//! results **bit-identical** to [`sweep_arrival_rates`] for any thread
+//! count — the historic cold-start inconsistency between the two paths
+//! is gone, and the equality is pinned by tier-1 tests at 1/2/8
+//! workers.
 
 use crate::config::CellConfig;
 use crate::error::ModelError;
-use crate::generator::GprsModel;
 use crate::measures::Measures;
+use crate::template::{GeneratorTemplate, TemplatePool, WarmStart};
 use gprs_ctmc::solver::SolveOptions;
 use gprs_exec::{num_threads, par_map_tasks};
+
+/// Maximum number of consecutive sweep points that share one warm-start
+/// chain (and one worker, in the parallel sweep). A chunk boundary
+/// always starts cold, so results never depend on how chunks are
+/// scheduled.
+pub const WARM_CHUNK: usize = 8;
+
+/// The chunk length used for a grid of `points` rates:
+/// `ceil(points / 3)` clamped to `2..=WARM_CHUNK`.
+///
+/// This is a **pure function of the grid length — never of the worker
+/// count** — so the sequential and parallel sweeps always agree on
+/// chunk boundaries (the bit-identity contract). The formula trades
+/// warm-start reuse (longer chains solve cheaper; chained points cost
+/// roughly a third of a cold solve) against parallel granularity:
+/// short grids split into ~3 chunks so the parallel sweep keeps
+/// several workers busy (a quick-scale 8-point figure grid gets 3
+/// chunks, not one serial chain), while long sweeps saturate at
+/// [`WARM_CHUNK`]-point chains.
+pub fn warm_chunk_len(points: usize) -> usize {
+    points.div_ceil(3).clamp(2, WARM_CHUNK)
+}
 
 /// One point of a sweep.
 #[derive(Debug, Clone)]
@@ -50,7 +85,37 @@ pub fn rate_grid(lo: f64, hi: f64, points: usize) -> Vec<f64> {
         .collect()
 }
 
-/// Runs the model at each arrival rate, warm-starting successive solves.
+/// Solves one chunk of consecutive rates through a template: cold at
+/// the chunk head, chained afterwards (the warm-start contract).
+fn solve_chunk<F: Fn(usize, &SweepPoint) + ?Sized>(
+    base: &CellConfig,
+    rates: &[f64],
+    first_index: usize,
+    opts: &SolveOptions,
+    template: &mut GeneratorTemplate,
+    progress: &F,
+) -> Result<Vec<SweepPoint>, ModelError> {
+    template.reset_chain();
+    let mut points = Vec::with_capacity(rates.len());
+    for (offset, &rate) in rates.iter().enumerate() {
+        let mut cfg = base.clone();
+        cfg.call_arrival_rate = rate;
+        let model = template.model_for(cfg)?;
+        let solved = template.solve(&model, opts, WarmStart::Chained)?;
+        let point = SweepPoint {
+            rate,
+            measures: solved.measures,
+            sweeps: solved.sweeps,
+            residual: solved.residual,
+        };
+        progress(first_index + offset, &point);
+        points.push(point);
+    }
+    Ok(points)
+}
+
+/// Runs the model at each arrival rate under the chunked warm-start
+/// contract (see the [module docs](self)).
 ///
 /// `base` supplies every parameter except the arrival rate, which is
 /// overridden per point.
@@ -98,51 +163,44 @@ pub fn sweep_arrival_rates_with(
     base: &CellConfig,
     rates: &[f64],
     opts: &SolveOptions,
-    mut progress: impl FnMut(usize, &SweepPoint),
+    progress: impl FnMut(usize, &SweepPoint),
 ) -> Result<Vec<SweepPoint>, ModelError> {
+    if rates.is_empty() {
+        return Ok(Vec::new());
+    }
+    // FnMut -> Fn adapter so the chunk solver can share one signature
+    // with the parallel path (which requires Fn + Sync).
+    let progress = std::cell::RefCell::new(progress);
     let mut results = Vec::with_capacity(rates.len());
-    for (i, &rate) in rates.iter().enumerate() {
-        let point = solve_point(base, rate, opts)?;
-        progress(i, &point);
-        results.push(point);
+    let mut template = GeneratorTemplate::new(base)?;
+    let chunk_len = warm_chunk_len(rates.len());
+    for (c, chunk) in rates.chunks(chunk_len).enumerate() {
+        let points = solve_chunk(base, chunk, c * chunk_len, opts, &mut template, &|i, p| {
+            progress.borrow_mut()(i, p)
+        })?;
+        results.extend(points);
     }
     Ok(results)
 }
 
-/// Solves one sweep point from its product-form guess.
-fn solve_point(
-    base: &CellConfig,
-    rate: f64,
-    opts: &SolveOptions,
-) -> Result<SweepPoint, ModelError> {
-    let mut cfg = base.clone();
-    cfg.call_arrival_rate = rate;
-    let model = GprsModel::new(cfg)?;
-    let solved = model.solve(opts, None)?;
-    Ok(SweepPoint {
-        rate,
-        measures: *solved.measures(),
-        sweeps: solved.sweeps(),
-        residual: solved.residual(),
-    })
-}
-
 /// Runs the model at each arrival rate across threads.
 ///
-/// Every point is independent (each warm-starts from its own
-/// product-form guess), so the sweep fans out over a work queue of
-/// point indices; the worker count comes from
-/// [`gprs_exec::num_threads`] (`RAYON_NUM_THREADS`, or the
-/// machine width). Results come back **in rate order** and are
-/// bit-identical to [`sweep_arrival_rates`] for any thread count — the
-/// per-point solves are the same deterministic code, only their
-/// scheduling varies.
+/// Workers pull whole [`warm_chunk_len`]-sized chunks off a work
+/// queue, so the parallel sweep honours exactly the same warm-start
+/// contract as [`sweep_arrival_rates`] (chunk heads cold, successors
+/// chained);
+/// results come back **in rate order** and are bit-identical to the
+/// sequential sweep for any thread count. Worker count comes from
+/// [`gprs_exec::num_threads`] (`RAYON_NUM_THREADS`, or the machine
+/// width). Each worker reuses pooled [`GeneratorTemplate`]s, so steady
+/// state solves avoid all `O(states)` allocations (per-point model
+/// construction and the small Erlang marginals remain).
 ///
 /// # Errors
 ///
-/// Propagates the construction or convergence error of the *lowest-rate*
-/// failing point (matching what callers observe from the sequential
-/// sweep when every earlier point succeeds).
+/// Propagates the construction or convergence error of the
+/// *lowest-rate* failing point whose chunk predecessors succeeded
+/// (matching the sequential sweep).
 ///
 /// # Example
 ///
@@ -206,24 +264,34 @@ pub fn par_sweep_arrival_rates_with(
     threads: usize,
     progress: impl Fn(usize, &SweepPoint) + Sync,
 ) -> Result<Vec<SweepPoint>, ModelError> {
-    let threads = threads.clamp(1, rates.len().max(1));
+    if rates.is_empty() {
+        return Ok(Vec::new());
+    }
+    let chunk_len = warm_chunk_len(rates.len());
+    let chunk_count = rates.len().div_ceil(chunk_len);
+    let threads = threads.clamp(1, chunk_count);
     if threads <= 1 {
         return sweep_arrival_rates_with(base, rates, opts, |i, p| progress(i, p));
     }
 
-    // Work queue of point indices (the shared few-heavy-tasks executor):
-    // long points (high rates converge slower) do not stall the batch
-    // the way fixed chunking would.
-    let results = par_map_tasks(rates.len(), threads, |i| {
-        let result = solve_point(base, rates[i], opts);
-        if let Ok(point) = &result {
-            progress(i, point);
-        }
+    // Work queue of chunk indices: workers own whole chunks (the unit
+    // of the warm-start contract), and long chunks (high rates converge
+    // slower) do not stall the batch the way fixed chunk-to-worker
+    // assignment would. Templates are pooled so a worker draining many
+    // chunks reuses one workspace; results are independent of which
+    // template serves which chunk (chains reset at chunk heads).
+    let pool = TemplatePool::new(base)?;
+    let chunk_results = par_map_tasks(chunk_count, threads, |c| {
+        let mut template = pool.acquire()?;
+        let first = c * chunk_len;
+        let chunk = &rates[first..(first + chunk_len).min(rates.len())];
+        let result = solve_chunk(base, chunk, first, opts, &mut template, &progress);
+        pool.release(template);
         result
     });
     let mut points = Vec::with_capacity(rates.len());
-    for result in results {
-        points.push(result?);
+    for result in chunk_results {
+        points.extend(result?); // lowest failing chunk wins
     }
     Ok(points)
 }
@@ -301,5 +369,69 @@ mod tests {
         assert_eq!(seen.len(), 3);
         assert_eq!(seen[0].0, 0);
         assert_eq!(seen[2].0, 2);
+    }
+
+    #[test]
+    fn warm_start_contract_is_identical_for_all_thread_counts() {
+        // The satellite contract: sequential and parallel sweeps share
+        // the chunked warm-start policy, so results match bitwise at
+        // any worker count — including across a chunk boundary
+        // (WARM_CHUNK < 10 points here).
+        let base = tiny_base();
+        let rates = rate_grid(0.1, 1.0, 10);
+        let opts = SolveOptions::default();
+        let seq = sweep_arrival_rates(&base, &rates, &opts).unwrap();
+        for threads in [1usize, 2, 8] {
+            let par = par_sweep_arrival_rates_threads(&base, &rates, &opts, threads).unwrap();
+            assert_eq!(par.len(), seq.len());
+            for (p, s) in par.iter().zip(&seq) {
+                assert_eq!(p.measures, s.measures, "threads {threads}, rate {}", p.rate);
+                assert_eq!(p.sweeps, s.sweeps);
+                assert_eq!(p.residual.to_bits(), s.residual.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_length_is_bounded_and_splits_small_grids() {
+        // Pure function of the grid length: never of the worker count.
+        assert_eq!(warm_chunk_len(2), 2);
+        assert_eq!(warm_chunk_len(8), 3); // quick-scale grid -> 3 chunks
+        assert_eq!(warm_chunk_len(20), 7); // full-scale grid -> 3 chunks
+        assert_eq!(warm_chunk_len(1000), WARM_CHUNK);
+    }
+
+    #[test]
+    fn chunk_heads_start_cold() {
+        // The first point of each chunk must be bit-identical to a
+        // standalone cold solve of that rate.
+        let base = tiny_base();
+        let rates = rate_grid(0.1, 1.0, 10);
+        let chunk_len = warm_chunk_len(rates.len());
+        let opts = SolveOptions::default();
+        let pts = sweep_arrival_rates(&base, &rates, &opts).unwrap();
+        for head in [0, chunk_len] {
+            let mut cfg = base.clone();
+            cfg.call_arrival_rate = rates[head];
+            let cold = crate::GprsModel::new(cfg)
+                .unwrap()
+                .solve(&opts, None)
+                .unwrap();
+            assert_eq!(pts[head].measures, *cold.measures(), "chunk head {head}");
+            assert_eq!(pts[head].sweeps, cold.sweeps());
+        }
+    }
+
+    #[test]
+    fn empty_rate_list_is_a_noop() {
+        let base = tiny_base();
+        assert!(sweep_arrival_rates(&base, &[], &SolveOptions::quick())
+            .unwrap()
+            .is_empty());
+        assert!(
+            par_sweep_arrival_rates_threads(&base, &[], &SolveOptions::quick(), 4)
+                .unwrap()
+                .is_empty()
+        );
     }
 }

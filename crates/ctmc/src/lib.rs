@@ -32,6 +32,21 @@
 //! ([`SparseGenerator`], built via [`TripletBuilder`]) or as a matrix-free
 //! implementation of the [`Transitions`] / [`IncomingTransitions`] traits.
 //!
+//! # Repeated solves: the symbolic/numeric split
+//!
+//! Parameter sweeps and fixed-point iterations solve the *same-shaped*
+//! chain many times with different rates. Two facilities keep that hot
+//! path free of redundant symbolic work:
+//!
+//! * [`SparseGenerator::refill_values`] overwrites an assembled
+//!   matrix's rates in place (same sparsity pattern, no sort, no
+//!   allocation) instead of rebuilding CSR + transpose from triplets;
+//! * [`SolveWorkspace`] carries the iterate and solver scratch across
+//!   solves — the `_ws` solver variants
+//!   ([`solver::solve_gauss_seidel_ws`], [`mbd::solve_mbd_projected_ws`])
+//!   allocate nothing after their first same-shape call and leave the
+//!   solution in the workspace as a natural rolling warm start.
+//!
 //! # Example
 //!
 //! Solve a two-state on/off chain and compare with the closed form:
@@ -66,7 +81,7 @@ pub mod transitions;
 
 pub use error::CtmcError;
 pub use parallel::{solve_parallel, ParallelMethod, RedBlackSor};
-pub use solver::{Solution, SolveOptions};
+pub use solver::{Solution, SolveOptions, SolveStats, SolveWorkspace};
 pub use sparse::{SparseGenerator, TripletBuilder};
 pub use stationary::StationaryDistribution;
 pub use transitions::{IncomingTransitions, Transitions};

@@ -22,7 +22,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::error::CtmcError;
-use crate::solver::{Solution, SolveOptions};
+use crate::solver::{Solution, SolveOptions, SolveStats, SolveWorkspace};
 use crate::stationary::StationaryDistribution;
 
 /// Structural access to a Markov-modulated birth–death chain.
@@ -112,7 +112,33 @@ pub fn solve_mbd<G: ModulatedBirthDeath + ?Sized>(
     warm_start: Option<&[f64]>,
     opts: &SolveOptions,
 ) -> Result<Solution, CtmcError> {
-    solve_mbd_inner(gen, None, warm_start, opts)
+    let mut ws = SolveWorkspace::new();
+    let stats = solve_mbd_inner(gen, None, warm_start, opts, &mut ws)?;
+    Ok(solution_from(&mut ws, stats))
+}
+
+/// [`solve_mbd`] over a reusable [`SolveWorkspace`]; the solution is
+/// left in `ws.pi()` and repeated same-shape solves allocate nothing.
+///
+/// # Errors
+///
+/// As [`solve_mbd`].
+pub fn solve_mbd_ws<G: ModulatedBirthDeath + ?Sized>(
+    gen: &G,
+    warm_start: Option<&[f64]>,
+    opts: &SolveOptions,
+    ws: &mut SolveWorkspace,
+) -> Result<SolveStats, CtmcError> {
+    solve_mbd_inner(gen, None, warm_start, opts, ws)
+}
+
+fn solution_from(ws: &mut SolveWorkspace, stats: SolveStats) -> Solution {
+    Solution {
+        // The workspace already applied the final normalization.
+        pi: StationaryDistribution::from_normalized(ws.take_pi()),
+        sweeps: stats.sweeps,
+        residual: stats.residual,
+    }
 }
 
 /// Like [`solve_mbd`], but additionally *projects* onto a known exact
@@ -140,6 +166,30 @@ pub fn solve_mbd_projected<G: ModulatedBirthDeath + ?Sized>(
     warm_start: Option<&[f64]>,
     opts: &SolveOptions,
 ) -> Result<Solution, CtmcError> {
+    let mut ws = SolveWorkspace::new();
+    let stats = solve_mbd_projected_ws(gen, phase_marginal, warm_start, opts, &mut ws)?;
+    Ok(solution_from(&mut ws, stats))
+}
+
+/// [`solve_mbd_projected`] over a reusable [`SolveWorkspace`]: the
+/// iterate, the per-phase exit rates, the Thomas-algorithm scratch and
+/// the residual accumulator are all borrowed from `ws`, so repeated
+/// same-shape solves (a parameter sweep, a fixed-point iteration)
+/// allocate nothing after the first call. The solution is left in
+/// `ws.pi()` — ready to be used (or extrapolated) as the next solve's
+/// warm start. The allocating entry point delegates here, so the two
+/// run bit-identical arithmetic.
+///
+/// # Errors
+///
+/// As [`solve_mbd_projected`].
+pub fn solve_mbd_projected_ws<G: ModulatedBirthDeath + ?Sized>(
+    gen: &G,
+    phase_marginal: &[f64],
+    warm_start: Option<&[f64]>,
+    opts: &SolveOptions,
+    ws: &mut SolveWorkspace,
+) -> Result<SolveStats, CtmcError> {
     if phase_marginal.len() != gen.num_phases() {
         return Err(CtmcError::DimensionMismatch {
             expected: gen.num_phases(),
@@ -152,7 +202,7 @@ pub fn solve_mbd_projected<G: ModulatedBirthDeath + ?Sized>(
             reason: "phase marginal must be a probability vector".into(),
         });
     }
-    solve_mbd_inner(gen, Some(phase_marginal), warm_start, opts)
+    solve_mbd_inner(gen, Some(phase_marginal), warm_start, opts, ws)
 }
 
 fn solve_mbd_inner<G: ModulatedBirthDeath + ?Sized>(
@@ -160,7 +210,8 @@ fn solve_mbd_inner<G: ModulatedBirthDeath + ?Sized>(
     phase_marginal: Option<&[f64]>,
     warm_start: Option<&[f64]>,
     opts: &SolveOptions,
-) -> Result<Solution, CtmcError> {
+    ws: &mut SolveWorkspace,
+) -> Result<SolveStats, CtmcError> {
     let p_count = gen.num_phases();
     let l_count = gen.num_levels();
     let n = p_count * l_count;
@@ -168,42 +219,36 @@ fn solve_mbd_inner<G: ModulatedBirthDeath + ?Sized>(
         return Err(CtmcError::EmptyChain);
     }
 
-    let mut pi: Vec<f64> = match warm_start {
-        Some(w) => {
-            if w.len() != n {
-                return Err(CtmcError::DimensionMismatch {
-                    expected: n,
-                    actual: w.len(),
-                });
-            }
-            let total: f64 = w.iter().sum();
-            if !total.is_finite() || total <= 0.0 || w.iter().any(|&x| !x.is_finite() || x < 0.0) {
-                return Err(CtmcError::InvalidGenerator {
-                    reason: "warm start must be non-negative with positive mass".into(),
-                });
-            }
-            w.iter().map(|&x| x / total).collect()
-        }
-        None => vec![1.0 / n as f64; n],
-    };
+    ws.init_pi(n, warm_start)?;
+    let SolveWorkspace {
+        pi,
+        exit: phase_exit,
+        rhs,
+        diag,
+        cprime,
+        xcol,
+        inflow,
+    } = ws;
 
     // Pre-compute per-phase constants.
-    let mut phase_exit = vec![0.0f64; p_count];
+    phase_exit.resize(p_count, 0.0);
     for (p, e) in phase_exit.iter_mut().enumerate() {
         *e = gen.phase_exit_rate(p);
     }
 
-    // Thomas algorithm scratch space.
-    let mut rhs = vec![0.0f64; l_count];
-    let mut diag = vec![0.0f64; l_count];
-    let mut cprime = vec![0.0f64; l_count];
-    let mut xcol = vec![0.0f64; l_count];
+    // Thomas algorithm scratch space (every element is written before
+    // it is read, so stale values from a previous solve are harmless).
+    rhs.resize(l_count, 0.0);
+    diag.resize(l_count, 0.0);
+    cprime.resize(l_count, 0.0);
+    xcol.resize(l_count, 0.0);
     let omega = opts.sor_omega;
 
     let mut sweeps = 0usize;
     let mut residual = f64::INFINITY;
+    let mut converged: Option<SolveStats> = None;
 
-    while sweeps < opts.max_sweeps {
+    'sweep: while sweeps < opts.max_sweeps {
         // Alternate sweep direction (symmetric Gauss–Seidel): upstream
         // information that a forward sweep moves by only one phase per
         // iteration is carried across the whole chain by the backward
@@ -234,12 +279,12 @@ fn solve_mbd_inner<G: ModulatedBirthDeath + ?Sized>(
                 }
                 // Single birth-death chain: solve directly below with
                 // the unnormalized product form.
-                solve_single_birth_death(gen, &mut pi);
-                return Ok(Solution {
-                    pi: StationaryDistribution::new(pi),
+                solve_single_birth_death(gen, pi);
+                converged = Some(SolveStats {
                     sweeps: 1,
                     residual: 0.0,
                 });
+                break 'sweep;
             }
 
             // Solve the tridiagonal system
@@ -271,7 +316,7 @@ fn solve_mbd_inner<G: ModulatedBirthDeath + ?Sized>(
                 xcol[l] = (rhs[l] - cprime[l] * xcol[l + 1]).max(0.0);
             }
             if omega == 1.0 {
-                pi[base..base + l_count].copy_from_slice(&xcol);
+                pi[base..base + l_count].copy_from_slice(xcol);
             } else {
                 for l in 0..l_count {
                     let v = (1.0 - omega) * pi[base + l] + omega * xcol[l];
@@ -310,24 +355,25 @@ fn solve_mbd_inner<G: ModulatedBirthDeath + ?Sized>(
                 });
             }
             let inv = 1.0 / total;
-            for x in &mut pi {
+            for x in pi.iter_mut() {
                 *x *= inv;
             }
         }
         sweeps += 1;
 
         if sweeps.is_multiple_of(opts.check_every.clamp(1, 4)) || sweeps == opts.max_sweeps {
-            residual = mbd_residual(gen, &pi, &phase_exit);
+            residual = mbd_residual(gen, pi, phase_exit, inflow);
             if residual <= opts.tolerance {
-                return Ok(Solution {
-                    pi: StationaryDistribution::new(pi),
-                    sweeps,
-                    residual,
-                });
+                converged = Some(SolveStats { sweeps, residual });
+                break 'sweep;
             }
         }
     }
 
+    if let Some(stats) = converged {
+        ws.normalize_pi();
+        return Ok(stats);
+    }
     Err(CtmcError::NotConverged {
         iterations: sweeps,
         residual,
@@ -352,16 +398,24 @@ fn solve_single_birth_death<G: ModulatedBirthDeath + ?Sized>(gen: &G, pi: &mut [
     }
 }
 
-/// Relative L1 balance residual of the full MBD chain.
-fn mbd_residual<G: ModulatedBirthDeath + ?Sized>(gen: &G, pi: &[f64], phase_exit: &[f64]) -> f64 {
+/// Relative L1 balance residual of the full MBD chain. `inflow` is a
+/// caller-owned per-level scratch buffer (resized here), so the hot
+/// check path of repeated solves allocates nothing.
+fn mbd_residual<G: ModulatedBirthDeath + ?Sized>(
+    gen: &G,
+    pi: &[f64],
+    phase_exit: &[f64],
+    inflow: &mut Vec<f64>,
+) -> f64 {
     let p_count = gen.num_phases();
     let l_count = gen.num_levels();
+    inflow.resize(l_count, 0.0);
     let mut num = 0.0f64;
     let mut den = 0.0f64;
     for p in 0..p_count {
         let base = p * l_count;
         // Inflow from other phases, per level.
-        let mut inflow = vec![0.0f64; l_count];
+        inflow.fill(0.0);
         gen.for_each_phase_incoming(p, &mut |q, rate| {
             let qbase = q * l_count;
             for (l, x) in inflow.iter_mut().enumerate() {

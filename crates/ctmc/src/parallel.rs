@@ -45,102 +45,20 @@
 //! module is safe to call unconditionally.
 //!
 //! The thread fan-out helpers that used to live here (`par_map_tasks`,
-//! `num_threads`, ...) moved to the dependency-free [`gprs_exec`]
+//! `num_threads`, ...) live in the dependency-free [`gprs_exec`]
 //! crate, which the whole workspace — model sweeps, cluster fixed
-//! points, simulator replications — now shares. Deprecated wrappers
-//! remain below so existing imports keep compiling; new code should
-//! import from `gprs_exec` directly.
+//! points, simulator replications — shares; import them from
+//! `gprs_exec` directly.
 
 use crate::error::CtmcError;
 use crate::solver::{Solution, SolveOptions};
 use crate::sparse::SparseGenerator;
 use crate::stationary::StationaryDistribution;
-use gprs_exec::{
-    chunk_ranges as exec_chunk_ranges, num_threads as exec_num_threads,
-    par_map_chunks_mut as exec_par_map_chunks_mut, par_map_ranges as exec_par_map_ranges,
-    MIN_PARALLEL_WORK,
-};
-use std::ops::Range;
+use gprs_exec::{chunk_ranges, num_threads, par_map_chunks_mut, par_map_ranges, MIN_PARALLEL_WORK};
 
 /// Maximum number of color classes [`RedBlackSor`] accepts before
 /// [`solve_parallel`] falls back to damped Jacobi.
 pub const MAX_COLORS: usize = 64;
-
-// ---------------------------------------------------------------------------
-// Deprecated wrappers around the fan-out helpers (moved to `gprs-exec`)
-// ---------------------------------------------------------------------------
-
-/// Deprecated wrapper around [`gprs_exec::num_threads`].
-#[deprecated(
-    since = "0.2.0",
-    note = "moved to `gprs_exec`; use `gprs_exec::num_threads`"
-)]
-pub fn num_threads() -> usize {
-    gprs_exec::num_threads()
-}
-
-/// Deprecated wrapper around [`gprs_exec::chunk_ranges`].
-#[deprecated(
-    since = "0.2.0",
-    note = "moved to `gprs_exec`; use `gprs_exec::chunk_ranges`"
-)]
-pub fn chunk_ranges(n: usize, chunks: usize) -> Vec<Range<usize>> {
-    gprs_exec::chunk_ranges(n, chunks)
-}
-
-/// Deprecated wrapper around [`gprs_exec::par_map_ranges`].
-#[deprecated(
-    since = "0.2.0",
-    note = "moved to `gprs_exec`; use `gprs_exec::par_map_ranges`"
-)]
-pub fn par_map_ranges<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(Range<usize>) -> R + Sync,
-{
-    gprs_exec::par_map_ranges(n, threads, f)
-}
-
-/// Deprecated wrapper around [`gprs_exec::par_map_tasks`].
-#[deprecated(
-    since = "0.2.0",
-    note = "moved to `gprs_exec`; use `gprs_exec::par_map_tasks`"
-)]
-pub fn par_map_tasks<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(usize) -> R + Sync,
-{
-    gprs_exec::par_map_tasks(n, threads, f)
-}
-
-/// Deprecated wrapper around [`gprs_exec::par_map_chunks_mut`].
-#[deprecated(
-    since = "0.2.0",
-    note = "moved to `gprs_exec`; use `gprs_exec::par_map_chunks_mut`"
-)]
-pub fn par_map_chunks_mut<T, R, F>(data: &mut [T], threads: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(usize, &mut [T]) -> R + Sync,
-{
-    gprs_exec::par_map_chunks_mut(data, threads, f)
-}
-
-/// Deprecated wrapper around [`gprs_exec::par_map_vec`].
-#[deprecated(
-    since = "0.2.0",
-    note = "moved to `gprs_exec`; use `gprs_exec::par_map_vec`"
-)]
-pub fn par_map_vec<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    gprs_exec::par_map_vec(items, threads, f)
-}
 
 // ---------------------------------------------------------------------------
 // Shared solver plumbing
@@ -192,7 +110,7 @@ pub fn balance_residual_par(gen: &SparseGenerator, pi: &[f64], threads: usize) -
         "pi length must match state count"
     );
     let exit = gen.exit_rates();
-    let parts = exec_par_map_ranges(pi.len(), threads, |range| {
+    let parts = par_map_ranges(pi.len(), threads, |range| {
         let mut num = 0.0f64;
         let mut den = 0.0f64;
         for j in range {
@@ -217,13 +135,13 @@ pub fn balance_residual_par(gen: &SparseGenerator, pi: &[f64], threads: usize) -
 }
 
 fn par_sum(pi: &[f64], threads: usize) -> f64 {
-    exec_par_map_ranges(pi.len(), threads, |range| pi[range].iter().sum::<f64>())
+    par_map_ranges(pi.len(), threads, |range| pi[range].iter().sum::<f64>())
         .into_iter()
         .sum()
 }
 
 fn par_scale(pi: &mut [f64], inv: f64, threads: usize) {
-    exec_par_map_chunks_mut(pi, threads, |_, chunk| {
+    par_map_chunks_mut(pi, threads, |_, chunk| {
         for x in chunk {
             *x *= inv;
         }
@@ -346,7 +264,7 @@ impl RedBlackSor {
             inv[old] = new as u32;
         }
 
-        let threads = exec_num_threads();
+        let threads = num_threads();
 
         // Permuted incoming CSR and exit rates.
         let mut in_ptr = vec![0usize; n + 1];
@@ -361,7 +279,7 @@ impl RedBlackSor {
             // Fill per-state segments in parallel: each worker owns a
             // contiguous range of permuted states, hence a contiguous
             // span of `in_src` / `in_val`.
-            let ranges = exec_chunk_ranges(n, if nnz < MIN_PARALLEL_WORK { 1 } else { threads });
+            let ranges = chunk_ranges(n, if nnz < MIN_PARALLEL_WORK { 1 } else { threads });
             let mut src_rest: &mut [u32] = &mut in_src;
             let mut val_rest: &mut [f64] = &mut in_val;
             let mut exit_rest: &mut [f64] = &mut exit;
@@ -434,7 +352,7 @@ impl RedBlackSor {
         let start = validated_start(n, warm_start)?;
         // Permute the start into class order.
         let mut pi = vec![0.0f64; n];
-        exec_par_map_chunks_mut(&mut pi, self.threads, |off, chunk| {
+        par_map_chunks_mut(&mut pi, self.threads, |off, chunk| {
             for (t, p) in chunk.iter_mut().enumerate() {
                 *p = start[self.perm[off + t] as usize];
             }
@@ -454,7 +372,7 @@ impl RedBlackSor {
                 let hi = self.class_bounds[c + 1];
                 let (left, rest) = pi.split_at_mut(lo);
                 let (mid, right) = rest.split_at_mut(hi - lo);
-                let parts = exec_par_map_chunks_mut(mid, self.threads, |off, chunk| {
+                let parts = par_map_chunks_mut(mid, self.threads, |off, chunk| {
                     let mut num = 0.0f64;
                     let mut den = 0.0f64;
                     for (t, p) in chunk.iter_mut().enumerate() {
@@ -524,7 +442,7 @@ impl RedBlackSor {
 
     /// Exact balance residual of a permuted iterate.
     fn residual_exact(&self, pi: &[f64]) -> f64 {
-        let parts = exec_par_map_ranges(self.n, self.threads, |range| {
+        let parts = par_map_ranges(self.n, self.threads, |range| {
             let mut num = 0.0f64;
             let mut den = 0.0f64;
             for j in range {
@@ -605,7 +523,7 @@ pub fn solve_jacobi(
     let exit = checked_exit_rates(gen)?;
     let mut pi = validated_start(n, warm_start)?;
     let mut next = vec![0.0f64; n];
-    let threads = exec_num_threads();
+    let threads = num_threads();
     let damping = opts.sor_omega.min(0.95);
 
     let mut sweeps = 0usize;
@@ -614,7 +532,7 @@ pub fn solve_jacobi(
     while sweeps < opts.max_sweeps {
         let parts = {
             let pi = &pi;
-            exec_par_map_chunks_mut(&mut next, threads, |off, chunk| {
+            par_map_chunks_mut(&mut next, threads, |off, chunk| {
                 let mut num = 0.0f64;
                 let mut den = 0.0f64;
                 let mut sum = 0.0f64;

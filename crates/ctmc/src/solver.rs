@@ -101,6 +101,125 @@ pub struct Solution {
     pub residual: f64,
 }
 
+/// Diagnostics of a workspace-based solve; the distribution itself
+/// stays in the workspace ([`SolveWorkspace::pi`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SolveStats {
+    /// Sweeps performed.
+    pub sweeps: usize,
+    /// Relative L1 balance residual at termination.
+    pub residual: f64,
+}
+
+/// Reusable buffers for the iterative solvers — the numeric half of the
+/// symbolic/numeric split for repeated solves.
+///
+/// Parameter sweeps and fixed-point iterations solve the *same-shaped*
+/// chain over and over with different rates; the allocating entry
+/// points ([`solve_gauss_seidel`], [`crate::mbd::solve_mbd_projected`])
+/// pay a fresh iterate vector plus solver scratch on every call. The
+/// `_ws` variants ([`solve_gauss_seidel_ws`],
+/// [`crate::mbd::solve_mbd_projected_ws`]) borrow everything from a
+/// workspace instead: buffers are grown on first use and reused
+/// afterwards, so repeated same-shape solves allocate nothing. The
+/// solution is left in [`pi`](Self::pi) (doubling as the natural
+/// rolling warm start for the next solve), and the allocating entry
+/// points delegate to the `_ws` ones, so both paths run bit-identical
+/// arithmetic.
+#[derive(Debug, Clone, Default)]
+pub struct SolveWorkspace {
+    /// The iterate / final stationary vector.
+    pub(crate) pi: Vec<f64>,
+    /// Per-state exit rates (GS) or per-phase exit rates (MBD).
+    pub(crate) exit: Vec<f64>,
+    /// Tridiagonal right-hand side (MBD).
+    pub(crate) rhs: Vec<f64>,
+    /// Tridiagonal diagonal (MBD).
+    pub(crate) diag: Vec<f64>,
+    /// Thomas algorithm forward-elimination coefficients (MBD).
+    pub(crate) cprime: Vec<f64>,
+    /// Tridiagonal solution column (MBD).
+    pub(crate) xcol: Vec<f64>,
+    /// Per-level inflow accumulator for the residual pass (MBD).
+    pub(crate) inflow: Vec<f64>,
+}
+
+impl SolveWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The distribution left behind by the last successful `_ws` solve.
+    pub fn pi(&self) -> &[f64] {
+        &self.pi
+    }
+
+    /// Empties the iterate buffer (capacity is kept). Callers that hit
+    /// a solver error use this so a stale or non-converged iterate is
+    /// never mistaken for a solution.
+    pub fn clear_pi(&mut self) {
+        self.pi.clear();
+    }
+
+    /// Moves the distribution out (leaving an empty buffer behind).
+    pub(crate) fn take_pi(&mut self) -> Vec<f64> {
+        std::mem::take(&mut self.pi)
+    }
+
+    /// Final normalization of the solved iterate — exactly the
+    /// arithmetic [`StationaryDistribution::new`] historically applied,
+    /// so the workspace path and the allocating path produce
+    /// bit-identical distributions.
+    ///
+    /// # Panics
+    ///
+    /// As [`StationaryDistribution::new`]: negative / non-finite
+    /// entries or zero total mass (the solvers' own divergence guards
+    /// fire first in practice).
+    pub(crate) fn normalize_pi(&mut self) {
+        let mut total = 0.0f64;
+        for &p in &self.pi {
+            assert!(
+                p.is_finite() && p >= 0.0,
+                "probabilities must be finite and >= 0"
+            );
+            total += p;
+        }
+        assert!(total > 0.0, "distribution must have positive total mass");
+        for p in &mut self.pi {
+            *p /= total;
+        }
+    }
+
+    /// Seeds the iterate from a warm start (normalized) or uniformly.
+    pub(crate) fn init_pi(&mut self, n: usize, warm: Option<&[f64]>) -> Result<(), CtmcError> {
+        self.pi.clear();
+        match warm {
+            Some(w) => {
+                if w.len() != n {
+                    return Err(CtmcError::DimensionMismatch {
+                        expected: n,
+                        actual: w.len(),
+                    });
+                }
+                let total: f64 = w.iter().sum();
+                if !total.is_finite()
+                    || total <= 0.0
+                    || w.iter().any(|&x| !x.is_finite() || x < 0.0)
+                {
+                    return Err(CtmcError::InvalidGenerator {
+                        reason: "warm start must be non-negative with positive mass".into(),
+                    });
+                }
+                self.pi.extend(w.iter().map(|&x| x / total));
+            }
+            None => self.pi.resize(n, 1.0 / n as f64),
+        }
+        Ok(())
+    }
+}
+
 /// Solves `πQ = 0` by Gauss–Seidel (or SOR) iteration.
 ///
 /// `warm_start`, when given, seeds the iteration — reusing the solution of
@@ -135,14 +254,39 @@ pub fn solve_gauss_seidel<G: IncomingTransitions + ?Sized>(
     warm_start: Option<&[f64]>,
     opts: &SolveOptions,
 ) -> Result<Solution, CtmcError> {
+    let mut ws = SolveWorkspace::new();
+    let stats = solve_gauss_seidel_ws(gen, warm_start, opts, &mut ws)?;
+    Ok(Solution {
+        // The workspace already applied the final normalization.
+        pi: StationaryDistribution::from_normalized(ws.take_pi()),
+        sweeps: stats.sweeps,
+        residual: stats.residual,
+    })
+}
+
+/// [`solve_gauss_seidel`] over a reusable [`SolveWorkspace`]: repeated
+/// same-shape solves allocate nothing, and the solution is left in
+/// `ws.pi()` (ready to serve as the next solve's warm start). The
+/// arithmetic is identical to the allocating entry point, which
+/// delegates here.
+///
+/// # Errors
+///
+/// As [`solve_gauss_seidel`].
+pub fn solve_gauss_seidel_ws<G: IncomingTransitions + ?Sized>(
+    gen: &G,
+    warm_start: Option<&[f64]>,
+    opts: &SolveOptions,
+    ws: &mut SolveWorkspace,
+) -> Result<SolveStats, CtmcError> {
     let n = gen.num_states();
     if n == 0 {
         return Err(CtmcError::EmptyChain);
     }
 
     // Pre-compute exit rates; every state must be able to leave.
-    let mut exit = vec![0.0f64; n];
-    for (s, e) in exit.iter_mut().enumerate() {
+    ws.exit.resize(n, 0.0);
+    for (s, e) in ws.exit.iter_mut().enumerate() {
         *e = gen.exit_rate(s);
         if *e <= 0.0 {
             return Err(CtmcError::InvalidGenerator {
@@ -151,28 +295,13 @@ pub fn solve_gauss_seidel<G: IncomingTransitions + ?Sized>(
         }
     }
 
-    let mut pi: Vec<f64> = match warm_start {
-        Some(w) => {
-            if w.len() != n {
-                return Err(CtmcError::DimensionMismatch {
-                    expected: n,
-                    actual: w.len(),
-                });
-            }
-            let total: f64 = w.iter().sum();
-            if !total.is_finite() || total <= 0.0 || w.iter().any(|&x| !x.is_finite() || x < 0.0) {
-                return Err(CtmcError::InvalidGenerator {
-                    reason: "warm start must be non-negative with positive mass".into(),
-                });
-            }
-            w.iter().map(|&x| x / total).collect()
-        }
-        None => vec![1.0 / n as f64; n],
-    };
+    ws.init_pi(n, warm_start)?;
+    let (pi, exit) = (&mut ws.pi, &ws.exit);
 
     let omega = opts.sor_omega;
     let mut sweeps = 0usize;
     let mut residual = f64::INFINITY;
+    let mut converged: Option<SolveStats> = None;
 
     while sweeps < opts.max_sweeps {
         // One forward Gauss–Seidel sweep (in place: uses freshly updated
@@ -208,7 +337,7 @@ pub fn solve_gauss_seidel<G: IncomingTransitions + ?Sized>(
             });
         }
         let inv = 1.0 / total;
-        for p in &mut pi {
+        for p in pi.iter_mut() {
             *p *= inv;
         }
         sweeps += 1;
@@ -218,18 +347,22 @@ pub fn solve_gauss_seidel<G: IncomingTransitions + ?Sized>(
         // confirms before returning (once per solve, not per check).
         residual = if den == 0.0 { 0.0 } else { num / den };
         if residual <= opts.tolerance {
-            let exact = residual_incoming(gen, &pi, &exit);
+            let exact = residual_incoming(gen, pi, exit);
             if exact <= opts.tolerance {
-                return Ok(Solution {
-                    pi: StationaryDistribution::new(pi),
+                converged = Some(SolveStats {
                     sweeps,
                     residual: exact,
                 });
+                break;
             }
             residual = exact;
         }
     }
 
+    if let Some(stats) = converged {
+        ws.normalize_pi();
+        return Ok(stats);
+    }
     Err(CtmcError::NotConverged {
         iterations: sweeps,
         residual,

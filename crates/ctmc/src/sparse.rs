@@ -252,6 +252,11 @@ pub struct SparseGenerator {
     tcol: Vec<u32>,
     tval: Vec<f64>,
     exit: Vec<f64>,
+    /// CSR slot `k` scatters to transpose slot `tperm[k]` — precomputed
+    /// so [`refill_values`](Self::refill_values) can rebuild the
+    /// transpose without re-deriving the counting sort (and without
+    /// allocating a cursor array).
+    tperm: Vec<u32>,
 }
 
 impl SparseGenerator {
@@ -269,16 +274,14 @@ impl SparseGenerator {
 
     /// Assembles already-sorted, already-validated triplets.
     fn assemble_sorted(n: usize, sorted: Vec<(u32, u32, f64)>) -> Self {
-        // Single merge pass: deduplicate while filling the CSR arrays,
-        // the exit rates, and the transpose's column counts.
+        // Single merge pass: deduplicate while filling the CSR arrays
+        // and the transpose's column counts.
         let mut row_ptr = vec![0usize; n + 1];
         let mut col: Vec<u32> = Vec::with_capacity(sorted.len());
         let mut val: Vec<f64> = Vec::with_capacity(sorted.len());
-        let mut exit = vec![0.0f64; n];
         let mut trow_ptr = vec![0usize; n + 1];
         let mut last: Option<(u32, u32)> = None;
         for (i, j, r) in sorted {
-            exit[i as usize] += r;
             if last == Some((i, j)) {
                 // Duplicate (row, col): merge into the previous entry.
                 *val.last_mut().expect("duplicate follows an entry") += r;
@@ -295,10 +298,23 @@ impl SparseGenerator {
             trow_ptr[i + 1] += trow_ptr[i];
         }
 
-        // Transpose scatter (counting sort on target).
+        // Exit rates as row sums over the *merged* values, in column
+        // order — the same association refill_values (and its rollback)
+        // uses, so a refill reproduces assembly's exit rates bit for
+        // bit even when a row holds merged duplicate entries.
+        let mut exit = vec![0.0f64; n];
+        for (i, e) in exit.iter_mut().enumerate() {
+            *e = val[row_ptr[i]..row_ptr[i + 1]].iter().sum();
+        }
+
+        // Transpose scatter (counting sort on target), recording the
+        // CSR-slot -> transpose-slot permutation for later value
+        // refills.
         let nnz = col.len();
+        assert!(nnz <= u32::MAX as usize, "nonzero count exceeds u32 range");
         let mut tcol = vec![0u32; nnz];
         let mut tval = vec![0.0f64; nnz];
+        let mut tperm = vec![0u32; nnz];
         let mut cursor = trow_ptr.clone();
         for i in 0..n {
             for k in row_ptr[i]..row_ptr[i + 1] {
@@ -306,6 +322,7 @@ impl SparseGenerator {
                 let slot = cursor[j];
                 tcol[slot] = i as u32;
                 tval[slot] = val[k];
+                tperm[k] = slot as u32;
                 cursor[j] += 1;
             }
         }
@@ -319,6 +336,7 @@ impl SparseGenerator {
             tcol,
             tval,
             exit,
+            tperm,
         }
     }
 
@@ -371,6 +389,118 @@ impl SparseGenerator {
         // in-row column ordering cheaply.
         entries.sort_unstable_by_key(|e| (e.0, e.1));
         Ok(Self::assemble_sorted(n, entries))
+    }
+
+    /// Overwrites the stored rates in place by re-enumerating a model
+    /// with the **same sparsity pattern** — the numeric half of the
+    /// symbolic/numeric split behind parameter sweeps.
+    ///
+    /// The symbolic work of assembly (triplet sort, deduplication,
+    /// CSR + transpose layout) depends only on *which* transitions
+    /// exist, which for a fixed model shape never changes across a
+    /// sweep; only the rates do. `refill_values` re-runs the transition
+    /// enumeration and scatters the new rates into the existing
+    /// pattern: no sorting, no allocation, and the transpose is rebuilt
+    /// through the precomputed slot permutation. Values, transpose
+    /// values and exit rates come out bit-identical to a from-scratch
+    /// assembly of the same model whenever each `(source, target)` pair
+    /// is enumerated at most twice (f64 addition is commutative, so a
+    /// duplicate pair sums identically in either order; three or more
+    /// duplicates may differ in the last ulp because the association
+    /// order changes). Rates of exactly zero stay as explicit zeros in
+    /// the pattern.
+    ///
+    /// In debug builds a transition outside the stored pattern fails a
+    /// `debug_assert` immediately; release builds report it as
+    /// [`CtmcError::InvalidGenerator`]. A failed refill **rolls back**:
+    /// the transpose (only written on success) still holds the previous
+    /// values, so they are scattered back and the matrix stays
+    /// consistent with its pre-call state (exit rates recomputed as row
+    /// sums, which may differ in the last ulp for rows with duplicate
+    /// pattern entries).
+    ///
+    /// # Errors
+    ///
+    /// * [`CtmcError::DimensionMismatch`] — `gen` has a different state
+    ///   count.
+    /// * [`CtmcError::InvalidGenerator`] — a transition is invalid
+    ///   (negative, non-finite, diagonal, out of bounds) or absent from
+    ///   the stored pattern.
+    pub fn refill_values<G: Transitions + ?Sized>(&mut self, gen: &G) -> Result<(), CtmcError> {
+        if gen.num_states() != self.n {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.n,
+                actual: gen.num_states(),
+            });
+        }
+        let n = self.n;
+        let mut failed: Option<String> = None;
+        for i in 0..n {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let (cols, vals) = (&self.col[lo..hi], &mut self.val[lo..hi]);
+            vals.fill(0.0);
+            let mut bad: Option<String> = None;
+            gen.for_each_outgoing(i, &mut |j, rate| {
+                if bad.is_some() {
+                    return;
+                }
+                if j >= n || j == i || !rate.is_finite() || rate < 0.0 {
+                    bad = Some(format!("transition {i} -> {j} with rate {rate}"));
+                    return;
+                }
+                if rate == 0.0 {
+                    // Fresh assembly drops exact zeros, so they cannot
+                    // have a slot; skipping keeps the semantics aligned.
+                    return;
+                }
+                match cols.binary_search(&(j as u32)) {
+                    Ok(slot) => vals[slot] += rate,
+                    Err(_) => {
+                        debug_assert!(
+                            false,
+                            "refill pattern mismatch: transition {i} -> {j} absent from template"
+                        );
+                        bad = Some(format!(
+                            "refill pattern mismatch: transition {i} -> {j} absent from template"
+                        ));
+                    }
+                }
+            });
+            if bad.is_some() {
+                failed = bad;
+                break;
+            }
+            // Exit rate = row sum over the merged values in column
+            // order — the same association fresh assembly uses.
+            self.exit[i] = vals.iter().sum();
+        }
+
+        if let Some(reason) = failed {
+            // Roll back the partially refilled rows from the transpose,
+            // which still holds the pre-call values.
+            for (k, &slot) in self.tperm.iter().enumerate() {
+                self.val[k] = self.tval[slot as usize];
+            }
+            for i in 0..n {
+                self.exit[i] = self.val[self.row_ptr[i]..self.row_ptr[i + 1]].iter().sum();
+            }
+            return Err(CtmcError::InvalidGenerator { reason });
+        }
+
+        // Transpose values through the precomputed scatter permutation.
+        for (k, &slot) in self.tperm.iter().enumerate() {
+            self.tval[slot as usize] = self.val[k];
+        }
+        Ok(())
+    }
+
+    /// Whether `other` stores exactly the same sparsity pattern (rows,
+    /// columns and state count; values are ignored). Refilling from a
+    /// model is valid precisely when the model's fresh assembly would
+    /// have this pattern.
+    pub fn same_pattern(&self, other: &SparseGenerator) -> bool {
+        self.n == other.n && self.row_ptr == other.row_ptr && self.col == other.col
     }
 
     /// Number of states.
@@ -623,6 +753,158 @@ mod tests {
         let mut b = TripletBuilder::new(2);
         b.push(0, 1, 1.0);
         assert!(!b.build().unwrap().is_irreducible());
+    }
+
+    /// A parameterized ring whose pattern is rate-independent.
+    struct Ring {
+        n: usize,
+        scale: f64,
+    }
+
+    impl Transitions for Ring {
+        fn num_states(&self) -> usize {
+            self.n
+        }
+        fn for_each_outgoing(&self, state: usize, visit: &mut dyn FnMut(usize, f64)) {
+            visit((state + 1) % self.n, self.scale * (1.0 + state as f64));
+            visit(
+                (state + self.n - 1) % self.n,
+                self.scale / (1.0 + state as f64),
+            );
+        }
+    }
+
+    #[test]
+    fn refill_matches_fresh_assembly_bitwise() {
+        let mut g = SparseGenerator::from_transitions(&Ring { n: 9, scale: 1.0 }).unwrap();
+        for scale in [0.25, 3.5, 1.0e-3] {
+            let model = Ring { n: 9, scale };
+            g.refill_values(&model).unwrap();
+            let fresh = SparseGenerator::from_transitions(&model).unwrap();
+            assert!(g.same_pattern(&fresh));
+            for s in 0..9 {
+                assert_eq!(g.row(s), fresh.row(s), "row {s}");
+                assert_eq!(g.column(s), fresh.column(s), "column {s}");
+            }
+            assert_eq!(g.exit_rates(), fresh.exit_rates());
+        }
+    }
+
+    #[test]
+    fn refill_sums_duplicate_transitions() {
+        struct Doubled;
+        impl Transitions for Doubled {
+            fn num_states(&self) -> usize {
+                2
+            }
+            fn for_each_outgoing(&self, state: usize, visit: &mut dyn FnMut(usize, f64)) {
+                visit(1 - state, 1.5);
+                visit(1 - state, 2.5);
+            }
+        }
+        let mut g = SparseGenerator::from_transitions(&Doubled).unwrap();
+        assert_eq!(g.num_nonzeros(), 2);
+        g.refill_values(&Doubled).unwrap();
+        assert_eq!(g.row(0).1, &[4.0]);
+        assert_eq!(g.exit_rates(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn refill_exit_rates_match_assembly_with_offset_duplicates() {
+        // Duplicates on a column that is *not* the row's first entry,
+        // with magnitudes chosen so association order is visible at the
+        // ulp level: exit must still match fresh assembly bit for bit
+        // (both sum the merged values in column order).
+        struct Lopsided;
+        impl Transitions for Lopsided {
+            fn num_states(&self) -> usize {
+                3
+            }
+            fn for_each_outgoing(&self, state: usize, visit: &mut dyn FnMut(usize, f64)) {
+                if state == 0 {
+                    visit(1, 1e16);
+                    visit(2, 1.0);
+                    visit(2, 1.0);
+                } else {
+                    visit(0, 1.0);
+                }
+            }
+        }
+        let fresh = SparseGenerator::from_transitions(&Lopsided).unwrap();
+        let mut refilled = fresh.clone();
+        refilled.refill_values(&Lopsided).unwrap();
+        assert_eq!(refilled.exit_rates(), fresh.exit_rates());
+        for s in 0..3 {
+            assert_eq!(refilled.row(s), fresh.row(s));
+        }
+    }
+
+    #[test]
+    fn refill_rejects_wrong_state_count() {
+        let mut g = SparseGenerator::from_transitions(&Ring { n: 5, scale: 1.0 }).unwrap();
+        let err = g.refill_values(&Ring { n: 6, scale: 1.0 }).unwrap_err();
+        assert!(matches!(err, CtmcError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn refill_rejects_invalid_rate() {
+        let mut g = SparseGenerator::from_transitions(&Ring { n: 5, scale: 1.0 }).unwrap();
+        let err = g.refill_values(&Ring { n: 5, scale: -1.0 }).unwrap_err();
+        assert!(matches!(err, CtmcError::InvalidGenerator { .. }));
+    }
+
+    #[test]
+    fn failed_refill_rolls_back_to_previous_values() {
+        // Valid on rows 0..3, invalid (negative) rate on row 3: the
+        // refill fails after partially rewriting earlier rows and must
+        // restore the previous consistent matrix.
+        struct HalfBad {
+            scale: f64,
+        }
+        impl Transitions for HalfBad {
+            fn num_states(&self) -> usize {
+                5
+            }
+            fn for_each_outgoing(&self, state: usize, visit: &mut dyn FnMut(usize, f64)) {
+                let rate = if state == 3 { -1.0 } else { self.scale };
+                visit((state + 1) % 5, rate);
+                visit((state + 4) % 5, self.scale);
+            }
+        }
+        let good = Ring { n: 5, scale: 2.0 };
+        let mut g = SparseGenerator::from_transitions(&good).unwrap();
+        let before = g.clone();
+        let err = g.refill_values(&HalfBad { scale: 9.0 }).unwrap_err();
+        assert!(matches!(err, CtmcError::InvalidGenerator { .. }));
+        for s in 0..5 {
+            assert_eq!(g.row(s), before.row(s), "row {s} not rolled back");
+            assert_eq!(g.column(s), before.column(s), "column {s} not rolled back");
+        }
+        assert_eq!(g.exit_rates(), before.exit_rates());
+        // The rolled-back matrix is still refillable.
+        g.refill_values(&Ring { n: 5, scale: 0.5 }).unwrap();
+        let fresh = SparseGenerator::from_transitions(&Ring { n: 5, scale: 0.5 }).unwrap();
+        assert_eq!(g.row(0), fresh.row(0));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "pattern mismatch")]
+    fn refill_mismatched_pattern_debug_asserts() {
+        // The three-cycle's pattern has no 0 -> 2 edge; a model that
+        // enumerates one must be caught by the debug validation.
+        let mut g = three_cycle();
+        struct Widened;
+        impl Transitions for Widened {
+            fn num_states(&self) -> usize {
+                3
+            }
+            fn for_each_outgoing(&self, state: usize, visit: &mut dyn FnMut(usize, f64)) {
+                visit((state + 1) % 3, 1.0);
+                visit((state + 2) % 3, 1.0);
+            }
+        }
+        let _ = g.refill_values(&Widened);
     }
 
     #[test]

@@ -35,6 +35,15 @@ impl StationaryDistribution {
         StationaryDistribution { pi }
     }
 
+    /// Wraps a vector that is already normalized (the workspace-based
+    /// solvers normalize in place with exactly the arithmetic of
+    /// [`new`](Self::new), so wrapping must not divide a second time —
+    /// that would perturb the last ulp against the seed behavior).
+    pub(crate) fn from_normalized(pi: Vec<f64>) -> Self {
+        debug_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        StationaryDistribution { pi }
+    }
+
     /// Number of states.
     pub fn num_states(&self) -> usize {
         self.pi.len()

@@ -15,7 +15,8 @@
 
 use crate::scale::Scale;
 use crate::series::{FigureResult, Panel, Series, ShapeCheck};
-use gprs_core::cluster::{par_sweep_load_scales, ClusterSolveOptions, MID_CELL};
+use gprs_core::cluster::{ClusterSolveOptions, MID_CELL};
+use gprs_core::template::{TemplatePool, WarmStart};
 use gprs_core::{CellConfig, Measures, ModelError, Scenario};
 use gprs_exec::{num_threads, par_map_tasks};
 use gprs_traffic::TrafficModel;
@@ -62,13 +63,12 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
     // the homogeneous references below are lowerings of it.
     let scenario = Scenario::hot_spot(ring_cell(scale, base_rate)?, HOT_FACTOR * base_rate)?
         .named("ext03 hot-spot");
-    let base = scenario.to_cluster()?;
     eprintln!(
         "  ext03: cluster fixed point at {} load scales ({} states/cell)",
         scales.len(),
-        base.configs()[0].num_states()
+        scenario.base_cells()[0].num_states()
     );
-    let points = par_sweep_load_scales(&base, &scales, &opts)?;
+    let points = scenario.par_sweep_load_scales(&scales, &opts)?;
 
     let mid_rates: Vec<f64> = points.iter().map(|p| p.mid_rate).collect();
     let mut mid_block = Vec::new();
@@ -85,19 +85,21 @@ pub fn run(scale: Scale) -> Result<FigureResult, ModelError> {
     // over the same executor instead of leaving a serial tail. Each is
     // the scenario's own "what would homogeneity predict for this cell"
     // lowering: the scaled scenario, made uniform at the hot mid cell
-    // (resp. a ring cell), dropped into the single-cell model.
+    // (resp. a ring cell), dropped into the single-cell model. All the
+    // references share one shape, so workers draw pooled
+    // GeneratorTemplates and every solve reuses workspace + pattern
+    // instead of rebuilding solver state per point.
     let homog: Vec<(Measures, Measures)> = {
+        let pool = TemplatePool::new(&scenario.base_cells()[MID_CELL])?;
         let solves = par_map_tasks(points.len(), num_threads(), |i| {
             let at_scale = scenario.clone().with_load_scale(scales[i])?;
-            let hot = at_scale
-                .homogeneous_at(MID_CELL)?
-                .to_model()?
-                .solve(&opts.solve, None)?;
-            let ring = at_scale
-                .homogeneous_at(1)?
-                .to_model()?
-                .solve(&opts.solve, None)?;
-            Ok::<_, ModelError>((*hot.measures(), *ring.measures()))
+            let hot_model = at_scale.homogeneous_at(MID_CELL)?.to_model()?;
+            let ring_model = at_scale.homogeneous_at(1)?.to_model()?;
+            let mut template = pool.acquire()?;
+            let hot = template.solve(&hot_model, &opts.solve, WarmStart::Cold)?;
+            let ring = template.solve(&ring_model, &opts.solve, WarmStart::Cold)?;
+            pool.release(template);
+            Ok::<_, ModelError>((hot.measures, ring.measures))
         });
         solves.into_iter().collect::<Result<_, _>>()?
     };
