@@ -1,18 +1,29 @@
-//! Machine-readable performance report: `bench-report [OUTPUT.json]`.
+//! Machine-readable performance report:
+//! `bench-report [--quick] [OUTPUT.json]`.
 //!
 //! Times the three repeated-solve pipelines the symbolic/numeric split
 //! targets — arrival-rate sweeps (template refill vs historical
 //! per-point rebuild), the 7-cell cluster fixed point, and the parallel
 //! replication engine — and writes a single JSON document
 //! (`BENCH_sweep.json` by default) with points-per-second throughput
-//! for each. The scheduled CI job uploads the file as an artifact, so
-//! the repository accumulates a perf trajectory over time; the numbers
-//! are wall-clock on whatever runner executes them, meaningful as a
-//! series rather than as absolutes.
+//! for each. CI uploads the file as an artifact, so the repository
+//! accumulates a perf trajectory over time; the numbers are wall-clock
+//! on whatever runner executes them, meaningful as a series rather
+//! than as absolutes.
 //!
-//! The workloads are sized to finish in a couple of minutes on one CI
-//! core. Determinism is asserted (sequential vs parallel sweeps) before
-//! timing, so a report is also a cheap correctness smoke.
+//! Two sizes of the same workloads (the `"mode"` field records which
+//! one a report ran):
+//!
+//! * the default sizing finishes in a couple of minutes on one CI core
+//!   and feeds the scheduled nightly job;
+//! * `--quick` shrinks grids and replication counts to tens of seconds
+//!   so the tier-1 per-push job can seed the trajectory on **every**
+//!   push, not only on the nightly schedule. Quick points are
+//!   comparable with other quick points.
+//!
+//! Determinism is asserted (sequential vs parallel sweeps) before
+//! timing in both modes, so a report is also a cheap correctness
+//! smoke.
 
 use gprs_bench::{figure_sweep_cell, sweep_rebuild};
 use gprs_core::cluster::{ClusterModel, ClusterSolveOptions};
@@ -33,16 +44,38 @@ fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let mut quick = false;
+    let mut out_path = "BENCH_sweep.json".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                eprintln!("usage: bench-report [--quick] [OUTPUT.json]");
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}; usage: bench-report [--quick] [OUTPUT.json]");
+                std::process::exit(2);
+            }
+            path => out_path = path.to_string(),
+        }
+    }
     let threads = num_threads();
     let solve_opts = SolveOptions::quick().with_max_sweeps(200_000);
 
     // --- Sweep: template refill vs historical per-point rebuild, on
     // the same shared fixture the `sweep` criterion bench times. ---
-    let base = figure_sweep_cell();
-    let rates = rate_grid(0.05, 1.0, 20);
+    let base = if quick {
+        // Same shape family, smaller state space: the quick report
+        // must finish within the tier-1 budget.
+        let mut cell = figure_sweep_cell();
+        cell.buffer_capacity = 15;
+        cell.max_gprs_sessions = 8;
+        cell
+    } else {
+        figure_sweep_cell()
+    };
+    let rates = rate_grid(0.05, 1.0, if quick { 8 } else { 20 });
     let (rebuild_s, _) = timed(|| sweep_rebuild(&base, &rates, &solve_opts));
     let (refill_s, seq) = timed(|| sweep_arrival_rates(&base, &rates, &solve_opts).expect("sweep"));
     // Determinism smoke: the parallel sweep must match bitwise.
@@ -62,6 +95,14 @@ fn main() {
         .call_arrival_rate(0.3)
         .build()
         .expect("valid config");
+    let ring = if quick {
+        let mut c = ring;
+        c.buffer_capacity = 8;
+        c.max_gprs_sessions = 3;
+        c
+    } else {
+        ring
+    };
     let cluster = ClusterModel::hot_spot(ring, 0.6).expect("valid cluster");
     let cluster_opts = ClusterSolveOptions::quick()
         .with_solve(solve_opts.clone())
@@ -84,9 +125,9 @@ fn main() {
         .expect("lowerable scenario")
         .seed(2024)
         .warmup(100.0)
-        .batches(2, 300.0)
+        .batches(2, if quick { 150.0 } else { 300.0 })
         .build();
-    let replications = 6usize;
+    let replications = if quick { 3usize } else { 6usize };
     let rep_opts = ReplicationOptions::new(0.01, replications, replications)
         .with_target(TargetMeasure::CarriedVoiceTraffic)
         .with_threads(threads);
@@ -98,6 +139,11 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema\": \"gprs-bench-report/v1\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"sweep\": {{");
     let _ = writeln!(json, "    \"points\": {},", rates.len());

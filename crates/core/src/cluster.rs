@@ -106,16 +106,22 @@ pub fn neighbors(cell: usize) -> [usize; 6] {
 }
 
 /// Picks a uniform handover target for a user leaving `cell`, given a
-/// uniform random value `u ∈ [0, 1)` — the sampling counterpart of the
+/// uniform random value `u ∈ [0, 1]` — the sampling counterpart of the
 /// analytical model's uniform 1/6 flux split, used by the simulator.
+///
+/// The convention is half-open binning with an inclusive boundary:
+/// `u ∈ [i/6, (i+1)/6)` selects neighbour `i`, and the measure-zero
+/// draw `u = 1.0` is clamped onto the last neighbour, so callers
+/// sampling from either `[0, 1)` or `[0, 1]` uniform generators are
+/// accepted.
 ///
 /// # Panics
 ///
-/// Panics if `cell >= NUM_CELLS` or `u` is outside `[0, 1)`.
+/// Panics if `cell >= NUM_CELLS` or `u` is outside `[0, 1]`.
 pub fn handover_target(cell: usize, u: f64) -> usize {
-    assert!((0.0..1.0).contains(&u), "u must lie in [0, 1), got {u}");
+    assert!((0.0..=1.0).contains(&u), "u must lie in [0, 1], got {u}");
     let nbrs = neighbors(cell);
-    nbrs[(u * 6.0) as usize % 6]
+    nbrs[((u * 6.0) as usize).min(5)]
 }
 
 /// Options for the cluster fixed point.
@@ -270,9 +276,11 @@ impl ClusterModel {
     /// configurations (index [`MID_CELL`] is the mid cell).
     ///
     /// The handover split is a rate split, so cells may differ in any
-    /// parameter; for the cross-validated scenarios only the arrival
-    /// rates vary (the simulator shares the remaining parameters across
-    /// cells).
+    /// parameter — coding schemes, buffers, channel splits, traffic
+    /// models, arrival rates. The network simulator accepts the same
+    /// generality (`gprs_sim::SimConfig` holds one `CellConfig` per
+    /// cell), so every cluster this model solves can be
+    /// cross-validated end to end.
     ///
     /// # Errors
     ///
@@ -675,6 +683,26 @@ mod tests {
             seen.insert(handover_target(0, u));
         }
         assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn topology_handover_target_accepts_the_inclusive_boundary() {
+        // Inclusive-range uniform draws may produce exactly 1.0; the
+        // measure-zero boundary clamps onto the last neighbour instead
+        // of panicking.
+        for cell in 0..NUM_CELLS {
+            let t = handover_target(cell, 1.0);
+            assert_eq!(t, neighbors(cell)[5], "cell {cell}");
+            assert_ne!(t, cell);
+        }
+        // Just below the boundary agrees with the clamped value.
+        assert_eq!(handover_target(0, 1.0), handover_target(0, 1.0 - 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn topology_handover_target_rejects_above_one() {
+        let _ = handover_target(0, 1.0 + 1e-9);
     }
 
     #[test]

@@ -14,14 +14,17 @@
 //!   [`Scenario::to_model`] (uniform scenarios only — the single-cell
 //!   model *is* the homogeneity assumption),
 //! * and to the simulator via `gprs_sim::SimConfig::for_scenario`,
-//!   which consumes the same per-cell rates and TCP switch (the
-//!   simulator crate depends on this one, so that lowering lives
-//!   there).
+//!   which consumes the same effective per-cell configurations and TCP
+//!   switch verbatim — one `CellConfig` per simulated cell, no
+//!   uniformity restriction (the simulator crate depends on this one,
+//!   so that lowering lives there).
 //!
 //! # How to add a scenario
 //!
 //! A new scenario is one constructor (or one call chain) — no new
-//! plumbing on either side of the model/simulator divide:
+//! plumbing on either side of the model/simulator divide. *Any* cell
+//! parameter may vary per cell; the same value drives the analytical
+//! fixed point and the network simulator:
 //!
 //! ```
 //! use gprs_core::scenario::Scenario;
@@ -48,9 +51,16 @@
 //! // flow-control threshold *and* the simulator's TCP sources.
 //! let no_tcp = hot.clone().without_tcp();
 //!
-//! // Mixed per-cell parameters (e.g. coding schemes) via from_cells.
+//! // Mixed per-cell parameters via from_cells: an upgraded CS-3 mid
+//! // cell with a deeper buffer inside a CS-2 ring. This lowers to the
+//! // cluster model *and* to the simulator
+//! // (`gprs_sim::SimConfig::for_scenario`), which runs each cell at
+//! // its own coding scheme and buffer size — see
+//! // tests/model_vs_simulator.rs for the cross-validation of exactly
+//! // such scenarios.
 //! let mut cells = vec![base; 7];
 //! cells[0].coding_scheme = gprs_core::CodingScheme::Cs3;
+//! cells[0].buffer_capacity = 16;
 //! let mixed = Scenario::from_cells("mixed-coding", cells)?;
 //!
 //! // Every scenario lowers to the cluster model the same way:
@@ -58,6 +68,7 @@
 //! assert_eq!(ring.cell_rates()[3], 0.3);
 //! let _cluster = no_tcp.to_cluster()?;
 //! assert!(!mixed.is_uniform());
+//! let _mixed_cluster = mixed.to_cluster()?;
 //! # Ok::<(), gprs_core::ModelError>(())
 //! ```
 //!
@@ -132,9 +143,10 @@ impl Scenario {
     /// The general constructor: exactly [`NUM_CELLS`] per-cell
     /// configurations (index [`MID_CELL`] is the mid/statistics cell),
     /// free to differ in *any* parameter — arrival rates, coding
-    /// schemes, buffer sizes. Note the simulator lowering only accepts
-    /// per-cell differences in the arrival rate (the analytical cluster
-    /// accepts them all).
+    /// schemes, buffer sizes, channel splits. Both lowerings accept the
+    /// full generality: the analytical cluster solves one CTMC per
+    /// cell, and the simulator (`gprs_sim::SimConfig::for_scenario`)
+    /// runs one `CellConfig` per cell.
     ///
     /// # Errors
     ///

@@ -4,6 +4,7 @@
 pub mod ext01;
 pub mod ext02;
 pub mod ext03;
+pub mod ext04;
 pub mod fig05;
 pub mod fig06;
 pub mod fig07;
@@ -23,10 +24,10 @@ use crate::series::FigureResult;
 
 /// All figure ids: the paper's figures in paper order, then the
 /// extension figures (coding-scheme ablation, capacity on demand,
-/// hot-spot cluster).
-pub const ALL_FIGURES: [&str; 14] = [
+/// hot-spot cluster, mixed-coding cluster).
+pub const ALL_FIGURES: [&str; 15] = [
     "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig15",
-    "fig14", "ext01", "ext02", "ext03",
+    "fig14", "ext01", "ext02", "ext03", "ext04",
 ];
 
 /// Runs a figure by id.
@@ -51,6 +52,7 @@ pub fn run_figure(id: &str, scale: Scale) -> Result<FigureResult, String> {
         "ext01" => ext01::run(scale),
         "ext02" => ext02::run(scale),
         "ext03" => ext03::run(scale),
+        "ext04" => ext04::run(scale),
         other => return Err(format!("unknown figure id: {other}")),
     };
     result.map_err(|e| format!("{id}: {e}"))

@@ -20,6 +20,7 @@
 //! | Fig. 14 | voice CVT & blocking vs reserved PDCHs | [`figures::fig14`] |
 //! | Fig. 15 | session count & blocking, 2 % vs 10 % | [`figures::fig15`] |
 //! | Ext. 3 | hot-spot 7-cell cluster vs homogeneous model | [`figures::ext03`] |
+//! | Ext. 4 | mixed-coding cluster: CS-4 hot cell in a CS-2 ring | [`figures::ext04`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

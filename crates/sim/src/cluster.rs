@@ -35,8 +35,10 @@ mod tests {
 
     #[test]
     fn handover_target_stays_in_range() {
+        // Inclusive upper boundary: i == 12 drives u to exactly 1.0,
+        // which clamps onto the last neighbour rather than panicking.
         for cell in 0..NUM_CELLS {
-            for i in 0..12 {
+            for i in 0..=12 {
                 let u = i as f64 / 12.0;
                 let t = handover_target(cell, u);
                 assert!(t < NUM_CELLS);

@@ -48,13 +48,22 @@ impl Default for TcpConfig {
     }
 }
 
-/// Full simulator configuration: the cell parameters (shared with the
-/// Markov model) plus simulation-only knobs.
+/// Full simulator configuration: one [`CellConfig`] **per cluster
+/// cell** (the same type the Markov model uses, so experiments are
+/// guaranteed to compare like with like) plus simulation-only knobs.
+///
+/// Cells are free to differ in *any* parameter — coding schemes,
+/// buffer sizes, channel splits, traffic models, arrival rates — which
+/// is exactly the generality of the analytical
+/// [`ClusterModel`](gprs_core::cluster::ClusterModel), so every
+/// scenario the fixed point accepts can now be cross-validated by the
+/// simulator. A uniform vector (the [`SimConfig::builder`] special
+/// case) reproduces the legacy shared-parameter simulator bit for bit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
-    /// The cell/traffic parameterization (same type the Markov model
-    /// uses, so experiments are guaranteed to compare like with like).
-    pub cell: CellConfig,
+    /// Per-cell parameterizations, exactly [`NUM_CELLS`] entries with
+    /// the mid (statistics) cell at index [`MID_CELL`].
+    pub cells: Vec<CellConfig>,
     /// Master RNG seed.
     pub seed: u64,
     /// Warm-up period discarded before statistics start, seconds.
@@ -73,21 +82,23 @@ pub struct SimConfig {
     /// Online PDCH re-dimensioning (capacity on demand). `None` keeps
     /// the static reservation of the Markov model.
     pub supervision: Option<SupervisionConfig>,
-    /// Per-cell combined call arrival rates (calls/s, one per cluster
-    /// cell), overriding `cell.call_arrival_rate` for heterogeneous
-    /// scenarios such as a hot-spot mid cell. `None` keeps the
-    /// homogeneous load of the paper's validation setup.
-    pub cell_arrival_rates: Option<Vec<f64>>,
 }
 
 impl SimConfig {
-    /// Starts a builder with sensible defaults (10 batches × 2000 s,
-    /// 1000 s warm-up, 50 ms wired delay, processor-sharing radio,
-    /// TCP enabled).
+    /// Starts a builder for a **uniform** cluster: all seven cells run
+    /// `cell`. Sensible defaults (10 batches × 2000 s, 1000 s warm-up,
+    /// 50 ms wired delay, processor-sharing radio, TCP enabled).
     pub fn builder(cell: CellConfig) -> SimConfigBuilder {
+        Self::builder_cells(vec![cell; NUM_CELLS])
+    }
+
+    /// Starts a builder from explicit per-cell configurations (mid cell
+    /// first). The vector is validated at [`SimConfigBuilder::build`]
+    /// time: exactly [`NUM_CELLS`] entries, each individually valid.
+    pub fn builder_cells(cells: Vec<CellConfig>) -> SimConfigBuilder {
         SimConfigBuilder {
             config: SimConfig {
-                cell,
+                cells,
                 seed: 1,
                 warmup: 1_000.0,
                 num_batches: 10,
@@ -96,8 +107,8 @@ impl SimConfig {
                 radio: RadioModel::ProcessorSharing,
                 tcp: TcpConfig::default(),
                 supervision: None,
-                cell_arrival_rates: None,
             },
+            rate_override: None,
         }
     }
 
@@ -106,41 +117,26 @@ impl SimConfig {
     /// `Scenario::to_cluster`) consume, so model and simulator are
     /// guaranteed to run the *same* scenario. The builder arrives
     /// preloaded with the scenario's effective cells (load scale
-    /// applied), per-cell arrival rates (only when heterogeneous, so
-    /// homogeneous scenarios lower to the legacy homogeneous config),
-    /// and TCP switch; run-length knobs (seed, warm-up, batches) stay
-    /// with the caller.
+    /// applied, one [`CellConfig`] per cluster cell — heterogeneous
+    /// scenarios lower verbatim, with no uniformity restriction) and
+    /// TCP switch; run-length knobs (seed, warm-up, batches) stay with
+    /// the caller.
+    ///
+    /// One field is model-side only: [`CellConfig::tcp_threshold`]
+    /// (`η`) is the Markov model's *abstraction* of TCP feedback, which
+    /// the simulator replaces with an explicit TCP implementation
+    /// ([`TcpConfig`]) — the lowering carries `η` through untouched and
+    /// the simulator never reads it, so per-cell `η` differences only
+    /// affect the analytical side of a cross-validation.
     ///
     /// # Errors
     ///
-    /// [`ModelError::Config`] if the scenario's cells differ in any
-    /// parameter other than the arrival rate — the simulator shares
-    /// channel/buffer/traffic parameters across the cluster (the
-    /// analytical [`Scenario::to_cluster`] lowering has no such
-    /// restriction), or if the effective cells fail validation.
+    /// [`ModelError::Config`] if the scenario's effective cells fail
+    /// validation (e.g. a load scale pushed an arrival rate out of
+    /// range).
     pub fn for_scenario(scenario: &Scenario) -> Result<SimConfigBuilder, ModelError> {
         let cells = scenario.effective_cells()?;
-        let mid = &cells[MID_CELL];
-        for (i, cell) in cells.iter().enumerate() {
-            let mut rate_adjusted = cell.clone();
-            rate_adjusted.call_arrival_rate = mid.call_arrival_rate;
-            if rate_adjusted != *mid {
-                return Err(ModelError::Config {
-                    reason: format!(
-                        "scenario '{}': cell {i} differs from the mid cell beyond the \
-                         arrival rate; the simulator shares all other parameters \
-                         across the cluster",
-                        scenario.name()
-                    ),
-                });
-            }
-        }
-        let rates: Vec<f64> = cells.iter().map(|c| c.call_arrival_rate).collect();
-        let uniform = rates[1..].iter().all(|r| *r == rates[MID_CELL]);
-        let mut builder = SimConfig::builder(cells[MID_CELL].clone());
-        if !uniform {
-            builder = builder.cell_arrival_rates(rates);
-        }
+        let mut builder = SimConfig::builder_cells(cells);
         if !scenario.tcp_enabled() {
             builder = builder.without_tcp();
         }
@@ -152,29 +148,70 @@ impl SimConfig {
         self.warmup + self.num_batches as f64 * self.batch_duration
     }
 
-    /// The combined call arrival rate of `cell` (the per-cell override
-    /// when set, the shared `cell.call_arrival_rate` otherwise).
+    /// The configuration of `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell >= NUM_CELLS`.
+    pub fn cell(&self, cell: usize) -> &CellConfig {
+        assert!(cell < NUM_CELLS, "cell {cell} out of range");
+        &self.cells[cell]
+    }
+
+    /// Whether all seven cells are identical — the legacy
+    /// shared-parameter special case.
+    pub fn is_uniform(&self) -> bool {
+        self.cells[1..].iter().all(|c| *c == self.cells[MID_CELL])
+    }
+
+    /// The combined call arrival rate of `cell` (calls/s).
     ///
     /// # Panics
     ///
     /// Panics if `cell >= NUM_CELLS`.
     pub fn arrival_rate_in(&self, cell: usize) -> f64 {
-        assert!(cell < NUM_CELLS, "cell {cell} out of range");
-        match &self.cell_arrival_rates {
-            Some(rates) => rates[cell],
-            None => self.cell.call_arrival_rate,
-        }
+        self.cell(cell).call_arrival_rate
     }
 
     /// New-GSM-call arrival rate in `cell`,
     /// `λ_GSM = (1 − f_GPRS)·λ_cell`.
     pub fn gsm_arrival_rate_in(&self, cell: usize) -> f64 {
-        (1.0 - self.cell.gprs_fraction) * self.arrival_rate_in(cell)
+        self.cell(cell).gsm_arrival_rate()
     }
 
     /// New-GPRS-session arrival rate in `cell`, `λ_GPRS = f_GPRS·λ_cell`.
     pub fn gprs_arrival_rate_in(&self, cell: usize) -> f64 {
-        self.cell.gprs_fraction * self.arrival_rate_in(cell)
+        self.cell(cell).gprs_arrival_rate()
+    }
+
+    /// Asserts the structural invariants the simulator relies on:
+    /// exactly [`NUM_CELLS`] cell configurations, each individually
+    /// valid (which guarantees, among others, `buffer_capacity >= 1` —
+    /// the supervision occupancy divisor — and
+    /// `reserved_pdchs <= total_channels`).
+    ///
+    /// [`SimConfigBuilder::build`] runs this; [`GprsSimulator::new`]
+    /// (`crate::simulator::GprsSimulator::new`) re-runs it so
+    /// hand-constructed configurations fail fast with a clear message
+    /// instead of underflowing mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the first violated constraint.
+    pub fn assert_valid(&self) {
+        assert_eq!(
+            self.cells.len(),
+            NUM_CELLS,
+            "need one cell config per cluster cell"
+        );
+        for (i, cell) in self.cells.iter().enumerate() {
+            if let Err(e) = cell.validate() {
+                panic!("cell {i}: {e}");
+            }
+        }
+        if let Some(sup) = &self.supervision {
+            sup.validate();
+        }
     }
 }
 
@@ -182,6 +219,9 @@ impl SimConfig {
 #[derive(Debug, Clone)]
 pub struct SimConfigBuilder {
     config: SimConfig,
+    /// Pending per-cell arrival-rate override, applied to the cells at
+    /// [`SimConfigBuilder::build`] time (last call wins).
+    rate_override: Option<Vec<f64>>,
 }
 
 impl SimConfigBuilder {
@@ -235,29 +275,34 @@ impl SimConfigBuilder {
     }
 
     /// Sets per-cell combined call arrival rates (one per cluster cell,
-    /// mid cell first), making the cluster heterogeneous.
+    /// mid cell first), overriding each cell's configured rate.
     ///
     /// [`SimConfigBuilder::cell_arrival_rates`] and
     /// [`SimConfigBuilder::hot_spot`] both assign the *entire* per-cell
     /// rate vector: **the last call wins**, replacing whatever an
-    /// earlier call of either method set (they do not merge).
+    /// earlier call of either method set (they do not merge). Cells'
+    /// other parameters are untouched.
     pub fn cell_arrival_rates(mut self, rates: Vec<f64>) -> Self {
-        self.config.cell_arrival_rates = Some(rates);
+        self.rate_override = Some(rates);
         self
     }
 
     /// Hot-spot convenience: the mid cell runs at `mid_rate` calls/s,
-    /// the six ring cells keep the base cell's arrival rate.
+    /// the six ring cells keep their configured arrival rates.
     ///
     /// Like [`SimConfigBuilder::cell_arrival_rates`], this assigns the
     /// *entire* per-cell rate vector — **the last call wins**: a
     /// `hot_spot` after `cell_arrival_rates` rebuilds all seven rates
-    /// from the base cell (discarding the earlier vector), and a
+    /// from the configured cells (discarding the earlier vector), and a
     /// `cell_arrival_rates` after `hot_spot` replaces the hot-spot
     /// pattern wholesale.
     pub fn hot_spot(self, mid_rate: f64) -> Self {
-        let ring = self.config.cell.call_arrival_rate;
-        let mut rates = vec![ring; NUM_CELLS];
+        let mut rates: Vec<f64> = self
+            .config
+            .cells
+            .iter()
+            .map(|c| c.call_arrival_rate)
+            .collect();
         rates[MID_CELL] = mid_rate;
         self.cell_arrival_rates(rates)
     }
@@ -266,25 +311,13 @@ impl SimConfigBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if warm-up/batch parameters are not positive or fewer than
-    /// two batches are requested.
-    pub fn build(self) -> SimConfig {
-        let c = &self.config;
-        assert!(c.warmup >= 0.0, "warmup must be >= 0");
-        assert!(c.num_batches >= 2, "need at least two batches for CIs");
-        assert!(c.batch_duration > 0.0, "batch duration must be positive");
-        assert!(
-            c.wired_delay >= 0.0 && c.wired_delay.is_finite(),
-            "wired delay must be finite and >= 0"
-        );
-        if let Some(sup) = &c.supervision {
-            sup.validate();
-            assert!(
-                sup.max_reserved < c.cell.total_channels,
-                "supervision must leave at least one voice channel"
-            );
-        }
-        if let Some(rates) = &c.cell_arrival_rates {
+    /// Panics if warm-up/batch parameters are not positive, fewer than
+    /// two batches are requested, the cell vector is not exactly
+    /// [`NUM_CELLS`] valid configurations, a rate override is
+    /// malformed, or a supervision range cannot leave at least one
+    /// voice channel in every cell.
+    pub fn build(mut self) -> SimConfig {
+        if let Some(rates) = self.rate_override.take() {
             assert_eq!(
                 rates.len(),
                 NUM_CELLS,
@@ -294,6 +327,34 @@ impl SimConfigBuilder {
                 rates.iter().all(|r| r.is_finite() && *r > 0.0),
                 "per-cell arrival rates must be finite and positive"
             );
+            assert_eq!(
+                self.config.cells.len(),
+                NUM_CELLS,
+                "need one cell config per cluster cell"
+            );
+            for (cell, rate) in self.config.cells.iter_mut().zip(rates) {
+                cell.call_arrival_rate = rate;
+            }
+        }
+        let c = &self.config;
+        assert!(c.warmup >= 0.0, "warmup must be >= 0");
+        assert!(c.num_batches >= 2, "need at least two batches for CIs");
+        assert!(c.batch_duration > 0.0, "batch duration must be positive");
+        assert!(
+            c.wired_delay >= 0.0 && c.wired_delay.is_finite(),
+            "wired delay must be finite and >= 0"
+        );
+        c.assert_valid();
+        if let Some(sup) = &c.supervision {
+            for (i, cell) in c.cells.iter().enumerate() {
+                assert!(
+                    sup.max_reserved < cell.total_channels,
+                    "supervision must leave at least one voice channel: max_reserved {} \
+                     vs cell {i} total_channels {}",
+                    sup.max_reserved,
+                    cell.total_channels
+                );
+            }
         }
         self.config
     }
@@ -302,6 +363,7 @@ impl SimConfigBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gprs_core::CodingScheme;
     use gprs_traffic::TrafficModel;
 
     fn cell() -> CellConfig {
@@ -319,6 +381,8 @@ mod tests {
         assert!((cfg.horizon() - (1_000.0 + 10.0 * 2_000.0)).abs() < 1e-9);
         assert!(cfg.tcp.enabled);
         assert_eq!(cfg.radio, RadioModel::ProcessorSharing);
+        assert_eq!(cfg.cells.len(), NUM_CELLS);
+        assert!(cfg.is_uniform());
     }
 
     #[test]
@@ -346,7 +410,7 @@ mod tests {
     #[test]
     fn homogeneous_default_uses_the_shared_rate() {
         let cfg = SimConfig::builder(cell()).build();
-        assert!(cfg.cell_arrival_rates.is_none());
+        assert!(cfg.is_uniform());
         for c in 0..NUM_CELLS {
             assert!((cfg.arrival_rate_in(c) - 0.5).abs() < 1e-12);
         }
@@ -388,9 +452,25 @@ mod tests {
     }
 
     #[test]
+    fn builder_cells_accepts_full_heterogeneity() {
+        let mut cells = vec![cell(); NUM_CELLS];
+        cells[0].coding_scheme = CodingScheme::Cs4;
+        cells[2].buffer_capacity = 40;
+        cells[3].total_channels = 16;
+        cells[4].max_gprs_sessions = 5;
+        cells[5].call_arrival_rate = 0.9;
+        let cfg = SimConfig::builder_cells(cells.clone()).build();
+        assert!(!cfg.is_uniform());
+        assert_eq!(cfg.cells, cells);
+        assert_eq!(cfg.cell(0).coding_scheme, CodingScheme::Cs4);
+        assert_eq!(cfg.cell(2).buffer_capacity, 40);
+        assert!((cfg.arrival_rate_in(5) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
     fn scenario_lowering_matches_hand_wiring() {
         use gprs_core::Scenario;
-        // Homogeneous: no per-cell override, TCP on — exactly the
+        // Homogeneous: a uniform cell vector, TCP on — exactly the
         // legacy builder output.
         let s = Scenario::homogeneous(cell()).unwrap();
         let lowered = SimConfig::for_scenario(&s).unwrap().seed(7).build();
@@ -402,7 +482,7 @@ mod tests {
         let lowered = SimConfig::for_scenario(&s).unwrap().seed(7).build();
         let legacy = SimConfig::builder(cell()).seed(7).hot_spot(1.2).build();
         assert_eq!(
-            lowered.cell_arrival_rates, legacy.cell_arrival_rates,
+            lowered.cells, legacy.cells,
             "scenario lowering must reproduce the hand-wired rate vector"
         );
         assert!((lowered.arrival_rate_in(MID_CELL) - 1.2).abs() < 1e-12);
@@ -420,12 +500,22 @@ mod tests {
         let lowered = SimConfig::for_scenario(&s).unwrap().build();
         assert!((lowered.arrival_rate_in(MID_CELL) - 2.4).abs() < 1e-12);
         assert!((lowered.arrival_rate_in(1) - 1.0).abs() < 1e-12);
+    }
 
-        // Per-cell heterogeneity beyond rates is rejected.
+    #[test]
+    fn heterogeneous_scenarios_lower_verbatim() {
+        use gprs_core::Scenario;
+        // Mixed buffers, coding schemes and channel splits — the
+        // scenarios the analytical cluster was always able to represent
+        // now survive the simulator lowering unchanged.
         let mut cells = vec![cell(); NUM_CELLS];
-        cells[2].buffer_capacity += 1;
+        cells[1].buffer_capacity = 60;
+        cells[2].coding_scheme = CodingScheme::Cs1;
+        cells[3].total_channels = 24;
         let s = Scenario::from_cells("mixed", cells).unwrap();
-        assert!(SimConfig::for_scenario(&s).is_err());
+        let lowered = SimConfig::for_scenario(&s).unwrap().build();
+        assert_eq!(lowered.cells, s.effective_cells().unwrap());
+        assert!(!lowered.is_uniform());
     }
 
     #[test]
@@ -442,5 +532,34 @@ mod tests {
         let mut rates = vec![0.5; NUM_CELLS];
         rates[3] = 0.0;
         let _ = SimConfig::builder(cell()).cell_arrival_rates(rates).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "one cell config per cluster cell")]
+    fn wrong_cell_count_rejected() {
+        let _ = SimConfig::builder_cells(vec![cell(); 3]).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 4:")]
+    fn invalid_cell_is_attributed() {
+        let mut cells = vec![cell(); NUM_CELLS];
+        cells[4].buffer_capacity = 0;
+        let _ = SimConfig::builder_cells(cells).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one voice channel")]
+    fn supervision_must_fit_every_cell() {
+        // The range fits the base cells but not the shrunken cell 3 —
+        // the per-cell validation must catch it.
+        let mut cells = vec![cell(); NUM_CELLS];
+        cells[3].total_channels = 4;
+        cells[3].reserved_pdchs = 1;
+        let sup = SupervisionConfig {
+            max_reserved: 6,
+            ..SupervisionConfig::default()
+        };
+        let _ = SimConfig::builder_cells(cells).supervision(sup).build();
     }
 }

@@ -15,6 +15,14 @@
 //! user mobility, packet-call durations stretch under congestion because
 //! TCP slows down, and losses trigger genuine retransmissions.
 //!
+//! Each cell carries its **own** [`gprs_core::CellConfig`]
+//! ([`SimConfig::cells`]) — mixed coding schemes, buffer sizes, channel
+//! splits and traffic parameters are all simulable, matching the
+//! generality of the analytical cluster fixed point
+//! (`gprs_core::cluster::ClusterModel`); uniform configurations (the
+//! [`SimConfig::builder`] special case, shown below) reproduce the
+//! shared-parameter simulator bit for bit.
+//!
 //! # Example
 //!
 //! ```no_run

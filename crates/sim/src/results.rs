@@ -9,7 +9,10 @@ use gprs_des::ConfidenceInterval;
 /// batch-means confidence interval.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimResults {
-    /// Combined call arrival rate the run used (calls/s).
+    /// Combined call arrival rate of the **mid** cell (calls/s) — the
+    /// cell statistics are collected in. Under a heterogeneous per-cell
+    /// configuration this is `cells[MID_CELL]`'s rate, which may differ
+    /// from the ring cells'.
     pub call_arrival_rate: f64,
     /// CDT: mean PDCHs carrying data.
     pub carried_data_traffic: ConfidenceInterval,

@@ -16,6 +16,15 @@
 //!   drops when full) → PDCH service, either processor-sharing or
 //!   20 ms TDMA radio blocks.
 //!
+//! Every cell runs its **own** [`gprs_core::CellConfig`]
+//! ([`SimConfig::cells`]): coding scheme, buffer capacity, channel
+//! split, session cap, traffic and mobility parameters are all read
+//! through the event's cell index, so fully heterogeneous clusters —
+//! the scenarios the analytical
+//! [`ClusterModel`](gprs_core::cluster::ClusterModel) fixed point was
+//! built for — simulate end to end. A uniform cell vector reproduces
+//! the legacy shared-parameter simulator bit for bit.
+//!
 //! Statistics are collected in the mid cell only, with warm-up deletion
 //! and batch-means confidence intervals, as in the paper.
 
@@ -191,7 +200,9 @@ pub struct GprsSimulator {
     sessions: HashMap<SessionId, Session>,
     next_session_id: SessionId,
     stats: Stats,
-    blocks_per_pkt: u32,
+    /// Per-cell radio blocks per packet (from each cell's coding
+    /// scheme); indexed like `cells`.
+    blocks_per_pkt: Vec<u32>,
     done: bool,
     /// Per-cell voice admission cap `N − N_GPRS(t)`; static runs keep it
     /// at the configured split, supervision moves it.
@@ -210,24 +221,41 @@ pub struct GprsSimulator {
 impl GprsSimulator {
     /// Builds the simulator and schedules the initial arrival and batch
     /// events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` violates the structural invariants
+    /// ([`SimConfig::assert_valid`]) — hand-constructed configurations
+    /// fail here with a clear message instead of underflowing mid-run.
     pub fn new(cfg: SimConfig) -> Self {
+        cfg.assert_valid();
         let streams = RngStreams::new(cfg.seed);
-        let blocks = blocks_per_packet(cfg.cell.coding_scheme.data_rate_bps());
+        let blocks: Vec<u32> = cfg
+            .cells
+            .iter()
+            .map(|c| blocks_per_packet(c.coding_scheme.data_rate_bps()))
+            .collect();
+        // Each cell's supervisor range is clamped to that cell's
+        // channel count, so even a config that bypassed the builder's
+        // validation can never reserve a cell's whole capacity (which
+        // would underflow the voice cap below and in `on_supervision`).
         let supervisors = cfg.supervision.map(|sup| {
-            (0..NUM_CELLS)
-                .map(|_| LoadSupervisor::new(sup, cfg.cell.reserved_pdchs))
+            cfg.cells
+                .iter()
+                .map(|c| LoadSupervisor::new(sup.clamped_to(c.total_channels), c.reserved_pdchs))
                 .collect::<Vec<_>>()
         });
         let initial_reserved = supervisors
             .as_ref()
             .map(|sups| sups[MID_CELL].reserved())
-            .unwrap_or(cfg.cell.reserved_pdchs);
+            .unwrap_or(cfg.cells[MID_CELL].reserved_pdchs);
         let voice_caps = match &supervisors {
             Some(sups) => sups
                 .iter()
-                .map(|s| cfg.cell.total_channels - s.reserved())
+                .zip(&cfg.cells)
+                .map(|(s, c)| c.total_channels - s.reserved())
                 .collect(),
-            None => vec![cfg.cell.gsm_channels(); NUM_CELLS],
+            None => cfg.cells.iter().map(|c| c.gsm_channels()).collect(),
         };
         let mut s = GprsSimulator {
             sim: Simulation::new(),
@@ -282,7 +310,7 @@ impl GprsSimulator {
     }
 
     fn refresh_mid_signals(&mut self, now: SimTime) {
-        let n_total = self.cfg.cell.total_channels;
+        let n_total = self.cfg.cells[MID_CELL].total_channels;
         let mid = &self.cells[MID_CELL];
         self.stats
             .busy_pdchs
@@ -376,7 +404,8 @@ impl GprsSimulator {
 
     fn admit_voice(&mut self, cell: usize) {
         self.cells[cell].voice_calls += 1;
-        let leave_rate = self.cfg.cell.gsm_completion_rate() + self.cfg.cell.gsm_handover_rate();
+        let c = &self.cfg.cells[cell];
+        let leave_rate = c.gsm_completion_rate() + c.gsm_handover_rate();
         let d = exp_mean(&mut self.rng_voice, 1.0 / leave_rate);
         self.sim.schedule_in(d, Event::GsmLeave { cell });
         self.channels_changed(cell);
@@ -387,9 +416,10 @@ impl GprsSimulator {
         self.cells[cell].voice_calls -= 1;
         self.channels_changed(cell);
 
-        // Exponential race: handover with prob μ_h/(μ + μ_h).
-        let mu = self.cfg.cell.gsm_completion_rate();
-        let mu_h = self.cfg.cell.gsm_handover_rate();
+        // Exponential race: handover with prob μ_h/(μ + μ_h), at the
+        // departing cell's rates.
+        let mu = self.cfg.cells[cell].gsm_completion_rate();
+        let mu_h = self.cfg.cells[cell].gsm_handover_rate();
         let u: f64 = rand::Rng::gen(&mut self.rng_voice);
         if u < mu_h / (mu + mu_h) {
             let u2: f64 = rand::Rng::gen(&mut self.rng_mobility);
@@ -411,7 +441,7 @@ impl GprsSimulator {
         if cell == MID_CELL && self.stats.collecting {
             self.stats.gprs_attempts += 1;
         }
-        if self.cells[cell].num_sessions() >= self.cfg.cell.max_gprs_sessions {
+        if self.cells[cell].num_sessions() >= self.cfg.cells[cell].max_gprs_sessions {
             if cell == MID_CELL && self.stats.collecting {
                 self.stats.gprs_blocked += 1;
             }
@@ -421,7 +451,7 @@ impl GprsSimulator {
         self.next_session_id += 1;
         let calls = geometric_min1(
             &mut self.rng_traffic,
-            self.cfg.cell.traffic.packet_calls_per_session,
+            self.cfg.cells[cell].traffic.packet_calls_per_session,
         );
         self.cells[cell].gprs_sessions.insert(id);
         self.sessions.insert(
@@ -435,14 +465,15 @@ impl GprsSimulator {
         );
         self.start_packet_call(now, id);
         // Independent dwell clock.
-        let d = exp_mean(&mut self.rng_mobility, self.cfg.cell.gprs_dwell_time);
+        let d = exp_mean(&mut self.rng_mobility, self.cfg.cells[cell].gprs_dwell_time);
         self.sim.schedule_in(d, Event::SessionDwell { session: id });
     }
 
     fn start_packet_call(&mut self, now: SimTime, id: SessionId) {
+        let cell = self.sessions.get(&id).expect("session exists").cell;
         let total = geometric_min1(
             &mut self.rng_traffic,
-            self.cfg.cell.traffic.packets_per_call,
+            self.cfg.cells[cell].traffic.packets_per_call,
         );
         let session = self.sessions.get_mut(&id).expect("session exists");
         session.call_epoch += 1;
@@ -457,7 +488,7 @@ impl GprsSimulator {
         });
         let gap = exp_mean(
             &mut self.rng_traffic,
-            self.cfg.cell.traffic.packet_interarrival,
+            self.cfg.cells[cell].traffic.packet_interarrival,
         );
         let _ = now;
         self.sim.schedule_in(
@@ -497,7 +528,7 @@ impl GprsSimulator {
         if more {
             let gap = exp_mean(
                 &mut self.rng_traffic,
-                self.cfg.cell.traffic.packet_interarrival,
+                self.cfg.cells[cell].traffic.packet_interarrival,
             );
             self.sim.schedule_in(
                 gap,
@@ -516,7 +547,7 @@ impl GprsSimulator {
             call_epoch: epoch,
             cell,
             bsc_arrival: 0.0,
-            blocks_remaining: self.blocks_per_pkt,
+            blocks_remaining: self.blocks_per_pkt[cell],
         };
         self.sim
             .schedule_in(self.cfg.wired_delay, Event::BscArrival { packet });
@@ -549,7 +580,11 @@ impl GprsSimulator {
         session.calls_remaining = session.calls_remaining.saturating_sub(1);
         session.call_epoch += 1; // invalidate stale packet/ack/timer events
         session.phase = SessionPhase::Reading;
-        let d = exp_mean(&mut self.rng_traffic, self.cfg.cell.traffic.reading_time);
+        let cell = session.cell;
+        let d = exp_mean(
+            &mut self.rng_traffic,
+            self.cfg.cells[cell].traffic.reading_time,
+        );
         let _ = now;
         self.sim.schedule_in(d, Event::ReadingEnd { session: id });
     }
@@ -562,7 +597,8 @@ impl GprsSimulator {
         let u: f64 = rand::Rng::gen(&mut self.rng_mobility);
         let target = handover_target(from, u);
 
-        if self.cells[target].num_sessions() >= self.cfg.cell.max_gprs_sessions {
+        // Admission is judged by the *target* cell's session cap.
+        if self.cells[target].num_sessions() >= self.cfg.cells[target].max_gprs_sessions {
             // Handover failure: the session is forced to terminate.
             self.drop_session(now, id);
             return;
@@ -579,8 +615,11 @@ impl GprsSimulator {
         if target == MID_CELL && self.stats.collecting {
             self.stats.gprs_handover_in += 1;
         }
-        // Next dwell period.
-        let d = exp_mean(&mut self.rng_mobility, self.cfg.cell.gprs_dwell_time);
+        // Next dwell period, clocked by the new cell's mobility.
+        let d = exp_mean(
+            &mut self.rng_mobility,
+            self.cfg.cells[target].gprs_dwell_time,
+        );
         self.sim.schedule_in(d, Event::SessionDwell { session: id });
     }
 
@@ -624,7 +663,7 @@ impl GprsSimulator {
         if cell == MID_CELL && self.stats.collecting {
             self.stats.bsc_arrivals += 1;
         }
-        if self.cells[cell].queue_len() >= self.cfg.cell.buffer_capacity {
+        if self.cells[cell].queue_len() >= self.cfg.cells[cell].buffer_capacity {
             // Buffer overflow: packet lost.
             if cell == MID_CELL && self.stats.collecting {
                 self.stats.bsc_drops += 1;
@@ -651,8 +690,8 @@ impl GprsSimulator {
 
     /// TDMA model: one 20 ms radio block elapsed.
     fn on_radio_tick(&mut self, now: SimTime, cell: usize) {
-        let bler = self.cfg.cell.block_error_rate;
-        let total_channels = self.cfg.cell.total_channels;
+        let bler = self.cfg.cells[cell].block_error_rate;
+        let total_channels = self.cfg.cells[cell].total_channels;
         let cell_state = &mut self.cells[cell];
         let rng = &mut self.rng_radio;
         cell_state.tick_scheduled = false;
@@ -839,9 +878,9 @@ impl GprsSimulator {
                     self.sim.cancel(ev);
                 }
                 let k = self.cells[cell].queue_len();
-                let c = self.cells[cell].busy_pdchs(self.cfg.cell.total_channels);
+                let c = self.cells[cell].busy_pdchs(self.cfg.cells[cell].total_channels);
                 if k > 0 && c > 0 {
-                    let rate = c as f64 * self.cfg.cell.packet_service_rate();
+                    let rate = c as f64 * self.cfg.cells[cell].packet_service_rate();
                     let d = exp_mean(&mut self.rng_radio, 1.0 / rate);
                     let ev = self.sim.schedule_in(d, Event::ServiceComplete { cell });
                     self.cells[cell].service_event = Some(ev);
@@ -882,8 +921,10 @@ impl GprsSimulator {
         let Some(sup_cfg) = self.cfg.supervision else {
             return; // stale event after a config without supervision
         };
-        let k = self.cfg.cell.buffer_capacity.max(1) as f64;
         for cell in 0..NUM_CELLS {
+            // Occupancy is measured against the *owning* cell's buffer
+            // capacity (>= 1 by build-time validation).
+            let k = self.cfg.cells[cell].buffer_capacity as f64;
             let occupancy = self.cells[cell].queue_len() as f64 / k;
             let supervisors = self
                 .supervisors
@@ -894,7 +935,7 @@ impl GprsSimulator {
                 let reserved = supervisors[cell].reserved();
                 // Ongoing calls above a shrunken cap keep their channels;
                 // only new admissions see the new split.
-                self.voice_caps[cell] = self.cfg.cell.total_channels - reserved;
+                self.voice_caps[cell] = self.cfg.cells[cell].total_channels - reserved;
                 if cell == MID_CELL {
                     self.stats.reserved.set(now, reserved as f64);
                     if self.stats.collecting {
@@ -1025,6 +1066,57 @@ mod tests {
         assert_eq!(
             hot.carried_data_traffic.mean,
             again.carried_data_traffic.mean
+        );
+    }
+
+    #[test]
+    fn per_cell_session_caps_gate_admission_locally() {
+        // A tight mid-cell cap inside a roomy ring: the mid-cell session
+        // population (the only one measured) must respect the *mid*
+        // cell's limit, not the ring's.
+        let mut mid = small_cell(2.0);
+        mid.gprs_fraction = 0.5;
+        mid.max_gprs_sessions = 2;
+        let mut ring = mid.clone();
+        ring.max_gprs_sessions = 12;
+        let mut cells = vec![ring; NUM_CELLS];
+        cells[MID_CELL] = mid;
+        let cfg = SimConfig::builder_cells(cells)
+            .seed(9)
+            .warmup(100.0)
+            .batches(3, 400.0)
+            .build();
+        let r = GprsSimulator::new(cfg).run();
+        assert!(r.avg_gprs_sessions.mean <= 2.0 + 1e-9);
+        assert!(r.gprs_blocking_probability.mean > 0.05);
+    }
+
+    #[test]
+    fn upgrading_the_mid_cell_coding_scheme_raises_its_throughput() {
+        use gprs_core::CodingScheme;
+        let base = || {
+            let mut c = small_cell(0.3);
+            c.gprs_fraction = 0.2;
+            c.coding_scheme = CodingScheme::Cs1;
+            c
+        };
+        let run = |mid_cs: CodingScheme| {
+            let mut cells = vec![base(); NUM_CELLS];
+            cells[MID_CELL].coding_scheme = mid_cs;
+            let cfg = SimConfig::builder_cells(cells)
+                .seed(15)
+                .warmup(200.0)
+                .batches(4, 500.0)
+                .build();
+            GprsSimulator::new(cfg).run()
+        };
+        let slow = run(CodingScheme::Cs1);
+        let fast = run(CodingScheme::Cs4);
+        assert!(
+            fast.throughput_per_user_kbps.mean > slow.throughput_per_user_kbps.mean,
+            "CS-4 mid cell ATU {} should beat CS-1 {}",
+            fast.throughput_per_user_kbps.mean,
+            slow.throughput_per_user_kbps.mean
         );
     }
 

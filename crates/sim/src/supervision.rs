@@ -106,6 +106,23 @@ impl SupervisionConfig {
         );
         assert!(self.down_streak >= 1, "down_streak must be >= 1");
     }
+
+    /// A copy whose reservation range fits a cell with `total_channels`
+    /// physical channels: `max_reserved` is capped at
+    /// `total_channels − 1` (supervision must leave at least one voice
+    /// channel) and `min_reserved` is lowered to stay `<= max_reserved`.
+    ///
+    /// [`SimConfig`](crate::SimConfig) validates the range per cell at
+    /// build time; the simulator additionally clamps through this when
+    /// instantiating per-cell supervisors, so a configuration that
+    /// bypassed the builder degrades gracefully instead of underflowing
+    /// the voice-cap arithmetic mid-run.
+    pub fn clamped_to(mut self, total_channels: usize) -> Self {
+        let cap = total_channels.saturating_sub(1);
+        self.max_reserved = self.max_reserved.min(cap);
+        self.min_reserved = self.min_reserved.min(self.max_reserved);
+        self
+    }
 }
 
 /// Direction of a reservation change issued by the supervisor.
@@ -285,6 +302,23 @@ mod tests {
         let mut s = LoadSupervisor::new(cfg(), 1);
         let _ = s.observe(7.0);
         assert!(s.smoothed_occupancy() <= 1.0);
+    }
+
+    #[test]
+    fn clamped_to_fits_the_range_into_the_cell() {
+        let c = cfg(); // min 1, max 4
+        let small = c.clamped_to(3);
+        assert_eq!(small.max_reserved, 2);
+        assert_eq!(small.min_reserved, 1);
+        // A one-channel cell forces the whole range to zero.
+        let tiny = c.clamped_to(1);
+        assert_eq!(tiny.max_reserved, 0);
+        assert_eq!(tiny.min_reserved, 0);
+        tiny.validate();
+        // Roomy cells are untouched.
+        let roomy = c.clamped_to(20);
+        assert_eq!(roomy.max_reserved, 4);
+        assert_eq!(roomy.min_reserved, 1);
     }
 
     #[test]

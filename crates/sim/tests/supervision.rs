@@ -162,3 +162,37 @@ fn supervision_range_must_leave_voice_room() {
     sup.max_reserved = 20; // the whole cell
     let _ = SimConfig::builder(cell(0.5, 0.05)).supervision(sup).build();
 }
+
+#[test]
+#[should_panic(expected = "at least one voice channel")]
+fn supervision_range_beyond_the_cell_is_rejected_at_build_time() {
+    // Regression: max_reserved > total_channels used to slip through to
+    // the simulator, where `total_channels - reserved()` underflowed in
+    // usize mid-run. The builder now rejects it up front.
+    let base = cell(0.5, 0.05);
+    let mut sup = supervision();
+    sup.max_reserved = base.total_channels + 1;
+    let _ = SimConfig::builder(base).supervision(sup).build();
+}
+
+#[test]
+fn hand_built_configs_with_oversized_ranges_are_clamped_not_underflowed() {
+    // SimConfig's fields are public, so a config can bypass the builder
+    // entirely. The simulator clamps each cell's supervisor range to
+    // that cell's channel count, so the run completes (with the
+    // reservation saturating at N - 1) instead of panicking on a usize
+    // underflow at the first supervision epoch.
+    let base = cell(0.8, 0.2);
+    let total = base.total_channels;
+    let mut sup = supervision();
+    sup.max_reserved = total + 1;
+    let mut cfg = SimConfig::builder(base)
+        .seed(31)
+        .warmup(100.0)
+        .batches(2, 300.0)
+        .build();
+    cfg.supervision = Some(sup); // bypasses the builder's validation
+    let r = GprsSimulator::new(cfg).run();
+    assert!(r.avg_reserved_pdchs.mean <= (total - 1) as f64 + 1e-12);
+    assert_eq!(r.carried_data_traffic.batches, 2);
+}

@@ -1,0 +1,154 @@
+//! Fully heterogeneous cluster quick start: every cell of the 7-cell
+//! cluster runs its **own** parameterization — mixed coding schemes,
+//! buffer sizes, channel splits and arrival rates — and the same
+//! [`Scenario`](gprs_repro::core::Scenario) is lowered to *both* halves
+//! of the pipeline: the analytical `ClusterModel` fixed point and the
+//! network simulator (per-cell `SimConfig`), whose mid-cell measures
+//! are then compared side by side.
+//!
+//! Until the per-cell configuration layer landed, the simulator could
+//! only share one `CellConfig` across the cluster, so exactly these
+//! scenarios — the ones the heterogeneous fixed point was built for —
+//! could never be cross-validated. Now they are one constructor away.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_cluster [seed]
+//! ```
+
+use gprs_repro::core::cluster::{ClusterSolveOptions, MID_CELL, NUM_CELLS};
+use gprs_repro::core::{CellConfig, CodingScheme, Scenario};
+use gprs_repro::sim::{GprsSimulator, SimConfig};
+use gprs_repro::traffic::TrafficModel;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(7);
+
+    // A deliberately motley cluster. Moderate buffer/session caps keep
+    // the seven CTMCs example-sized; raise them for paper-exact cells.
+    let base = CellConfig::builder()
+        .traffic_model(TrafficModel::Model3)
+        .buffer_capacity(25)
+        .max_gprs_sessions(8)
+        .call_arrival_rate(0.35)
+        .build()?;
+    let mut cells = vec![base; NUM_CELLS];
+    // The mid cell: an upgraded hot site — clean-channel CS-4, extra
+    // load.
+    cells[MID_CELL].coding_scheme = CodingScheme::Cs4;
+    cells[MID_CELL].call_arrival_rate = 0.55;
+    // Cell 2: a legacy CS-1 site with a deep buffer.
+    cells[2].coding_scheme = CodingScheme::Cs1;
+    cells[2].buffer_capacity = 40;
+    // Cell 4: a shrunken site (fewer carriers), lighter load.
+    cells[4].total_channels = 16;
+    cells[4].call_arrival_rate = 0.25;
+    // Cell 5: a data-heavy site with a bigger session cap.
+    cells[5].gprs_fraction = 0.15;
+    cells[5].max_gprs_sessions = 12;
+    let scenario = Scenario::from_cells("motley", cells)?;
+
+    println!(
+        "fully heterogeneous 7-cell cluster (scenario '{}'):",
+        scenario.name()
+    );
+    println!("  cell |  lambda | coding |  N | buffer |  M  | f_GPRS");
+    for (i, c) in scenario.base_cells().iter().enumerate() {
+        println!(
+            "  {i}    | {:7.3} | {:>6} | {:2} | {:6} | {:3} | {:5.2}",
+            c.call_arrival_rate,
+            format!("{:?}", c.coding_scheme),
+            c.total_channels,
+            c.buffer_capacity,
+            c.max_gprs_sessions,
+            c.gprs_fraction,
+        );
+    }
+
+    // One lowering each; both sides consume the same effective cells.
+    let t0 = Instant::now();
+    let solved = scenario
+        .to_cluster()?
+        .solve(&ClusterSolveOptions::default())?;
+    println!(
+        "\ncluster fixed point: {} outer iterations, {:.1} ms, flow imbalance {:.2e}",
+        solved.iterations(),
+        t0.elapsed().as_secs_f64() * 1e3,
+        solved.flow_imbalance()
+    );
+    println!("  cell | HO in /s | HO out/s |    CVT | GSM block | ATU kbit/s");
+    for (i, cell) in solved.cells().iter().enumerate() {
+        println!(
+            "  {i}    | {:8.4} | {:8.4} | {:6.3} | {:9.4} | {:10.2}",
+            cell.gsm_handover_in + cell.gprs_handover_in,
+            cell.gsm_handover_out + cell.gprs_handover_out,
+            cell.measures.carried_voice_traffic,
+            cell.measures.gsm_blocking_probability,
+            cell.measures.throughput_per_user_kbps,
+        );
+    }
+
+    let cfg = SimConfig::for_scenario(&scenario)?
+        .seed(seed)
+        .warmup(1_000.0)
+        .batches(6, 2_000.0)
+        .build();
+    println!(
+        "\nsimulator: same scenario, per-cell configs (uniform: {}), seed {seed} ...",
+        cfg.is_uniform()
+    );
+    let t0 = Instant::now();
+    let sim = GprsSimulator::new(cfg).run();
+    println!(
+        "  {} events over {:.0} simulated s in {:.1} s wall clock",
+        sim.events_processed,
+        sim.simulated_time,
+        t0.elapsed().as_secs_f64()
+    );
+
+    let mid = solved.mid();
+    println!("\nmid cell, model vs simulator (95% CI):");
+    let rows = [
+        (
+            "carried voice traffic",
+            mid.measures.carried_voice_traffic,
+            sim.carried_voice_traffic,
+        ),
+        (
+            "carried data traffic",
+            mid.measures.carried_data_traffic,
+            sim.carried_data_traffic,
+        ),
+        (
+            "GSM blocking prob.",
+            mid.measures.gsm_blocking_probability,
+            sim.gsm_blocking_probability,
+        ),
+        (
+            "avg GPRS sessions",
+            mid.measures.avg_gprs_sessions,
+            sim.avg_gprs_sessions,
+        ),
+        (
+            "GPRS handover inflow",
+            mid.gprs_handover_in,
+            sim.gprs_handover_in_rate,
+        ),
+    ];
+    for (name, model, ci) in rows {
+        println!(
+            "  {name:22} model {model:8.4}   sim {:8.4} ± {:.4}",
+            ci.mean, ci.half_width
+        );
+    }
+    println!(
+        "\n-> the simulator now runs the exact per-cell parameterization the \
+         fixed point solves; before the per-cell configuration layer this \
+         scenario was rejected at lowering time"
+    );
+    Ok(())
+}

@@ -367,6 +367,178 @@ fn hot_spot_cluster_matches_the_simulator_long() {
     );
 }
 
+// --- Fully heterogeneous cross-validation ------------------------------
+//
+// With per-cell simulator configs the uniformity restriction is gone:
+// mixed coding schemes, buffers and channel splits — the scenarios the
+// ClusterModel fixed point was built for — now lower to the simulator
+// verbatim. These tests close the loop: the mid cell of a mixed-coding
+// and a mixed-capacity cluster must land within confidence bounds of
+// the analytical fixed point. Both sides lower from ONE Scenario value.
+
+/// Mixed coding: the mid cell runs clean-channel CS-4 in a CS-2 ring —
+/// an operator upgrading one hot site.
+fn mixed_coding_scenario() -> Scenario {
+    use gprs_repro::core::CodingScheme;
+    let mut cells = vec![cell(0.4); 7];
+    cells[0].coding_scheme = CodingScheme::Cs4;
+    Scenario::from_cells("mixed-coding", cells).unwrap()
+}
+
+/// Mixed capacity: the mid cell is a shrunken site (16 channels, a
+/// 15-packet buffer) inside a full-size ring — heterogeneity on the
+/// voice *and* data dimensions.
+fn mixed_capacity_scenario() -> Scenario {
+    let mut cells = vec![cell(0.4); 7];
+    cells[0].total_channels = 16;
+    cells[0].buffer_capacity = 15;
+    Scenario::from_cells("mixed-capacity", cells).unwrap()
+}
+
+/// Shared agreement checks for a heterogeneous scenario: the mid cell
+/// of the cluster fixed point against the simulator's mid-cell
+/// evidence. `ci_factor` scales the CI half-widths, `slack` is the
+/// additive allowance for genuine model/simulator bias.
+fn check_cluster_agreement(model: &SolvedCluster, sim: &SimEvidence, ci_factor: f64, slack: f64) {
+    let mid = model.mid();
+
+    // Voice side: no modelling gap, the tight check.
+    let tol = ci_factor * sim.cvt.half_width + slack;
+    assert!(
+        (sim.cvt.mean - mid.measures.carried_voice_traffic).abs() < tol,
+        "CVT: sim {} ± {} vs cluster model {}",
+        sim.cvt.mean,
+        sim.cvt.half_width,
+        mid.measures.carried_voice_traffic
+    );
+
+    let tol = ci_factor * sim.gsm_block.half_width + 0.05 * slack;
+    assert!(
+        (sim.gsm_block.mean - mid.measures.gsm_blocking_probability).abs() < tol,
+        "blocking: sim {} ± {} vs cluster model {}",
+        sim.gsm_block.mean,
+        sim.gsm_block.half_width,
+        mid.measures.gsm_blocking_probability
+    );
+
+    // Data side: the simulator's TCP shapes traffic the model only
+    // approximates, so relative bands.
+    let rel = (sim.cdt.mean - mid.measures.carried_data_traffic).abs()
+        / mid.measures.carried_data_traffic.max(1e-9);
+    assert!(
+        rel < 0.45,
+        "CDT: sim {} vs cluster model {} (rel {rel:.2})",
+        sim.cdt.mean,
+        mid.measures.carried_data_traffic
+    );
+
+    // Handover inflow at the converged fixed point.
+    let rel = (sim.ho_in.mean - mid.gprs_handover_in).abs() / mid.gprs_handover_in.max(1e-9);
+    assert!(
+        rel < 0.45,
+        "handover inflow: sim {} vs cluster model {} (rel {rel:.2})",
+        sim.ho_in.mean,
+        mid.gprs_handover_in
+    );
+}
+
+fn solve_cluster(s: &Scenario) -> SolvedCluster {
+    s.to_cluster()
+        .unwrap()
+        .solve(&ClusterSolveOptions::quick())
+        .unwrap()
+}
+
+#[test]
+fn mixed_coding_cluster_matches_the_simulator_smoke() {
+    // Tier-1 smoke: a heterogeneous-coding scenario runs end to end
+    // through the per-cell lowering and agrees with the fixed point.
+    let s = mixed_coding_scenario();
+    let model = solve_cluster(&s);
+    let cfg = SimConfig::for_scenario(&s)
+        .unwrap()
+        .seed(41)
+        .warmup(800.0)
+        .batches(6, 1_500.0)
+        .build();
+    assert!(!cfg.is_uniform(), "the lowering must keep the mixed coding");
+    let sim = GprsSimulator::new(cfg).run();
+    check_cluster_agreement(&model, &SimEvidence::from(&sim), 3.0, 0.4);
+}
+
+#[test]
+fn mixed_capacity_cluster_matches_the_simulator_smoke() {
+    let s = mixed_capacity_scenario();
+    let model = solve_cluster(&s);
+    let cfg = SimConfig::for_scenario(&s)
+        .unwrap()
+        .seed(43)
+        .warmup(800.0)
+        .batches(6, 1_500.0)
+        .build();
+    let sim = GprsSimulator::new(cfg).run();
+    check_cluster_agreement(&model, &SimEvidence::from(&sim), 3.0, 0.4);
+    // The shrunken mid cell must visibly block more voice than a
+    // full-size cell would: compare against the homogeneous full-size
+    // reference at the same rate.
+    let full_size = scenario(0.4)
+        .to_model()
+        .unwrap()
+        .solve(&SolveOptions::quick(), None)
+        .unwrap();
+    assert!(
+        model.mid().measures.gsm_blocking_probability
+            > full_size.measures().gsm_blocking_probability,
+        "16-channel mid cell should block more than the 20-channel reference"
+    );
+}
+
+#[test]
+#[ignore = "long cross-validation run; executed by the scheduled CI job"]
+fn mixed_coding_cluster_matches_the_simulator_long() {
+    // Nightly variant through the replication engine: tighter slack,
+    // replication-level confidence intervals.
+    let s = mixed_coding_scenario();
+    let model = solve_cluster(&s);
+    let cfg = SimConfig::for_scenario(&s)
+        .unwrap()
+        .seed(41)
+        .warmup(2_000.0)
+        .batches(6, 6_000.0)
+        .build();
+    let opts = ReplicationOptions::new(0.02, 4, 12).with_target(TargetMeasure::CarriedVoiceTraffic);
+    let sim = run_replications(&cfg, &opts);
+    check_cluster_agreement(&model, &SimEvidence::from(&sim), 3.0, 0.15);
+    assert!(
+        sim.converged,
+        "replication budget exhausted at {} reps: {}",
+        sim.replications,
+        sim.summary()
+    );
+}
+
+#[test]
+#[ignore = "long cross-validation run; executed by the scheduled CI job"]
+fn mixed_capacity_cluster_matches_the_simulator_long() {
+    let s = mixed_capacity_scenario();
+    let model = solve_cluster(&s);
+    let cfg = SimConfig::for_scenario(&s)
+        .unwrap()
+        .seed(43)
+        .warmup(2_000.0)
+        .batches(6, 6_000.0)
+        .build();
+    let opts = ReplicationOptions::new(0.02, 4, 12).with_target(TargetMeasure::CarriedVoiceTraffic);
+    let sim = run_replications(&cfg, &opts);
+    check_cluster_agreement(&model, &SimEvidence::from(&sim), 3.0, 0.15);
+    assert!(
+        sim.converged,
+        "replication budget exhausted at {} reps: {}",
+        sim.replications,
+        sim.summary()
+    );
+}
+
 #[test]
 fn disabling_tcp_increases_loss_under_pressure() {
     // Without flow control the sources keep hammering a full buffer:
