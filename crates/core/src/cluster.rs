@@ -61,6 +61,7 @@
 
 use crate::config::CellConfig;
 use crate::error::ModelError;
+use crate::health::SolveHealth;
 use crate::measures::Measures;
 use crate::template::{GeneratorTemplate, WarmStart};
 use gprs_ctmc::solver::SolveOptions;
@@ -139,6 +140,30 @@ pub struct ClusterSolveOptions {
     /// default) uses [`gprs_exec::num_threads`]. Results are
     /// identical for any value.
     pub threads: usize,
+    /// Adaptive relaxation of the outer fixed point (default `true`),
+    /// two complementary mechanisms:
+    ///
+    /// * **Oscillation damping** — when two successive handover
+    ///   updates point in opposite directions *without contracting*
+    ///   (negative dot product, update norm above half the previous:
+    ///   the vector is ping-ponging around the fixed point), the step
+    ///   factor is halved, down to a floor of `1/8`, and recovers
+    ///   geometrically once updates realign.
+    /// * **Budget-aware extrapolation** — strongly coupled clusters
+    ///   (short dwell times: handover rate far above completion rate)
+    ///   contract at a ratio near `1` and exhaust `max_iterations`
+    ///   monotonically. When the observed contraction ratio projects
+    ///   convergence *beyond* the remaining iteration budget, the step
+    ///   is extrapolated Aitken-style to `1/(1−ratio)` (capped), which
+    ///   collapses the slow mode. Hot-spot cases that previously ended
+    ///   in [`QueueingError::BalanceNotConverged`] converge well inside
+    ///   the budget with this on.
+    ///
+    /// Trajectories that converge within the budget without
+    /// oscillating are untouched: the factor stays at `1` and every
+    /// update is applied verbatim, bit-identical to the fixed
+    /// iteration.
+    pub adaptive_relaxation: bool,
 }
 
 impl Default for ClusterSolveOptions {
@@ -148,6 +173,7 @@ impl Default for ClusterSolveOptions {
             max_iterations: 500,
             solve: SolveOptions::default(),
             threads: 0,
+            adaptive_relaxation: true,
         }
     }
 }
@@ -179,7 +205,25 @@ impl ClusterSolveOptions {
         self.solve = solve;
         self
     }
+
+    /// Enables or disables adaptive relaxation, returning `self` for
+    /// chaining.
+    pub fn with_adaptive_relaxation(mut self, on: bool) -> Self {
+        self.adaptive_relaxation = on;
+        self
+    }
 }
+
+/// Floor of the adaptive relaxation factor: halving stops at `1/8` —
+/// enough to tame a ping-ponging fixed point whose oscillatory mode
+/// contracts at any rate, without stalling convergence of the
+/// non-oscillatory modes.
+const MIN_RELAXATION: f64 = 0.125;
+
+/// Cap of the Aitken extrapolation factor: a contraction ratio of
+/// `0.9375` maps to the cap; slower modes still extrapolate 16× per
+/// step, faster ones get their exact `1/(1−ratio)` jump.
+const MAX_RELAXATION: f64 = 16.0;
 
 /// One cell of a solved cluster.
 #[derive(Debug, Clone)]
@@ -203,6 +247,9 @@ pub struct SolvedCell {
     pub sweeps: usize,
     /// Balance residual of the final solve.
     pub residual: f64,
+    /// Health report of the cell's final (reporting-pass) solve: which
+    /// rung of the fallback ladder produced it.
+    pub health: SolveHealth,
 }
 
 /// A converged cluster fixed point.
@@ -211,6 +258,8 @@ pub struct SolvedCluster {
     cells: Vec<SolvedCell>,
     iterations: usize,
     handover_delta: f64,
+    relaxation: f64,
+    adaptive_steps: usize,
 }
 
 impl SolvedCluster {
@@ -232,6 +281,28 @@ impl SolvedCluster {
     /// Final maximum relative change of the handover arrival vector.
     pub fn handover_delta(&self) -> f64 {
         self.handover_delta
+    }
+
+    /// The final adaptive relaxation factor: `1.0` when the iteration
+    /// ran plain (the common case — the trajectory is then identical
+    /// to the fixed iteration), below `1.0` when ping-ponging was
+    /// detected and damped, above `1.0` when a slow contraction was
+    /// extrapolated to meet the iteration budget.
+    pub fn relaxation(&self) -> f64 {
+        self.relaxation
+    }
+
+    /// How many outer iterations applied a relaxation factor other
+    /// than `1` (damped or extrapolated). `0` means the trajectory was
+    /// bit-identical to the fixed iteration throughout.
+    pub fn adaptive_steps(&self) -> usize {
+        self.adaptive_steps
+    }
+
+    /// Whether any cell's final solve had to leave the primary solver
+    /// path (see [`SolveHealth::degraded`]).
+    pub fn degraded(&self) -> bool {
+        self.cells.iter().any(|c| c.health.degraded())
     }
 
     /// The cluster-wide flow conservation defect: relative difference
@@ -262,6 +333,7 @@ struct CellSolve {
     mean_sessions: f64,
     sweeps: usize,
     residual: f64,
+    health: SolveHealth,
 }
 
 /// The heterogeneous 7-cell analytical model: one configuration per
@@ -370,6 +442,12 @@ impl ClusterModel {
     /// * Any cell construction or inner solver error, attributed to the
     ///   lowest failing cell index (deterministic across thread
     ///   counts).
+    ///
+    /// Convergence hardening: each cell solve runs through the
+    /// fallback ladder of [`GeneratorTemplate::solve_resilient`]
+    /// (health reported per cell in [`SolvedCell::health`]), and the
+    /// outer iteration applies the adaptive relaxation described on
+    /// [`ClusterSolveOptions::adaptive_relaxation`].
     pub fn solve(&self, opts: &ClusterSolveOptions) -> Result<SolvedCluster, ModelError> {
         let threads = if opts.threads == 0 {
             num_threads()
@@ -416,6 +494,16 @@ impl ClusterModel {
         let mut total_sweeps = [0usize; NUM_CELLS];
         let mut delta = f64::INFINITY;
         let mut converged = false;
+
+        // Adaptive under-relaxation state: the raw update vectors
+        // `F(λ) − λ` of the current and previous iteration (GSM and
+        // GPRS entries interleaved) and the current step factor.
+        let mut theta = 1.0f64;
+        let mut adaptive_steps = 0usize;
+        let mut next_vals = [0.0f64; 2 * NUM_CELLS];
+        let mut update = [0.0f64; 2 * NUM_CELLS];
+        let mut prev_update = [0.0f64; 2 * NUM_CELLS];
+        let mut have_prev = false;
 
         // One slot past the cap: the cap bounds *balance* iterations,
         // and the reporting pass of a vector that converged exactly at
@@ -476,17 +564,23 @@ impl ClusterModel {
                         mean_sessions: c.mean_sessions,
                         sweeps: total_sweeps[i],
                         residual: c.residual,
+                        health: c.health,
                     })
                     .collect();
                 return Ok(SolvedCluster {
                     cells: solved,
                     iterations: iteration,
                     handover_delta: delta,
+                    relaxation: theta,
+                    adaptive_steps,
                 });
             }
 
             // Next arrival vector: each cell receives 1/6 of every
-            // neighbour's outgoing flux.
+            // neighbour's outgoing flux. `delta` measures the *raw*
+            // fixed-point residual `|F(λ) − λ|` (pre-damping), so
+            // convergence means the vector genuinely is stationary, not
+            // merely that the damped step got small.
             delta = 0.0f64;
             for j in 0..NUM_CELLS {
                 let mut next_gsm = 0.0;
@@ -495,12 +589,67 @@ impl ClusterModel {
                     next_gsm += out_gsm[i] / 6.0;
                     next_gprs += out_gprs[i] / 6.0;
                 }
-                for (cur, next) in [(&mut lam_gsm[j], next_gsm), (&mut lam_gprs[j], next_gprs)] {
+                for (slot, (cur, next)) in [(&lam_gsm[j], next_gsm), (&lam_gprs[j], next_gprs)]
+                    .into_iter()
+                    .enumerate()
+                {
                     let scale = cur.abs().max(next.abs()).max(1e-300);
                     delta = delta.max((next - *cur).abs() / scale);
-                    *cur = next;
+                    next_vals[2 * j + slot] = next;
+                    update[2 * j + slot] = next - *cur;
                 }
             }
+
+            // Adaptive relaxation. Two successive updates pointing in
+            // opposite directions *without shrinking* mean the vector
+            // is ping-ponging around the fixed point: halve the step
+            // (an alternating mode already contracting below half per
+            // step converges on its own and is left alone). Aligned
+            // updates whose contraction ratio projects convergence
+            // beyond the remaining iteration budget get the Aitken
+            // step `1/(1−ratio)`, collapsing the slow mode; everything
+            // else runs at `θ = 1`, which assigns the raw next vector
+            // verbatim — bit-identical to the fixed iteration.
+            if opts.adaptive_relaxation && have_prev {
+                let dot: f64 = update.iter().zip(&prev_update).map(|(a, b)| a * b).sum();
+                let cur_sq: f64 = update.iter().map(|u| u * u).sum();
+                let prev_sq: f64 = prev_update.iter().map(|u| u * u).sum();
+                if dot < 0.0 && cur_sq > 0.25 * prev_sq {
+                    theta = (0.5 * theta).max(MIN_RELAXATION);
+                } else if dot > 0.0 {
+                    let ratio = (cur_sq / prev_sq.max(1e-300)).sqrt();
+                    let projected = if ratio > 0.0 && ratio < 1.0 && delta > opts.tolerance {
+                        (delta / opts.tolerance).ln() / -ratio.ln()
+                    } else {
+                        0.0
+                    };
+                    let remaining = opts.max_iterations.saturating_sub(iteration) as f64;
+                    if projected > remaining {
+                        theta = (1.0 / (1.0 - ratio)).min(MAX_RELAXATION);
+                    } else if theta < 1.0 {
+                        theta = (1.5 * theta).min(1.0);
+                    } else {
+                        theta = 1.0;
+                    }
+                }
+            }
+            if theta != 1.0 {
+                adaptive_steps += 1;
+            }
+            for j in 0..NUM_CELLS {
+                if theta == 1.0 {
+                    lam_gsm[j] = next_vals[2 * j];
+                    lam_gprs[j] = next_vals[2 * j + 1];
+                } else {
+                    // Extrapolated steps may overshoot; arrival rates
+                    // stay physical.
+                    lam_gsm[j] = (lam_gsm[j] + theta * update[2 * j]).max(0.0);
+                    lam_gprs[j] = (lam_gprs[j] + theta * update[2 * j + 1]).max(0.0);
+                }
+            }
+            std::mem::swap(&mut prev_update, &mut update);
+            have_prev = true;
+
             if delta <= opts.tolerance {
                 converged = true; // one more pass at the converged rates
             }
@@ -514,9 +663,9 @@ impl ClusterModel {
 }
 
 /// Solves one cell under given incoming handover rates through its
-/// template (warm-started from the cell's previous iterate, zero
-/// `O(states)` allocations per iteration) and reads the populations off
-/// the stationary distribution.
+/// template's fallback ladder (warm-started from the cell's previous
+/// iterate, zero `O(states)` allocations per iteration on the happy
+/// path) and reads the populations off the stationary distribution.
 fn solve_cell(
     config: &CellConfig,
     lam_gsm: f64,
@@ -525,7 +674,7 @@ fn solve_cell(
     opts: &SolveOptions,
 ) -> Result<CellSolve, ModelError> {
     let model = template.model_with_handovers(config.clone(), lam_gsm, lam_gprs)?;
-    let solved = template.solve(&model, opts, WarmStart::Chained)?;
+    let solved = template.solve_resilient(&model, opts, WarmStart::Chained)?;
     let space = model.space();
     let mut mean_voice_calls = 0.0f64;
     let mut mean_sessions = 0.0f64;
@@ -543,6 +692,7 @@ fn solve_cell(
         mean_sessions,
         sweeps: solved.sweeps,
         residual: solved.residual,
+        health: solved.health,
     })
 }
 
@@ -822,6 +972,85 @@ mod tests {
         let solved = cluster.solve(&opts).unwrap();
         assert_eq!(solved.iterations(), 2); // balance pass + reporting pass
         assert!(solved.handover_delta() <= opts.tolerance);
+    }
+
+    fn short_dwell(rate: f64, dwell: f64) -> CellConfig {
+        CellConfig::builder()
+            .total_channels(4)
+            .reserved_pdchs(1)
+            .buffer_capacity(5)
+            .traffic_model(TrafficModel::Model3)
+            .max_gprs_sessions(2)
+            .call_arrival_rate(rate)
+            .gsm_dwell_time(dwell)
+            .gprs_dwell_time(dwell)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn adaptive_relaxation_rescues_budget_bound_hot_spot() {
+        // High mobility (0.5 s dwell): the outer fixed point contracts
+        // at a ratio near 1 and needs ~190 plain iterations — a cap of
+        // 60 exhausts the budget. Adaptive relaxation detects the
+        // projected overrun and extrapolates the slow mode inside it.
+        let cluster = ClusterModel::hot_spot(short_dwell(0.3, 0.5), 0.9).unwrap();
+        let capped = ClusterSolveOptions {
+            max_iterations: 60,
+            ..ClusterSolveOptions::default()
+        };
+
+        match cluster.solve(&capped.clone().with_adaptive_relaxation(false)) {
+            Err(ModelError::Queueing(QueueingError::BalanceNotConverged { .. })) => {}
+            other => panic!("plain iteration should exhaust the cap, got {other:?}"),
+        }
+
+        let rescued = cluster.solve(&capped).unwrap();
+        assert!(rescued.iterations() <= 60);
+        assert!(rescued.adaptive_steps() > 0, "extrapolation never engaged");
+
+        // The rescued fixed point is the same one the plain iteration
+        // reaches with a deep budget.
+        let deep = cluster
+            .solve(&ClusterSolveOptions::default().with_adaptive_relaxation(false))
+            .unwrap();
+        for (a, b) in rescued.cells().iter().zip(deep.cells()) {
+            assert!((a.gsm_handover_in - b.gsm_handover_in).abs() < 1e-7);
+            assert!(
+                (a.measures.carried_voice_traffic - b.measures.carried_voice_traffic).abs() < 1e-7
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_relaxation_leaves_converging_trajectories_untouched() {
+        // A hot spot that converges within the budget must take the
+        // exact same trajectory with adaptivity on: every step runs at
+        // θ = 1 and assigns the raw update verbatim.
+        let cluster = ClusterModel::hot_spot(tiny(0.3), 0.9).unwrap();
+        let adaptive = cluster.solve(&ClusterSolveOptions::default()).unwrap();
+        let plain = cluster
+            .solve(&ClusterSolveOptions::default().with_adaptive_relaxation(false))
+            .unwrap();
+        assert_eq!(adaptive.adaptive_steps(), 0);
+        assert_eq!(adaptive.relaxation(), 1.0);
+        assert_eq!(adaptive.iterations(), plain.iterations());
+        for (a, b) in adaptive.cells().iter().zip(plain.cells()) {
+            assert_eq!(a.gsm_handover_in.to_bits(), b.gsm_handover_in.to_bits());
+            assert_eq!(a.gprs_handover_in.to_bits(), b.gprs_handover_in.to_bits());
+            assert_eq!(a.measures, b.measures);
+        }
+    }
+
+    #[test]
+    fn cluster_reports_healthy_primary_solves() {
+        let cluster = ClusterModel::uniform(tiny(0.5)).unwrap();
+        let solved = cluster.solve(&ClusterSolveOptions::default()).unwrap();
+        assert!(!solved.degraded());
+        for cell in solved.cells() {
+            assert!(!cell.health.degraded());
+            assert_eq!(cell.health.rung, crate::health::SolveRung::Primary);
+        }
     }
 
     #[test]

@@ -16,6 +16,17 @@ pub enum ModelError {
     Ctmc(gprs_ctmc::CtmcError),
 }
 
+impl ModelError {
+    /// Whether this error is a *solver* failure (non-convergence or
+    /// divergence) rather than a structural defect of the model — the
+    /// gate of the fallback ladder: solver failures are worth retrying
+    /// on another rung, structural errors would fail identically on
+    /// every rung. See [`gprs_ctmc::CtmcError::is_solver_failure`].
+    pub fn is_solver_failure(&self) -> bool {
+        matches!(self, ModelError::Ctmc(e) if e.is_solver_failure())
+    }
+}
+
 impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

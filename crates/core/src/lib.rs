@@ -66,6 +66,9 @@
 //!   description (topology + per-cell traffic + radio/TCP knobs + load
 //!   scale) lowered to the single-cell model, the cluster fixed point,
 //!   and (via `gprs-sim`) the network simulator.
+//! * [`stress`] — deterministic fault-injection config generation for
+//!   the resilience stress harness (pathological-but-valid parameter
+//!   sprays plus known-invalid configs that must be rejected).
 //! * [`qos`] — PDCH dimensioning against a QoS profile (Section 5.3).
 //! * [`adaptive`] — dynamic PDCH re-dimensioning (policy table +
 //!   hysteresis controller + reconfiguration transients), the paper's
@@ -80,11 +83,13 @@ pub mod coding;
 pub mod config;
 pub mod error;
 pub mod generator;
+pub mod health;
 pub mod measures;
 pub mod qos;
 pub mod scenario;
 pub mod solve;
 pub mod state;
+pub mod stress;
 pub mod sweep;
 pub mod template;
 
@@ -93,6 +98,7 @@ pub use coding::CodingScheme;
 pub use config::{CellConfig, CellConfigBuilder};
 pub use error::ModelError;
 pub use generator::GprsModel;
+pub use health::{SolveHealth, SolveRung};
 pub use measures::Measures;
 pub use scenario::Scenario;
 pub use solve::SolvedModel;

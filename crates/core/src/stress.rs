@@ -1,0 +1,209 @@
+//! Deterministic fault-injection config mutation for the resilience
+//! stress harness.
+//!
+//! The harness (`tests/stress_resilience.rs`) feeds the public solve
+//! entry points hundreds of *pathological but valid* configurations —
+//! extreme load scales, near-zero and near-infinite rates, stiffness
+//! ratios spanning far beyond `1e12`, degenerate buffers and channel
+//! splits — and asserts the resilient pipeline never panics or hangs:
+//! every solve returns `Ok` with a healthy [`crate::SolveHealth`]
+//! report or a typed error.
+//!
+//! Everything here is **deterministic**: the generator is a seeded
+//! [`StressRng`] (xorshift64*), so a failing case reproduces from its
+//! seed alone. The module deliberately has no dependencies beyond the
+//! config types.
+
+use crate::coding::CodingScheme;
+use crate::config::CellConfig;
+use gprs_traffic::TrafficModel;
+
+/// Cap on the CTMC size of generated configurations, keeping the
+/// stress suite's worst-case direct-elimination fallback (`O(n³)`)
+/// affordable even under debug assertions.
+pub const MAX_STRESS_STATES: usize = 1200;
+
+/// A tiny deterministic xorshift64* generator — reproducible across
+/// platforms, no dependencies, good enough to spray parameter space.
+#[derive(Debug, Clone)]
+pub struct StressRng {
+    state: u64,
+}
+
+impl StressRng {
+    /// Creates a generator from a seed (any value; zero is remapped).
+    pub fn new(seed: u64) -> Self {
+        StressRng {
+            // xorshift state must be non-zero.
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Log-uniform draw from `[lo, hi]` (both strictly positive):
+    /// every decade is equally likely, which is what spreads stiffness
+    /// ratios across many orders of magnitude.
+    pub fn log_uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo > 0.0 && hi > lo);
+        (lo.ln() + self.uniform() * (hi.ln() - lo.ln())).exp()
+    }
+
+    /// Picks one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, choices: &'a [T]) -> &'a T {
+        &choices[(self.next_u64() % choices.len() as u64) as usize]
+    }
+}
+
+/// Generates one pathological but *valid* configuration: small state
+/// space (bounded by [`MAX_STRESS_STATES`]), parameters pushed to the
+/// edges of their validated ranges.
+pub fn pathological_config(rng: &mut StressRng) -> CellConfig {
+    loop {
+        let total_channels = *rng.pick(&[1usize, 2, 4, 8]);
+        let reserved = (rng.next_u64() % (total_channels as u64 + 1)) as usize;
+        let cfg = CellConfig {
+            total_channels,
+            reserved_pdchs: reserved,
+            buffer_capacity: *rng.pick(&[1usize, 2, 3, 8, 30, 90]),
+            // Near-disabled and fully disabled flow control.
+            tcp_threshold: *rng.pick(&[1e-9, 0.5, 1.0]),
+            coding_scheme: *rng.pick(&[
+                CodingScheme::Cs1,
+                CodingScheme::Cs2,
+                CodingScheme::Cs3,
+                CodingScheme::Cs4,
+            ]),
+            // Durations spanning 18 decades: stiffness ratios between
+            // the voice, session and packet processes far beyond 1e12.
+            gsm_call_duration: rng.log_uniform(1e-9, 1e9),
+            gsm_dwell_time: rng.log_uniform(1e-9, 1e9),
+            gprs_dwell_time: rng.log_uniform(1e-9, 1e9),
+            gprs_fraction: *rng.pick(&[1e-9, 0.05, 0.5, 1.0 - 1e-9]),
+            // Load from starvation to drive-the-cell-to-saturation.
+            call_arrival_rate: rng.log_uniform(1e-9, 1e6),
+            max_gprs_sessions: *rng.pick(&[1usize, 2, 3]),
+            traffic: rng
+                .pick(&[
+                    TrafficModel::Model1,
+                    TrafficModel::Model2,
+                    TrafficModel::Model3,
+                ])
+                .params(),
+            // Up to "almost every block retransmitted".
+            block_error_rate: *rng.pick(&[0.0, 0.5, 0.999_999]),
+        };
+        if cfg.num_states() <= MAX_STRESS_STATES && cfg.validate().is_ok() {
+            return cfg;
+        }
+    }
+}
+
+/// `count` pathological configurations from one seed — the same seed
+/// always produces the same list.
+pub fn pathological_configs(seed: u64, count: usize) -> Vec<CellConfig> {
+    let mut rng = StressRng::new(seed);
+    (0..count).map(|_| pathological_config(&mut rng)).collect()
+}
+
+/// Deterministic *invalid* configurations, one per validation
+/// constraint: the harness asserts every one is rejected with a typed
+/// [`crate::ModelError::Config`] — never a panic, never a solve on
+/// garbage.
+pub fn invalid_configs() -> Vec<CellConfig> {
+    let base = CellConfig::builder().build().expect("base config is valid");
+    let mut broken: Vec<CellConfig> = Vec::new();
+    let mut push = |mutate: &dyn Fn(&mut CellConfig)| {
+        let mut cfg = base.clone();
+        mutate(&mut cfg);
+        broken.push(cfg);
+    };
+    push(&|c| c.total_channels = 0);
+    push(&|c| c.total_channels = 100_000);
+    push(&|c| c.reserved_pdchs = c.total_channels + 1);
+    push(&|c| c.buffer_capacity = 0);
+    push(&|c| c.tcp_threshold = 0.0);
+    push(&|c| c.tcp_threshold = 1.5);
+    push(&|c| c.tcp_threshold = f64::NAN);
+    push(&|c| c.gprs_fraction = 0.0);
+    push(&|c| c.gprs_fraction = 1.0);
+    push(&|c| c.call_arrival_rate = 0.0);
+    push(&|c| c.call_arrival_rate = -1.0);
+    push(&|c| c.call_arrival_rate = f64::INFINITY);
+    push(&|c| c.call_arrival_rate = f64::NAN);
+    push(&|c| c.max_gprs_sessions = 0);
+    push(&|c| c.block_error_rate = 1.0);
+    push(&|c| c.block_error_rate = -0.5);
+    push(&|c| c.gsm_call_duration = 0.0);
+    push(&|c| c.gsm_dwell_time = -60.0);
+    push(&|c| c.gprs_dwell_time = f64::INFINITY);
+    broken
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = pathological_configs(42, 16);
+        let b = pathological_configs(42, 16);
+        assert_eq!(a, b);
+        let c = pathological_configs(43, 16);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_configs_are_valid_and_bounded() {
+        for (i, cfg) in pathological_configs(7, 64).iter().enumerate() {
+            assert!(cfg.validate().is_ok(), "case {i}: {cfg:?}");
+            assert!(cfg.num_states() <= MAX_STRESS_STATES, "case {i}");
+        }
+    }
+
+    #[test]
+    fn generated_configs_span_extreme_stiffness() {
+        // At least one generated case must put > 1e12 between its
+        // fastest and slowest rates — the regime the divergence guards
+        // exist for.
+        let spread = pathological_configs(11, 64).iter().any(|cfg| {
+            let rates = [
+                cfg.call_arrival_rate,
+                cfg.gsm_completion_rate(),
+                cfg.gsm_handover_rate(),
+                cfg.gprs_handover_rate(),
+                cfg.packet_service_rate().max(f64::MIN_POSITIVE),
+            ];
+            let max = rates.iter().cloned().fold(f64::MIN, f64::max);
+            let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+            max / min > 1e12
+        });
+        assert!(spread, "no case exceeded a 1e12 stiffness ratio");
+    }
+
+    #[test]
+    fn invalid_configs_are_all_rejected() {
+        let broken = invalid_configs();
+        assert!(broken.len() >= 15);
+        for (i, cfg) in broken.iter().enumerate() {
+            assert!(cfg.validate().is_err(), "case {i} was accepted: {cfg:?}");
+        }
+    }
+}

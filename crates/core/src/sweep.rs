@@ -32,6 +32,7 @@
 
 use crate::config::CellConfig;
 use crate::error::ModelError;
+use crate::health::SolveHealth;
 use crate::measures::Measures;
 use crate::template::{GeneratorTemplate, TemplatePool, WarmStart};
 use gprs_ctmc::solver::SolveOptions;
@@ -70,6 +71,10 @@ pub struct SweepPoint {
     pub sweeps: usize,
     /// Final residual.
     pub residual: f64,
+    /// Health report of this point's solve: which rung of the fallback
+    /// ladder produced it (always [`crate::SolveRung::Primary`] on the
+    /// happy path).
+    pub health: SolveHealth,
 }
 
 /// Evenly spaced rates over `[lo, hi]` (inclusive), `points >= 2`.
@@ -86,7 +91,12 @@ pub fn rate_grid(lo: f64, hi: f64, points: usize) -> Vec<f64> {
 }
 
 /// Solves one chunk of consecutive rates through a template: cold at
-/// the chunk head, chained afterwards (the warm-start contract).
+/// the chunk head, chained afterwards (the warm-start contract). Each
+/// point runs through the fallback ladder of
+/// [`GeneratorTemplate::solve_resilient`] — bit-identical to the plain
+/// solve on the happy path, degrading gracefully (with the rung
+/// recorded in [`SweepPoint::health`]) instead of sinking the whole
+/// sweep when one stiff point fails to converge.
 fn solve_chunk<F: Fn(usize, &SweepPoint) + ?Sized>(
     base: &CellConfig,
     rates: &[f64],
@@ -101,12 +111,13 @@ fn solve_chunk<F: Fn(usize, &SweepPoint) + ?Sized>(
         let mut cfg = base.clone();
         cfg.call_arrival_rate = rate;
         let model = template.model_for(cfg)?;
-        let solved = template.solve(&model, opts, WarmStart::Chained)?;
+        let solved = template.solve_resilient(&model, opts, WarmStart::Chained)?;
         let point = SweepPoint {
             rate,
             measures: solved.measures,
             sweeps: solved.sweeps,
             residual: solved.residual,
+            health: solved.health,
         };
         progress(first_index + offset, &point);
         points.push(point);
@@ -419,6 +430,37 @@ mod tests {
                 .unwrap();
             assert_eq!(pts[head].measures, *cold.measures(), "chunk head {head}");
             assert_eq!(pts[head].sweeps, cold.sweeps());
+        }
+    }
+
+    #[test]
+    fn sweep_points_report_healthy_primary_solves() {
+        let base = tiny_base();
+        let rates = rate_grid(0.2, 0.4, 3);
+        let pts = sweep_arrival_rates(&base, &rates, &SolveOptions::default()).unwrap();
+        for p in &pts {
+            assert!(!p.health.degraded(), "rate {}", p.rate);
+            assert_eq!(p.health.sweeps, p.sweeps);
+        }
+    }
+
+    #[test]
+    fn starved_sweep_degrades_to_direct_rung_instead_of_failing() {
+        // A budget no iterative rung can meet: every point still comes
+        // back — answered exactly by the GTH rung — with the
+        // degradation visible in the health report.
+        let base = tiny_base();
+        let rates = rate_grid(0.2, 0.4, 3);
+        let starved = SolveOptions::default()
+            .with_max_sweeps(1)
+            .with_tolerance(1e-300);
+        let pts = sweep_arrival_rates(&base, &rates, &starved).unwrap();
+        let reference = sweep_arrival_rates(&base, &rates, &SolveOptions::default()).unwrap();
+        for (p, r) in pts.iter().zip(&reference) {
+            assert!(p.health.degraded(), "rate {}", p.rate);
+            assert!(
+                (p.measures.carried_data_traffic - r.measures.carried_data_traffic).abs() < 1e-8
+            );
         }
     }
 

@@ -67,10 +67,12 @@
 use crate::config::CellConfig;
 use crate::error::ModelError;
 use crate::generator::GprsModel;
+use crate::health::{SolveHealth, SolveRung};
 use crate::measures::Measures;
+use gprs_ctmc::gth::{solve_gth, RECOMMENDED_MAX_STATES};
 use gprs_ctmc::mbd::solve_mbd_projected_ws;
 use gprs_ctmc::solver::{solve_gauss_seidel_ws, SolveOptions};
-use gprs_ctmc::{SolveWorkspace, SparseGenerator};
+use gprs_ctmc::{balance_residual, SolveWorkspace, SparseGenerator};
 use std::sync::Mutex;
 
 /// The structural fingerprint of a cell configuration: two configs with
@@ -161,6 +163,11 @@ pub struct PointSolve {
     pub sweeps: usize,
     /// Final balance residual.
     pub residual: f64,
+    /// How the answer was produced: [`SolveRung::Primary`] with zero
+    /// failed rungs from the plain solve entry points, possibly a
+    /// fallback rung from
+    /// [`solve_resilient`](GeneratorTemplate::solve_resilient).
+    pub health: SolveHealth,
 }
 
 /// One model shape's symbolic artifacts plus the numeric buffers reused
@@ -368,6 +375,7 @@ impl GeneratorTemplate {
             measures: Measures::compute_from_slice(model, self.ws.pi()),
             sweeps: stats.sweeps,
             residual: stats.residual,
+            health: SolveHealth::primary(stats.sweeps, stats.residual),
         })
     }
 
@@ -412,7 +420,124 @@ impl GeneratorTemplate {
             measures: Measures::compute_from_slice(model, self.ws.pi()),
             sweeps: stats.sweeps,
             residual: stats.residual,
+            health: SolveHealth::primary(stats.sweeps, stats.residual),
         })
+    }
+
+    /// Solves `model` through the **fallback ladder**: every solve
+    /// either converges (recording which rung produced the answer),
+    /// or fails with the structured error of the deepest rung tried.
+    ///
+    /// The rungs, top to bottom:
+    ///
+    /// 1. **Primary** — exactly [`solve`](Self::solve) with the
+    ///    requested warm start. When it succeeds (the overwhelmingly
+    ///    common case) the result is bit-identical to the plain entry
+    ///    point.
+    /// 2. **Cold restart** — only when rung 1 ran warm: the warm-start
+    ///    chain is dropped and the primary solver restarts from the
+    ///    product-form guess, recovering from a poisoned or badly
+    ///    extrapolated start.
+    /// 3. **Alternate iterative** — point Gauss–Seidel over the
+    ///    refilled sparse matrix with adjusted relaxation: plain sweeps
+    ///    (`ω = 1`) if the caller over- or under-relaxed, damped sweeps
+    ///    (`ω = 0.8`) otherwise — a different iteration operator with a
+    ///    different spectrum, which converges on chains where the block
+    ///    method ping-pongs.
+    /// 4. **Direct GTH** — for chains under
+    ///    [`RECOMMENDED_MAX_STATES`]: exact elimination, no iteration
+    ///    at all. The solution is installed into the workspace so the
+    ///    warm-start chain continues from it.
+    ///
+    /// A rung is only tried after every rung above failed with a
+    /// *solver* failure ([`ModelError::is_solver_failure`]); structural
+    /// errors propagate immediately.
+    ///
+    /// # Errors
+    ///
+    /// As [`solve`](Self::solve) when the failure is structural;
+    /// otherwise the error of the deepest rung attempted.
+    pub fn solve_resilient(
+        &mut self,
+        model: &GprsModel,
+        opts: &SolveOptions,
+        warm: WarmStart,
+    ) -> Result<PointSolve, ModelError> {
+        let was_warm = warm == WarmStart::Chained && self.history >= 1;
+
+        // Rung 1: the primary path, bit-identical on success.
+        match self.solve(model, opts, warm) {
+            Ok(point) => return Ok(point),
+            Err(e) if e.is_solver_failure() => {}
+            Err(e) => return Err(e),
+        }
+        let mut failed: u8 = 1;
+
+        // Rung 2: cold restart, only meaningful if rung 1 ran warm
+        // (chain_fail already cleared the history).
+        if was_warm {
+            match self.solve(model, opts, WarmStart::Cold) {
+                Ok(mut point) => {
+                    point.health = SolveHealth {
+                        rung: SolveRung::ColdRestart,
+                        failed_rungs: failed,
+                        sweeps: point.sweeps,
+                        residual: point.residual,
+                    };
+                    return Ok(point);
+                }
+                Err(e) if e.is_solver_failure() => failed += 1,
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Rung 3: alternate iterative solver with adjusted relaxation.
+        let alt_opts = if opts.sor_omega == 1.0 {
+            opts.clone().with_sor(0.8)
+        } else {
+            opts.clone().with_sor(1.0)
+        };
+        let last = match self.solve_gauss_seidel(model, &alt_opts, WarmStart::Cold) {
+            Ok(mut point) => {
+                point.health = SolveHealth {
+                    rung: SolveRung::AlternateIterative,
+                    failed_rungs: failed,
+                    sweeps: point.sweeps,
+                    residual: point.residual,
+                };
+                return Ok(point);
+            }
+            Err(e) if e.is_solver_failure() => {
+                failed += 1;
+                e
+            }
+            Err(e) => return Err(e),
+        };
+
+        // Rung 4: direct elimination for small chains.
+        let n = model.space().num_states();
+        if n <= RECOMMENDED_MAX_STATES {
+            self.sparse_ensure(model)?;
+            let sparse = &self.sparse.as_ref().expect("pattern just ensured").1;
+            let pi = solve_gth(sparse)?;
+            let residual = balance_residual(sparse, pi.as_slice());
+            self.ws.set_pi(pi.as_slice());
+            // The exact solution is a legitimate chain predecessor.
+            self.history = 1;
+            return Ok(PointSolve {
+                measures: Measures::compute_from_slice(model, self.ws.pi()),
+                sweeps: 0,
+                residual,
+                health: SolveHealth {
+                    rung: SolveRung::DirectGth,
+                    failed_rungs: failed,
+                    sweeps: 0,
+                    residual,
+                },
+            });
+        }
+
+        Err(last)
     }
 
     /// Shared failure path of both solve flavours: a failed solve
@@ -649,6 +774,85 @@ mod tests {
         let template = GeneratorTemplate::new(&tiny(0.4)).unwrap();
         assert!(!template.matches(&other));
         assert!(template.model_for(other).is_err());
+    }
+
+    #[test]
+    fn resilient_happy_path_is_bit_identical_to_plain_solve() {
+        let opts = SolveOptions::default();
+        let model = GprsModel::new(tiny(0.4)).unwrap();
+        let mut plain = GeneratorTemplate::new(&tiny(0.4)).unwrap();
+        let mut resilient = GeneratorTemplate::new(&tiny(0.4)).unwrap();
+        let a = plain.solve(&model, &opts, WarmStart::Cold).unwrap();
+        let b = resilient
+            .solve_resilient(&model, &opts, WarmStart::Cold)
+            .unwrap();
+        assert_eq!(a.sweeps, b.sweeps);
+        assert_eq!(a.residual.to_bits(), b.residual.to_bits());
+        assert_eq!(plain.stationary(), resilient.stationary());
+        assert_eq!(b.health.rung, SolveRung::Primary);
+        assert_eq!(b.health.failed_rungs, 0);
+        assert!(!b.health.degraded());
+    }
+
+    #[test]
+    fn resilient_falls_through_to_direct_gth_on_budget_exhaustion() {
+        // One sweep at an unreachable tolerance starves every iterative
+        // rung; the chain is small, so the ladder bottoms out at exact
+        // elimination instead of surfacing NotConverged.
+        let opts = SolveOptions::default()
+            .with_max_sweeps(1)
+            .with_tolerance(1e-300);
+        let model = GprsModel::new(tiny(0.4)).unwrap();
+        assert!(model.space().num_states() <= RECOMMENDED_MAX_STATES);
+        let mut template = GeneratorTemplate::new(&tiny(0.4)).unwrap();
+        let point = template
+            .solve_resilient(&model, &opts, WarmStart::Cold)
+            .unwrap();
+        // Cold start: rung 2 is skipped, so primary + alternate failed.
+        assert_eq!(point.health.rung, SolveRung::DirectGth);
+        assert_eq!(point.health.failed_rungs, 2);
+        assert!(point.health.degraded());
+        assert_eq!(point.health.sweeps, 0);
+        assert!(point.residual < 1e-10, "gth residual {}", point.residual);
+        // The exact answer matches the converged iterative one.
+        let reference = GprsModel::new(tiny(0.4)).unwrap().solve_default().unwrap();
+        for (a, b) in template
+            .stationary()
+            .iter()
+            .zip(reference.stationary().as_slice())
+        {
+            assert!((a - b).abs() < 1e-8);
+        }
+        // ...and seeds the warm-start chain for the next solve.
+        let next = template
+            .solve_resilient(&model, &SolveOptions::default(), WarmStart::Chained)
+            .unwrap();
+        assert_eq!(next.health.rung, SolveRung::Primary);
+        assert!(
+            next.sweeps <= 4,
+            "took {} sweeps after gth seed",
+            next.sweeps
+        );
+    }
+
+    #[test]
+    fn resilient_warm_failure_walks_every_rung() {
+        // Seed a warm chain with a good solve, then starve the budget:
+        // primary (warm), cold restart, and alternate all fail before
+        // the direct rung answers.
+        let model = GprsModel::new(tiny(0.4)).unwrap();
+        let mut template = GeneratorTemplate::new(&tiny(0.4)).unwrap();
+        template
+            .solve(&model, &SolveOptions::default(), WarmStart::Chained)
+            .unwrap();
+        let starved = SolveOptions::default()
+            .with_max_sweeps(1)
+            .with_tolerance(1e-300);
+        let point = template
+            .solve_resilient(&model, &starved, WarmStart::Chained)
+            .unwrap();
+        assert_eq!(point.health.rung, SolveRung::DirectGth);
+        assert_eq!(point.health.failed_rungs, 3);
     }
 
     #[test]

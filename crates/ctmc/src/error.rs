@@ -29,6 +29,35 @@ pub enum CtmcError {
         /// The dimension that was supplied.
         actual: usize,
     },
+    /// The iterate blew up: non-finite values appeared, total mass
+    /// vanished or overflowed, or the residual grew past the divergence
+    /// guard (see `SolveOptions::divergence_factor`). Unlike
+    /// [`NotConverged`](CtmcError::NotConverged) — which reports an
+    /// iterate that is merely not *yet* good enough, with a finite
+    /// residual — this means continuing the iteration is pointless: the
+    /// caller should restart from a different guess or switch solvers.
+    Diverged {
+        /// Number of sweeps/iterations performed before the abort.
+        iterations: usize,
+        /// The residual that triggered the abort (may be NaN/∞).
+        residual: f64,
+    },
+}
+
+impl CtmcError {
+    /// Whether this error describes a *solver* failure (the iteration
+    /// did not produce a usable answer) rather than a structural defect
+    /// of the problem. Solver failures are worth retrying on a
+    /// different rung of a fallback ladder — a cold restart, another
+    /// iterative method, or direct elimination; structural errors
+    /// (invalid generator, dimension mismatch, empty chain) would fail
+    /// identically on every rung.
+    pub fn is_solver_failure(&self) -> bool {
+        matches!(
+            self,
+            CtmcError::NotConverged { .. } | CtmcError::Diverged { .. }
+        )
+    }
 }
 
 impl fmt::Display for CtmcError {
@@ -50,6 +79,14 @@ impl fmt::Display for CtmcError {
             CtmcError::DimensionMismatch { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
             }
+            CtmcError::Diverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iteration diverged after {iterations} sweeps \
+                 (residual {residual:.3e})"
+            ),
         }
     }
 }
@@ -76,12 +113,38 @@ mod tests {
                 expected: 4,
                 actual: 2,
             },
+            CtmcError::Diverged {
+                iterations: 5,
+                residual: f64::NAN,
+            },
         ];
         for e in errs {
             let s = e.to_string();
             assert!(!s.is_empty());
             assert!(s.chars().next().unwrap().is_lowercase());
         }
+    }
+
+    #[test]
+    fn solver_failures_are_retryable_structural_errors_are_not() {
+        assert!(CtmcError::NotConverged {
+            iterations: 1,
+            residual: 1.0,
+            tolerance: 1e-10,
+        }
+        .is_solver_failure());
+        assert!(CtmcError::Diverged {
+            iterations: 1,
+            residual: f64::INFINITY,
+        }
+        .is_solver_failure());
+        assert!(!CtmcError::EmptyChain.is_solver_failure());
+        assert!(!CtmcError::InvalidGenerator { reason: "x".into() }.is_solver_failure());
+        assert!(!CtmcError::DimensionMismatch {
+            expected: 1,
+            actual: 2,
+        }
+        .is_solver_failure());
     }
 
     #[test]

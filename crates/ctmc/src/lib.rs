@@ -84,4 +84,4 @@ pub use parallel::{solve_parallel, ParallelMethod, RedBlackSor};
 pub use solver::{Solution, SolveOptions, SolveStats, SolveWorkspace};
 pub use sparse::{SparseGenerator, TripletBuilder};
 pub use stationary::StationaryDistribution;
-pub use transitions::{IncomingTransitions, Transitions};
+pub use transitions::{balance_residual, try_balance_residual, IncomingTransitions, Transitions};

@@ -22,7 +22,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::error::CtmcError;
-use crate::solver::{Solution, SolveOptions, SolveStats, SolveWorkspace};
+use crate::solver::{HealthGuard, Solution, SolveOptions, SolveStats, SolveWorkspace};
 use crate::stationary::StationaryDistribution;
 
 /// Structural access to a Markov-modulated birth–death chain.
@@ -244,6 +244,7 @@ fn solve_mbd_inner<G: ModulatedBirthDeath + ?Sized>(
     xcol.resize(l_count, 0.0);
     let omega = opts.sor_omega;
 
+    let mut guard = HealthGuard::new(opts);
     let mut sweeps = 0usize;
     let mut residual = f64::INFINITY;
     let mut converged: Option<SolveStats> = None;
@@ -350,8 +351,9 @@ fn solve_mbd_inner<G: ModulatedBirthDeath + ?Sized>(
             // Normalize.
             let total: f64 = pi.iter().sum();
             if !total.is_finite() || total <= 0.0 {
-                return Err(CtmcError::InvalidGenerator {
-                    reason: "mbd iteration diverged (mass vanished or overflowed)".into(),
+                return Err(CtmcError::Diverged {
+                    iterations: sweeps + 1,
+                    residual: f64::NAN,
                 });
             }
             let inv = 1.0 / total;
@@ -363,8 +365,12 @@ fn solve_mbd_inner<G: ModulatedBirthDeath + ?Sized>(
 
         if sweeps.is_multiple_of(opts.check_every.clamp(1, 4)) || sweeps == opts.max_sweeps {
             residual = mbd_residual(gen, pi, phase_exit, inflow);
+            guard.observe(sweeps, residual)?;
             if residual <= opts.tolerance {
                 converged = Some(SolveStats { sweeps, residual });
+                break 'sweep;
+            }
+            if guard.out_of_time() {
                 break 'sweep;
             }
         }
@@ -374,11 +380,15 @@ fn solve_mbd_inner<G: ModulatedBirthDeath + ?Sized>(
         ws.normalize_pi();
         return Ok(stats);
     }
-    Err(CtmcError::NotConverged {
-        iterations: sweeps,
-        residual,
-        tolerance: opts.tolerance,
-    })
+    // `mbd_residual` is already an exact evaluation, but the loop may
+    // have been skipped entirely (`max_sweeps == 0`) — re-evaluate so
+    // `NotConverged` always carries the true residual of the iterate.
+    let exact = if residual.is_finite() {
+        residual
+    } else {
+        mbd_residual(gen, pi, phase_exit, inflow)
+    };
+    Err(HealthGuard::budget_error(sweeps, exact, opts.tolerance))
 }
 
 /// Exact solution of a single-phase birth-death chain (product form with

@@ -51,7 +51,7 @@
 //! `gprs_exec` directly.
 
 use crate::error::CtmcError;
-use crate::solver::{Solution, SolveOptions};
+use crate::solver::{HealthGuard, Solution, SolveOptions};
 use crate::sparse::SparseGenerator;
 use crate::stationary::StationaryDistribution;
 use gprs_exec::{chunk_ranges, num_threads, par_map_chunks_mut, par_map_ranges, MIN_PARALLEL_WORK};
@@ -359,8 +359,8 @@ impl RedBlackSor {
         });
 
         let omega = opts.sor_omega;
+        let mut guard = HealthGuard::new(opts);
         let mut sweeps = 0usize;
-        let mut residual = f64::INFINITY;
 
         while sweeps < opts.max_sweeps {
             // One multicolor sweep, accumulating the fused residual of
@@ -409,8 +409,9 @@ impl RedBlackSor {
 
             let total = par_sum(&pi, self.threads);
             if !total.is_finite() || total <= 0.0 {
-                return Err(CtmcError::InvalidGenerator {
-                    reason: "iteration diverged (mass vanished or overflowed)".into(),
+                return Err(CtmcError::Diverged {
+                    iterations: sweeps + 1,
+                    residual: if den == 0.0 { f64::NAN } else { num / den },
                 });
             }
             par_scale(&mut pi, 1.0 / total, self.threads);
@@ -419,7 +420,8 @@ impl RedBlackSor {
             // The fused estimate costs nothing, so convergence is
             // observed every sweep; an exact evaluation on the frozen
             // iterate confirms it before returning.
-            residual = if den == 0.0 { 0.0 } else { num / den };
+            let residual = if den == 0.0 { 0.0 } else { num / den };
+            guard.observe(sweeps, residual)?;
             if residual <= opts.tolerance {
                 let exact = self.residual_exact(&pi);
                 if exact <= opts.tolerance {
@@ -429,15 +431,16 @@ impl RedBlackSor {
                         residual: exact,
                     });
                 }
-                residual = exact;
+            }
+            if sweeps.is_multiple_of(opts.check_cadence()) && guard.out_of_time() {
+                break;
             }
         }
 
-        Err(CtmcError::NotConverged {
-            iterations: sweeps,
-            residual,
-            tolerance: opts.tolerance,
-        })
+        // Budget exhausted: report the exact residual of the frozen
+        // iterate, never the fused mid-sweep estimate.
+        let exact = self.residual_exact(&pi);
+        Err(HealthGuard::budget_error(sweeps, exact, opts.tolerance))
     }
 
     /// Exact balance residual of a permuted iterate.
@@ -526,8 +529,8 @@ pub fn solve_jacobi(
     let threads = num_threads();
     let damping = opts.sor_omega.min(0.95);
 
+    let mut guard = HealthGuard::new(opts);
     let mut sweeps = 0usize;
-    let mut residual = f64::INFINITY;
 
     while sweeps < opts.max_sweeps {
         let parts = {
@@ -559,8 +562,9 @@ pub fn solve_jacobi(
                 (a + x, b + y, c + z)
             });
         if !total.is_finite() || total <= 0.0 {
-            return Err(CtmcError::InvalidGenerator {
-                reason: "iteration diverged (mass vanished or overflowed)".into(),
+            return Err(CtmcError::Diverged {
+                iterations: sweeps + 1,
+                residual: if den == 0.0 { f64::NAN } else { num / den },
             });
         }
         par_scale(&mut next, 1.0 / total, threads);
@@ -570,7 +574,8 @@ pub fn solve_jacobi(
         // The fused terms are the exact balance residual of the
         // *previous* iterate (Jacobi reads a consistent snapshot), so no
         // confirmation pass is needed.
-        residual = if den == 0.0 { 0.0 } else { num / den };
+        let residual = if den == 0.0 { 0.0 } else { num / den };
+        guard.observe(sweeps, residual)?;
         if residual <= opts.tolerance {
             return Ok(Solution {
                 pi: StationaryDistribution::new(next),
@@ -578,13 +583,15 @@ pub fn solve_jacobi(
                 residual,
             });
         }
+        if sweeps.is_multiple_of(opts.check_cadence()) && guard.out_of_time() {
+            break;
+        }
     }
 
-    Err(CtmcError::NotConverged {
-        iterations: sweeps,
-        residual,
-        tolerance: opts.tolerance,
-    })
+    // Budget exhausted: evaluate the exact residual of the current
+    // iterate so `NotConverged` carries a trustworthy, finite number.
+    let exact = balance_residual_par(gen, &pi, threads);
+    Err(HealthGuard::budget_error(sweeps, exact, opts.tolerance))
 }
 
 // ---------------------------------------------------------------------------

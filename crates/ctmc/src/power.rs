@@ -10,7 +10,7 @@
 //! [`crate::solver::solve_gauss_seidel`] for production runs.
 
 use crate::error::CtmcError;
-use crate::solver::{Solution, SolveOptions};
+use crate::solver::{HealthGuard, Solution, SolveOptions};
 use crate::stationary::StationaryDistribution;
 use crate::transitions::{balance_residual, Transitions};
 
@@ -71,6 +71,7 @@ pub fn solve_power<G: Transitions + ?Sized>(
     };
     let mut next = vec![0.0f64; n];
 
+    let mut guard = HealthGuard::new(opts);
     let mut iterations = 0usize;
     let mut residual = f64::INFINITY;
     while iterations < opts.max_sweeps {
@@ -86,6 +87,12 @@ pub fn solve_power<G: Transitions + ?Sized>(
             next[i] += p * (1.0 - exit[i] / lambda);
         }
         let total: f64 = next.iter().sum();
+        if !total.is_finite() || total <= 0.0 {
+            return Err(CtmcError::Diverged {
+                iterations: iterations + 1,
+                residual: f64::NAN,
+            });
+        }
         let inv = 1.0 / total;
         for x in &mut next {
             *x *= inv;
@@ -95,6 +102,7 @@ pub fn solve_power<G: Transitions + ?Sized>(
 
         if iterations.is_multiple_of(opts.check_cadence()) || iterations == opts.max_sweeps {
             residual = balance_residual(gen, &pi);
+            guard.observe(iterations, residual)?;
             if residual <= opts.tolerance {
                 return Ok(Solution {
                     pi: StationaryDistribution::new(pi),
@@ -102,14 +110,20 @@ pub fn solve_power<G: Transitions + ?Sized>(
                     residual,
                 });
             }
+            if guard.out_of_time() {
+                break;
+            }
         }
     }
 
-    Err(CtmcError::NotConverged {
-        iterations,
-        residual,
-        tolerance: opts.tolerance,
-    })
+    // `balance_residual` at the cadence above is exact; re-evaluate only
+    // if the loop never ran (`max_sweeps == 0`).
+    let exact = if residual.is_finite() {
+        residual
+    } else {
+        balance_residual(gen, &pi)
+    };
+    Err(HealthGuard::budget_error(iterations, exact, opts.tolerance))
 }
 
 #[cfg(test)]

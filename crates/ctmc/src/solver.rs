@@ -8,6 +8,7 @@
 use crate::error::CtmcError;
 use crate::stationary::StationaryDistribution;
 use crate::transitions::IncomingTransitions;
+use std::time::{Duration, Instant};
 
 /// Options controlling the iterative solvers.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +28,25 @@ pub struct SolveOptions {
     /// treated as `1`: a zero cadence would otherwise never fire and
     /// silently disable convergence checks until `max_sweeps`.
     pub check_every: usize,
+    /// Optional **wall-clock budget** for one solve. Checked at the
+    /// residual-evaluation cadence; when it runs out the solver returns
+    /// [`CtmcError::NotConverged`] carrying an exactly evaluated,
+    /// finite residual for the current iterate (or
+    /// [`CtmcError::Diverged`] if that residual is not finite). `None`
+    /// (the default) means the sweep cap [`max_sweeps`](Self::max_sweeps)
+    /// is the only budget. This is the guard that turns a stiff,
+    /// near-reducible, or oscillating chain from a multi-minute hang
+    /// into a structured, retryable failure.
+    pub max_wall_time: Option<Duration>,
+    /// **Divergence guard**: the solve aborts with
+    /// [`CtmcError::Diverged`] as soon as an evaluated residual exceeds
+    /// the best residual seen so far by this factor (or is NaN/∞,
+    /// regardless of the factor). Must be `> 1`; `f64::INFINITY`
+    /// disables the growth check (non-finite residuals still abort).
+    /// The default `1e6` is far beyond the transient wobble of healthy
+    /// warm starts while catching genuine blow-ups within a few sweeps
+    /// instead of spinning to `max_sweeps`.
+    pub divergence_factor: f64,
 }
 
 impl Default for SolveOptions {
@@ -36,6 +56,8 @@ impl Default for SolveOptions {
             max_sweeps: 20_000,
             sor_omega: 1.0,
             check_every: 16,
+            max_wall_time: None,
+            divergence_factor: 1e6,
         }
     }
 }
@@ -84,9 +106,104 @@ impl SolveOptions {
         self
     }
 
+    /// Sets the wall-clock budget, returning `self` for chaining.
+    pub fn with_wall_time(mut self, budget: Duration) -> Self {
+        self.max_wall_time = Some(budget);
+        self
+    }
+
+    /// Sets the divergence guard factor, returning `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 1` (the guard would fire on any
+    /// non-monotone residual, including healthy warm-start wobble).
+    pub fn with_divergence_factor(mut self, factor: f64) -> Self {
+        assert!(factor > 1.0, "divergence factor must exceed 1");
+        self.divergence_factor = factor;
+        self
+    }
+
     /// The check cadence with the zero guard applied.
     pub(crate) fn check_cadence(&self) -> usize {
         self.check_every.max(1)
+    }
+}
+
+/// In-sweep health tracker shared by the iterative solvers: watches
+/// every evaluated residual for NaN/∞ and runaway growth, and the wall
+/// clock for budget exhaustion. One guard lives for one solve.
+pub(crate) struct HealthGuard {
+    deadline: Option<Instant>,
+    divergence_factor: f64,
+    best_residual: f64,
+}
+
+impl HealthGuard {
+    pub(crate) fn new(opts: &SolveOptions) -> Self {
+        HealthGuard {
+            // checked_add: a caller passing Duration::MAX must exhaust
+            // the sweep budget rather than overflow the deadline.
+            deadline: opts
+                .max_wall_time
+                .and_then(|b| Instant::now().checked_add(b)),
+            divergence_factor: opts.divergence_factor,
+            best_residual: f64::INFINITY,
+        }
+    }
+
+    /// Feeds a freshly evaluated residual to the divergence guard.
+    ///
+    /// # Errors
+    ///
+    /// [`CtmcError::Diverged`] if the residual is non-finite, or grew
+    /// past `divergence_factor` times the best residual seen so far.
+    pub(crate) fn observe(&mut self, sweeps: usize, residual: f64) -> Result<(), CtmcError> {
+        if !residual.is_finite() {
+            return Err(CtmcError::Diverged {
+                iterations: sweeps,
+                residual,
+            });
+        }
+        if residual < self.best_residual {
+            self.best_residual = residual;
+        } else if self.divergence_factor.is_finite()
+            && self.best_residual.is_finite()
+            && residual > self.divergence_factor * self.best_residual.max(f64::MIN_POSITIVE)
+        {
+            return Err(CtmcError::Diverged {
+                iterations: sweeps,
+                residual,
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether the wall-clock budget has run out. Callers check this at
+    /// their residual cadence (an `Instant::now` per sweep would be
+    /// noticeable on small chains).
+    pub(crate) fn out_of_time(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The structured end-of-budget error: [`CtmcError::NotConverged`]
+    /// carrying `exact_residual` when it is finite (the contract every
+    /// budget-exhaustion path honours — callers evaluate the residual
+    /// exactly on the frozen iterate first), [`CtmcError::Diverged`]
+    /// otherwise.
+    pub(crate) fn budget_error(sweeps: usize, exact_residual: f64, tolerance: f64) -> CtmcError {
+        if exact_residual.is_finite() {
+            CtmcError::NotConverged {
+                iterations: sweeps,
+                residual: exact_residual,
+                tolerance,
+            }
+        } else {
+            CtmcError::Diverged {
+                iterations: sweeps,
+                residual: exact_residual,
+            }
+        }
     }
 }
 
@@ -165,6 +282,15 @@ impl SolveWorkspace {
     /// Moves the distribution out (leaving an empty buffer behind).
     pub(crate) fn take_pi(&mut self) -> Vec<f64> {
         std::mem::take(&mut self.pi)
+    }
+
+    /// Installs an externally computed distribution as the workspace
+    /// iterate — the hook that lets a direct solver (GTH) hand its
+    /// answer to a workspace-driven warm-start chain. The values are
+    /// copied verbatim; callers pass an already-normalized vector.
+    pub fn set_pi(&mut self, pi: &[f64]) {
+        self.pi.clear();
+        self.pi.extend_from_slice(pi);
     }
 
     /// Final normalization of the solved iterate — exactly the
@@ -299,8 +425,8 @@ pub fn solve_gauss_seidel_ws<G: IncomingTransitions + ?Sized>(
     let (pi, exit) = (&mut ws.pi, &ws.exit);
 
     let omega = opts.sor_omega;
+    let mut guard = HealthGuard::new(opts);
     let mut sweeps = 0usize;
-    let mut residual = f64::INFINITY;
     let mut converged: Option<SolveStats> = None;
 
     while sweeps < opts.max_sweeps {
@@ -332,8 +458,9 @@ pub fn solve_gauss_seidel_ws<G: IncomingTransitions + ?Sized>(
         // Renormalize to keep magnitudes in range.
         let total: f64 = pi.iter().sum();
         if !total.is_finite() || total <= 0.0 {
-            return Err(CtmcError::InvalidGenerator {
-                reason: "iteration diverged (mass vanished or overflowed)".into(),
+            return Err(CtmcError::Diverged {
+                iterations: sweeps + 1,
+                residual: if den == 0.0 { f64::NAN } else { num / den },
             });
         }
         let inv = 1.0 / total;
@@ -345,7 +472,8 @@ pub fn solve_gauss_seidel_ws<G: IncomingTransitions + ?Sized>(
         // The fused estimate mixes pre- and mid-sweep values, so when it
         // signals convergence an exact evaluation on the frozen iterate
         // confirms before returning (once per solve, not per check).
-        residual = if den == 0.0 { 0.0 } else { num / den };
+        let residual = if den == 0.0 { 0.0 } else { num / den };
+        guard.observe(sweeps, residual)?;
         if residual <= opts.tolerance {
             let exact = residual_incoming(gen, pi, exit);
             if exact <= opts.tolerance {
@@ -355,7 +483,9 @@ pub fn solve_gauss_seidel_ws<G: IncomingTransitions + ?Sized>(
                 });
                 break;
             }
-            residual = exact;
+        }
+        if sweeps.is_multiple_of(opts.check_cadence()) && guard.out_of_time() {
+            break;
         }
     }
 
@@ -363,11 +493,11 @@ pub fn solve_gauss_seidel_ws<G: IncomingTransitions + ?Sized>(
         ws.normalize_pi();
         return Ok(stats);
     }
-    Err(CtmcError::NotConverged {
-        iterations: sweeps,
-        residual,
-        tolerance: opts.tolerance,
-    })
+    // Budget exhausted (sweeps or wall clock): report the *exact*
+    // residual of the frozen iterate, not the fused mid-sweep estimate
+    // — `NotConverged` always carries a finite, trustworthy number.
+    let exact = residual_incoming(gen, pi, exit);
+    Err(HealthGuard::budget_error(sweeps, exact, opts.tolerance))
 }
 
 /// Relative L1 balance residual computed via incoming transitions
@@ -494,9 +624,109 @@ mod tests {
             }) => {
                 assert_eq!(iterations, 1);
                 assert!(residual > tolerance);
+                // Budget exhaustion reports the *exact* residual of the
+                // frozen iterate — always finite, never a stale or
+                // poisoned estimate.
+                assert!(residual.is_finite());
             }
             other => panic!("expected NotConverged, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn wall_clock_budget_returns_not_converged_with_finite_residual() {
+        let g = random_irreducible(60, 17);
+        let opts = SolveOptions::default()
+            .with_tolerance(1e-300)
+            .with_check_every(1)
+            .with_wall_time(Duration::ZERO);
+        match solve_gauss_seidel(&g, None, &opts) {
+            Err(CtmcError::NotConverged {
+                iterations,
+                residual,
+                ..
+            }) => {
+                assert!(iterations < opts.max_sweeps, "budget never fired");
+                assert!(residual.is_finite());
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+        // Same contract for the other iterative solvers.
+        let pw = crate::power::solve_power(&g, None, &opts);
+        match pw {
+            Err(CtmcError::NotConverged { residual, .. }) => assert!(residual.is_finite()),
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+        let par = crate::parallel::solve_parallel(&g, None, &opts);
+        match par {
+            Err(CtmcError::NotConverged { residual, .. }) => assert!(residual.is_finite()),
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn health_guard_aborts_on_growth_and_nonfinite_residuals() {
+        let opts = SolveOptions::default().with_divergence_factor(10.0);
+        let mut g = HealthGuard::new(&opts);
+        assert!(g.observe(1, 1e-3).is_ok());
+        // Wobble within the factor is tolerated.
+        assert!(g.observe(2, 5e-3).is_ok());
+        match g.observe(3, 1.0) {
+            Err(CtmcError::Diverged {
+                iterations,
+                residual,
+            }) => {
+                assert_eq!(iterations, 3);
+                assert_eq!(residual, 1.0);
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+        let mut g2 = HealthGuard::new(&opts);
+        assert!(matches!(
+            g2.observe(1, f64::NAN),
+            Err(CtmcError::Diverged { .. })
+        ));
+        // An infinite factor disables the growth check but never the
+        // non-finite check.
+        let mut g3 =
+            HealthGuard::new(&SolveOptions::default().with_divergence_factor(f64::INFINITY));
+        assert!(g3.observe(1, 1e-9).is_ok());
+        assert!(g3.observe(2, 1e9).is_ok());
+        assert!(matches!(
+            g3.observe(3, f64::INFINITY),
+            Err(CtmcError::Diverged { .. })
+        ));
+    }
+
+    #[test]
+    fn nonfinite_rates_abort_as_diverged() {
+        // A generator reporting an infinite rate poisons the iterate in
+        // one sweep; the solver must abort with `Diverged`, not panic in
+        // normalization or spin to max_sweeps.
+        struct InfRate;
+        impl crate::transitions::Transitions for InfRate {
+            fn num_states(&self) -> usize {
+                2
+            }
+            fn for_each_outgoing(&self, state: usize, visit: &mut dyn FnMut(usize, f64)) {
+                visit(1 - state, f64::INFINITY);
+            }
+        }
+        impl IncomingTransitions for InfRate {
+            fn for_each_incoming(&self, state: usize, visit: &mut dyn FnMut(usize, f64)) {
+                visit(1 - state, f64::INFINITY);
+            }
+        }
+        let err = solve_gauss_seidel(&InfRate, None, &SolveOptions::default()).unwrap_err();
+        assert!(matches!(err, CtmcError::Diverged { .. }), "got {err:?}");
+        let err = crate::power::solve_power(&InfRate, None, &SolveOptions::default()).unwrap_err();
+        assert!(matches!(err, CtmcError::Diverged { .. }), "got {err:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "divergence factor")]
+    fn divergence_factor_at_most_one_panics() {
+        let _ = SolveOptions::default().with_divergence_factor(1.0);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! solved without ever assembling a sparse matrix: the model implements
 //! these traits and the solvers walk transitions on the fly.
 
+use crate::error::CtmcError;
+
 /// Read access to the outgoing transitions of a CTMC generator.
 ///
 /// Implementations must only report *off-diagonal* transitions with
@@ -48,13 +50,40 @@ pub trait IncomingTransitions: Transitions {
 ///
 /// # Panics
 ///
-/// Panics if `pi.len() != gen.num_states()`.
+/// Panics if `pi.len() != gen.num_states()`. The solvers validate
+/// dimensions at their entry points and use [`try_balance_residual`]
+/// internally, so a mismatched vector surfaces as a structured
+/// [`CtmcError::DimensionMismatch`] before any sweep runs — this
+/// asserting variant is the convenience API for callers who already
+/// hold a vector of known-correct length.
 pub fn balance_residual<G: Transitions + ?Sized>(gen: &G, pi: &[f64]) -> f64 {
-    assert_eq!(
-        pi.len(),
-        gen.num_states(),
-        "pi length must match state count"
-    );
+    match try_balance_residual(gen, pi) {
+        Ok(r) => r,
+        Err(_) => panic!(
+            "pi length must match state count ({} vs {})",
+            pi.len(),
+            gen.num_states()
+        ),
+    }
+}
+
+/// Fallible form of [`balance_residual`]: returns
+/// [`CtmcError::DimensionMismatch`] instead of panicking when `pi` has
+/// the wrong length.
+///
+/// # Errors
+///
+/// [`CtmcError::DimensionMismatch`] if `pi.len() != gen.num_states()`.
+pub fn try_balance_residual<G: Transitions + ?Sized>(
+    gen: &G,
+    pi: &[f64],
+) -> Result<f64, CtmcError> {
+    if pi.len() != gen.num_states() {
+        return Err(CtmcError::DimensionMismatch {
+            expected: gen.num_states(),
+            actual: pi.len(),
+        });
+    }
     let n = gen.num_states();
     let mut flow = vec![0.0f64; n];
     let mut scale = 0.0f64;
@@ -72,12 +101,12 @@ pub fn balance_residual<G: Transitions + ?Sized>(gen: &G, pi: &[f64]) -> f64 {
         scale += p * exit;
     }
     let num: f64 = flow.iter().map(|x| x.abs()).sum();
-    if scale == 0.0 {
+    Ok(if scale == 0.0 {
         // No transitions at all: any distribution is stationary.
         0.0
     } else {
         num / scale
-    }
+    })
 }
 
 #[cfg(test)]
@@ -125,5 +154,19 @@ mod tests {
     fn residual_panics_on_dimension_mismatch() {
         let pi = [0.5, 0.5];
         let _ = balance_residual(&Cycle, &pi);
+    }
+
+    #[test]
+    fn try_residual_reports_dimension_mismatch() {
+        let pi = [0.5, 0.5];
+        assert_eq!(
+            try_balance_residual(&Cycle, &pi),
+            Err(CtmcError::DimensionMismatch {
+                expected: 3,
+                actual: 2
+            })
+        );
+        let ok = try_balance_residual(&Cycle, &[1.0 / 3.0; 3]).unwrap();
+        assert!(ok < 1e-15);
     }
 }

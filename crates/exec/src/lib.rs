@@ -51,6 +51,8 @@
 #![forbid(unsafe_code)]
 
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Work below this many items is run inline rather than fanned out (the
 /// range/chunk executors only; [`par_map_tasks`] always fans out —
@@ -105,7 +107,7 @@ where
         let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(move || f(r))).collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
+            .map(|h| h.join().unwrap_or_else(|p| resume_unwind(p)))
             .collect()
     })
 }
@@ -125,7 +127,11 @@ where
 ///
 /// # Panics
 ///
-/// Propagates panics from `f` (the worker threads are joined).
+/// Propagates panics from `f`, re-raised with the failing task index
+/// attached (`"task {i} panicked: {original message}"`). A panicking
+/// task poisons the queue so the other workers stop picking up new
+/// tasks; when several tasks panic concurrently, the lowest task index
+/// wins deterministically.
 pub fn par_map_tasks<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -136,32 +142,60 @@ where
     }
     let threads = threads.clamp(1, n);
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n)
+            .map(|i| match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(r) => r,
+                Err(p) => raise_task_panic(i, p),
+            })
+            .collect();
     }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+    let next = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let outcomes: Vec<WorkerOutcome<R>> = std::thread::scope(|s| {
         let f = &f;
         let next = &next;
+        let poisoned = &poisoned;
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 s.spawn(move || {
                     let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let mut died: Option<TaskPanic> = None;
+                    while !poisoned.load(Ordering::Relaxed) {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(i)));
+                        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                            Ok(r) => local.push((i, r)),
+                            Err(p) => {
+                                poisoned.store(true, Ordering::Relaxed);
+                                died = Some((i, p));
+                                break;
+                            }
+                        }
                     }
-                    local
+                    (local, died)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("task worker panicked"))
+            .map(|h| h.join().expect("worker panicked outside the task closure"))
             .collect()
     });
+    let mut first_panic: Option<TaskPanic> = None;
+    let mut buckets = Vec::with_capacity(outcomes.len());
+    for (local, died) in outcomes {
+        buckets.push(local);
+        if let Some((i, p)) = died {
+            if first_panic.as_ref().is_none_or(|(j, _)| i < *j) {
+                first_panic = Some((i, p));
+            }
+        }
+    }
+    if let Some((i, p)) = first_panic {
+        raise_task_panic(i, p);
+    }
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for (i, r) in buckets.into_iter().flatten() {
         slots[i] = Some(r);
@@ -170,6 +204,28 @@ where
         .into_iter()
         .map(|slot| slot.expect("every queued task is processed"))
         .collect()
+}
+
+/// A panic caught inside a task: `(task index, original payload)`.
+type TaskPanic = (usize, Box<dyn std::any::Any + Send>);
+
+/// What one work-queue worker brings home: completed `(index, result)`
+/// pairs, plus the task that killed it, if any.
+type WorkerOutcome<R> = (Vec<(usize, R)>, Option<TaskPanic>);
+
+/// Re-raises a task panic with the failing task index attached. String
+/// payloads (the overwhelmingly common case) are reformatted as
+/// `"task {i} panicked: {message}"`; any other payload type is resumed
+/// verbatim so callers relying on typed payloads still see them.
+fn raise_task_panic(i: usize, payload: Box<dyn std::any::Any + Send>) -> ! {
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        resume_unwind(payload);
+    };
+    std::panic::panic_any(format!("task {i} panicked: {msg}"));
 }
 
 /// Splits `data` into up to `threads` contiguous chunks and runs
@@ -198,7 +254,7 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
+            .map(|h| h.join().unwrap_or_else(|p| resume_unwind(p)))
             .collect()
     })
 }
@@ -234,7 +290,7 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .flat_map(|h| h.join().unwrap_or_else(|p| resume_unwind(p)))
             .collect()
     })
 }
@@ -315,5 +371,78 @@ mod tests {
     #[test]
     fn num_threads_is_at_least_one() {
         assert!(num_threads() >= 1);
+    }
+
+    /// Runs `f`, catching its panic and returning the string payload.
+    fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let payload = catch_unwind(f).expect_err("closure should panic");
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            panic!("non-string panic payload");
+        }
+    }
+
+    #[test]
+    fn poisoned_task_reports_which_task_died() {
+        // One poisoned solve in a fan-out must name the task that died,
+        // at any thread count (including the inline path).
+        for threads in [1usize, 2, 8] {
+            let msg = panic_message(|| {
+                let _ = par_map_tasks(16, threads, |i| {
+                    if i == 11 {
+                        panic!("solver exploded on point {i}");
+                    }
+                    i * 2
+                });
+            });
+            assert!(
+                msg.contains("task 11 panicked: solver exploded on point 11"),
+                "threads {threads}: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_panics_pick_lowest_task_deterministically() {
+        // Every task panics; the re-raised panic must name a specific
+        // task, and task 0 is always grabbed first by some worker.
+        for threads in [1usize, 4] {
+            let msg = panic_message(|| {
+                let _ = par_map_tasks(8, threads, |i| -> usize { panic!("boom {i}") });
+            });
+            assert!(msg.starts_with("task 0 panicked: boom 0"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn non_string_panic_payloads_are_resumed_verbatim() {
+        #[derive(Debug, PartialEq)]
+        struct Code(u32);
+        let payload = catch_unwind(|| {
+            let _ = par_map_tasks(4, 2, |i| {
+                if i == 2 {
+                    std::panic::panic_any(Code(42));
+                }
+                i
+            });
+        })
+        .expect_err("should panic");
+        assert_eq!(payload.downcast_ref::<Code>(), Some(&Code(42)));
+    }
+
+    #[test]
+    fn range_executor_preserves_panic_payload() {
+        let msg = panic_message(|| {
+            let _ = par_map_ranges(MIN_PARALLEL_WORK * 2, 4, |r| {
+                if r.contains(&MIN_PARALLEL_WORK) {
+                    panic!("range worker died");
+                }
+                r.len()
+            });
+        });
+        assert!(msg.contains("range worker died"), "{msg}");
     }
 }
