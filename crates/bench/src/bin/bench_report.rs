@@ -1,10 +1,12 @@
 //! Machine-readable performance report:
 //! `bench-report [--quick] [OUTPUT.json]`.
 //!
-//! Times the three repeated-solve pipelines the symbolic/numeric split
+//! Times the repeated-solve pipelines the symbolic/numeric split
 //! targets — arrival-rate sweeps (template refill vs historical
-//! per-point rebuild), the 7-cell cluster fixed point, and the parallel
-//! replication engine — and writes a single JSON document
+//! per-point rebuild), the 7-cell cluster fixed point, a metro-scale
+//! corridor graph sweep (shape-keyed template dedup + Gauss–Seidel
+//! colour ordering), and the parallel replication engine — and writes
+//! a single JSON document
 //! (`BENCH_sweep.json` by default) with points-per-second throughput
 //! for each. CI uploads the file as an artifact, so the repository
 //! accumulates a perf trajectory over time; the numbers are wall-clock
@@ -26,9 +28,9 @@
 //! smoke.
 
 use gprs_bench::{figure_sweep_cell, sweep_rebuild};
-use gprs_core::cluster::{ClusterModel, ClusterSolveOptions};
+use gprs_core::cluster::{ClusterModel, ClusterSolveOptions, SweepOrdering};
 use gprs_core::sweep::{par_sweep_arrival_rates_threads, rate_grid, sweep_arrival_rates};
-use gprs_core::{CellConfig, Scenario};
+use gprs_core::{CellConfig, CellGraph, Scenario};
 use gprs_ctmc::SolveOptions;
 use gprs_exec::num_threads;
 use gprs_sim::{run_replications, ReplicationOptions, SimConfig, TargetMeasure};
@@ -109,8 +111,45 @@ fn main() {
         .with_threads(threads);
     let (cluster_s, solved) = timed(|| cluster.solve(&cluster_opts).expect("cluster solve"));
     // "Points" = per-cell CTMC solves performed across outer iterations.
-    let cluster_cell_solves = solved.iterations() * gprs_core::cluster::NUM_CELLS;
+    let cluster_cell_solves = solved.iterations() * solved.cells().len();
     let cluster_pps = cluster_cell_solves as f64 / cluster_s;
+
+    // --- Graph sweep: a metro-scale corridor (5 cell kinds) through
+    // the colour-ordered Gauss–Seidel sweep and the shape-keyed
+    // template registry — the scaling path for city-sized topologies. ---
+    let metro_n = if quick { 100 } else { 400 };
+    let metro_cells: Vec<CellConfig> = (0..metro_n)
+        .map(|i| {
+            let mut c = CellConfig::builder()
+                .traffic_model(TrafficModel::Model3)
+                .total_channels(6)
+                .reserved_pdchs(1)
+                .buffer_capacity(6 + (i % 5))
+                .max_gprs_sessions(3)
+                .call_arrival_rate(0.25 + 0.2 * i as f64 / metro_n as f64)
+                .build()
+                .expect("valid metro cell");
+            c.gprs_fraction = 0.05;
+            c
+        })
+        .collect();
+    let metro = ClusterModel::from_graph(
+        CellGraph::corridor(metro_n).expect("valid corridor"),
+        metro_cells,
+    )
+    .expect("valid metro cluster");
+    let metro_opts = ClusterSolveOptions::quick()
+        .with_solve(solve_opts.clone())
+        .with_threads(threads)
+        .with_ordering(SweepOrdering::GaussSeidel);
+    let (metro_s, metro_solved) = timed(|| metro.solve(&metro_opts).expect("metro solve"));
+    let metro_cell_solves = metro_solved.iterations() * metro_solved.cells().len();
+    let metro_pps = metro_cell_solves as f64 / metro_s;
+    assert_eq!(
+        metro_solved.symbolic_setups(),
+        5,
+        "shape-keyed dedup must collapse the corridor to its 5 cell kinds"
+    );
 
     // --- Replication engine: fixed replication count. ---
     let sim_cell = CellConfig::builder()
@@ -165,6 +204,21 @@ fn main() {
     let _ = writeln!(json, "    \"cell_solves\": {cluster_cell_solves},");
     let _ = writeln!(json, "    \"outer_iterations\": {},", solved.iterations());
     let _ = writeln!(json, "    \"cell_solves_per_sec\": {cluster_pps:.4}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"graph_sweep\": {{");
+    let _ = writeln!(json, "    \"cells\": {metro_n},");
+    let _ = writeln!(
+        json,
+        "    \"symbolic_setups\": {},",
+        metro_solved.symbolic_setups()
+    );
+    let _ = writeln!(
+        json,
+        "    \"outer_iterations\": {},",
+        metro_solved.iterations()
+    );
+    let _ = writeln!(json, "    \"cell_solves\": {metro_cell_solves},");
+    let _ = writeln!(json, "    \"cell_solves_per_sec\": {metro_pps:.4}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"replication\": {{");
     let _ = writeln!(json, "    \"replications\": {replications},");

@@ -61,36 +61,47 @@
 
 use crate::config::CellConfig;
 use crate::error::ModelError;
+use crate::graph::CellGraph;
 use crate::health::SolveHealth;
 use crate::measures::Measures;
-use crate::template::{GeneratorTemplate, WarmStart};
+use crate::template::{GeneratorTemplate, TemplateRegistry, WarmStart};
 use gprs_ctmc::solver::SolveOptions;
 use gprs_exec::{num_threads, par_map_tasks};
 use gprs_queueing::handover::{balance_default, HandoverParams};
 use gprs_queueing::QueueingError;
 use std::sync::Mutex;
 
-/// Number of cells in the cluster.
+/// Number of cells in the legacy 7-cell ring cluster — the default
+/// topology of [`ClusterModel::new`] and the paper's validation setup.
+/// Graph-typed clusters ([`ClusterModel::from_graph`]) may have any
+/// size; query [`ClusterModel::num_cells`] instead.
 pub const NUM_CELLS: usize = 7;
 
-/// Index of the mid (statistics) cell.
+/// Index of the mid (statistics) cell — cell 0 on every topology.
 pub const MID_CELL: usize = 0;
 
-/// The handover neighbours of `cell` (always 6, by wraparound).
+/// The handover neighbours of `cell` on the legacy 7-cell ring (always
+/// 6, by wraparound).
 ///
 /// Cell 0 is the mid cell; cells 1–6 form the ring. The cluster is
 /// closed under handover: movements that would leave it wrap back onto
 /// it under the standard 7-cell tiling of the plane, so the mid cell's
 /// neighbours are the six ring cells and a ring cell's neighbours are
-/// the mid cell plus the five other ring cells.
+/// the mid cell plus the five other ring cells. This is exactly
+/// [`CellGraph::ring7`]; arbitrary topologies use
+/// [`CellGraph::neighbors`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `cell >= NUM_CELLS`.
-pub fn neighbors(cell: usize) -> [usize; 6] {
-    assert!(cell < NUM_CELLS, "cell {cell} out of range");
+/// [`ModelError::Topology`] if `cell >= NUM_CELLS`.
+pub fn neighbors(cell: usize) -> Result<[usize; 6], ModelError> {
+    if cell >= NUM_CELLS {
+        return Err(ModelError::Topology {
+            reason: format!("cell {cell} out of range (ring has {NUM_CELLS} cells)"),
+        });
+    }
     if cell == MID_CELL {
-        [1, 2, 3, 4, 5, 6]
+        Ok([1, 2, 3, 4, 5, 6])
     } else {
         // Mid cell plus the five other ring cells.
         let mut out = [0usize; 6];
@@ -102,13 +113,15 @@ pub fn neighbors(cell: usize) -> [usize; 6] {
                 slot += 1;
             }
         }
-        out
+        Ok(out)
     }
 }
 
-/// Picks a uniform handover target for a user leaving `cell`, given a
-/// uniform random value `u ∈ [0, 1]` — the sampling counterpart of the
-/// analytical model's uniform 1/6 flux split, used by the simulator.
+/// Picks a uniform handover target for a user leaving `cell` of the
+/// legacy 7-cell ring, given a uniform random value `u ∈ [0, 1]` — the
+/// sampling counterpart of the analytical model's uniform 1/6 flux
+/// split. Arbitrary topologies use [`CellGraph::handover_target`],
+/// which degenerates to this exact binning on [`CellGraph::ring7`].
 ///
 /// The convention is half-open binning with an inclusive boundary:
 /// `u ∈ [i/6, (i+1)/6)` selects neighbour `i`, and the measure-zero
@@ -116,13 +129,40 @@ pub fn neighbors(cell: usize) -> [usize; 6] {
 /// sampling from either `[0, 1)` or `[0, 1]` uniform generators are
 /// accepted.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `cell >= NUM_CELLS` or `u` is outside `[0, 1]`.
-pub fn handover_target(cell: usize, u: f64) -> usize {
-    assert!((0.0..=1.0).contains(&u), "u must lie in [0, 1], got {u}");
-    let nbrs = neighbors(cell);
-    nbrs[((u * 6.0) as usize).min(5)]
+/// [`ModelError::Topology`] if `cell >= NUM_CELLS` or `u` is outside
+/// `[0, 1]`.
+pub fn handover_target(cell: usize, u: f64) -> Result<usize, ModelError> {
+    if !(0.0..=1.0).contains(&u) {
+        return Err(ModelError::Topology {
+            reason: format!("u must lie in [0, 1], got {u}"),
+        });
+    }
+    let nbrs = neighbors(cell)?;
+    Ok(nbrs[((u * 6.0) as usize).min(5)])
+}
+
+/// The sweep ordering of the cluster fixed point over the cell graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepOrdering {
+    /// Classic simultaneous (Jacobi) sweeps: every cell is solved at
+    /// the *previous* iteration's arrival vector, then the whole
+    /// vector updates at once. The default — and on the 7-cell ring
+    /// bit-identical to the historical fixed-point iteration, with
+    /// adaptive relaxation available.
+    #[default]
+    Jacobi,
+    /// Graph-ordered block Gauss–Seidel sweeps: the cells are greedily
+    /// coloured ([`CellGraph::color_classes`]), colour classes run
+    /// sequentially, and each class sees the *latest* outflows of the
+    /// classes before it — within-sweep propagation that typically
+    /// converges in fewer outer iterations on elongated topologies
+    /// (corridors) where Jacobi information crawls one hop per sweep.
+    /// Cells within a class share no edge, so the per-class solves
+    /// still fan out in parallel and results stay bit-identical for
+    /// any thread count.
+    GaussSeidel,
 }
 
 /// Options for the cluster fixed point.
@@ -164,6 +204,11 @@ pub struct ClusterSolveOptions {
     /// update is applied verbatim, bit-identical to the fixed
     /// iteration.
     pub adaptive_relaxation: bool,
+    /// Sweep ordering over the cell graph (default
+    /// [`SweepOrdering::Jacobi`], the historical bit-exact iteration).
+    /// Adaptive relaxation only applies to Jacobi sweeps; Gauss–Seidel
+    /// runs plain.
+    pub ordering: SweepOrdering,
 }
 
 impl Default for ClusterSolveOptions {
@@ -174,6 +219,7 @@ impl Default for ClusterSolveOptions {
             solve: SolveOptions::default(),
             threads: 0,
             adaptive_relaxation: true,
+            ordering: SweepOrdering::Jacobi,
         }
     }
 }
@@ -210,6 +256,12 @@ impl ClusterSolveOptions {
     /// chaining.
     pub fn with_adaptive_relaxation(mut self, on: bool) -> Self {
         self.adaptive_relaxation = on;
+        self
+    }
+
+    /// Sets the sweep ordering, returning `self` for chaining.
+    pub fn with_ordering(mut self, ordering: SweepOrdering) -> Self {
+        self.ordering = ordering;
         self
     }
 }
@@ -260,10 +312,11 @@ pub struct SolvedCluster {
     handover_delta: f64,
     relaxation: f64,
     adaptive_steps: usize,
+    symbolic_setups: usize,
 }
 
 impl SolvedCluster {
-    /// All seven cells, in cell order (index [`MID_CELL`] first).
+    /// All cells, in cell order (index [`MID_CELL`] first).
     pub fn cells(&self) -> &[SolvedCell] {
         &self.cells
     }
@@ -305,6 +358,14 @@ impl SolvedCluster {
         self.cells.iter().any(|c| c.health.degraded())
     }
 
+    /// How many *distinct* symbolic setups
+    /// ([`crate::template::SymbolicSetup`]) this solve performed — one
+    /// per distinct cell shape, not one per cell: a 1000-cell corridor
+    /// with 5 cell kinds reports 5.
+    pub fn symbolic_setups(&self) -> usize {
+        self.symbolic_setups
+    }
+
     /// The cluster-wide flow conservation defect: relative difference
     /// between total incoming and total outgoing handover flux (GSM +
     /// GPRS). The cluster is closed, so this is ~0 at a genuine fixed
@@ -336,15 +397,20 @@ struct CellSolve {
     health: SolveHealth,
 }
 
-/// The heterogeneous 7-cell analytical model: one configuration per
-/// cell, solved to a cluster-wide handover fixed point.
+/// The heterogeneous analytical cluster model: one configuration per
+/// cell of a [`CellGraph`] topology, solved to a cluster-wide handover
+/// fixed point. [`ClusterModel::new`] builds the legacy 7-cell ring
+/// (bit-identical to the pre-graph pipeline);
+/// [`ClusterModel::from_graph`] accepts arbitrary connected topologies.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterModel {
+    graph: CellGraph,
     configs: Vec<CellConfig>,
 }
 
 impl ClusterModel {
-    /// Builds a cluster from exactly [`NUM_CELLS`] per-cell
+    /// Builds a cluster on the legacy 7-cell wraparound ring
+    /// ([`CellGraph::ring7`]) from exactly [`NUM_CELLS`] per-cell
     /// configurations (index [`MID_CELL`] is the mid cell).
     ///
     /// The handover split is a rate split, so cells may differ in any
@@ -356,12 +422,28 @@ impl ClusterModel {
     ///
     /// # Errors
     ///
-    /// [`ModelError::Config`] if the count is wrong or any cell
-    /// configuration is invalid.
+    /// [`ModelError::Topology`] if the count is wrong,
+    /// [`ModelError::Config`] if any cell configuration is invalid.
     pub fn new(configs: Vec<CellConfig>) -> Result<Self, ModelError> {
-        if configs.len() != NUM_CELLS {
-            return Err(ModelError::Config {
-                reason: format!("cluster needs {NUM_CELLS} cells, got {}", configs.len()),
+        Self::from_graph(CellGraph::ring7(), configs)
+    }
+
+    /// Builds a cluster on an arbitrary topology: one configuration per
+    /// cell of `graph` (index [`MID_CELL`] is the statistics cell).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Topology`] if the configuration count does not
+    /// match the graph size, [`ModelError::Config`] if any cell
+    /// configuration is invalid.
+    pub fn from_graph(graph: CellGraph, configs: Vec<CellConfig>) -> Result<Self, ModelError> {
+        if configs.len() != graph.num_cells() {
+            return Err(ModelError::Topology {
+                reason: format!(
+                    "cluster topology has {} cells but {} configurations were given",
+                    graph.num_cells(),
+                    configs.len()
+                ),
             });
         }
         for (i, cfg) in configs.iter().enumerate() {
@@ -369,18 +451,31 @@ impl ClusterModel {
                 reason: format!("cell {i}: {e}"),
             })?;
         }
-        Ok(ClusterModel { configs })
+        Ok(ClusterModel { graph, configs })
     }
 
-    /// A homogeneous cluster: all seven cells share `config`. Its fixed
-    /// point reproduces the single-cell model of [`GprsModel::new`] —
-    /// the oracle tests rely on this.
+    /// A homogeneous ring cluster: all seven cells share `config`. Its
+    /// fixed point reproduces the single-cell model of
+    /// [`GprsModel::new`] — the oracle tests rely on this.
     ///
     /// # Errors
     ///
     /// As [`ClusterModel::new`].
     pub fn uniform(config: CellConfig) -> Result<Self, ModelError> {
         Self::new(vec![config; NUM_CELLS])
+    }
+
+    /// A homogeneous cluster on an arbitrary topology: every cell of
+    /// `graph` runs `config`. On a *flow-balanced* graph
+    /// ([`CellGraph::is_flow_balanced`]) the fixed point again
+    /// reproduces the single-cell model.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterModel::from_graph`].
+    pub fn uniform_graph(graph: CellGraph, config: CellConfig) -> Result<Self, ModelError> {
+        let n = graph.num_cells();
+        Self::from_graph(graph, vec![config; n])
     }
 
     /// A hot-spot cluster: the six ring cells run `base` unchanged, the
@@ -401,6 +496,16 @@ impl ClusterModel {
         &self.configs
     }
 
+    /// The cell topology.
+    pub fn graph(&self) -> &CellGraph {
+        &self.graph
+    }
+
+    /// The number of cells in the cluster (`graph().num_cells()`).
+    pub fn num_cells(&self) -> usize {
+        self.graph.num_cells()
+    }
+
     /// A copy with every cell's call arrival rate multiplied by `scale`
     /// (heterogeneity pattern preserved) — the cluster analogue of the
     /// paper's arrival-rate x-axis.
@@ -418,7 +523,7 @@ impl ClusterModel {
                 c
             })
             .collect();
-        Self::new(configs)
+        Self::from_graph(self.graph.clone(), configs)
     }
 
     /// Runs the cluster fixed point to convergence.
@@ -446,18 +551,23 @@ impl ClusterModel {
     /// Convergence hardening: each cell solve runs through the
     /// fallback ladder of [`GeneratorTemplate::solve_resilient`]
     /// (health reported per cell in [`SolvedCell::health`]), and the
-    /// outer iteration applies the adaptive relaxation described on
+    /// Jacobi iteration applies the adaptive relaxation described on
     /// [`ClusterSolveOptions::adaptive_relaxation`].
     pub fn solve(&self, opts: &ClusterSolveOptions) -> Result<SolvedCluster, ModelError> {
-        let threads = if opts.threads == 0 {
-            num_threads()
-        } else {
-            opts.threads
-        };
+        match opts.ordering {
+            SweepOrdering::Jacobi => self.solve_jacobi(opts),
+            SweepOrdering::GaussSeidel => self.solve_gauss_seidel(opts),
+        }
+    }
 
-        // Scalar-balance initialization, per cell and per class.
-        let mut lam_gsm = Vec::with_capacity(NUM_CELLS);
-        let mut lam_gprs = Vec::with_capacity(NUM_CELLS);
+    /// Scalar-balance initialization, per cell and per class: the
+    /// handover arrival vector at which each cell's inflow equals its
+    /// own outflow — exact under uniform load on a flow-balanced
+    /// graph, a good neighbourhood otherwise.
+    fn initial_rates(&self) -> Result<(Vec<f64>, Vec<f64>), ModelError> {
+        let n = self.num_cells();
+        let mut lam_gsm = Vec::with_capacity(n);
+        let mut lam_gprs = Vec::with_capacity(n);
         for cfg in &self.configs {
             lam_gsm.push(
                 balance_default(&HandoverParams {
@@ -478,20 +588,42 @@ impl ClusterModel {
                 .handover_arrival_rate,
             );
         }
+        Ok((lam_gsm, lam_gprs))
+    }
 
-        // One template per cell, shared across *all* outer iterations:
-        // the state space, solver workspace and warm-start chain are
-        // captured once, and each iteration only relowers the new
-        // handover rates — `with_handover_arrivals` no longer rebuilds
-        // seven models' worth of solver state per pass. The mutexes are
-        // uncontended (each task touches exactly its own cell) and keep
-        // the fan-out closure `Fn`.
-        let templates: Vec<Mutex<GeneratorTemplate>> = self
-            .configs
+    /// One template per cell, shared across *all* outer iterations:
+    /// the solver workspace and warm-start chain are captured once,
+    /// and each iteration only relowers the new handover rates. The
+    /// registry deduplicates the *symbolic* setup by cell shape —
+    /// cells of equal shape share one [`crate::template::SymbolicSetup`]
+    /// (donor CSR pattern) while keeping their own numeric state, so a
+    /// metro-scale cluster with a handful of cell kinds pays a handful
+    /// of setups. The mutexes are uncontended (each task touches
+    /// exactly its own cell) and keep the fan-out closure `Fn`.
+    fn cell_templates(
+        &self,
+        registry: &TemplateRegistry,
+    ) -> Result<Vec<Mutex<GeneratorTemplate>>, ModelError> {
+        self.configs
             .iter()
-            .map(|cfg| Ok(Mutex::new(GeneratorTemplate::new(cfg)?)))
-            .collect::<Result<_, ModelError>>()?;
-        let mut total_sweeps = [0usize; NUM_CELLS];
+            .map(|cfg| Ok(Mutex::new(registry.template_for(cfg)?)))
+            .collect()
+    }
+
+    /// The classic simultaneous (Jacobi) iteration — on the 7-cell
+    /// ring bit-identical to the historical fixed point.
+    fn solve_jacobi(&self, opts: &ClusterSolveOptions) -> Result<SolvedCluster, ModelError> {
+        let n = self.num_cells();
+        let threads = if opts.threads == 0 {
+            num_threads()
+        } else {
+            opts.threads
+        };
+
+        let (mut lam_gsm, mut lam_gprs) = self.initial_rates()?;
+        let registry = TemplateRegistry::new();
+        let templates = self.cell_templates(&registry)?;
+        let mut total_sweeps = vec![0usize; n];
         let mut delta = f64::INFINITY;
         let mut converged = false;
 
@@ -500,9 +632,9 @@ impl ClusterModel {
         // GPRS entries interleaved) and the current step factor.
         let mut theta = 1.0f64;
         let mut adaptive_steps = 0usize;
-        let mut next_vals = [0.0f64; 2 * NUM_CELLS];
-        let mut update = [0.0f64; 2 * NUM_CELLS];
-        let mut prev_update = [0.0f64; 2 * NUM_CELLS];
+        let mut next_vals = vec![0.0f64; 2 * n];
+        let mut update = vec![0.0f64; 2 * n];
+        let mut prev_update = vec![0.0f64; 2 * n];
         let mut have_prev = false;
 
         // One slot past the cap: the cap bounds *balance* iterations,
@@ -516,24 +648,23 @@ impl ClusterModel {
             // deterministic: results come back in cell order, and each
             // cell's warm-start chain advances identically no matter
             // which worker runs it).
-            let solves: Vec<Result<CellSolve, ModelError>> =
-                par_map_tasks(NUM_CELLS, threads, |i| {
-                    let mut template = templates[i].lock().expect("cell template poisoned");
-                    solve_cell(
-                        &self.configs[i],
-                        lam_gsm[i],
-                        lam_gprs[i],
-                        &mut template,
-                        &opts.solve,
-                    )
-                });
-            let mut cells = Vec::with_capacity(NUM_CELLS);
+            let solves: Vec<Result<CellSolve, ModelError>> = par_map_tasks(n, threads, |i| {
+                let mut template = templates[i].lock().expect("cell template poisoned");
+                solve_cell(
+                    &self.configs[i],
+                    lam_gsm[i],
+                    lam_gprs[i],
+                    &mut template,
+                    &opts.solve,
+                )
+            });
+            let mut cells = Vec::with_capacity(n);
             for solve in solves {
                 cells.push(solve?); // lowest failing cell wins
             }
 
             // Outgoing fluxes from the stationary populations, split
-            // uniformly over the six neighbours.
+            // over the graph's out-edges by raw weight.
             let out_gsm: Vec<f64> = cells
                 .iter()
                 .zip(&self.configs)
@@ -573,21 +704,25 @@ impl ClusterModel {
                     handover_delta: delta,
                     relaxation: theta,
                     adaptive_steps,
+                    symbolic_setups: registry.setups(),
                 });
             }
 
-            // Next arrival vector: each cell receives 1/6 of every
-            // neighbour's outgoing flux. `delta` measures the *raw*
-            // fixed-point residual `|F(λ) − λ|` (pre-damping), so
-            // convergence means the vector genuinely is stationary, not
-            // merely that the damped step got small.
+            // Next arrival vector: each cell receives `w/W` of every
+            // in-neighbour's outgoing flux (in ascending source order —
+            // on the ring, with unit weights over total 6, the sum is
+            // bit-identical to the historical `out/6` accumulation).
+            // `delta` measures the *raw* fixed-point residual
+            // `|F(λ) − λ|` (pre-damping), so convergence means the
+            // vector genuinely is stationary, not merely that the
+            // damped step got small.
             delta = 0.0f64;
-            for j in 0..NUM_CELLS {
+            for j in 0..n {
                 let mut next_gsm = 0.0;
                 let mut next_gprs = 0.0;
-                for &i in &neighbors(j) {
-                    next_gsm += out_gsm[i] / 6.0;
-                    next_gprs += out_gprs[i] / 6.0;
+                for e in self.graph.in_edges(j).expect("cell index in range") {
+                    next_gsm += out_gsm[e.source] * e.weight / e.source_total;
+                    next_gprs += out_gprs[e.source] * e.weight / e.source_total;
                 }
                 for (slot, (cur, next)) in [(&lam_gsm[j], next_gsm), (&lam_gprs[j], next_gprs)]
                     .into_iter()
@@ -636,7 +771,7 @@ impl ClusterModel {
             if theta != 1.0 {
                 adaptive_steps += 1;
             }
-            for j in 0..NUM_CELLS {
+            for j in 0..n {
                 if theta == 1.0 {
                     lam_gsm[j] = next_vals[2 * j];
                     lam_gprs[j] = next_vals[2 * j + 1];
@@ -652,6 +787,125 @@ impl ClusterModel {
 
             if delta <= opts.tolerance {
                 converged = true; // one more pass at the converged rates
+            }
+        }
+
+        Err(ModelError::Queueing(QueueingError::BalanceNotConverged {
+            iterations: opts.max_iterations,
+            last_delta: delta,
+        }))
+    }
+
+    /// Graph-ordered block Gauss–Seidel sweeps: colour classes run
+    /// sequentially, each class recomputes its arrival rates from the
+    /// *latest* outflows and solves its cells in parallel (no two
+    /// share an edge). Runs plain (no adaptive relaxation); converges
+    /// in fewer outer iterations than Jacobi on elongated topologies.
+    /// Deterministic and bit-identical for any thread count: the class
+    /// order is fixed by the graph, and each cell's template is only
+    /// ever touched by its own task.
+    fn solve_gauss_seidel(&self, opts: &ClusterSolveOptions) -> Result<SolvedCluster, ModelError> {
+        let n = self.num_cells();
+        let threads = if opts.threads == 0 {
+            num_threads()
+        } else {
+            opts.threads
+        };
+
+        let (mut lam_gsm, mut lam_gprs) = self.initial_rates()?;
+        let registry = TemplateRegistry::new();
+        let templates = self.cell_templates(&registry)?;
+        let classes = self.graph.color_classes();
+        let mut total_sweeps = vec![0usize; n];
+
+        // At the scalar-balance init every cell's inflow equals its
+        // own outflow, so the outflow estimate seeds from λ itself.
+        let mut out_gsm = lam_gsm.clone();
+        let mut out_gprs = lam_gprs.clone();
+        let mut delta = f64::INFINITY;
+
+        for iteration in 1..=opts.max_iterations {
+            delta = 0.0f64;
+            for class in &classes {
+                // Refresh the class's arrival rates from the latest
+                // outflows (cells of earlier classes already updated
+                // theirs this sweep — that is the Gauss–Seidel gain).
+                for &j in class {
+                    let mut next_gsm = 0.0;
+                    let mut next_gprs = 0.0;
+                    for e in self.graph.in_edges(j).expect("cell index in range") {
+                        next_gsm += out_gsm[e.source] * e.weight / e.source_total;
+                        next_gprs += out_gprs[e.source] * e.weight / e.source_total;
+                    }
+                    for (cur, next) in [(&mut lam_gsm[j], next_gsm), (&mut lam_gprs[j], next_gprs)]
+                    {
+                        let scale = cur.abs().max(next.abs()).max(1e-300);
+                        delta = delta.max((next - *cur).abs() / scale);
+                        *cur = next;
+                    }
+                }
+                // Solve the class (parallel, deterministic in class
+                // index order).
+                let solves: Vec<Result<CellSolve, ModelError>> =
+                    par_map_tasks(class.len(), threads.clamp(1, class.len().max(1)), |idx| {
+                        let i = class[idx];
+                        let mut template = templates[i].lock().expect("cell template poisoned");
+                        solve_cell(
+                            &self.configs[i],
+                            lam_gsm[i],
+                            lam_gprs[i],
+                            &mut template,
+                            &opts.solve,
+                        )
+                    });
+                for (idx, solve) in solves.into_iter().enumerate() {
+                    let i = class[idx];
+                    let cell = solve?; // lowest failing cell of the class wins
+                    total_sweeps[i] += cell.sweeps;
+                    out_gsm[i] = self.configs[i].gsm_handover_rate() * cell.mean_voice_calls;
+                    out_gprs[i] = self.configs[i].gprs_handover_rate() * cell.mean_sessions;
+                }
+            }
+
+            if delta <= opts.tolerance {
+                // Reporting pass: re-solve every cell simultaneously at
+                // the converged arrival vector (mirrors Jacobi's final
+                // pass, and counts as one iteration like it does).
+                let solves: Vec<Result<CellSolve, ModelError>> = par_map_tasks(n, threads, |i| {
+                    let mut template = templates[i].lock().expect("cell template poisoned");
+                    solve_cell(
+                        &self.configs[i],
+                        lam_gsm[i],
+                        lam_gprs[i],
+                        &mut template,
+                        &opts.solve,
+                    )
+                });
+                let mut solved = Vec::with_capacity(n);
+                for (i, solve) in solves.into_iter().enumerate() {
+                    let c = solve?;
+                    total_sweeps[i] += c.sweeps;
+                    solved.push(SolvedCell {
+                        measures: c.measures,
+                        gsm_handover_in: lam_gsm[i],
+                        gprs_handover_in: lam_gprs[i],
+                        gsm_handover_out: self.configs[i].gsm_handover_rate() * c.mean_voice_calls,
+                        gprs_handover_out: self.configs[i].gprs_handover_rate() * c.mean_sessions,
+                        mean_voice_calls: c.mean_voice_calls,
+                        mean_sessions: c.mean_sessions,
+                        sweeps: total_sweeps[i],
+                        residual: c.residual,
+                        health: c.health,
+                    });
+                }
+                return Ok(SolvedCluster {
+                    cells: solved,
+                    iterations: iteration + 1,
+                    handover_delta: delta,
+                    relaxation: 1.0,
+                    adaptive_steps: 0,
+                    symbolic_setups: registry.setups(),
+                });
             }
         }
 
@@ -800,13 +1054,13 @@ mod tests {
 
     #[test]
     fn topology_mid_cell_neighbours_are_the_ring() {
-        assert_eq!(neighbors(0), [1, 2, 3, 4, 5, 6]);
+        assert_eq!(neighbors(0).unwrap(), [1, 2, 3, 4, 5, 6]);
     }
 
     #[test]
     fn topology_every_cell_has_six_distinct_neighbours() {
         for c in 0..NUM_CELLS {
-            let mut n = neighbors(c).to_vec();
+            let mut n = neighbors(c).unwrap().to_vec();
             n.sort_unstable();
             n.dedup();
             assert_eq!(n.len(), 6, "cell {c}");
@@ -819,8 +1073,31 @@ mod tests {
         // If b is a neighbour of a, then a is a neighbour of b — needed
         // for handover flow balance.
         for a in 0..NUM_CELLS {
-            for &b in &neighbors(a) {
-                assert!(neighbors(b).contains(&a), "asymmetry between {a} and {b}");
+            for &b in &neighbors(a).unwrap() {
+                assert!(
+                    neighbors(b).unwrap().contains(&a),
+                    "asymmetry between {a} and {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topology_matches_the_ring7_graph() {
+        // The free ring functions and CellGraph::ring7() are the same
+        // topology, neighbour order and sampling included.
+        let g = CellGraph::ring7();
+        for cell in 0..NUM_CELLS {
+            let free: Vec<usize> = neighbors(cell).unwrap().to_vec();
+            let graph: Vec<usize> = g.neighbors(cell).unwrap().iter().map(|&(t, _)| t).collect();
+            assert_eq!(free, graph, "cell {cell}");
+            for i in 0..=100 {
+                let u = i as f64 / 100.0;
+                assert_eq!(
+                    handover_target(cell, u).unwrap(),
+                    g.handover_target(cell, u).unwrap(),
+                    "cell {cell} u {u}"
+                );
             }
         }
     }
@@ -830,7 +1107,7 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for i in 0..6 {
             let u = (i as f64 + 0.5) / 6.0;
-            seen.insert(handover_target(0, u));
+            seen.insert(handover_target(0, u).unwrap());
         }
         assert_eq!(seen.len(), 6);
     }
@@ -839,32 +1116,60 @@ mod tests {
     fn topology_handover_target_accepts_the_inclusive_boundary() {
         // Inclusive-range uniform draws may produce exactly 1.0; the
         // measure-zero boundary clamps onto the last neighbour instead
-        // of panicking.
+        // of failing.
         for cell in 0..NUM_CELLS {
-            let t = handover_target(cell, 1.0);
-            assert_eq!(t, neighbors(cell)[5], "cell {cell}");
+            let t = handover_target(cell, 1.0).unwrap();
+            assert_eq!(t, neighbors(cell).unwrap()[5], "cell {cell}");
             assert_ne!(t, cell);
         }
         // Just below the boundary agrees with the clamped value.
-        assert_eq!(handover_target(0, 1.0), handover_target(0, 1.0 - 1e-12));
+        assert_eq!(
+            handover_target(0, 1.0).unwrap(),
+            handover_target(0, 1.0 - 1e-12).unwrap()
+        );
     }
 
     #[test]
-    #[should_panic(expected = "must lie in [0, 1]")]
     fn topology_handover_target_rejects_above_one() {
-        let _ = handover_target(0, 1.0 + 1e-9);
+        match handover_target(0, 1.0 + 1e-9) {
+            Err(ModelError::Topology { reason }) => assert!(reason.contains("[0, 1]")),
+            other => panic!("expected Topology error, got {other:?}"),
+        }
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn topology_bad_cell_panics() {
-        let _ = neighbors(7);
+    fn topology_bad_cell_is_a_typed_error() {
+        match neighbors(7) {
+            Err(ModelError::Topology { reason }) => assert!(reason.contains("out of range")),
+            other => panic!("expected Topology error, got {other:?}"),
+        }
+        match handover_target(7, 0.5) {
+            Err(ModelError::Topology { .. }) => {}
+            other => panic!("expected Topology error, got {other:?}"),
+        }
     }
 
     #[test]
     fn cluster_needs_exactly_seven_cells() {
-        assert!(ClusterModel::new(vec![tiny(0.4); 6]).is_err());
+        match ClusterModel::new(vec![tiny(0.4); 6]) {
+            Err(ModelError::Topology { reason }) => {
+                assert!(reason.contains("7 cells"), "{reason}");
+                assert!(reason.contains('6'), "{reason}");
+            }
+            other => panic!("expected Topology error, got {other:?}"),
+        }
         assert!(ClusterModel::new(vec![tiny(0.4); 7]).is_ok());
+    }
+
+    #[test]
+    fn from_graph_rejects_config_count_mismatch_with_typed_error() {
+        let graph = CellGraph::corridor(5).unwrap();
+        match ClusterModel::from_graph(graph, vec![tiny(0.4); 4]) {
+            Err(ModelError::Topology { reason }) => {
+                assert!(reason.contains("5 cells"), "{reason}");
+            }
+            other => panic!("expected Topology error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1065,5 +1370,68 @@ mod tests {
             Err(ModelError::Queueing(QueueingError::BalanceNotConverged { .. })) => {}
             other => panic!("expected BalanceNotConverged, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn gauss_seidel_reaches_the_jacobi_fixed_point() {
+        // Same fixed point, different sweep ordering — on the ring and
+        // on a corridor (where Jacobi's information crawls).
+        let ring = ClusterModel::hot_spot(tiny(0.3), 0.9).unwrap();
+        let corridor_cfgs: Vec<CellConfig> = (0..6).map(|i| tiny(0.2 + 0.1 * i as f64)).collect();
+        let corridor =
+            ClusterModel::from_graph(CellGraph::corridor(6).unwrap(), corridor_cfgs).unwrap();
+        for cluster in [ring, corridor] {
+            let jac = cluster.solve(&ClusterSolveOptions::default()).unwrap();
+            let gs = cluster
+                .solve(&ClusterSolveOptions::default().with_ordering(SweepOrdering::GaussSeidel))
+                .unwrap();
+            for (a, b) in jac.cells().iter().zip(gs.cells()) {
+                assert!(
+                    (a.gsm_handover_in - b.gsm_handover_in).abs()
+                        < 1e-7 * a.gsm_handover_in.max(1e-9),
+                    "gsm {} vs {}",
+                    a.gsm_handover_in,
+                    b.gsm_handover_in
+                );
+                assert!(
+                    (a.measures.carried_voice_traffic - b.measures.carried_voice_traffic).abs()
+                        < 1e-7
+                );
+            }
+            assert!(gs.flow_imbalance() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn corridor_cluster_solves_and_conserves_flow() {
+        let configs: Vec<CellConfig> = (0..8).map(|i| tiny(0.2 + 0.05 * i as f64)).collect();
+        let cluster = ClusterModel::from_graph(CellGraph::corridor(8).unwrap(), configs).unwrap();
+        let solved = cluster.solve(&ClusterSolveOptions::quick()).unwrap();
+        assert_eq!(solved.cells().len(), 8);
+        assert!(
+            solved.flow_imbalance() < 1e-6,
+            "{}",
+            solved.flow_imbalance()
+        );
+        // One shape across all eight cells → one symbolic setup.
+        assert_eq!(solved.symbolic_setups(), 1);
+        // The degree-1 end cell receives only half of its neighbour's
+        // outflow share, so it is a net exporter.
+        let end = &solved.cells()[0];
+        assert!(end.gsm_handover_in < end.gsm_handover_out);
+    }
+
+    #[test]
+    fn uniform_hex_torus_balances_like_the_ring() {
+        let cluster =
+            ClusterModel::uniform_graph(CellGraph::hex_torus(3, 3).unwrap(), tiny(0.5)).unwrap();
+        let solved = cluster.solve(&ClusterSolveOptions::default()).unwrap();
+        for cell in solved.cells() {
+            assert!(
+                (cell.gsm_handover_in - cell.gsm_handover_out).abs()
+                    < 1e-8 * cell.gsm_handover_out.max(1e-12)
+            );
+        }
+        assert!(solved.flow_imbalance() < 1e-8);
     }
 }

@@ -14,6 +14,12 @@ pub enum ModelError {
     Queueing(gprs_queueing::QueueingError),
     /// The CTMC solver failed (construction or convergence).
     Ctmc(gprs_ctmc::CtmcError),
+    /// The cell topology is invalid (malformed graph, out-of-range cell
+    /// index, or a scenario/graph size mismatch).
+    Topology {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
 }
 
 impl ModelError {
@@ -33,6 +39,7 @@ impl fmt::Display for ModelError {
             ModelError::Config { reason } => write!(f, "invalid configuration: {reason}"),
             ModelError::Queueing(e) => write!(f, "queueing computation failed: {e}"),
             ModelError::Ctmc(e) => write!(f, "ctmc solve failed: {e}"),
+            ModelError::Topology { reason } => write!(f, "invalid topology: {reason}"),
         }
     }
 }
@@ -43,6 +50,7 @@ impl std::error::Error for ModelError {
             ModelError::Config { .. } => None,
             ModelError::Queueing(e) => Some(e),
             ModelError::Ctmc(e) => Some(e),
+            ModelError::Topology { .. } => None,
         }
     }
 }

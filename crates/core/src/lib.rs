@@ -46,9 +46,14 @@
 //!
 //! # Modules
 //!
-//! * [`cluster`] — the heterogeneous 7-cell fixed-point model: per-cell
-//!   configs on the wraparound topology, full-CTMC handover balancing
-//!   across cells, hot-spot scenarios, load-scale sweeps.
+//! * [`cluster`] — the heterogeneous cell-cluster fixed-point model:
+//!   per-cell configs on a [`graph`] topology (default: the paper's
+//!   7-cell wraparound ring), full-CTMC handover balancing across
+//!   cells, hot-spot scenarios, load-scale sweeps.
+//! * [`graph`] — graph-typed topologies ([`CellGraph`]): neighbour
+//!   lists + handover split weights, with ring/hex-torus/corridor and
+//!   arbitrary-adjacency constructors and the bit-exact ring7
+//!   degeneration contract.
 //! * [`config`] — cell parameters, Table 2 defaults, builder.
 //! * [`coding`] — GPRS coding schemes CS-1..CS-4 and per-PDCH rates.
 //! * [`state`] — the `(n, k, m, r)` state space and its linear indexing.
@@ -83,6 +88,7 @@ pub mod coding;
 pub mod config;
 pub mod error;
 pub mod generator;
+pub mod graph;
 pub mod health;
 pub mod measures;
 pub mod qos;
@@ -93,14 +99,17 @@ pub mod stress;
 pub mod sweep;
 pub mod template;
 
-pub use cluster::{ClusterModel, ClusterSolveOptions, SolvedCluster};
+pub use cluster::{ClusterModel, ClusterSolveOptions, SolvedCluster, SweepOrdering};
 pub use coding::CodingScheme;
 pub use config::{CellConfig, CellConfigBuilder};
 pub use error::ModelError;
 pub use generator::GprsModel;
+pub use graph::CellGraph;
 pub use health::{SolveHealth, SolveRung};
 pub use measures::Measures;
 pub use scenario::Scenario;
 pub use solve::SolvedModel;
 pub use state::{CellState, StateSpace};
-pub use template::{GeneratorTemplate, PointSolve, TemplatePool, WarmStart};
+pub use template::{
+    GeneratorTemplate, PointSolve, SymbolicSetup, TemplatePool, TemplateRegistry, WarmStart,
+};

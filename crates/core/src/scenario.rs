@@ -83,18 +83,72 @@ use crate::cluster::{
 use crate::config::CellConfig;
 use crate::error::ModelError;
 use crate::generator::GprsModel;
+use crate::graph::CellGraph;
 
-/// A complete workload description on the 7-cell wraparound topology:
+/// A complete workload description on a [`CellGraph`] topology (the
+/// classic constructors use the paper's 7-cell wraparound ring):
 /// per-cell traffic and radio knobs, the TCP switch, and a load scale.
 ///
 /// Construct via [`Scenario::homogeneous`], [`Scenario::hot_spot`],
-/// [`Scenario::asymmetric_ring`] or [`Scenario::from_cells`]; refine
-/// with [`Scenario::with_load_scale`] / [`Scenario::without_tcp`];
+/// [`Scenario::asymmetric_ring`], [`Scenario::from_cells`] or — for
+/// arbitrary topologies — [`Scenario::from_graph`]; refine with
+/// [`Scenario::with_load_scale`] / [`Scenario::without_tcp`];
 /// lower with [`Scenario::to_model`] / [`Scenario::to_cluster`] /
 /// `gprs_sim::SimConfig::for_scenario`.
+///
+/// # Walkthrough: a scenario on an arbitrary graph
+///
+/// [`Scenario::from_graph`] takes the topology and one configuration
+/// per graph cell; everything downstream — cluster fixed point, load
+/// sweeps, the simulator lowering — follows the graph automatically:
+///
+/// ```
+/// use gprs_core::graph::CellGraph;
+/// use gprs_core::cluster::ClusterSolveOptions;
+/// use gprs_core::{CellConfig, Scenario};
+/// use gprs_traffic::TrafficModel;
+///
+/// let base = CellConfig::builder()
+///     .total_channels(4)
+///     .reserved_pdchs(1)
+///     .buffer_capacity(5)
+///     .traffic_model(TrafficModel::Model3)
+///     .max_gprs_sessions(2)
+///     .call_arrival_rate(0.3)
+///     .build()?;
+///
+/// // 1. Pick a topology: a 5-cell highway corridor whose load rises
+/// //    toward the far end.
+/// let graph = CellGraph::corridor(5)?;
+/// let cells: Vec<CellConfig> = (0..5)
+///     .map(|i| {
+///         let mut c = base.clone();
+///         c.call_arrival_rate = 0.2 + 0.1 * i as f64;
+///         c
+///     })
+///     .collect();
+///
+/// // 2. One constructor; combinators compose as on the ring.
+/// let scenario = Scenario::from_graph("corridor-ramp", graph, cells)?
+///     .with_load_scale(1.5)?;
+/// assert_eq!(scenario.num_cells(), 5);
+///
+/// // 3. Lower and solve: the fixed point runs graph-ordered sweeps
+/// //    and conserves handover flow across the corridor.
+/// let solved = scenario.to_cluster()?.solve(&ClusterSolveOptions::quick())?;
+/// assert!(solved.flow_imbalance() < 1e-6);
+/// # Ok::<(), gprs_core::ModelError>(())
+/// ```
+///
+/// The ring constructors are the degenerate case
+/// `from_graph(name, CellGraph::ring7(), cells)` and stay bit-identical
+/// to the historical fixed 7-cell pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     name: String,
+    /// The cell topology ([`CellGraph::ring7`] for the classic
+    /// constructors).
+    graph: CellGraph,
     /// Base (unscaled) per-cell configurations, [`MID_CELL`] first.
     cells: Vec<CellConfig>,
     load_scale: f64,
@@ -158,6 +212,35 @@ impl Scenario {
                 reason: format!("scenario needs {NUM_CELLS} cells, got {}", cells.len()),
             });
         }
+        Self::from_graph(name, CellGraph::ring7(), cells)
+    }
+
+    /// The graph-typed general constructor: an arbitrary connected
+    /// [`CellGraph`] topology with one configuration per graph cell
+    /// (index [`MID_CELL`] is the mid/statistics cell). See the
+    /// [walkthrough](Scenario#walkthrough-a-scenario-on-an-arbitrary-graph)
+    /// on the type. `from_graph(name, CellGraph::ring7(), cells)` is
+    /// bit-identical to [`Scenario::from_cells`].
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Topology`] if the configuration count does not
+    /// match the graph size, [`ModelError::Config`] if a cell is
+    /// invalid.
+    pub fn from_graph(
+        name: impl Into<String>,
+        graph: CellGraph,
+        cells: Vec<CellConfig>,
+    ) -> Result<Self, ModelError> {
+        if cells.len() != graph.num_cells() {
+            return Err(ModelError::Topology {
+                reason: format!(
+                    "scenario topology has {} cells but {} configurations were given",
+                    graph.num_cells(),
+                    cells.len()
+                ),
+            });
+        }
         for (i, cell) in cells.iter().enumerate() {
             cell.validate().map_err(|e| ModelError::Config {
                 reason: format!("scenario cell {i}: {e}"),
@@ -165,6 +248,7 @@ impl Scenario {
         }
         Ok(Scenario {
             name: name.into(),
+            graph,
             cells,
             load_scale: 1.0,
             tcp_enabled: true,
@@ -208,6 +292,16 @@ impl Scenario {
         &self.name
     }
 
+    /// The cell topology.
+    pub fn graph(&self) -> &CellGraph {
+        &self.graph
+    }
+
+    /// The number of cells in the topology.
+    pub fn num_cells(&self) -> usize {
+        self.graph.num_cells()
+    }
+
     /// The *base* per-cell configurations, before load scaling and the
     /// TCP switch are applied; see [`Scenario::effective_cells`].
     pub fn base_cells(&self) -> &[CellConfig] {
@@ -224,8 +318,9 @@ impl Scenario {
         self.tcp_enabled
     }
 
-    /// Whether all seven (base) cells are identical — the condition for
-    /// lowering to the paper's single-cell model.
+    /// Whether all (base) cells are identical — together with a
+    /// flow-balanced topology, the condition for lowering to the
+    /// paper's single-cell model.
     pub fn is_uniform(&self) -> bool {
         self.cells[1..].iter().all(|c| *c == self.cells[MID_CELL])
     }
@@ -286,9 +381,12 @@ impl Scenario {
     /// [`ModelError::Config`] if `cell >= NUM_CELLS` or the effective
     /// cells fail validation.
     pub fn homogeneous_at(&self, cell: usize) -> Result<Self, ModelError> {
-        if cell >= NUM_CELLS {
+        if cell >= self.num_cells() {
             return Err(ModelError::Config {
-                reason: format!("cell {cell} out of range (cluster has {NUM_CELLS})"),
+                reason: format!(
+                    "cell {cell} out of range (cluster has {})",
+                    self.num_cells()
+                ),
             });
         }
         let reference = self.effective_cells()?.swap_remove(cell);
@@ -305,6 +403,11 @@ impl Scenario {
     /// single-cell model *is* the homogeneity assumption; lower
     /// heterogeneous scenarios with [`Scenario::to_cluster`] (or take
     /// an explicit reference via [`Scenario::homogeneous_at`]).
+    /// [`ModelError::Topology`] if the topology is not flow-balanced
+    /// ([`CellGraph::is_flow_balanced`]): on an unbalanced graph (e.g.
+    /// a corridor's degree-1 ends) identical cells do *not* reproduce
+    /// the scalar handover balance, so the single-cell model would not
+    /// describe any cell of the cluster.
     pub fn to_model(&self) -> Result<GprsModel, ModelError> {
         if !self.is_uniform() {
             return Err(ModelError::Config {
@@ -315,16 +418,28 @@ impl Scenario {
                 ),
             });
         }
+        if !self.graph.is_flow_balanced() {
+            return Err(ModelError::Topology {
+                reason: format!(
+                    "scenario '{}' runs on a topology that is not flow-balanced; \
+                     the single-cell model assumes every cell sees its own outflow \
+                     back — use to_cluster()",
+                    self.name
+                ),
+            });
+        }
         GprsModel::new(self.mid_config()?)
     }
 
-    /// Lowers to the heterogeneous 7-cell cluster fixed-point model.
+    /// Lowers to the heterogeneous cluster fixed-point model on this
+    /// scenario's topology.
     ///
     /// # Errors
     ///
-    /// As [`Scenario::effective_cells`] / [`ClusterModel::new`].
+    /// As [`Scenario::effective_cells`] /
+    /// [`ClusterModel::from_graph`].
     pub fn to_cluster(&self) -> Result<ClusterModel, ModelError> {
-        ClusterModel::new(self.effective_cells()?)
+        ClusterModel::from_graph(self.graph.clone(), self.effective_cells()?)
     }
 
     /// Solves the scenario's cluster fixed point at each load scale

@@ -73,7 +73,8 @@ use gprs_ctmc::gth::{solve_gth, RECOMMENDED_MAX_STATES};
 use gprs_ctmc::mbd::solve_mbd_projected_ws;
 use gprs_ctmc::solver::{solve_gauss_seidel_ws, SolveOptions};
 use gprs_ctmc::{balance_residual, SolveWorkspace, SparseGenerator};
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// The structural fingerprint of a cell configuration: two configs with
 /// the same shape produce chains with the same *state space* (the
@@ -83,7 +84,7 @@ use std::sync::Mutex;
 /// compatibility. The CSR *pattern* needs the finer [`PatternKey`]:
 /// edges also vanish where a rate is exactly zero or TCP throttling
 /// zeroes the offered rate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct Shape {
     total_channels: usize,
     gsm_channels: usize,
@@ -170,11 +171,94 @@ pub struct PointSolve {
     pub health: SolveHealth,
 }
 
+/// The *shared* symbolic artifacts of one model [`Shape`], reference-
+/// counted across every [`GeneratorTemplate`] of that shape: currently
+/// the donor CSR pattern — the first template of a shape that needs an
+/// assembled matrix pays the full symbolic assembly (enumeration,
+/// sorting, allocation) once and deposits the pattern here; every later
+/// same-shape template *clones* the pattern and merely refills its
+/// rates, bit-identical to a fresh assembly.
+///
+/// Per-solve numeric state (workspace, warm-start chain, stationary
+/// vector) deliberately stays per template: sharing it across cells
+/// would entangle their warm-start trajectories and break the bitwise
+/// reproducibility contract of the cluster fixed point.
+///
+/// Build these through a [`TemplateRegistry`], which deduplicates one
+/// setup per distinct shape — a 1000-cell city with 5 distinct cell
+/// kinds costs 5 symbolic setups, not 1000.
+#[derive(Debug)]
+pub struct SymbolicSetup {
+    shape: Shape,
+    /// The shape's donor CSR pattern and the [`PatternKey`] it was
+    /// assembled under; filled by the first template that assembles.
+    donor: Mutex<Option<(PatternKey, SparseGenerator)>>,
+}
+
+impl SymbolicSetup {
+    fn new(shape: Shape) -> Self {
+        SymbolicSetup {
+            shape,
+            donor: Mutex::new(None),
+        }
+    }
+}
+
+/// A registry of [`SymbolicSetup`]s keyed by model shape: the config
+/// deduplication layer of the cluster solver. Templates requested
+/// through [`template_for`](TemplateRegistry::template_for) share one
+/// setup per distinct shape, and [`setups`](TemplateRegistry::setups)
+/// reports how many distinct shapes have been seen — the counter the
+/// metro-scale regression tests assert on.
+#[derive(Debug, Default)]
+pub struct TemplateRegistry {
+    setups: Mutex<HashMap<Shape, Arc<SymbolicSetup>>>,
+}
+
+impl TemplateRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A template for `config`, sharing its [`SymbolicSetup`] with
+    /// every previously requested config of the same shape (the
+    /// template's own workspace and warm-start chain are fresh).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Config`] if `config` is invalid.
+    pub fn template_for(&self, config: &CellConfig) -> Result<GeneratorTemplate, ModelError> {
+        config.validate()?;
+        let shape = Shape::of(config);
+        let symbolic = self
+            .setups
+            .lock()
+            .expect("template registry poisoned")
+            .entry(shape)
+            .or_insert_with(|| Arc::new(SymbolicSetup::new(shape)))
+            .clone();
+        Ok(GeneratorTemplate::with_symbolic(shape, symbolic))
+    }
+
+    /// How many distinct shapes (symbolic setups) the registry holds.
+    pub fn setups(&self) -> usize {
+        self.setups
+            .lock()
+            .expect("template registry poisoned")
+            .len()
+    }
+}
+
 /// One model shape's symbolic artifacts plus the numeric buffers reused
 /// across every solve of that shape (see the [module docs](self)).
 #[derive(Debug, Clone)]
 pub struct GeneratorTemplate {
     shape: Shape,
+    /// The shape's shared symbolic artifacts (donor CSR pattern);
+    /// unshared when built via [`GeneratorTemplate::new`], one per
+    /// distinct shape when built via [`TemplateRegistry`].
+    symbolic: Arc<SymbolicSetup>,
     /// Cached CSR pattern and the [`PatternKey`] it was assembled
     /// under; assembled on first demand, revalued while the key holds,
     /// re-assembled when it changes.
@@ -199,15 +283,25 @@ impl GeneratorTemplate {
     /// [`ModelError::Config`] if `config` is invalid.
     pub fn new(config: &CellConfig) -> Result<Self, ModelError> {
         config.validate()?;
-        Ok(GeneratorTemplate {
-            shape: Shape::of(config),
+        let shape = Shape::of(config);
+        Ok(Self::with_symbolic(
+            shape,
+            Arc::new(SymbolicSetup::new(shape)),
+        ))
+    }
+
+    fn with_symbolic(shape: Shape, symbolic: Arc<SymbolicSetup>) -> Self {
+        debug_assert_eq!(shape, symbolic.shape);
+        GeneratorTemplate {
+            shape,
+            symbolic,
             sparse: None,
             ws: SolveWorkspace::new(),
             marginal: Vec::new(),
             start: Vec::new(),
             prev2: Vec::new(),
             history: 0,
-        })
+        }
     }
 
     /// Whether `config` has this template's shape.
@@ -561,7 +655,30 @@ impl GeneratorTemplate {
                 return Ok(());
             }
         }
-        self.sparse = Some((key, model.assemble_sparse()?));
+        // Consult the shape's shared donor pattern before paying a full
+        // symbolic assembly: a matching key means a bit-identical
+        // pattern (same shape + same edge-presence signature), so a
+        // clone + refill equals a fresh assembly.
+        {
+            let donor = self.symbolic.donor.lock().expect("donor pattern poisoned");
+            if let Some((donor_key, donor_sparse)) = &*donor {
+                if *donor_key == key {
+                    let mut sparse = donor_sparse.clone();
+                    drop(donor);
+                    sparse.refill_values(model)?;
+                    self.sparse = Some((key, sparse));
+                    return Ok(());
+                }
+            }
+        }
+        let assembled = model.assemble_sparse()?;
+        {
+            let mut donor = self.symbolic.donor.lock().expect("donor pattern poisoned");
+            if donor.is_none() {
+                *donor = Some((key, assembled.clone()));
+            }
+        }
+        self.sparse = Some((key, assembled));
         Ok(())
     }
 
@@ -853,6 +970,57 @@ mod tests {
             .unwrap();
         assert_eq!(point.health.rung, SolveRung::DirectGth);
         assert_eq!(point.health.failed_rungs, 3);
+    }
+
+    #[test]
+    fn registry_dedupes_setups_by_shape() {
+        let registry = TemplateRegistry::new();
+        // Five rates of one shape → one setup.
+        for rate in [0.1, 0.2, 0.3, 0.4, 0.5] {
+            registry.template_for(&tiny(rate)).unwrap();
+        }
+        assert_eq!(registry.setups(), 1);
+        // A different buffer depth is a new shape.
+        let mut deep = tiny(0.3);
+        deep.buffer_capacity = 9;
+        registry.template_for(&deep).unwrap();
+        assert_eq!(registry.setups(), 2);
+    }
+
+    #[test]
+    fn registry_templates_share_the_donor_pattern_bitwise() {
+        let registry = TemplateRegistry::new();
+        let mut a = registry.template_for(&tiny(0.3)).unwrap();
+        let mut b = registry.template_for(&tiny(0.7)).unwrap();
+        // `a` assembles and donates the pattern; `b` must serve a
+        // matrix bit-identical to its own fresh assembly via
+        // clone + refill.
+        let model_a = GprsModel::new(tiny(0.3)).unwrap();
+        a.sparse_for(&model_a).unwrap();
+        let model_b = GprsModel::new(tiny(0.7)).unwrap();
+        let fresh = model_b.assemble_sparse().unwrap();
+        let served = b.sparse_for(&model_b).unwrap();
+        assert!(served.same_pattern(&fresh));
+        for s in 0..fresh.num_states() {
+            assert_eq!(served.row(s), fresh.row(s), "row {s}");
+        }
+        assert_eq!(served.exit_rates(), fresh.exit_rates());
+    }
+
+    #[test]
+    fn registry_solves_match_unshared_templates_bitwise() {
+        let opts = SolveOptions::default();
+        let registry = TemplateRegistry::new();
+        for rate in [0.3, 0.6] {
+            let model = GprsModel::new(tiny(rate)).unwrap();
+            let mut shared = registry.template_for(&tiny(rate)).unwrap();
+            let mut plain = GeneratorTemplate::new(&tiny(rate)).unwrap();
+            let a = shared.solve(&model, &opts, WarmStart::Cold).unwrap();
+            let b = plain.solve(&model, &opts, WarmStart::Cold).unwrap();
+            assert_eq!(a.sweeps, b.sweeps);
+            assert_eq!(a.residual.to_bits(), b.residual.to_bits());
+            assert_eq!(shared.stationary(), plain.stationary());
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The seven-cell hexagonal cluster and its handover topology.
+//! The default seven-cell hexagonal cluster and its handover topology.
 //!
 //! The topology is **shared with the analytical side**: it lives in
 //! [`gprs_core::cluster`] and is re-exported here so the simulator and
@@ -13,6 +13,12 @@
 //! ring cell it is uniform over the mid cell and the other five ring
 //! cells — exactly the uniform 1/6 flux split the analytical cluster
 //! model assumes.
+//!
+//! Arbitrary topologies (hex tori, corridors, weighted adjacency)
+//! enter the simulator through [`gprs_core::CellGraph`] via
+//! [`SimConfig::builder_graph`](crate::config::SimConfig::builder_graph);
+//! these constants and helpers describe the legacy ring default, which
+//! [`gprs_core::CellGraph::ring7`] reproduces bit for bit.
 
 pub use gprs_core::cluster::{handover_target, neighbors, MID_CELL, NUM_CELLS};
 
@@ -25,8 +31,8 @@ mod tests {
         // The simulator's graph *is* the model's graph.
         assert_eq!(NUM_CELLS, 7);
         assert_eq!(MID_CELL, 0);
-        assert_eq!(neighbors(0), [1, 2, 3, 4, 5, 6]);
-        let n = neighbors(3);
+        assert_eq!(neighbors(0).unwrap(), [1, 2, 3, 4, 5, 6]);
+        let n = neighbors(3).unwrap();
         assert_eq!(n[0], MID_CELL);
         let mut sorted = n.to_vec();
         sorted.sort_unstable();
@@ -40,7 +46,7 @@ mod tests {
         for cell in 0..NUM_CELLS {
             for i in 0..=12 {
                 let u = i as f64 / 12.0;
-                let t = handover_target(cell, u);
+                let t = handover_target(cell, u).unwrap();
                 assert!(t < NUM_CELLS);
                 assert_ne!(t, cell);
             }

@@ -2,7 +2,7 @@
 
 use crate::cluster::{MID_CELL, NUM_CELLS};
 use crate::supervision::SupervisionConfig;
-use gprs_core::{CellConfig, ModelError, Scenario};
+use gprs_core::{CellConfig, CellGraph, ModelError, Scenario};
 
 /// How the radio link serves the BSC buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,8 +61,13 @@ impl Default for TcpConfig {
 /// case) reproduces the legacy shared-parameter simulator bit for bit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
-    /// Per-cell parameterizations, exactly [`NUM_CELLS`] entries with
-    /// the mid (statistics) cell at index [`MID_CELL`].
+    /// Cell topology: neighbour lists and handover split weights. The
+    /// simulator draws every handover target from this graph. Defaults
+    /// to [`CellGraph::ring7`], which reproduces the legacy 7-cell
+    /// wraparound-ring simulator bit for bit.
+    pub graph: CellGraph,
+    /// Per-cell parameterizations, one entry per graph cell with the
+    /// mid (statistics) cell at index [`MID_CELL`].
     pub cells: Vec<CellConfig>,
     /// Master RNG seed.
     pub seed: u64,
@@ -93,11 +98,21 @@ impl SimConfig {
     }
 
     /// Starts a builder from explicit per-cell configurations (mid cell
-    /// first). The vector is validated at [`SimConfigBuilder::build`]
-    /// time: exactly [`NUM_CELLS`] entries, each individually valid.
+    /// first) on the legacy [`CellGraph::ring7`] topology. The vector
+    /// is validated at [`SimConfigBuilder::build`] time: exactly
+    /// [`NUM_CELLS`] entries, each individually valid.
     pub fn builder_cells(cells: Vec<CellConfig>) -> SimConfigBuilder {
+        Self::builder_graph(CellGraph::ring7(), cells)
+    }
+
+    /// Starts a builder from an arbitrary topology plus per-cell
+    /// configurations (one per graph cell, statistics cell first). The
+    /// vector is validated at [`SimConfigBuilder::build`] time: one
+    /// entry per graph cell, each individually valid.
+    pub fn builder_graph(graph: CellGraph, cells: Vec<CellConfig>) -> SimConfigBuilder {
         SimConfigBuilder {
             config: SimConfig {
+                graph,
                 cells,
                 seed: 1,
                 warmup: 1_000.0,
@@ -136,7 +151,7 @@ impl SimConfig {
     /// range).
     pub fn for_scenario(scenario: &Scenario) -> Result<SimConfigBuilder, ModelError> {
         let cells = scenario.effective_cells()?;
-        let mut builder = SimConfig::builder_cells(cells);
+        let mut builder = SimConfig::builder_graph(scenario.graph().clone(), cells);
         if !scenario.tcp_enabled() {
             builder = builder.without_tcp();
         }
@@ -148,18 +163,24 @@ impl SimConfig {
         self.warmup + self.num_batches as f64 * self.batch_duration
     }
 
+    /// Number of cells in the topology (and hence in
+    /// [`SimConfig::cells`]).
+    pub fn num_cells(&self) -> usize {
+        self.graph.num_cells()
+    }
+
     /// The configuration of `cell`.
     ///
     /// # Panics
     ///
-    /// Panics if `cell >= NUM_CELLS`.
+    /// Panics if `cell >= self.num_cells()`.
     pub fn cell(&self, cell: usize) -> &CellConfig {
-        assert!(cell < NUM_CELLS, "cell {cell} out of range");
+        assert!(cell < self.num_cells(), "cell {cell} out of range");
         &self.cells[cell]
     }
 
-    /// Whether all seven cells are identical — the legacy
-    /// shared-parameter special case.
+    /// Whether all cells are identical — the legacy shared-parameter
+    /// special case.
     pub fn is_uniform(&self) -> bool {
         self.cells[1..].iter().all(|c| *c == self.cells[MID_CELL])
     }
@@ -168,7 +189,7 @@ impl SimConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `cell >= NUM_CELLS`.
+    /// Panics if `cell >= self.num_cells()`.
     pub fn arrival_rate_in(&self, cell: usize) -> f64 {
         self.cell(cell).call_arrival_rate
     }
@@ -184,10 +205,10 @@ impl SimConfig {
         self.cell(cell).gprs_arrival_rate()
     }
 
-    /// Asserts the structural invariants the simulator relies on:
-    /// exactly [`NUM_CELLS`] cell configurations, each individually
-    /// valid (which guarantees, among others, `buffer_capacity >= 1` —
-    /// the supervision occupancy divisor — and
+    /// Asserts the structural invariants the simulator relies on: one
+    /// cell configuration per graph cell, each individually valid
+    /// (which guarantees, among others, `buffer_capacity >= 1` — the
+    /// supervision occupancy divisor — and
     /// `reserved_pdchs <= total_channels`).
     ///
     /// [`SimConfigBuilder::build`] runs this; [`GprsSimulator::new`]
@@ -201,7 +222,7 @@ impl SimConfig {
     pub fn assert_valid(&self) {
         assert_eq!(
             self.cells.len(),
-            NUM_CELLS,
+            self.num_cells(),
             "need one cell config per cluster cell"
         );
         for (i, cell) in self.cells.iter().enumerate() {
@@ -320,7 +341,7 @@ impl SimConfigBuilder {
         if let Some(rates) = self.rate_override.take() {
             assert_eq!(
                 rates.len(),
-                NUM_CELLS,
+                self.config.num_cells(),
                 "need one arrival rate per cluster cell"
             );
             assert!(
@@ -329,7 +350,7 @@ impl SimConfigBuilder {
             );
             assert_eq!(
                 self.config.cells.len(),
-                NUM_CELLS,
+                self.config.num_cells(),
                 "need one cell config per cluster cell"
             );
             for (cell, rate) in self.config.cells.iter_mut().zip(rates) {

@@ -29,7 +29,7 @@
 //! and batch-means confidence intervals, as in the paper.
 
 use crate::cell::Cell;
-use crate::cluster::{handover_target, MID_CELL, NUM_CELLS};
+use crate::cluster::MID_CELL;
 use crate::config::{RadioModel, SimConfig};
 use crate::events::Event;
 use crate::packet::{blocks_per_packet, Packet, SessionId};
@@ -259,7 +259,7 @@ impl GprsSimulator {
         };
         let mut s = GprsSimulator {
             sim: Simulation::new(),
-            cells: (0..NUM_CELLS).map(|_| Cell::new()).collect(),
+            cells: (0..cfg.num_cells()).map(|_| Cell::new()).collect(),
             sessions: HashMap::new(),
             next_session_id: 1,
             stats: Stats::new(),
@@ -280,7 +280,7 @@ impl GprsSimulator {
     }
 
     fn prime(&mut self) {
-        for cell in 0..NUM_CELLS {
+        for cell in 0..self.cfg.num_cells() {
             let gsm_gap = 1.0 / self.cfg.gsm_arrival_rate_in(cell);
             let d = exp_mean(&mut self.rng_arrivals, gsm_gap);
             self.sim.schedule_in(d, Event::GsmArrival { cell });
@@ -423,7 +423,11 @@ impl GprsSimulator {
         let u: f64 = rand::Rng::gen(&mut self.rng_voice);
         if u < mu_h / (mu + mu_h) {
             let u2: f64 = rand::Rng::gen(&mut self.rng_mobility);
-            let target = handover_target(cell, u2);
+            let target = self
+                .cfg
+                .graph
+                .handover_target(cell, u2)
+                .expect("simulator cell indices are graph cells and u is in [0, 1]");
             if self.cells[target].voice_calls < self.voice_caps[target] {
                 self.admit_voice(target);
             }
@@ -595,7 +599,11 @@ impl GprsSimulator {
         };
         let from = session.cell;
         let u: f64 = rand::Rng::gen(&mut self.rng_mobility);
-        let target = handover_target(from, u);
+        let target = self
+            .cfg
+            .graph
+            .handover_target(from, u)
+            .expect("simulator cell indices are graph cells and u is in [0, 1]");
 
         // Admission is judged by the *target* cell's session cap.
         if self.cells[target].num_sessions() >= self.cfg.cells[target].max_gprs_sessions {
@@ -921,7 +929,7 @@ impl GprsSimulator {
         let Some(sup_cfg) = self.cfg.supervision else {
             return; // stale event after a config without supervision
         };
-        for cell in 0..NUM_CELLS {
+        for cell in 0..self.cfg.num_cells() {
             // Occupancy is measured against the *owning* cell's buffer
             // capacity (>= 1 by build-time validation).
             let k = self.cfg.cells[cell].buffer_capacity as f64;
@@ -951,6 +959,7 @@ impl GprsSimulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cluster::NUM_CELLS;
     use gprs_core::CellConfig;
     use gprs_traffic::TrafficModel;
 
