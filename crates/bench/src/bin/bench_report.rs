@@ -1,17 +1,23 @@
 //! Machine-readable performance report:
-//! `bench-report [--quick] [OUTPUT.json]`.
+//! `bench-report [--quick] [--check BASELINE.json] [OUTPUT.json]`.
 //!
 //! Times the repeated-solve pipelines the symbolic/numeric split
 //! targets — arrival-rate sweeps (template refill vs historical
-//! per-point rebuild), the 7-cell cluster fixed point, a metro-scale
-//! corridor graph sweep (shape-keyed template dedup + Gauss–Seidel
-//! colour ordering), and the parallel replication engine — and writes
-//! a single JSON document
+//! per-point rebuild), the cache-blocked sweep kernel against the
+//! scalar trait-dispatched one, the predict-and-verify surrogate's
+//! hit rate on a dense figure grid, the 7-cell cluster fixed point, a
+//! metro-scale corridor graph sweep (shape-keyed template dedup +
+//! Gauss–Seidel colour ordering), and the parallel replication engine
+//! — and writes a single JSON document
 //! (`BENCH_sweep.json` by default) with points-per-second throughput
 //! for each. CI uploads the file as an artifact, so the repository
 //! accumulates a perf trajectory over time; the numbers are wall-clock
 //! on whatever runner executes them, meaningful as a series rather
 //! than as absolutes.
+//!
+//! The document's `"schema"` field versions its shape
+//! (`gprs-bench-report/v2` since the `kernel` section landed), so
+//! trajectory tooling can evolve the format without guessing.
 //!
 //! Two sizes of the same workloads (the `"mode"` field records which
 //! one a report ran):
@@ -23,14 +29,25 @@
 //!   push, not only on the nightly schedule. Quick points are
 //!   comparable with other quick points.
 //!
+//! `--check BASELINE.json` turns the run into a perf-regression gate:
+//! after measuring, the fresh figure-sweep throughput is compared
+//! against the baseline's `refill_points_per_sec` and the process
+//! exits non-zero if it dropped below 75% of it (wall-clock noise on
+//! shared runners makes a tighter bound flaky). In check mode the
+//! report is written to `BENCH_report.json` by default so the
+//! committed baseline is never clobbered.
+//!
 //! Determinism is asserted (sequential vs parallel sweeps) before
 //! timing in both modes, so a report is also a cheap correctness
 //! smoke.
 
 use gprs_bench::{figure_sweep_cell, sweep_rebuild};
 use gprs_core::cluster::{ClusterModel, ClusterSolveOptions, SweepOrdering};
-use gprs_core::sweep::{par_sweep_arrival_rates_threads, rate_grid, sweep_arrival_rates};
-use gprs_core::{CellConfig, CellGraph, Scenario};
+use gprs_core::sweep::{
+    par_sweep_arrival_rates_threads, rate_grid, sweep_arrival_rates, sweep_arrival_rates_mode,
+};
+use gprs_core::template::{GeneratorTemplate, WarmStart};
+use gprs_core::{CellConfig, CellGraph, Scenario, SolveRung};
 use gprs_ctmc::SolveOptions;
 use gprs_exec::num_threads;
 use gprs_sim::{run_replications, ReplicationOptions, SimConfig, TargetMeasure};
@@ -45,23 +62,53 @@ fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
     (t0.elapsed().as_secs_f64(), out)
 }
 
+/// Pulls the first `"key": <number>` out of a JSON document. Enough
+/// for the flat reports this binary writes itself (the workspace is
+/// dependency-free, so no JSON parser to lean on).
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{key}\""))?;
+    let rest = &json[at..];
+    let rest = &rest[rest.find(':')? + 1..];
+    let end = rest.find([',', '}', '\n'])?;
+    rest[..end].trim().parse().ok()
+}
+
+const USAGE: &str = "usage: bench-report [--quick] [--check BASELINE.json] [OUTPUT.json]";
+
 fn main() {
     let mut quick = false;
-    let mut out_path = "BENCH_sweep.json".to_string();
-    for arg in std::env::args().skip(1) {
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--check" => match args.next() {
+                Some(path) => check_path = Some(path),
+                None => {
+                    eprintln!("--check needs a baseline path; {USAGE}");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: bench-report [--quick] [OUTPUT.json]");
+                eprintln!("{USAGE}");
                 return;
             }
             other if other.starts_with('-') => {
-                eprintln!("unknown flag {other}; usage: bench-report [--quick] [OUTPUT.json]");
+                eprintln!("unknown flag {other}; {USAGE}");
                 std::process::exit(2);
             }
-            path => out_path = path.to_string(),
+            path => out_path = Some(path.to_string()),
         }
     }
+    // Never clobber the committed baseline when gating against it.
+    let out_path = out_path.unwrap_or_else(|| {
+        if check_path.is_some() {
+            "BENCH_report.json".to_string()
+        } else {
+            "BENCH_sweep.json".to_string()
+        }
+    });
     let threads = num_threads();
     let solve_opts = SolveOptions::quick().with_max_sweeps(200_000);
 
@@ -89,6 +136,60 @@ fn main() {
     let sweep_rebuild_pps = rates.len() as f64 / rebuild_s;
     let sweep_refill_pps = rates.len() as f64 / refill_s;
 
+    // --- Kernel microbench: repeated cold solves of the figure cell,
+    // scalar (trait-dispatched) vs cache-blocked (phase-major tables).
+    // Cold starts so every rep runs the full sweep count; the blocked
+    // kernel must agree on that count (it is bit-identical), which is
+    // asserted before the rates are trusted. ---
+    let kernel_reps = if quick { 8 } else { 20 };
+    let kernel_time = |blocked: bool| -> (f64, usize, usize) {
+        let mut template = GeneratorTemplate::new(&base).expect("template");
+        template.set_blocked_kernel(Some(blocked));
+        let model = template.model_for(base.clone()).expect("model");
+        // One warm-up solve so allocations and captures are in place.
+        template
+            .solve(&model, &solve_opts, WarmStart::Cold)
+            .expect("warm-up solve");
+        template.reset_stats();
+        let (secs, _) = timed(|| {
+            for _ in 0..kernel_reps {
+                template
+                    .solve(&model, &solve_opts, WarmStart::Cold)
+                    .expect("kernel solve");
+            }
+        });
+        (
+            secs,
+            template.stats().total_sweeps,
+            template.stationary().len(),
+        )
+    };
+    let (scalar_s, scalar_sweeps, kernel_rows) = kernel_time(false);
+    let (blocked_s, blocked_sweeps, blocked_rows) = kernel_time(true);
+    assert_eq!(
+        scalar_sweeps, blocked_sweeps,
+        "blocked kernel must run the exact scalar sweep count"
+    );
+    assert_eq!(kernel_rows, blocked_rows);
+    let scalar_sweeps_per_sec = scalar_sweeps as f64 / scalar_s;
+    let blocked_sweeps_per_sec = blocked_sweeps as f64 / blocked_s;
+    let scalar_ns_per_row = scalar_s * 1e9 / (scalar_sweeps as f64 * kernel_rows as f64);
+    let blocked_ns_per_row = blocked_s * 1e9 / (blocked_sweeps as f64 * kernel_rows as f64);
+
+    // --- Surrogate hit rate: the extended figure grid in
+    // predict-and-verify mode. Chunk heads always solve cold, so the
+    // hit rate can never reach 1; what lands here is the fraction of
+    // figure points served straight from the verified extrapolation. ---
+    let surrogate_rates = rate_grid(0.05, 1.0, if quick { 32 } else { 64 });
+    let surrogate_pts =
+        sweep_arrival_rates_mode(&base, &surrogate_rates, &solve_opts, WarmStart::Predicted)
+            .expect("surrogate sweep");
+    let surrogate_hits = surrogate_pts
+        .iter()
+        .filter(|p| p.health.rung == SolveRung::Surrogate)
+        .count();
+    let surrogate_hit_rate = surrogate_hits as f64 / surrogate_pts.len() as f64;
+
     // --- Cluster: hot-spot fixed point (template path end to end). ---
     let ring = CellConfig::builder()
         .traffic_model(TrafficModel::Model3)
@@ -113,6 +214,19 @@ fn main() {
     // "Points" = per-cell CTMC solves performed across outer iterations.
     let cluster_cell_solves = solved.iterations() * solved.cells().len();
     let cluster_pps = cluster_cell_solves as f64 / cluster_s;
+    // Same fixed point with the predict-and-verify surrogate on: outer
+    // iterations near convergence barely move the arrival vector, so
+    // the extrapolated iterate passes its residual check and whole cell
+    // solves are served without solver sweeps.
+    let (cluster_surr_s, surr_solved) = timed(|| {
+        cluster
+            .solve(&cluster_opts.clone().with_surrogate(true))
+            .expect("surrogate cluster solve")
+    });
+    let cluster_surr_cell_solves = surr_solved.iterations() * surr_solved.cells().len();
+    let cluster_surr_pps = cluster_surr_cell_solves as f64 / cluster_surr_s;
+    let cluster_surr_hit_rate =
+        surr_solved.surrogate_solves() as f64 / cluster_surr_cell_solves as f64;
 
     // --- Graph sweep: a metro-scale corridor (5 cell kinds) through
     // the colour-ordered Gauss–Seidel sweep and the shape-keyed
@@ -177,7 +291,7 @@ fn main() {
     // --- Emit JSON (hand-rolled: the workspace is dependency-free). ---
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"gprs-bench-report/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"gprs-bench-report/v2\",");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -200,10 +314,49 @@ fn main() {
         sweep_refill_pps / sweep_rebuild_pps
     );
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"kernel\": {{");
+    let _ = writeln!(json, "    \"rows\": {kernel_rows},");
+    let _ = writeln!(json, "    \"cold_solves\": {kernel_reps},");
+    let _ = writeln!(
+        json,
+        "    \"scalar_sweeps_per_sec\": {scalar_sweeps_per_sec:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"blocked_sweeps_per_sec\": {blocked_sweeps_per_sec:.4},"
+    );
+    let _ = writeln!(json, "    \"scalar_ns_per_row\": {scalar_ns_per_row:.4},");
+    let _ = writeln!(json, "    \"blocked_ns_per_row\": {blocked_ns_per_row:.4},");
+    let _ = writeln!(
+        json,
+        "    \"blocked_speedup\": {:.4},",
+        blocked_sweeps_per_sec / scalar_sweeps_per_sec
+    );
+    let _ = writeln!(
+        json,
+        "    \"surrogate_grid_points\": {},",
+        surrogate_pts.len()
+    );
+    let _ = writeln!(json, "    \"surrogate_hits\": {surrogate_hits},");
+    let _ = writeln!(json, "    \"surrogate_hit_rate\": {surrogate_hit_rate:.4}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"cluster\": {{");
     let _ = writeln!(json, "    \"cell_solves\": {cluster_cell_solves},");
     let _ = writeln!(json, "    \"outer_iterations\": {},", solved.iterations());
-    let _ = writeln!(json, "    \"cell_solves_per_sec\": {cluster_pps:.4}");
+    let _ = writeln!(json, "    \"cell_solves_per_sec\": {cluster_pps:.4},");
+    let _ = writeln!(
+        json,
+        "    \"surrogate_solves\": {},",
+        surr_solved.surrogate_solves()
+    );
+    let _ = writeln!(
+        json,
+        "    \"surrogate_hit_rate\": {cluster_surr_hit_rate:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"surrogate_cell_solves_per_sec\": {cluster_surr_pps:.4}"
+    );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"graph_sweep\": {{");
     let _ = writeln!(json, "    \"cells\": {metro_n},");
@@ -229,4 +382,25 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write report");
     eprintln!("wrote {out_path}");
     print!("{json}");
+
+    // --- Perf-regression gate: the fresh figure-sweep throughput must
+    // hold at least 75% of the committed baseline's. ---
+    if let Some(baseline_path) = check_path {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline_refill = extract_number(&baseline, "refill_points_per_sec")
+            .unwrap_or_else(|| panic!("no refill_points_per_sec in {baseline_path}"));
+        let floor = 0.75 * baseline_refill;
+        if sweep_refill_pps < floor {
+            eprintln!(
+                "PERF REGRESSION: refill sweep ran at {sweep_refill_pps:.2} points/s, \
+                 below 75% of the {baseline_refill:.2} baseline ({baseline_path})"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "perf check OK: refill {sweep_refill_pps:.2} points/s vs baseline \
+             {baseline_refill:.2} (floor {floor:.2})"
+        );
+    }
 }

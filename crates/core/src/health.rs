@@ -26,6 +26,13 @@ pub enum SolveRung {
     /// non-resilient solve.
     #[default]
     Primary,
+    /// The predict-and-verify surrogate accepted the extrapolated
+    /// warm-start prediction: its exact balance residual was already
+    /// within tolerance, so no solver iterations ran at all. This is a
+    /// *success* of the warm-start chain, not a degradation — the
+    /// served distribution satisfies the same residual contract as a
+    /// full solve.
+    Surrogate,
     /// The primary solver restarted cold (warm-start chain dropped):
     /// recovers from a poisoned or badly extrapolated warm start.
     ColdRestart,
@@ -44,6 +51,7 @@ impl SolveRung {
     pub fn label(&self) -> &'static str {
         match self {
             SolveRung::Primary => "primary",
+            SolveRung::Surrogate => "surrogate",
             SolveRung::ColdRestart => "cold-restart",
             SolveRung::AlternateIterative => "alternate-iterative",
             SolveRung::DirectGth => "direct-gth",
@@ -80,9 +88,10 @@ impl SolveHealth {
 
     /// Whether the solve had to leave the primary path — either a
     /// fallback rung produced the answer or at least one rung failed
-    /// along the way.
+    /// along the way. A surrogate-accepted point is *not* degraded: the
+    /// served distribution met the residual tolerance.
     pub fn degraded(&self) -> bool {
-        self.rung != SolveRung::Primary || self.failed_rungs > 0
+        !matches!(self.rung, SolveRung::Primary | SolveRung::Surrogate) || self.failed_rungs > 0
     }
 }
 
@@ -95,6 +104,18 @@ mod tests {
         let h = SolveHealth::primary(12, 1e-11);
         assert!(!h.degraded());
         assert_eq!(h.rung.label(), "primary");
+    }
+
+    #[test]
+    fn surrogate_report_is_not_degraded() {
+        let h = SolveHealth {
+            rung: SolveRung::Surrogate,
+            failed_rungs: 0,
+            sweeps: 0,
+            residual: 1e-11,
+        };
+        assert!(!h.degraded());
+        assert_eq!(h.rung.label(), "surrogate");
     }
 
     #[test]

@@ -111,5 +111,6 @@ pub use scenario::Scenario;
 pub use solve::SolvedModel;
 pub use state::{CellState, StateSpace};
 pub use template::{
-    GeneratorTemplate, PointSolve, SymbolicSetup, TemplatePool, TemplateRegistry, WarmStart,
+    GeneratorTemplate, PointSolve, SymbolicSetup, TemplatePool, TemplateRegistry, TemplateStats,
+    WarmStart,
 };

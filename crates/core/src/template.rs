@@ -69,9 +69,10 @@ use crate::error::ModelError;
 use crate::generator::GprsModel;
 use crate::health::{SolveHealth, SolveRung};
 use crate::measures::Measures;
+use gprs_ctmc::blocked::{blocked_kernel_enabled, solve_mbd_projected_blocked_ws, BlockedMbd};
 use gprs_ctmc::gth::{solve_gth, RECOMMENDED_MAX_STATES};
-use gprs_ctmc::mbd::solve_mbd_projected_ws;
-use gprs_ctmc::solver::{solve_gauss_seidel_ws, SolveOptions};
+use gprs_ctmc::mbd::{mbd_residual_of, solve_mbd_projected_ws};
+use gprs_ctmc::solver::{solve_gauss_seidel_csr_ws, SolveOptions};
 use gprs_ctmc::{balance_residual, SolveWorkspace, SparseGenerator};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -151,6 +152,46 @@ pub enum WarmStart {
     /// [`reset_chain`](GeneratorTemplate::reset_chain), or a failed
     /// solve).
     Chained,
+    /// Predict-and-verify: like [`Chained`](WarmStart::Chained), but
+    /// the extrapolated prediction is *verified* before any solver
+    /// iteration runs — its exact balance residual is evaluated once,
+    /// and when it is already within `opts.tolerance` the prediction is
+    /// served directly as the solution (zero sweeps, health rung
+    /// [`SolveRung::Surrogate`]). Points that fail the check run the
+    /// full solve seeded by the prediction, exactly as `Chained` would.
+    /// The surrogate is bypassed on cold starts (empty history — after
+    /// construction, [`reset_chain`](GeneratorTemplate::reset_chain),
+    /// chunk heads of the sweep APIs) and after failed solves or
+    /// fallback-ladder rungs (which clear the history), so a prediction
+    /// is only ever extrapolated from genuinely solved predecessors.
+    Predicted,
+}
+
+/// Cumulative solver accounting across a [`GeneratorTemplate`]'s
+/// lifetime. Per-solve [`SolveStats`](gprs_ctmc::SolveStats) are
+/// overwritten by the next point; these totals are what make surrogate
+/// savings visible — compare [`total_sweeps`](Self::total_sweeps)
+/// against [`solves`](Self::solves) with and without
+/// [`WarmStart::Predicted`]. Survives
+/// [`reset_chain`](GeneratorTemplate::reset_chain) (chunk boundaries
+/// must not erase the ledger); cleared only by
+/// [`reset_stats`](GeneratorTemplate::reset_stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TemplateStats {
+    /// Points served: full solves, surrogate accepts and direct-GTH
+    /// rungs alike.
+    pub solves: usize,
+    /// Total solver sweeps across all solves (surrogate accepts and
+    /// direct solves contribute zero).
+    pub total_sweeps: usize,
+    /// Exact residual evaluations paid: in-solve convergence checks
+    /// plus one verification per surrogate prediction.
+    pub residual_checks: usize,
+    /// Surrogate predictions attempted ([`WarmStart::Predicted`] with a
+    /// non-empty history).
+    pub predicted: usize,
+    /// Surrogate predictions accepted (served with zero sweeps).
+    pub accepted: usize,
 }
 
 /// Diagnostics and measures of one template solve; the stationary
@@ -271,6 +312,17 @@ pub struct GeneratorTemplate {
     prev2: Vec<f64>,
     /// How many consecutive solutions the chain holds (0..=2).
     history: usize,
+    /// Phase-major blocked rate tables, recaptured per point and fed to
+    /// the cache-blocked kernel when it is enabled.
+    blocked: BlockedMbd,
+    /// Per-template kernel override: `Some(true/false)` forces the
+    /// blocked/scalar kernel, `None` defers to the
+    /// `GPRS_BLOCKED_KERNEL` environment toggle.
+    kernel_override: Option<bool>,
+    /// Per-level scratch for surrogate residual verification.
+    residual_scratch: Vec<f64>,
+    /// Lifetime solver accounting (see [`TemplateStats`]).
+    stats: TemplateStats,
 }
 
 impl GeneratorTemplate {
@@ -301,6 +353,10 @@ impl GeneratorTemplate {
             start: Vec::new(),
             prev2: Vec::new(),
             history: 0,
+            blocked: BlockedMbd::new(),
+            kernel_override: None,
+            residual_scratch: Vec::new(),
+            stats: TemplateStats::default(),
         }
     }
 
@@ -398,52 +454,103 @@ impl GeneratorTemplate {
         model.phase_marginal_into(&mut self.marginal);
         let levels = model.space().k_cap() + 1;
 
-        match warm {
-            WarmStart::Chained if self.history >= 1 => {
-                // Seed from the last solution (ws.pi); with two
-                // predecessors, extrapolate one rate step forward along
-                // the chain's trajectory first.
-                self.start.resize(n, 0.0);
-                let last = self.ws.pi();
-                if self.history >= 2 {
-                    // Multiplicative (log-space) extrapolation: the
-                    // tails of these distributions move exponentially
-                    // along a rate sweep (tilted geometric decay into
-                    // high buffer levels), so continuing each entry's
-                    // *ratio* tracks the next point far better than an
-                    // arithmetic secant — measured ~25% fewer sweeps on
-                    // the figure workloads. The ratio clamp keeps noise
-                    // on near-zero entries from exploding the guess.
-                    for ((s, &p), &q) in self.start.iter_mut().zip(last).zip(&self.prev2) {
-                        *s = if p > 0.0 && q > 0.0 {
-                            p * (p / q).clamp(0.25, 4.0)
-                        } else {
-                            p
-                        };
+        let chained =
+            matches!(warm, WarmStart::Chained | WarmStart::Predicted) && self.history >= 1;
+        if chained {
+            // Seed from the last solution (ws.pi); with two
+            // predecessors, extrapolate one rate step forward along
+            // the chain's trajectory first.
+            self.start.resize(n, 0.0);
+            let last = self.ws.pi();
+            if self.history >= 2 {
+                // Multiplicative (log-space) extrapolation: the
+                // tails of these distributions move exponentially
+                // along a rate sweep (tilted geometric decay into
+                // high buffer levels), so continuing each entry's
+                // *ratio* tracks the next point far better than an
+                // arithmetic secant — measured ~25% fewer sweeps on
+                // the figure workloads. The ratio clamp keeps noise
+                // on near-zero entries from exploding the guess.
+                for ((s, &p), &q) in self.start.iter_mut().zip(last).zip(&self.prev2) {
+                    *s = if p > 0.0 && q > 0.0 {
+                        p * (p / q).clamp(0.25, 4.0)
+                    } else {
+                        p
+                    };
+                }
+            } else {
+                self.start.copy_from_slice(last);
+            }
+            // Re-project each phase column onto the *new* point's
+            // exact marginal: the dominant error of a
+            // neighbouring-point start is its stale phase law.
+            for (phase, &mass) in self.marginal.iter().enumerate() {
+                let col = &mut self.start[phase * levels..(phase + 1) * levels];
+                let col_mass: f64 = col.iter().sum();
+                if col_mass > 0.0 {
+                    let scale = mass / col_mass;
+                    for x in col.iter_mut() {
+                        *x *= scale;
                     }
                 } else {
-                    self.start.copy_from_slice(last);
-                }
-                // Re-project each phase column onto the *new* point's
-                // exact marginal: the dominant error of a
-                // neighbouring-point start is its stale phase law.
-                for (phase, &mass) in self.marginal.iter().enumerate() {
-                    let col = &mut self.start[phase * levels..(phase + 1) * levels];
-                    let col_mass: f64 = col.iter().sum();
-                    if col_mass > 0.0 {
-                        let scale = mass / col_mass;
-                        for x in col.iter_mut() {
-                            *x *= scale;
-                        }
-                    } else {
-                        let v = mass / levels as f64;
-                        col.fill(v);
-                    }
+                    let v = mass / levels as f64;
+                    col.fill(v);
                 }
             }
-            _ => {
-                model.product_form_guess_into(&self.marginal, &mut self.start);
-                self.history = 0;
+        } else {
+            model.product_form_guess_into(&self.marginal, &mut self.start);
+            self.history = 0;
+        }
+
+        let use_blocked = self.kernel_override.unwrap_or_else(blocked_kernel_enabled);
+        if use_blocked {
+            self.blocked.capture(model);
+        }
+
+        // Predict-and-verify surrogate: check whether the extrapolated
+        // prediction *already* satisfies the residual tolerance; if so,
+        // serve it without a single solver iteration. The residual is
+        // evaluated on the exactly normalized vector that would be
+        // served, so an accepted point honours the same contract as a
+        // full solve: `residual(stationary()) <= opts.tolerance`.
+        if warm == WarmStart::Predicted && chained {
+            self.stats.predicted += 1;
+            let total: f64 = self.start.iter().sum();
+            if total.is_finite() && total > 0.0 {
+                for x in self.start.iter_mut() {
+                    *x /= total;
+                }
+                self.stats.residual_checks += 1;
+                let residual = if use_blocked {
+                    self.blocked
+                        .residual(&self.start, &mut self.residual_scratch)
+                } else {
+                    mbd_residual_of(model, &self.start)
+                };
+                if residual.is_finite() && residual <= opts.tolerance {
+                    // Accept: rotate the history and install the
+                    // verified prediction verbatim.
+                    self.prev2.resize(n, 0.0);
+                    self.prev2.copy_from_slice(self.ws.pi());
+                    self.ws.set_pi(&self.start);
+                    self.history = (self.history + 1).min(2);
+                    self.stats.solves += 1;
+                    self.stats.accepted += 1;
+                    let health = SolveHealth {
+                        rung: SolveRung::Surrogate,
+                        failed_rungs: 0,
+                        sweeps: 0,
+                        residual,
+                    };
+                    return Ok(PointSolve {
+                        measures: Measures::compute_from_slice(model, self.ws.pi()),
+                        sweeps: 0,
+                        residual,
+                        health,
+                    });
+                }
+                // Rejected: fall through to the full solve, seeded by
+                // the (normalized) prediction.
             }
         }
 
@@ -453,17 +560,25 @@ impl GeneratorTemplate {
             self.prev2.copy_from_slice(self.ws.pi());
         }
 
-        let stats = match solve_mbd_projected_ws(
-            model,
-            &self.marginal,
-            Some(&self.start),
-            opts,
-            &mut self.ws,
-        ) {
+        let result = if use_blocked {
+            solve_mbd_projected_blocked_ws(
+                &self.blocked,
+                &self.marginal,
+                Some(&self.start),
+                opts,
+                &mut self.ws,
+            )
+        } else {
+            solve_mbd_projected_ws(model, &self.marginal, Some(&self.start), opts, &mut self.ws)
+        };
+        let stats = match result {
             Ok(stats) => stats,
             Err(e) => return Err(self.chain_fail(e)),
         };
         self.history = (self.history + 1).min(2);
+        self.stats.solves += 1;
+        self.stats.total_sweeps += stats.sweeps;
+        self.stats.residual_checks += stats.residual_evals;
 
         Ok(PointSolve {
             measures: Measures::compute_from_slice(model, self.ws.pi()),
@@ -492,7 +607,8 @@ impl GeneratorTemplate {
     ) -> Result<PointSolve, ModelError> {
         self.check_shape(model.config())?;
         let n = model.space().num_states();
-        let use_chain = warm == WarmStart::Chained && self.history >= 1;
+        let use_chain =
+            matches!(warm, WarmStart::Chained | WarmStart::Predicted) && self.history >= 1;
         if use_chain {
             self.start.resize(n, 0.0);
             self.start.copy_from_slice(self.ws.pi());
@@ -505,11 +621,14 @@ impl GeneratorTemplate {
         }
         self.sparse_ensure(model)?;
         let sparse = &self.sparse.as_ref().expect("pattern just ensured").1;
-        let stats = match solve_gauss_seidel_ws(sparse, Some(&self.start), opts, &mut self.ws) {
+        let stats = match solve_gauss_seidel_csr_ws(sparse, Some(&self.start), opts, &mut self.ws) {
             Ok(stats) => stats,
             Err(e) => return Err(self.chain_fail(e)),
         };
         self.history = (self.history + 1).min(2);
+        self.stats.solves += 1;
+        self.stats.total_sweeps += stats.sweeps;
+        self.stats.residual_checks += stats.residual_evals;
         Ok(PointSolve {
             measures: Measures::compute_from_slice(model, self.ws.pi()),
             sweeps: stats.sweeps,
@@ -557,7 +676,8 @@ impl GeneratorTemplate {
         opts: &SolveOptions,
         warm: WarmStart,
     ) -> Result<PointSolve, ModelError> {
-        let was_warm = warm == WarmStart::Chained && self.history >= 1;
+        let was_warm =
+            matches!(warm, WarmStart::Chained | WarmStart::Predicted) && self.history >= 1;
 
         // Rung 1: the primary path, bit-identical on success.
         match self.solve(model, opts, warm) {
@@ -618,6 +738,8 @@ impl GeneratorTemplate {
             self.ws.set_pi(pi.as_slice());
             // The exact solution is a legitimate chain predecessor.
             self.history = 1;
+            self.stats.solves += 1;
+            self.stats.residual_checks += 1;
             return Ok(PointSolve {
                 measures: Measures::compute_from_slice(model, self.ws.pi()),
                 sweeps: 0,
@@ -692,9 +814,32 @@ impl GeneratorTemplate {
     /// Forgets the warm-start history: the next
     /// [`WarmStart::Chained`] solve starts cold. Chunked sweeps call
     /// this at every chunk boundary so results never depend on which
-    /// worker (or how many) processed the previous chunk.
+    /// worker (or how many) processed the previous chunk. Lifetime
+    /// accounting ([`stats`](Self::stats)) is deliberately preserved.
     pub fn reset_chain(&mut self) {
         self.history = 0;
+    }
+
+    /// Lifetime solver accounting across every solve this template has
+    /// served (see [`TemplateStats`]).
+    pub fn stats(&self) -> TemplateStats {
+        self.stats
+    }
+
+    /// Clears the lifetime accounting (the warm-start chain and cached
+    /// patterns are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = TemplateStats::default();
+    }
+
+    /// Forces the MBD kernel choice for this template: `Some(true)` the
+    /// cache-blocked kernel, `Some(false)` the scalar kernel, `None`
+    /// (the default) the `GPRS_BLOCKED_KERNEL` environment toggle. Both
+    /// kernels are bit-identical; this exists for benchmarking and for
+    /// exercising both code paths in tests without process-global env
+    /// races.
+    pub fn set_blocked_kernel(&mut self, forced: Option<bool>) {
+        self.kernel_override = forced;
     }
 }
 

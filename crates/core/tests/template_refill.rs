@@ -4,9 +4,10 @@
 //! (`GprsModel::new` + `assemble_sparse` + allocating solve) across
 //! random configurations, rates and thread counts.
 
-use gprs_core::sweep::{par_sweep_arrival_rates_threads, rate_grid, sweep_arrival_rates};
+use gprs_core::sweep::{par_sweep_arrival_rates_mode, rate_grid, sweep_arrival_rates_mode};
 use gprs_core::template::{GeneratorTemplate, WarmStart};
-use gprs_core::{CellConfig, GprsModel};
+use gprs_core::{CellConfig, GprsModel, SolveRung};
+use gprs_ctmc::mbd::mbd_residual_of;
 use gprs_ctmc::SolveOptions;
 use gprs_traffic::SessionParams;
 use proptest::prelude::*;
@@ -92,22 +93,146 @@ proptest! {
 
     /// The chunked warm-start contract makes sequential and parallel
     /// sweeps bit-identical at every thread count (1/2/8), including
-    /// across chunk boundaries.
+    /// across chunk boundaries — in every warm-start mode, with the
+    /// predict-and-verify surrogate on (`Predicted`) as well as off.
     #[test]
     fn sweeps_are_bit_identical_across_thread_counts(cfg in config_strategy()) {
         let opts = SolveOptions::quick();
         // Spans more than one WARM_CHUNK so chained starts, chunk heads
         // and ragged final chunks are all exercised.
         let rates = rate_grid(0.1, 1.0, 10);
-        let seq = sweep_arrival_rates(&cfg, &rates, &opts).unwrap();
-        for threads in [1usize, 2, 8] {
-            let par = par_sweep_arrival_rates_threads(&cfg, &rates, &opts, threads).unwrap();
-            prop_assert_eq!(par.len(), seq.len());
-            for (p, s) in par.iter().zip(&seq) {
-                prop_assert_eq!(p.measures, s.measures, "threads {}", threads);
-                prop_assert_eq!(p.sweeps, s.sweeps);
-                prop_assert_eq!(p.residual.to_bits(), s.residual.to_bits());
+        for warm in [WarmStart::Chained, WarmStart::Predicted] {
+            let seq = sweep_arrival_rates_mode(&cfg, &rates, &opts, warm).unwrap();
+            for threads in [1usize, 2, 8] {
+                let par =
+                    par_sweep_arrival_rates_mode(&cfg, &rates, &opts, threads, warm).unwrap();
+                prop_assert_eq!(par.len(), seq.len());
+                for (p, s) in par.iter().zip(&seq) {
+                    prop_assert_eq!(p.measures, s.measures, "threads {}", threads);
+                    prop_assert_eq!(p.sweeps, s.sweeps);
+                    prop_assert_eq!(p.residual.to_bits(), s.residual.to_bits());
+                    prop_assert_eq!(p.health.rung, s.health.rung);
+                }
             }
         }
     }
+
+    /// The predict-and-verify surrogate **never** serves a point whose
+    /// true balance residual — recomputed from scratch on the vector
+    /// the caller actually receives — exceeds the solve tolerance.
+    /// This is the surrogate's safety contract, checked under both the
+    /// blocked and the scalar residual evaluator.
+    #[test]
+    fn surrogate_never_accepts_a_point_above_tolerance(
+        cfg in config_strategy(),
+        blocked in any::<bool>(),
+    ) {
+        let opts = SolveOptions::quick();
+        let mut template = GeneratorTemplate::new(&cfg).unwrap();
+        template.set_blocked_kernel(Some(blocked));
+        let mut served = 0usize;
+        for &rate in rate_grid(0.1, 1.0, 6).iter() {
+            let mut c = cfg.clone();
+            c.call_arrival_rate = rate;
+            let model = template.model_for(c).unwrap();
+            let point = template.solve(&model, &opts, WarmStart::Predicted).unwrap();
+            if point.health.rung == SolveRung::Surrogate {
+                served += 1;
+                // Zero solver sweeps by definition...
+                prop_assert_eq!(point.sweeps, 0);
+                // ...and the *recomputed* residual of the served vector
+                // is exactly the checked one and within tolerance.
+                let true_residual = mbd_residual_of(&model, template.stationary());
+                prop_assert!(
+                    true_residual <= opts.tolerance,
+                    "surrogate served rate {} with true residual {} > {}",
+                    rate, true_residual, opts.tolerance
+                );
+                prop_assert_eq!(point.residual.to_bits(), true_residual.to_bits());
+            }
+        }
+        let stats = template.stats();
+        prop_assert_eq!(stats.accepted, served);
+        prop_assert!(stats.predicted >= stats.accepted);
+    }
+
+    /// Forcing the cache-blocked kernel on and off produces bitwise
+    /// identical templates: same sweeps, residual bits, stationary
+    /// bits, health rungs and lifetime stats — across random cell
+    /// shapes, warm modes, and the surrogate's accept/reject decision
+    /// (the blocked residual evaluator is a bitwise mirror of the
+    /// scalar one, so the surrogate fires identically on both).
+    #[test]
+    fn blocked_kernel_is_bit_identical_to_scalar(cfg in config_strategy()) {
+        let opts = SolveOptions::quick();
+        let rates = rate_grid(0.1, 1.0, 6);
+        let mut scalar_t = GeneratorTemplate::new(&cfg).unwrap();
+        scalar_t.set_blocked_kernel(Some(false));
+        let mut blocked_t = GeneratorTemplate::new(&cfg).unwrap();
+        blocked_t.set_blocked_kernel(Some(true));
+        for warm in [WarmStart::Chained, WarmStart::Predicted] {
+            scalar_t.reset_chain();
+            blocked_t.reset_chain();
+            for &rate in rates.iter() {
+                let mut c = cfg.clone();
+                c.call_arrival_rate = rate;
+                let ms = scalar_t.model_for(c.clone()).unwrap();
+                let mb = blocked_t.model_for(c).unwrap();
+                let ps = scalar_t.solve(&ms, &opts, warm).unwrap();
+                let pb = blocked_t.solve(&mb, &opts, warm).unwrap();
+                prop_assert_eq!(ps.health.rung, pb.health.rung, "rate {}", rate);
+                prop_assert_eq!(ps.sweeps, pb.sweeps);
+                prop_assert_eq!(ps.residual.to_bits(), pb.residual.to_bits());
+                prop_assert_eq!(scalar_t.stationary(), blocked_t.stationary());
+            }
+        }
+        prop_assert_eq!(scalar_t.stats(), blocked_t.stats());
+    }
+}
+
+/// [`gprs_core::TemplateStats`] accumulate across the template's whole
+/// lifetime — chain resets preserve them, only an explicit
+/// [`GeneratorTemplate::reset_stats`] clears.
+#[test]
+fn template_stats_accumulate_across_chain_resets() {
+    let cfg = CellConfig::builder()
+        .total_channels(4)
+        .reserved_pdchs(1)
+        .buffer_capacity(5)
+        .max_gprs_sessions(2)
+        .call_arrival_rate(0.4)
+        .build()
+        .unwrap();
+    let opts = SolveOptions::quick();
+    let mut template = GeneratorTemplate::new(&cfg).unwrap();
+
+    let solve_rates = |template: &mut GeneratorTemplate, rates: &[f64]| {
+        for &rate in rates {
+            let mut c = cfg.clone();
+            c.call_arrival_rate = rate;
+            let model = template.model_for(c).unwrap();
+            template.solve(&model, &opts, WarmStart::Predicted).unwrap();
+        }
+    };
+
+    solve_rates(&mut template, &[0.3, 0.35, 0.4]);
+    let first = template.stats();
+    assert_eq!(first.solves, 3);
+    assert!(first.total_sweeps > 0);
+    assert!(first.residual_checks > 0);
+    // Predictions only start once the chain has a predecessor.
+    assert_eq!(first.predicted, 2);
+
+    // A chain reset (as at every sweep-chunk head) must NOT clear the
+    // lifetime counters.
+    template.reset_chain();
+    solve_rates(&mut template, &[0.45, 0.5]);
+    let second = template.stats();
+    assert_eq!(second.solves, first.solves + 2);
+    assert!(second.total_sweeps > first.total_sweeps);
+    assert!(second.residual_checks > first.residual_checks);
+    assert!(second.accepted >= first.accepted);
+
+    template.reset_stats();
+    assert_eq!(template.stats(), gprs_core::TemplateStats::default());
 }

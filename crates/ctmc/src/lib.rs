@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod blocked;
 pub mod dense;
 pub mod error;
 pub mod gth;
@@ -79,6 +80,7 @@ pub mod stationary;
 pub mod transient;
 pub mod transitions;
 
+pub use blocked::{blocked_kernel_enabled, solve_mbd_projected_blocked_ws, BlockedMbd};
 pub use error::CtmcError;
 pub use parallel::{solve_parallel, ParallelMethod, RedBlackSor};
 pub use solver::{Solution, SolveOptions, SolveStats, SolveWorkspace};

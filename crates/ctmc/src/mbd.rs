@@ -190,9 +190,20 @@ pub fn solve_mbd_projected_ws<G: ModulatedBirthDeath + ?Sized>(
     opts: &SolveOptions,
     ws: &mut SolveWorkspace,
 ) -> Result<SolveStats, CtmcError> {
-    if phase_marginal.len() != gen.num_phases() {
+    validate_phase_marginal(gen.num_phases(), phase_marginal)?;
+    solve_mbd_inner(gen, Some(phase_marginal), warm_start, opts, ws)
+}
+
+/// Shared marginal validation of the projected solvers (scalar here,
+/// blocked in [`crate::blocked`]) — one definition so both entry points
+/// reject exactly the same inputs.
+pub(crate) fn validate_phase_marginal(
+    expected_phases: usize,
+    phase_marginal: &[f64],
+) -> Result<(), CtmcError> {
+    if phase_marginal.len() != expected_phases {
         return Err(CtmcError::DimensionMismatch {
-            expected: gen.num_phases(),
+            expected: expected_phases,
             actual: phase_marginal.len(),
         });
     }
@@ -202,7 +213,7 @@ pub fn solve_mbd_projected_ws<G: ModulatedBirthDeath + ?Sized>(
             reason: "phase marginal must be a probability vector".into(),
         });
     }
-    solve_mbd_inner(gen, Some(phase_marginal), warm_start, opts, ws)
+    Ok(())
 }
 
 fn solve_mbd_inner<G: ModulatedBirthDeath + ?Sized>(
@@ -247,6 +258,7 @@ fn solve_mbd_inner<G: ModulatedBirthDeath + ?Sized>(
     let mut guard = HealthGuard::new(opts);
     let mut sweeps = 0usize;
     let mut residual = f64::INFINITY;
+    let mut residual_evals = 0usize;
     let mut converged: Option<SolveStats> = None;
 
     'sweep: while sweeps < opts.max_sweeps {
@@ -284,6 +296,7 @@ fn solve_mbd_inner<G: ModulatedBirthDeath + ?Sized>(
                 converged = Some(SolveStats {
                     sweeps: 1,
                     residual: 0.0,
+                    residual_evals,
                 });
                 break 'sweep;
             }
@@ -365,9 +378,14 @@ fn solve_mbd_inner<G: ModulatedBirthDeath + ?Sized>(
 
         if sweeps.is_multiple_of(opts.check_every.clamp(1, 4)) || sweeps == opts.max_sweeps {
             residual = mbd_residual(gen, pi, phase_exit, inflow);
+            residual_evals += 1;
             guard.observe(sweeps, residual)?;
             if residual <= opts.tolerance {
-                converged = Some(SolveStats { sweeps, residual });
+                converged = Some(SolveStats {
+                    sweeps,
+                    residual,
+                    residual_evals,
+                });
                 break 'sweep;
             }
             if guard.out_of_time() {
@@ -454,15 +472,31 @@ fn mbd_residual<G: ModulatedBirthDeath + ?Sized>(
     }
 }
 
+/// Exact relative L1 balance residual of an arbitrary iterate `pi` on
+/// the MBD chain — the verification half of the predict-and-verify
+/// sweep surrogate when the blocked tables are disabled. Allocates
+/// small per-phase/per-level scratch on each call; the blocked variant
+/// ([`crate::blocked::BlockedMbd::residual`]) reuses captured tables
+/// and computes bit-identical values.
+pub fn mbd_residual_of<G: ModulatedBirthDeath + ?Sized>(gen: &G, pi: &[f64]) -> f64 {
+    let mut phase_exit = vec![0.0; gen.num_phases()];
+    for (p, e) in phase_exit.iter_mut().enumerate() {
+        *e = gen.phase_exit_rate(p);
+    }
+    let mut inflow = Vec::new();
+    mbd_residual(gen, pi, &phase_exit, &mut inflow)
+}
+
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::gth::solve_gth;
     use crate::sparse::TripletBuilder;
 
     /// A small random MBD chain with explicit tables, also expressible
-    /// as a generic sparse generator for cross-validation.
-    struct TableMbd {
+    /// as a generic sparse generator for cross-validation. Shared with
+    /// the blocked-kernel tests (`crate::blocked`).
+    pub(crate) struct TableMbd {
         phases: usize,
         levels: usize,
         birth: Vec<f64>,                     // [phase][level]
@@ -471,7 +505,7 @@ mod tests {
     }
 
     impl TableMbd {
-        fn random(phases: usize, levels: usize, seed: u64) -> Self {
+        pub(crate) fn random(phases: usize, levels: usize, seed: u64) -> Self {
             let mut state = seed | 1;
             let mut next = move || {
                 state ^= state << 13;
@@ -509,7 +543,7 @@ mod tests {
             }
         }
 
-        fn to_sparse(&self) -> crate::sparse::SparseGenerator {
+        pub(crate) fn to_sparse(&self) -> crate::sparse::SparseGenerator {
             let n = self.phases * self.levels;
             let mut b = TripletBuilder::new(n);
             for p in 0..self.phases {
@@ -649,7 +683,7 @@ mod tests {
 
     /// Exact phase marginal of a TableMbd: the phase process is
     /// autonomous, so solve its own small chain directly.
-    fn exact_phase_marginal(mbd: &TableMbd) -> Vec<f64> {
+    pub(crate) fn exact_phase_marginal(mbd: &TableMbd) -> Vec<f64> {
         let mut b = TripletBuilder::new(mbd.phases);
         for p in 0..mbd.phases {
             for &(q, rate) in &mbd.phase_rates[p] {

@@ -110,14 +110,16 @@ pub fn balance_residual_par(gen: &SparseGenerator, pi: &[f64], threads: usize) -
         "pi length must match state count"
     );
     let exit = gen.exit_rates();
+    // Flat transpose-CSR scan: same edge order as `gen.column(j)`, so
+    // the accumulation is bit-identical, without a slice call per state.
+    let (tptr, tcol, tval) = gen.transpose_csr();
     let parts = par_map_ranges(pi.len(), threads, |range| {
         let mut num = 0.0f64;
         let mut den = 0.0f64;
         for j in range {
-            let (src, val) = gen.column(j);
             let mut inflow = 0.0f64;
-            for (&i, &r) in src.iter().zip(val) {
-                inflow += pi[i as usize] * r;
+            for e in tptr[j]..tptr[j + 1] {
+                inflow += pi[tcol[e] as usize] * tval[e];
             }
             num += (inflow - pi[j] * exit[j]).abs();
             den += pi[j] * exit[j];
@@ -528,6 +530,10 @@ pub fn solve_jacobi(
     let mut next = vec![0.0f64; n];
     let threads = num_threads();
     let damping = opts.sor_omega.min(0.95);
+    // Each worker walks a contiguous span of the transpose arrays —
+    // same edge order as `gen.column(j)`, bit-identical accumulation,
+    // no per-state slice calls.
+    let (tptr, tcol, tval) = gen.transpose_csr();
 
     let mut guard = HealthGuard::new(opts);
     let mut sweeps = 0usize;
@@ -541,10 +547,9 @@ pub fn solve_jacobi(
                 let mut sum = 0.0f64;
                 for (t, out) in chunk.iter_mut().enumerate() {
                     let j = off + t;
-                    let (src, val) = gen.column(j);
                     let mut inflow = 0.0f64;
-                    for (&i, &v) in src.iter().zip(val) {
-                        inflow += pi[i as usize] * v;
+                    for e in tptr[j]..tptr[j + 1] {
+                        inflow += pi[tcol[e] as usize] * tval[e];
                     }
                     let old = pi[j];
                     num += (inflow - old * exit[j]).abs();

@@ -532,6 +532,17 @@ impl SparseGenerator {
         &self.exit
     }
 
+    /// The transpose (incoming) CSR as flat `(row_ptr, sources, rates)`
+    /// slices: the sources of state `j` are
+    /// `sources[row_ptr[j]..row_ptr[j + 1]]`. The cache-blocked sweep
+    /// kernels iterate these spans directly instead of paying a
+    /// callback per edge; the edge order per state is exactly the
+    /// [`IncomingTransitions::for_each_incoming`] visitation order, so
+    /// both access paths accumulate bit-identical inflows.
+    pub(crate) fn transpose_csr(&self) -> (&[usize], &[u32], &[f64]) {
+        (&self.trow_ptr, &self.tcol, &self.tval)
+    }
+
     /// Maximum exit rate over all states (the uniformization constant
     /// before head-room scaling). Returns 0 for a chain with no
     /// transitions.
