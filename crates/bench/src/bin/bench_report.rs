@@ -16,7 +16,7 @@
 //! than as absolutes.
 //!
 //! The document's `"schema"` field versions its shape
-//! (`gprs-bench-report/v2` since the `kernel` section landed), so
+//! (`gprs-bench-report/v3` since the `campaign` section landed), so
 //! trajectory tooling can evolve the format without guessing.
 //!
 //! Two sizes of the same workloads (the `"mode"` field records which
@@ -288,10 +288,28 @@ fn main() {
     assert_eq!(results.replications, replications);
     let replication_rps = replications as f64 / rep_s;
 
+    // --- Campaign engine: the deterministic demo campaign through the
+    // supervised runner (in memory, no journal) — items/sec for the
+    // whole batch path: catching pool, retry ladder, shared template
+    // registry. The demo mixes three template shapes and three
+    // topologies, so the registry's dedup shows up in the numbers. ---
+    let campaign_spec = gprs_campaign::demo_spec(if quick { 8 } else { 24 });
+    let campaign_cfg = gprs_campaign::RunnerConfig {
+        threads,
+        ..gprs_campaign::RunnerConfig::default()
+    };
+    let campaign_report = gprs_campaign::run_campaign(&campaign_spec, None, &campaign_cfg)
+        .expect("demo campaign runs");
+    assert_eq!(
+        campaign_report.failed(),
+        0,
+        "demo campaign must solve cleanly"
+    );
+
     // --- Emit JSON (hand-rolled: the workspace is dependency-free). ---
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"gprs-bench-report/v2\",");
+    let _ = writeln!(json, "  \"schema\": \"gprs-bench-report/v3\",");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -376,6 +394,33 @@ fn main() {
     let _ = writeln!(json, "  \"replication\": {{");
     let _ = writeln!(json, "    \"replications\": {replications},");
     let _ = writeln!(json, "    \"replications_per_sec\": {replication_rps:.4}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"campaign\": {{");
+    let _ = writeln!(json, "    \"items\": {},", campaign_report.results.len());
+    let _ = writeln!(json, "    \"solved\": {},", campaign_report.solved());
+    let _ = writeln!(json, "    \"degraded\": {},", campaign_report.degraded());
+    let _ = writeln!(json, "    \"failed\": {},", campaign_report.failed());
+    let _ = writeln!(json, "    \"retries\": {},", campaign_report.retries);
+    let _ = writeln!(
+        json,
+        "    \"surrogate_solves\": {},",
+        campaign_report.surrogate_solves()
+    );
+    let _ = writeln!(
+        json,
+        "    \"template_setups\": {},",
+        campaign_report.template_setups
+    );
+    let _ = writeln!(
+        json,
+        "    \"template_evictions\": {},",
+        campaign_report.template_evictions
+    );
+    let _ = writeln!(
+        json,
+        "    \"items_per_sec\": {:.4}",
+        campaign_report.items_per_sec()
+    );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 

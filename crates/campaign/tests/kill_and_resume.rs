@@ -1,0 +1,115 @@
+//! The hard resilience contract, end to end through the real binary:
+//! a campaign SIGKILL'd at a journal batch boundary (the
+//! `--crash-after-batches` hook calls `std::process::abort()` right
+//! after the batch fsync — no unwinding, no cleanup, exactly a kill)
+//! must resume to a report **bitwise identical** to an uninterrupted
+//! run, reusing every journaled item verbatim.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn campaign_run() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_campaign-run"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gprs-campaign-kill-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn read_results(report_path: &Path) -> String {
+    let text = std::fs::read_to_string(report_path).expect("report file");
+    // The timing fields (elapsed, items/sec) legitimately differ run
+    // to run; the bitwise contract is on the `results` array.
+    let at = text.find("\"results\":").expect("results field");
+    text[at..].to_string()
+}
+
+#[test]
+fn killed_campaign_resumes_bitwise_at_every_batch_boundary() {
+    let dir = temp_dir("boundaries");
+    let spec_path = dir.join("spec.json");
+
+    // A 10-item demo campaign in 4-batches-of-3(+1) at batch size 3.
+    let emit = campaign_run()
+        .args(["--emit-demo", "10"])
+        .output()
+        .expect("emit demo");
+    assert!(emit.status.success());
+    std::fs::write(&spec_path, &emit.stdout).expect("write spec");
+
+    // Uninterrupted reference run.
+    let reference_report = dir.join("reference.json");
+    let status = campaign_run()
+        .arg(&spec_path)
+        .args(["--batch-size", "3", "--out"])
+        .arg(&reference_report)
+        .status()
+        .expect("reference run");
+    assert!(status.success());
+    let reference = read_results(&reference_report);
+
+    // Kill after each possible batch boundary, then resume.
+    for boundary in 1..=3u32 {
+        let journal = dir.join(format!("journal-{boundary}.jsonl"));
+        let crashed = campaign_run()
+            .arg(&spec_path)
+            .args(["--batch-size", "3", "--journal"])
+            .arg(&journal)
+            .args(["--crash-after-batches", &boundary.to_string()])
+            .output()
+            .expect("crashing run");
+        assert!(
+            !crashed.status.success(),
+            "boundary {boundary}: the run must die by abort"
+        );
+        let journaled = std::fs::read_to_string(&journal)
+            .expect("journal survives the kill")
+            .lines()
+            .count();
+        assert_eq!(
+            journaled,
+            3 * boundary as usize,
+            "boundary {boundary}: exactly the fsync'd batches survive"
+        );
+
+        let resumed_report = dir.join(format!("resumed-{boundary}.json"));
+        let resumed = campaign_run()
+            .arg(&spec_path)
+            .args(["--batch-size", "3", "--journal"])
+            .arg(&journal)
+            .arg("--out")
+            .arg(&resumed_report)
+            .output()
+            .expect("resume run");
+        assert!(
+            resumed.status.success(),
+            "boundary {boundary}: resume failed: {}",
+            String::from_utf8_lossy(&resumed.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&resumed.stderr);
+        assert!(
+            stderr.contains(&format!("{} journaled reused", 3 * boundary)),
+            "boundary {boundary}: resume must reuse the journal ({stderr})"
+        );
+        assert_eq!(
+            read_results(&resumed_report),
+            reference,
+            "boundary {boundary}: resume is not bitwise identical"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_spec_and_bad_flags_fail_cleanly() {
+    let dir = temp_dir("badinput");
+    let bad_spec = dir.join("bad.json");
+    std::fs::write(&bad_spec, b"{\"format\":\"gprs-campaign/v1\",\"name\":").unwrap();
+    let out = campaign_run().arg(&bad_spec).output().expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    let out = campaign_run().args(["--frobnicate"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -583,9 +583,30 @@ impl ClusterModel {
     /// Jacobi iteration applies the adaptive relaxation described on
     /// [`ClusterSolveOptions::adaptive_relaxation`].
     pub fn solve(&self, opts: &ClusterSolveOptions) -> Result<SolvedCluster, ModelError> {
+        self.solve_with_registry(opts, &TemplateRegistry::new())
+    }
+
+    /// [`ClusterModel::solve`] against a caller-supplied
+    /// [`TemplateRegistry`]: identical numerics (the registry only
+    /// shares *symbolic* CSR patterns, never numeric state — a
+    /// clone+refill is bit-identical to a fresh assembly), but
+    /// identical-shape cells across *many* solves share their setups.
+    /// This is the campaign engine's entry point: one long-lived
+    /// (typically LRU-capped, see [`TemplateRegistry::with_capacity`])
+    /// registry spans every item of a campaign, so a thousand
+    /// same-shape what-if scenarios pay one symbolic setup.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterModel::solve`].
+    pub fn solve_with_registry(
+        &self,
+        opts: &ClusterSolveOptions,
+        registry: &TemplateRegistry,
+    ) -> Result<SolvedCluster, ModelError> {
         match opts.ordering {
-            SweepOrdering::Jacobi => self.solve_jacobi(opts),
-            SweepOrdering::GaussSeidel => self.solve_gauss_seidel(opts),
+            SweepOrdering::Jacobi => self.solve_jacobi(opts, registry),
+            SweepOrdering::GaussSeidel => self.solve_gauss_seidel(opts, registry),
         }
     }
 
@@ -641,7 +662,11 @@ impl ClusterModel {
 
     /// The classic simultaneous (Jacobi) iteration — on the 7-cell
     /// ring bit-identical to the historical fixed point.
-    fn solve_jacobi(&self, opts: &ClusterSolveOptions) -> Result<SolvedCluster, ModelError> {
+    fn solve_jacobi(
+        &self,
+        opts: &ClusterSolveOptions,
+        registry: &TemplateRegistry,
+    ) -> Result<SolvedCluster, ModelError> {
         let n = self.num_cells();
         let threads = if opts.threads == 0 {
             num_threads()
@@ -650,8 +675,7 @@ impl ClusterModel {
         };
 
         let (mut lam_gsm, mut lam_gprs) = self.initial_rates()?;
-        let registry = TemplateRegistry::new();
-        let templates = self.cell_templates(&registry)?;
+        let templates = self.cell_templates(registry)?;
         let warm = if opts.surrogate {
             WarmStart::Predicted
         } else {
@@ -845,7 +869,11 @@ impl ClusterModel {
     /// Deterministic and bit-identical for any thread count: the class
     /// order is fixed by the graph, and each cell's template is only
     /// ever touched by its own task.
-    fn solve_gauss_seidel(&self, opts: &ClusterSolveOptions) -> Result<SolvedCluster, ModelError> {
+    fn solve_gauss_seidel(
+        &self,
+        opts: &ClusterSolveOptions,
+        registry: &TemplateRegistry,
+    ) -> Result<SolvedCluster, ModelError> {
         let n = self.num_cells();
         let threads = if opts.threads == 0 {
             num_threads()
@@ -854,8 +882,7 @@ impl ClusterModel {
         };
 
         let (mut lam_gsm, mut lam_gprs) = self.initial_rates()?;
-        let registry = TemplateRegistry::new();
-        let templates = self.cell_templates(&registry)?;
+        let templates = self.cell_templates(registry)?;
         let classes = self.graph.color_classes();
         let warm = if opts.surrogate {
             WarmStart::Predicted

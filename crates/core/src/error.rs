@@ -28,8 +28,19 @@ impl ModelError {
     /// gate of the fallback ladder: solver failures are worth retrying
     /// on another rung, structural errors would fail identically on
     /// every rung. See [`gprs_ctmc::CtmcError::is_solver_failure`].
+    /// Outer fixed-point non-convergence
+    /// ([`QueueingError::BalanceNotConverged`]) counts too — a larger
+    /// iteration budget can fix it, an invalid parameter cannot.
+    ///
+    /// [`QueueingError::BalanceNotConverged`]: gprs_queueing::QueueingError::BalanceNotConverged
     pub fn is_solver_failure(&self) -> bool {
-        matches!(self, ModelError::Ctmc(e) if e.is_solver_failure())
+        match self {
+            ModelError::Ctmc(e) => e.is_solver_failure(),
+            ModelError::Queueing(e) => {
+                matches!(e, gprs_queueing::QueueingError::BalanceNotConverged { .. })
+            }
+            _ => false,
+        }
     }
 }
 

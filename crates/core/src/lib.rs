@@ -71,6 +71,10 @@
 //!   description (topology + per-cell traffic + radio/TCP knobs + load
 //!   scale) lowered to the single-cell model, the cluster fixed point,
 //!   and (via `gprs-sim`) the network simulator.
+//! * [`codec`] — the hand-rolled JSON codec (serde is not vendored):
+//!   [`Scenario`]/[`CellGraph`]/solve-option round trips that are
+//!   bit-exact on lowering, plus the [`codec::JsonValue`] layer the
+//!   campaign engine's file formats build on.
 //! * [`stress`] — deterministic fault-injection config generation for
 //!   the resilience stress harness (pathological-but-valid parameter
 //!   sprays plus known-invalid configs that must be rejected).
@@ -84,6 +88,7 @@
 
 pub mod adaptive;
 pub mod cluster;
+pub mod codec;
 pub mod coding;
 pub mod config;
 pub mod error;
@@ -100,6 +105,9 @@ pub mod sweep;
 pub mod template;
 
 pub use cluster::{ClusterModel, ClusterSolveOptions, SolvedCluster, SweepOrdering};
+pub use codec::{
+    parse_json, scenario_from_json, scenario_to_json, CodecError, JsonValue, SCENARIO_FORMAT,
+};
 pub use coding::CodingScheme;
 pub use config::{CellConfig, CellConfigBuilder};
 pub use error::ModelError;

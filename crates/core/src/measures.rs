@@ -21,7 +21,9 @@ use gprs_ctmc::StationaryDistribution;
 use gprs_traffic::params::PACKET_SIZE_BITS;
 
 /// All steady-state performance measures of one solved configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// `Default` is the all-zero record — a decode buffer for codecs, not
+/// a meaningful operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Measures {
     /// The combined call arrival rate this point was solved at.
     pub call_arrival_rate: f64,

@@ -157,6 +157,116 @@ pub fn invalid_configs() -> Vec<CellConfig> {
     broken
 }
 
+// ---------------------------------------------------------------------
+// Campaign-level fault injection.
+// ---------------------------------------------------------------------
+
+/// What an injected campaign fault does to one solve attempt; see
+/// [`CampaignFaults`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// No fault: run the attempt normally.
+    Proceed,
+    /// Panic inside the attempt — exercises the catching executor and
+    /// the runner's typed `ItemFailure` path.
+    Panic,
+    /// Treat the attempt as if its wall-time budget expired without
+    /// doing the work — exercises the retry ladder and graceful
+    /// degradation deterministically (no actual sleeping, so the test
+    /// corpus stays fast and timing-independent).
+    ExhaustBudget,
+}
+
+/// Deterministic campaign-level fault plan: a schedule of solve-attempt
+/// indices (0-based, in the order attempts are *started*) that panic or
+/// artificially exhaust their wall-time budget. The campaign runner
+/// consults [`CampaignFaults::next_attempt`] before each attempt; with
+/// an empty plan every attempt proceeds, so production runs pass no
+/// plan at all.
+///
+/// The plan is counter-based rather than timing-based so a fault
+/// schedule reproduces exactly: attempt `n` always sees the same
+/// action, whatever the thread count or machine speed.
+#[derive(Debug, Default)]
+pub struct CampaignFaults {
+    panic_attempts: Vec<usize>,
+    exhaust_attempts: Vec<usize>,
+    attempts: std::sync::atomic::AtomicUsize,
+}
+
+impl CampaignFaults {
+    /// An empty plan: every attempt proceeds.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a panic on solve attempt `attempt` (0-based).
+    pub fn with_panic_on(mut self, attempt: usize) -> Self {
+        self.panic_attempts.push(attempt);
+        self
+    }
+
+    /// Adds an artificial wall-time exhaustion on solve attempt
+    /// `attempt` (0-based).
+    pub fn with_exhaust_on(mut self, attempt: usize) -> Self {
+        self.exhaust_attempts.push(attempt);
+        self
+    }
+
+    /// Claims the next attempt index and returns the action scheduled
+    /// for it. A `Panic` action is *returned*, not raised — the caller
+    /// decides where in the attempt to panic so the fault fires inside
+    /// the isolation boundary under test.
+    pub fn next_attempt(&self) -> FaultAction {
+        let n = self
+            .attempts
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if self.panic_attempts.contains(&n) {
+            FaultAction::Panic
+        } else if self.exhaust_attempts.contains(&n) {
+            FaultAction::ExhaustBudget
+        } else {
+            FaultAction::Proceed
+        }
+    }
+
+    /// How many attempts have been claimed so far.
+    pub fn attempts_seen(&self) -> usize {
+        self.attempts.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// Simulates a SIGKILL mid-write: the journal's last `drop_bytes` bytes
+/// are gone (possibly splitting a line — or a UTF-8 sequence — in
+/// half). Byte-level on purpose: a real kill does not respect char
+/// boundaries, and journal recovery must cope.
+pub fn truncate_tail(journal: &[u8], drop_bytes: usize) -> Vec<u8> {
+    journal[..journal.len().saturating_sub(drop_bytes)].to_vec()
+}
+
+/// Corrupts the last non-empty journal line in place: its second half
+/// is overwritten with `#` bytes, producing a line that is valid UTF-8
+/// but not valid JSON — the "partially flushed then overwritten"
+/// corruption shape. Journals without a non-empty line come back
+/// unchanged.
+pub fn garble_last_line(journal: &[u8]) -> Vec<u8> {
+    let mut out = journal.to_vec();
+    // Find the last non-empty line's byte range.
+    let end = match out.iter().rposition(|&b| b != b'\n') {
+        Some(i) => i + 1,
+        None => return out,
+    };
+    let start = out[..end]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |i| i + 1);
+    let mid = start + (end - start) / 2;
+    for b in &mut out[mid..end] {
+        *b = b'#';
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +315,44 @@ mod tests {
         for (i, cfg) in broken.iter().enumerate() {
             assert!(cfg.validate().is_err(), "case {i} was accepted: {cfg:?}");
         }
+    }
+
+    #[test]
+    fn fault_plan_fires_on_scheduled_attempts_only() {
+        let faults = CampaignFaults::none().with_panic_on(1).with_exhaust_on(3);
+        let actions: Vec<FaultAction> = (0..5).map(|_| faults.next_attempt()).collect();
+        assert_eq!(
+            actions,
+            vec![
+                FaultAction::Proceed,
+                FaultAction::Panic,
+                FaultAction::Proceed,
+                FaultAction::ExhaustBudget,
+                FaultAction::Proceed,
+            ]
+        );
+        assert_eq!(faults.attempts_seen(), 5);
+    }
+
+    #[test]
+    fn journal_corruption_helpers_are_deterministic_and_byte_level() {
+        let journal = b"{\"item\":0}\n{\"item\":1}\n{\"item\":2}\n";
+        // Truncation can split the last line mid-byte.
+        let cut = truncate_tail(journal, 5);
+        assert_eq!(&cut, b"{\"item\":0}\n{\"item\":1}\n{\"item");
+        assert_eq!(truncate_tail(journal, 0), journal.to_vec());
+        assert!(truncate_tail(journal, 10_000).is_empty());
+        // Garbling keeps line structure but breaks the JSON.
+        let garbled = garble_last_line(journal);
+        let text = String::from_utf8(garbled).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("{\"item\":0}"));
+        assert_eq!(lines.next(), Some("{\"item\":1}"));
+        let last = lines.next().unwrap();
+        assert!(
+            last.starts_with("{\"ite") && last.ends_with("#####"),
+            "{last}"
+        );
+        assert!(garble_last_line(b"\n\n").ends_with(b"\n\n"));
     }
 }

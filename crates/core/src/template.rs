@@ -253,13 +253,52 @@ impl SymbolicSetup {
 /// metro-scale regression tests assert on.
 #[derive(Debug, Default)]
 pub struct TemplateRegistry {
-    setups: Mutex<HashMap<Shape, Arc<SymbolicSetup>>>,
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    setups: HashMap<Shape, RegistryEntry>,
+    /// LRU capacity; `None` is unbounded (the historical behaviour).
+    capacity: Option<usize>,
+    /// Monotone use counter stamping [`RegistryEntry::last_used`].
+    clock: u64,
+    /// Lifetime count of setups dropped by the LRU policy.
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct RegistryEntry {
+    setup: Arc<SymbolicSetup>,
+    last_used: u64,
 }
 
 impl TemplateRegistry {
-    /// An empty registry.
+    /// An empty, unbounded registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty registry that keeps at most `capacity` symbolic setups,
+    /// evicting the least-recently-used shape when a new one would
+    /// exceed the cap — the campaign engine's guard against unbounded
+    /// memory growth over long shape-diverse campaigns. A capacity of
+    /// `0` is treated as `1` (the registry always retains the shape it
+    /// just served).
+    ///
+    /// Eviction only drops the *registry's* reference: templates
+    /// already holding the setup keep working, and a re-requested
+    /// evicted shape simply re-assembles its donor pattern. Because a
+    /// fresh assembly is bit-identical to a pattern clone+refill,
+    /// eviction can never change numeric results — only the setup
+    /// count and assembly work.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TemplateRegistry {
+            inner: Mutex::new(RegistryInner {
+                capacity: Some(capacity.max(1)),
+                ..RegistryInner::default()
+            }),
+        }
     }
 
     /// A template for `config`, sharing its [`SymbolicSetup`] with
@@ -272,22 +311,58 @@ impl TemplateRegistry {
     pub fn template_for(&self, config: &CellConfig) -> Result<GeneratorTemplate, ModelError> {
         config.validate()?;
         let shape = Shape::of(config);
-        let symbolic = self
-            .setups
-            .lock()
-            .expect("template registry poisoned")
-            .entry(shape)
-            .or_insert_with(|| Arc::new(SymbolicSetup::new(shape)))
-            .clone();
+        let mut inner = self.inner.lock().expect("template registry poisoned");
+        inner.clock += 1;
+        let stamp = inner.clock;
+        let symbolic = match inner.setups.get_mut(&shape) {
+            Some(entry) => {
+                entry.last_used = stamp;
+                entry.setup.clone()
+            }
+            None => {
+                let setup = Arc::new(SymbolicSetup::new(shape));
+                if let Some(cap) = inner.capacity {
+                    while inner.setups.len() >= cap {
+                        let victim = inner
+                            .setups
+                            .iter()
+                            .min_by_key(|(_, e)| e.last_used)
+                            .map(|(s, _)| *s)
+                            .expect("non-empty map above capacity");
+                        inner.setups.remove(&victim);
+                        inner.evictions += 1;
+                    }
+                }
+                inner.setups.insert(
+                    shape,
+                    RegistryEntry {
+                        setup: setup.clone(),
+                        last_used: stamp,
+                    },
+                );
+                setup
+            }
+        };
+        drop(inner);
         Ok(GeneratorTemplate::with_symbolic(shape, symbolic))
     }
 
     /// How many distinct shapes (symbolic setups) the registry holds.
     pub fn setups(&self) -> usize {
-        self.setups
+        self.inner
             .lock()
             .expect("template registry poisoned")
+            .setups
             .len()
+    }
+
+    /// Lifetime count of setups dropped by the LRU policy (always `0`
+    /// for unbounded registries).
+    pub fn evictions(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("template registry poisoned")
+            .evictions
     }
 }
 
@@ -1130,6 +1205,43 @@ mod tests {
         deep.buffer_capacity = 9;
         registry.template_for(&deep).unwrap();
         assert_eq!(registry.setups(), 2);
+    }
+
+    #[test]
+    fn capped_registry_evicts_least_recently_used_shape() {
+        // Three distinct shapes through a 2-setup registry.
+        let registry = TemplateRegistry::with_capacity(2);
+        let shape = |buffer: usize| {
+            let mut c = tiny(0.3);
+            c.buffer_capacity = buffer;
+            c
+        };
+        registry.template_for(&shape(5)).unwrap();
+        registry.template_for(&shape(6)).unwrap();
+        assert_eq!(registry.setups(), 2);
+        assert_eq!(registry.evictions(), 0);
+        // Touch 5 so 6 becomes the LRU victim, then insert 7.
+        registry.template_for(&shape(5)).unwrap();
+        registry.template_for(&shape(7)).unwrap();
+        assert_eq!(registry.setups(), 2);
+        assert_eq!(registry.evictions(), 1);
+        // 5 survived the eviction: re-requesting it adds nothing...
+        registry.template_for(&shape(5)).unwrap();
+        assert_eq!(registry.setups(), 2);
+        assert_eq!(registry.evictions(), 1);
+        // ...while the evicted 6 costs another eviction to readmit.
+        registry.template_for(&shape(6)).unwrap();
+        assert_eq!(registry.evictions(), 2);
+        // Eviction cannot change numbers: a solve through the capped
+        // registry matches an unshared template bitwise.
+        let model = GprsModel::new(shape(6)).unwrap();
+        let opts = SolveOptions::default();
+        let mut shared = registry.template_for(&shape(6)).unwrap();
+        let mut plain = GeneratorTemplate::new(&shape(6)).unwrap();
+        let a = shared.solve(&model, &opts, WarmStart::Cold).unwrap();
+        let b = plain.solve(&model, &opts, WarmStart::Cold).unwrap();
+        assert_eq!(a.residual.to_bits(), b.residual.to_bits());
+        assert_eq!(shared.stationary(), plain.stationary());
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //!   task order** — so as long as the task closure is deterministic
 //!   per index, the returned vector is bit-identical for any thread
 //!   count.
+//! * [`par_map_tasks_catching`] — the **non-propagating** variant for
+//!   fault-isolated fan-outs (campaign runners, batch services): each
+//!   task's panic is caught and returned as a typed [`TaskPanic`] in
+//!   that task's slot while every sibling task still runs to
+//!   completion — one poisoned item never aborts the batch.
 //! * [`par_map_ranges`] / [`par_map_chunks_mut`] — contiguous-range
 //!   splitters for *many cheap items* (solver state vectors); they run
 //!   inline below a minimum work size.
@@ -125,6 +130,11 @@ where
 /// worker, so as long as `f` is deterministic per index, the returned
 /// vector is bit-identical for any thread count.
 ///
+/// Delegates to the same work-queue core as
+/// [`par_map_tasks_catching`]; the only difference is the panic
+/// policy — this wrapper *propagates* (and stops issuing new tasks the
+/// moment one dies), the catching variant isolates.
+///
 /// # Panics
 ///
 /// Propagates panics from `f`, re-raised with the failing task index
@@ -137,29 +147,170 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    let (completed, panics) = run_task_queue(n, threads, &f, PanicPolicy::Poison);
+    if let Some((index, payload)) = panics.into_iter().min_by_key(|(i, _)| *i) {
+        raise_task_panic(index, payload);
+    }
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in completed {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every queued task is processed"))
+        .collect()
+}
+
+/// A panic caught and *contained* by [`par_map_tasks_catching`]: the
+/// failing task's index, its panic message, and the original payload
+/// (so callers relying on typed payloads can still downcast or
+/// re-raise).
+pub struct TaskPanic {
+    /// Index of the task whose closure panicked.
+    pub index: usize,
+    /// The panic message: string payloads verbatim, other payload types
+    /// as `"<non-string panic payload>"`.
+    pub message: String,
+    payload: Box<dyn std::any::Any + Send>,
+}
+
+impl TaskPanic {
+    fn new(index: usize, payload: Box<dyn std::any::Any + Send>) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        };
+        TaskPanic {
+            index,
+            message,
+            payload,
+        }
+    }
+
+    /// The original panic payload, for callers that carry typed panic
+    /// values.
+    pub fn into_payload(self) -> Box<dyn std::any::Any + Send> {
+        self.payload
+    }
+
+    /// Re-raises the contained panic with the task index attached,
+    /// exactly as [`par_map_tasks`] would have.
+    pub fn resume(self) -> ! {
+        raise_task_panic(self.index, self.payload)
+    }
+}
+
+impl std::fmt::Debug for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskPanic")
+            .field("index", &self.index)
+            .field("message", &self.message)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// The fault-isolated sibling of [`par_map_tasks`]: runs `f(i)` for
+/// every task index `0..n` over the same ordered work queue, but a
+/// panicking task yields `Err(TaskPanic)` **in its own slot** instead
+/// of aborting the fan-out — every other task still runs to completion
+/// and returns `Ok` in task order. This is the executor for batch
+/// services (campaign runners) where one poisoned item must not cost
+/// the batch.
+///
+/// The determinism contract is unchanged: each task runs exactly once,
+/// results come back in task order, and — `f` deterministic per
+/// index — the `Ok` results are bit-identical for any thread count
+/// (including which tasks are `Err`).
+pub fn par_map_tasks_catching<R, F>(n: usize, threads: usize, f: F) -> Vec<Result<R, TaskPanic>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let (completed, panics) = run_task_queue(n, threads, &f, PanicPolicy::Contain);
+    let mut slots: Vec<Option<Result<R, TaskPanic>>> = (0..n).map(|_| None).collect();
+    for (i, r) in completed {
+        slots[i] = Some(Ok(r));
+    }
+    for (i, p) in panics {
+        slots[i] = Some(Err(TaskPanic::new(i, p)));
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every queued task is processed or contained"))
+        .collect()
+}
+
+/// What the work-queue core does when a task panics.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PanicPolicy {
+    /// Record the panic, poison the queue so workers stop picking up
+    /// new tasks, and let the caller re-raise (the [`par_map_tasks`]
+    /// contract).
+    Poison,
+    /// Record the panic in the task's slot and keep draining the queue
+    /// (the [`par_map_tasks_catching`] contract).
+    Contain,
+}
+
+/// A panic caught inside a task: `(task index, original payload)`.
+type CaughtPanic = (usize, Box<dyn std::any::Any + Send>);
+
+/// The shared work-queue core of both task executors: completed
+/// `(index, result)` pairs plus every caught panic. Under
+/// [`PanicPolicy::Poison`] tasks past the first panic may be skipped
+/// (their indices appear in neither list); under
+/// [`PanicPolicy::Contain`] every index lands in exactly one list.
+fn run_task_queue<R, F>(
+    n: usize,
+    threads: usize,
+    f: &F,
+    policy: PanicPolicy,
+) -> (Vec<(usize, R)>, Vec<CaughtPanic>)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     }
     let threads = threads.clamp(1, n);
     if threads <= 1 {
-        return (0..n)
-            .map(|i| match catch_unwind(AssertUnwindSafe(|| f(i))) {
-                Ok(r) => r,
-                Err(p) => raise_task_panic(i, p),
-            })
-            .collect();
+        let mut completed = Vec::with_capacity(n);
+        let mut panics = Vec::new();
+        for i in 0..n {
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(r) => completed.push((i, r)),
+                Err(p) => {
+                    panics.push((i, p));
+                    if policy == PanicPolicy::Poison {
+                        break;
+                    }
+                }
+            }
+        }
+        return (completed, panics);
     }
     let next = AtomicUsize::new(0);
     let poisoned = AtomicBool::new(false);
     let outcomes: Vec<WorkerOutcome<R>> = std::thread::scope(|s| {
-        let f = &f;
         let next = &next;
         let poisoned = &poisoned;
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 s.spawn(move || {
                     let mut local = Vec::new();
-                    let mut died: Option<TaskPanic> = None;
+                    let mut died: Vec<CaughtPanic> = Vec::new();
                     while !poisoned.load(Ordering::Relaxed) {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
@@ -168,9 +319,11 @@ where
                         match catch_unwind(AssertUnwindSafe(|| f(i))) {
                             Ok(r) => local.push((i, r)),
                             Err(p) => {
-                                poisoned.store(true, Ordering::Relaxed);
-                                died = Some((i, p));
-                                break;
+                                died.push((i, p));
+                                if policy == PanicPolicy::Poison {
+                                    poisoned.store(true, Ordering::Relaxed);
+                                    break;
+                                }
                             }
                         }
                     }
@@ -183,35 +336,18 @@ where
             .map(|h| h.join().expect("worker panicked outside the task closure"))
             .collect()
     });
-    let mut first_panic: Option<TaskPanic> = None;
-    let mut buckets = Vec::with_capacity(outcomes.len());
+    let mut completed = Vec::with_capacity(n);
+    let mut panics = Vec::new();
     for (local, died) in outcomes {
-        buckets.push(local);
-        if let Some((i, p)) = died {
-            if first_panic.as_ref().is_none_or(|(j, _)| i < *j) {
-                first_panic = Some((i, p));
-            }
-        }
+        completed.extend(local);
+        panics.extend(died);
     }
-    if let Some((i, p)) = first_panic {
-        raise_task_panic(i, p);
-    }
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    for (i, r) in buckets.into_iter().flatten() {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every queued task is processed"))
-        .collect()
+    (completed, panics)
 }
 
-/// A panic caught inside a task: `(task index, original payload)`.
-type TaskPanic = (usize, Box<dyn std::any::Any + Send>);
-
 /// What one work-queue worker brings home: completed `(index, result)`
-/// pairs, plus the task that killed it, if any.
-type WorkerOutcome<R> = (Vec<(usize, R)>, Option<TaskPanic>);
+/// pairs, plus the tasks that panicked under it.
+type WorkerOutcome<R> = (Vec<(usize, R)>, Vec<CaughtPanic>);
 
 /// Re-raises a task panic with the failing task index attached. String
 /// payloads (the overwhelmingly common case) are reformatted as
@@ -430,6 +566,61 @@ mod tests {
             });
         })
         .expect_err("should panic");
+        assert_eq!(payload.downcast_ref::<Code>(), Some(&Code(42)));
+    }
+
+    #[test]
+    fn catching_mode_isolates_panics_to_their_own_slot() {
+        for threads in [1, 2, 8] {
+            let out = par_map_tasks_catching(16, threads, |i| {
+                if i % 5 == 3 {
+                    panic!("item {i} poisoned");
+                }
+                i * i
+            });
+            assert_eq!(out.len(), 16);
+            for (i, slot) in out.iter().enumerate() {
+                if i % 5 == 3 {
+                    let err = slot.as_ref().expect_err("poisoned slot must be Err");
+                    assert_eq!(err.index, i);
+                    assert_eq!(err.message, format!("item {i} poisoned"));
+                } else {
+                    assert_eq!(slot.as_ref().unwrap(), &(i * i), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn catching_mode_drains_every_task_even_when_all_panic() {
+        let out = par_map_tasks_catching(8, 4, |i| -> usize { panic!("boom {i}") });
+        assert_eq!(out.len(), 8);
+        for (i, slot) in out.into_iter().enumerate() {
+            let err = slot.expect_err("every slot must be Err");
+            assert_eq!(err.index, i);
+            assert_eq!(err.message, format!("boom {i}"));
+            assert_eq!(err.to_string(), format!("task {i} panicked: boom {i}"));
+        }
+    }
+
+    #[test]
+    fn caught_panic_retains_typed_payload_and_resumes_verbatim() {
+        #[derive(Debug, PartialEq)]
+        struct Code(u32);
+        let out = par_map_tasks_catching(4, 2, |i| {
+            if i == 2 {
+                std::panic::panic_any(Code(42));
+            }
+            i
+        });
+        let err = out
+            .into_iter()
+            .nth(2)
+            .unwrap()
+            .expect_err("task 2 panicked");
+        assert_eq!(err.message, "<non-string panic payload>");
+        let payload =
+            catch_unwind(AssertUnwindSafe(|| err.resume())).expect_err("resume re-raises");
         assert_eq!(payload.downcast_ref::<Code>(), Some(&Code(42)));
     }
 

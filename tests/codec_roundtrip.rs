@@ -1,0 +1,226 @@
+//! Property tests of the scenario JSON codec: a `Scenario` must
+//! survive `to_json → from_json` *exactly* — not approximately — so
+//! that its lowerings (`ClusterModel` for the analytic pipeline,
+//! `SimConfig` for the simulator) are bit-for-bit the lowerings of the
+//! original. The codec prints every `f64` with Rust's
+//! shortest-round-trip formatting and parses with the correctly
+//! rounded `str::parse`, so finite doubles round-trip bitwise; these
+//! tests pin that contract across the hand-built topology families
+//! *and* random connected weighted graphs, and pin the rejection
+//! behaviour on malformed, truncated, and corrupted documents.
+
+use gprs_core::{scenario_from_json, scenario_to_json, CellConfig, CellGraph, Scenario};
+use gprs_sim::SimConfig;
+use gprs_traffic::TrafficModel;
+use proptest::prelude::*;
+
+/// Deterministic uniform draw in `[0, 1)` from a splitmix-style state —
+/// generators must be pure functions of the proptest inputs so
+/// failures replay.
+fn unit(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let x = *state;
+    let x = (x ^ (x >> 33)).wrapping_mul(0xff51afd7ed558ccd);
+    ((x >> 11) as f64) / ((1u64 << 53) as f64)
+}
+
+/// A random connected graph with asymmetric positive weights: a random
+/// spanning tree plus up to `n` chords (same construction the graph
+/// property tests use).
+fn random_graph(n: usize, seed: u64) -> CellGraph {
+    let mut s = seed ^ 0x9e3779b97f4a7c15;
+    let mut adjacency: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let connect = |adjacency: &mut Vec<Vec<(usize, f64)>>, a: usize, b: usize, s: &mut u64| {
+        if a == b || adjacency[a].iter().any(|&(t, _)| t == b) {
+            return;
+        }
+        let w_ab = 0.25 + 1.75 * unit(s);
+        let w_ba = 0.25 + 1.75 * unit(s);
+        adjacency[a].push((b, w_ab));
+        adjacency[b].push((a, w_ba));
+    };
+    for i in 1..n {
+        let j = ((unit(&mut s) * i as f64) as usize).min(i - 1);
+        connect(&mut adjacency, i, j, &mut s);
+    }
+    for _ in 0..n {
+        let a = ((unit(&mut s) * n as f64) as usize).min(n - 1);
+        let b = ((unit(&mut s) * n as f64) as usize).min(n - 1);
+        connect(&mut adjacency, a, b, &mut s);
+    }
+    CellGraph::from_weighted_adjacency(adjacency).expect("generator builds valid graphs")
+}
+
+/// A random valid cell: awkward decimal parameters on purpose, so the
+/// round trip exercises doubles with long shortest representations
+/// rather than tidy literals.
+fn random_cell(s: &mut u64) -> CellConfig {
+    let models = [
+        TrafficModel::Model1,
+        TrafficModel::Model2,
+        TrafficModel::Model3,
+    ];
+    let mut cell = CellConfig::builder()
+        .total_channels(4 + ((unit(s) * 3.0) as usize))
+        .reserved_pdchs((unit(s) * 2.0) as usize)
+        .buffer_capacity(4 + ((unit(s) * 4.0) as usize))
+        .traffic_model(models[((unit(s) * 3.0) as usize).min(2)])
+        .max_gprs_sessions(2 + ((unit(s) * 2.0) as usize))
+        .call_arrival_rate(0.05 + 0.9 * unit(s))
+        .build()
+        .expect("random cell is valid");
+    cell.gprs_fraction = 0.01 + 0.2 * unit(s);
+    cell
+}
+
+/// A random scenario across the four graph families.
+fn random_scenario(family: usize, n: usize, seed: u64) -> Scenario {
+    let mut s = seed ^ 0xd1b54a32d192ed03;
+    let (name, graph) = match family {
+        0 => ("ring7", CellGraph::ring7()),
+        1 => ("hex-torus", CellGraph::hex_torus(3, 3).expect("hex_torus")),
+        2 => ("corridor", CellGraph::corridor(n).expect("corridor")),
+        _ => ("random", random_graph(n, seed)),
+    };
+    let cells = (0..graph.num_cells())
+        .map(|_| random_cell(&mut s))
+        .collect();
+    let scenario = Scenario::from_graph(name, graph, cells)
+        .expect("random scenario is valid")
+        .with_load_scale(0.5 + unit(&mut s))
+        .expect("positive load scale");
+    if unit(&mut s) < 0.5 {
+        scenario.without_tcp()
+    } else {
+        scenario
+    }
+}
+
+fn bits(v: f64) -> u64 {
+    v.to_bits()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The codec is the identity on scenarios: full structural
+    /// equality after a text round trip, across all graph families.
+    /// Since `Scenario` equality is field-wise `f64` equality on
+    /// finite values, this is bitwise.
+    #[test]
+    fn scenarios_round_trip_exactly(
+        family in 0usize..4,
+        n in 3usize..=8,
+        seed in 1u64..u64::MAX,
+    ) {
+        let scenario = random_scenario(family, n, seed);
+        let text = scenario_to_json(&scenario);
+        let back = scenario_from_json(&text).expect("round trip parses");
+        prop_assert_eq!(&back, &scenario);
+        // Idempotence: re-serialising the parse is the same bytes.
+        prop_assert_eq!(scenario_to_json(&back), text);
+    }
+
+    /// The *lowerings* agree: the simulator config built from the
+    /// round-tripped scenario equals the one built from the original
+    /// (field-wise `f64` equality — every rate, weight, and scale
+    /// survived the text round trip).
+    #[test]
+    fn sim_lowering_is_identical_after_round_trip(
+        family in 0usize..4,
+        n in 3usize..=8,
+        seed in 1u64..u64::MAX,
+    ) {
+        let scenario = random_scenario(family, n, seed);
+        let back = scenario_from_json(&scenario_to_json(&scenario)).expect("parses");
+        let cfg_a = SimConfig::for_scenario(&scenario).expect("lowerable").build();
+        let cfg_b = SimConfig::for_scenario(&back).expect("lowerable").build();
+        prop_assert_eq!(cfg_a, cfg_b);
+    }
+
+    /// Truncating a valid document at *any* byte boundary yields a
+    /// typed error, never a panic and never a silent partial parse.
+    #[test]
+    fn truncated_documents_are_rejected(
+        seed in 1u64..u64::MAX,
+        cut_frac in 0.01f64..0.999,
+    ) {
+        let text = scenario_to_json(&random_scenario(3, 5, seed));
+        let mut cut = ((text.len() as f64) * cut_frac) as usize;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        if cut < text.len() {
+            prop_assert!(scenario_from_json(&text[..cut]).is_err());
+        }
+    }
+}
+
+/// The analytic lowering agrees bitwise end to end: solving the
+/// cluster of the round-tripped scenario reproduces the original's
+/// measures bit for bit. One fixed scenario per topology family —
+/// solving inside the proptest loop would be wall-time-prohibitive,
+/// and the codec identity above already covers the input space.
+#[test]
+fn cluster_solve_is_bitwise_after_round_trip() {
+    let opts = gprs_core::cluster::ClusterSolveOptions::quick();
+    for (family, n, seed) in [(0usize, 7usize, 11u64), (2, 5, 23), (3, 6, 47)] {
+        let scenario = random_scenario(family, n, seed);
+        let back = scenario_from_json(&scenario_to_json(&scenario)).expect("parses");
+        let a = scenario
+            .to_cluster()
+            .expect("lowers")
+            .solve(&opts)
+            .expect("solves");
+        let b = back
+            .to_cluster()
+            .expect("lowers")
+            .solve(&opts)
+            .expect("solves");
+        assert_eq!(a.iterations(), b.iterations());
+        for (ca, cb) in a.cells().iter().zip(b.cells()) {
+            assert_eq!(
+                bits(ca.measures.data_throughput),
+                bits(cb.measures.data_throughput)
+            );
+            assert_eq!(
+                bits(ca.measures.queueing_delay),
+                bits(cb.measures.queueing_delay)
+            );
+            assert_eq!(
+                bits(ca.measures.gsm_blocking_probability),
+                bits(cb.measures.gsm_blocking_probability)
+            );
+            assert_eq!(bits(ca.gsm_handover_in), bits(cb.gsm_handover_in));
+            assert_eq!(bits(ca.gprs_handover_in), bits(cb.gprs_handover_in));
+        }
+    }
+}
+
+/// Malformed documents fail with typed errors: wrong format tag,
+/// corrupted numbers, duplicate keys, structural garbage.
+#[test]
+fn malformed_documents_are_rejected() {
+    let text = scenario_to_json(&random_scenario(0, 7, 3));
+    // Wrong format tag.
+    let wrong = text.replacen("gprs-scenario/v1", "gprs-scenario/v9", 1);
+    assert!(scenario_from_json(&wrong).is_err());
+    // Corrupt a number into a NaN-ish token.
+    let garbled = text.replacen("\"load_scale\":", "\"load_scale\":NaN,\"x\":", 1);
+    assert!(scenario_from_json(&garbled).is_err());
+    // Trailing garbage after the document.
+    assert!(scenario_from_json(&format!("{text}x")).is_err());
+    // Structural garbage.
+    for bad in [
+        "",
+        "{",
+        "[1,2",
+        "{\"format\":}",
+        "nullx",
+        "{\"a\":1,\"a\":2}",
+    ] {
+        assert!(scenario_from_json(bad).is_err(), "accepted {bad:?}");
+    }
+}
