@@ -16,8 +16,9 @@
 //! than as absolutes.
 //!
 //! The document's `"schema"` field versions its shape
-//! (`gprs-bench-report/v3` since the `campaign` section landed), so
-//! trajectory tooling can evolve the format without guessing.
+//! (`gprs-bench-report/v4` since the `shard` section landed; `v3`
+//! added `campaign`), so trajectory tooling can evolve the format
+//! without guessing.
 //!
 //! Two sizes of the same workloads (the `"mode"` field records which
 //! one a report ran):
@@ -31,11 +32,14 @@
 //!
 //! `--check BASELINE.json` turns the run into a perf-regression gate:
 //! after measuring, the fresh figure-sweep throughput is compared
-//! against the baseline's `refill_points_per_sec` and the process
-//! exits non-zero if it dropped below 75% of it (wall-clock noise on
-//! shared runners makes a tighter bound flaky). In check mode the
-//! report is written to `BENCH_report.json` by default so the
-//! committed baseline is never clobbered.
+//! against the baseline's `refill_points_per_sec`, and the metro
+//! graph-sweep throughput against the baseline `graph_sweep` section's
+//! `cell_solves_per_sec`; the process exits non-zero if either dropped
+//! below 75% of its baseline (wall-clock noise on shared runners makes
+//! a tighter bound flaky). Baselines predating the `graph_sweep`
+//! section skip that gate with a note. In check mode the report is
+//! written to `BENCH_report.json` by default so the committed baseline
+//! is never clobbered.
 //!
 //! Determinism is asserted (sequential vs parallel sweeps) before
 //! timing in both modes, so a report is also a cheap correctness
@@ -71,6 +75,15 @@ fn extract_number(json: &str, key: &str) -> Option<f64> {
     let rest = &rest[rest.find(':')? + 1..];
     let end = rest.find([',', '}', '\n'])?;
     rest[..end].trim().parse().ok()
+}
+
+/// Like [`extract_number`], but starts looking after the first
+/// occurrence of `"section"` — disambiguates keys that repeat across
+/// the report's sections (e.g. `cell_solves_per_sec` appears in both
+/// `cluster` and `graph_sweep`).
+fn extract_number_in(json: &str, section: &str, key: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{section}\""))?;
+    extract_number(&json[at..], key)
 }
 
 const USAGE: &str = "usage: bench-report [--quick] [--check BASELINE.json] [OUTPUT.json]";
@@ -265,6 +278,92 @@ fn main() {
         "shape-keyed dedup must collapse the corridor to its 5 cell kinds"
     );
 
+    // --- Sharded fixed point: the 1000-cell corridor through the
+    // persistent partition workers vs the single-scan baseline. Small
+    // per-cell state spaces put the solve in the overhead-dominated
+    // regime metro layouts live in (per-solve fixed costs — capture,
+    // measures extraction, decode — dwarf the CTMC sweeps), which is
+    // exactly what the shard engine's owned templates eliminate.
+    // Identical options on both sides, so the bitwise contract is
+    // asserted on the measured pair before the rates are trusted. ---
+    let shard_n = 1000usize;
+    let shard_cells: Vec<CellConfig> = (0..shard_n)
+        .map(|i| {
+            CellConfig::builder()
+                .traffic_model(TrafficModel::Model3)
+                .total_channels(6)
+                .reserved_pdchs(1)
+                .buffer_capacity(8)
+                .max_gprs_sessions(3)
+                .call_arrival_rate(0.2 + 0.02 * (i % 7) as f64)
+                .build()
+                .expect("valid shard-bench cell")
+        })
+        .collect();
+    let shard_model = ClusterModel::from_graph(
+        CellGraph::corridor(shard_n).expect("valid corridor"),
+        shard_cells,
+    )
+    .expect("valid shard-bench cluster");
+    // check_every(1) converges each cell solve at the earliest sweep
+    // and the predict-and-verify surrogate serves the late, tiny-step
+    // iterations of the deep 1e-14 fixed point from verified
+    // extrapolations, keeping the workload overhead-dominated; threads
+    // pinned to 1 so the comparison isolates the shard engine's
+    // per-solve savings from plain thread fan-out.
+    let shard_opts = ClusterSolveOptions::quick()
+        .with_solve(solve_opts.clone().with_check_every(1))
+        .with_surrogate(true)
+        .with_tolerance(1e-14)
+        .with_threads(1);
+    // Best-of-3, interleaved: each round times the baseline and every
+    // shard count back to back, so page-cache warm-up and scheduler
+    // noise land on all columns alike; the per-column minimum is the
+    // steady-state rate.
+    let shard_counts = [2usize, 4];
+    let mut shard_base_s = f64::INFINITY;
+    let mut shard_secs = vec![f64::INFINITY; shard_counts.len()];
+    let mut shard_first = None;
+    for _ in 0..3 {
+        let (secs, solved) = timed(|| {
+            shard_model
+                .solve(&shard_opts.clone().with_shards(1))
+                .expect("shard baseline solve")
+        });
+        shard_base_s = shard_base_s.min(secs);
+        let shard_baseline = shard_first.get_or_insert(solved);
+        for (slot, &k) in shard_counts.iter().enumerate() {
+            let (secs, sharded) = timed(|| {
+                shard_model
+                    .solve(&shard_opts.clone().with_shards(k))
+                    .expect("sharded solve")
+            });
+            assert_eq!(
+                sharded.iterations(),
+                shard_baseline.iterations(),
+                "sharded solve must match the baseline iteration count"
+            );
+            for (a, b) in sharded.cells().iter().zip(shard_baseline.cells()) {
+                assert_eq!(
+                    a.gsm_handover_in.to_bits(),
+                    b.gsm_handover_in.to_bits(),
+                    "sharded solve diverged bitwise from the baseline"
+                );
+            }
+            shard_secs[slot] = shard_secs[slot].min(secs);
+        }
+    }
+    let shard_baseline = shard_first.expect("baseline solved");
+    let shard_cell_solves = shard_baseline.iterations() * shard_n;
+    let shard_baseline_pps = shard_cell_solves as f64 / shard_base_s;
+    let shard_pps: Vec<f64> = shard_secs
+        .iter()
+        .map(|&s| shard_cell_solves as f64 / s)
+        .collect();
+    let shard_best_speedup = shard_pps
+        .iter()
+        .fold(0.0f64, |m, &p| m.max(p / shard_baseline_pps));
+
     // --- Replication engine: fixed replication count. ---
     let sim_cell = CellConfig::builder()
         .traffic_model(TrafficModel::Model3)
@@ -309,7 +408,7 @@ fn main() {
     // --- Emit JSON (hand-rolled: the workspace is dependency-free). ---
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"gprs-bench-report/v3\",");
+    let _ = writeln!(json, "  \"schema\": \"gprs-bench-report/v4\",");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -391,6 +490,40 @@ fn main() {
     let _ = writeln!(json, "    \"cell_solves\": {metro_cell_solves},");
     let _ = writeln!(json, "    \"cell_solves_per_sec\": {metro_pps:.4}");
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"shard\": {{");
+    let _ = writeln!(json, "    \"cells\": {shard_n},");
+    let _ = writeln!(json, "    \"tolerance\": 1e-14,");
+    let _ = writeln!(json, "    \"surrogate\": true,");
+    let _ = writeln!(
+        json,
+        "    \"outer_iterations\": {},",
+        shard_baseline.iterations()
+    );
+    let _ = writeln!(json, "    \"cell_solves\": {shard_cell_solves},");
+    let _ = writeln!(
+        json,
+        "    \"baseline_cell_solves_per_sec\": {shard_baseline_pps:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"shard_counts\": [{}],",
+        shard_counts
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "    \"sharded_cell_solves_per_sec\": [{}],",
+        shard_pps
+            .iter()
+            .map(|p| format!("{p:.4}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(json, "    \"best_speedup\": {shard_best_speedup:.4}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"replication\": {{");
     let _ = writeln!(json, "    \"replications\": {replications},");
     let _ = writeln!(json, "    \"replications_per_sec\": {replication_rps:.4}");
@@ -428,8 +561,9 @@ fn main() {
     eprintln!("wrote {out_path}");
     print!("{json}");
 
-    // --- Perf-regression gate: the fresh figure-sweep throughput must
-    // hold at least 75% of the committed baseline's. ---
+    // --- Perf-regression gate: the fresh figure-sweep and metro
+    // graph-sweep throughputs must each hold at least 75% of the
+    // committed baseline's. ---
     if let Some(baseline_path) = check_path {
         let baseline = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
@@ -447,5 +581,28 @@ fn main() {
             "perf check OK: refill {sweep_refill_pps:.2} points/s vs baseline \
              {baseline_refill:.2} (floor {floor:.2})"
         );
+        // Metro-scale gate: the corridor graph sweep. Absent from
+        // baselines older than schema v2 — skip with a note rather
+        // than fail runs against a stale baseline.
+        match extract_number_in(&baseline, "graph_sweep", "cell_solves_per_sec") {
+            Some(baseline_metro) => {
+                let floor = 0.75 * baseline_metro;
+                if metro_pps < floor {
+                    eprintln!(
+                        "PERF REGRESSION: graph sweep ran at {metro_pps:.2} cell-solves/s, \
+                         below 75% of the {baseline_metro:.2} baseline ({baseline_path})"
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "perf check OK: graph sweep {metro_pps:.2} cell-solves/s vs baseline \
+                     {baseline_metro:.2} (floor {floor:.2})"
+                );
+            }
+            None => eprintln!(
+                "perf check: baseline {baseline_path} has no graph_sweep section; \
+                 skipping the metro gate"
+            ),
+        }
     }
 }

@@ -2,14 +2,15 @@
 //! ladder, journaling, graceful degradation, and the campaign report.
 //!
 //! Scheduling is deterministic: pending items run in spec order, in
-//! fixed-size batches, each batch fanned out over
-//! [`gprs_exec::par_map_tasks_catching`]. Per-item solve outcomes are
-//! independent of thread count and batch boundaries (the cluster
-//! solver's determinism contract plus a shared template registry that
-//! only caches symbolic structure), which is what makes the journal's
-//! resume path bitwise: a journaled item is reused verbatim, an
-//! unjournaled one re-solves to the exact bytes it would have produced
-//! the first time.
+//! fixed-size batches, each batch drained from the load-balanced queue
+//! of one **campaign-spanning** [`gprs_exec::with_worker_pool`] scope
+//! (workers spawn once per run and park between batches, instead of
+//! re-spawning per batch). Per-item solve outcomes are independent of
+//! thread count and batch boundaries (the cluster solver's determinism
+//! contract plus a shared template registry that only caches symbolic
+//! structure), which is what makes the journal's resume path bitwise:
+//! a journaled item is reused verbatim, an unjournaled one re-solves
+//! to the exact bytes it would have produced the first time.
 
 use crate::journal::{entry_to_json_value, ItemFailure, ItemResult, ItemStatus, Journal};
 use crate::spec::{CampaignSpec, RetryPolicy};
@@ -220,24 +221,42 @@ pub fn run_campaign(
     let faults = cfg.faults.clone();
     let faults_ref = faults.as_deref();
 
-    let mut batches_done = 0usize;
-    for batch in pending.chunks(cfg.effective_batch_size()) {
-        let results = run_batch(spec, batch, cfg.threads, &registry, faults_ref);
-        if let Some(journal) = journal.as_mut() {
-            journal.append_batch(&results)?;
-        }
-        batches_done += 1;
-        if cfg.crash_after_batches == Some(batches_done) {
-            // The chaos hook: die *after* the fsync, exactly like a
-            // SIGKILL at a batch boundary — no unwinding, no drop
-            // glue, no chance to write anything else.
-            std::process::abort();
-        }
-        for result in results {
-            let index = result.index;
-            recovered[index] = Some(result);
-        }
-    }
+    // One worker-pool scope spans every batch of the run: the workers
+    // spawn once, park between batches (journaling happens on this
+    // thread), and drain each batch's items from the shared queue.
+    let threads = if cfg.threads == 0 {
+        gprs_exec::num_threads()
+    } else {
+        cfg.threads
+    };
+    gprs_exec::with_worker_pool(
+        vec![(); threads.max(1)],
+        |_, _state: &mut (), (index, offset): (usize, usize)| {
+            solve_item(spec, index, offset, &registry, faults_ref)
+        },
+        |pool| -> Result<(), CampaignError> {
+            let mut batches_done = 0usize;
+            for batch in pending.chunks(cfg.effective_batch_size()) {
+                let results = run_batch(spec, batch, pool);
+                if let Some(journal) = journal.as_mut() {
+                    journal.append_batch(&results)?;
+                }
+                batches_done += 1;
+                if cfg.crash_after_batches == Some(batches_done) {
+                    // The chaos hook: die *after* the fsync, exactly
+                    // like a SIGKILL at a batch boundary — no
+                    // unwinding, no drop glue, no chance to write
+                    // anything else.
+                    std::process::abort();
+                }
+                for result in results {
+                    let index = result.index;
+                    recovered[index] = Some(result);
+                }
+            }
+            Ok(())
+        },
+    )?;
 
     let results: Vec<ItemResult> = recovered
         .into_iter()
@@ -260,13 +279,11 @@ pub fn run_campaign(
 /// with their consumed attempts carried forward until they produce a
 /// result or exhaust `max_attempts`, at which point they become typed
 /// [`ItemFailure::Panicked`] entries. Sibling items are never
-/// disturbed — that is the catching pool's isolation contract.
+/// disturbed — that is the pool's per-slot panic containment.
 fn run_batch(
     spec: &CampaignSpec,
     batch: &[usize],
-    threads: usize,
-    registry: &TemplateRegistry,
-    faults: Option<&CampaignFaults>,
+    pool: &mut gprs_exec::PoolHandle<'_, (), (usize, usize), ItemResult>,
 ) -> Vec<ItemResult> {
     let mut slots: Vec<Option<ItemResult>> = vec![None; batch.len()];
     let mut consumed = vec![0usize; batch.len()];
@@ -280,10 +297,11 @@ fn run_batch(
         if todo.is_empty() {
             break;
         }
-        let outcomes = gprs_exec::par_map_tasks_catching(todo.len(), threads, |j| {
-            let (slot, offset) = todo[j];
-            solve_item(spec, batch[slot], offset, registry, faults)
-        });
+        let outcomes = pool.run_queue(
+            todo.iter()
+                .map(|&(slot, offset)| (batch[slot], offset))
+                .collect(),
+        );
         for (j, outcome) in outcomes.into_iter().enumerate() {
             let (slot, _) = todo[j];
             match outcome {
@@ -324,9 +342,11 @@ fn run_batch(
 
 /// Doubles the iteration/sweep/wall-time budgets `attempt` times
 /// (tolerances untouched — retries buy room, not looseness) and pins
-/// inner solves to one thread when the spec leaves the count adaptive:
-/// the campaign parallelizes *across* items, and nested pools would
-/// oversubscribe.
+/// inner solves to one thread and one shard when the spec leaves the
+/// counts adaptive: the campaign parallelizes *across* items, and
+/// nested pools (thread fan-outs or per-item shard workers picking up
+/// a machine-wide `GPRS_SHARDS`) would oversubscribe. A spec that
+/// explicitly sets `shards` keeps it.
 fn escalate(
     base: &ClusterSolveOptions,
     retry: &RetryPolicy,
@@ -335,6 +355,9 @@ fn escalate(
     let mut opts = base.clone();
     if opts.threads == 0 {
         opts.threads = 1;
+    }
+    if opts.shards == 0 {
+        opts.shards = 1;
     }
     let factor = 1usize << attempt.min(MAX_ESCALATION_SHIFT);
     opts.max_iterations = opts.max_iterations.saturating_mul(factor);

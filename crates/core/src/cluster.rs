@@ -221,6 +221,17 @@ pub struct ClusterSolveOptions {
     /// full solve; [`SolvedCluster::surrogate_solves`] reports how
     /// often the shortcut fired.
     pub surrogate: bool,
+    /// Shard count for the partitioned fixed-point engine. `0` (the
+    /// default) reads the `GPRS_SHARDS` environment variable (itself
+    /// defaulting to 1); `1` runs the classic single-scan engine; `2+`
+    /// partitions the cell graph into that many contiguous shards
+    /// ([`CellGraph::partition`]), each owned by a persistent worker
+    /// that holds its cells' templates for the entire solve and
+    /// exchanges only boundary fluxes between outer iterations. The
+    /// count is clamped to the cell count. Results are **bitwise
+    /// identical** for every value — sharding is purely an execution
+    /// strategy.
+    pub shards: usize,
 }
 
 impl Default for ClusterSolveOptions {
@@ -233,6 +244,7 @@ impl Default for ClusterSolveOptions {
             adaptive_relaxation: true,
             ordering: SweepOrdering::Jacobi,
             surrogate: false,
+            shards: 0,
         }
     }
 }
@@ -284,18 +296,36 @@ impl ClusterSolveOptions {
         self.surrogate = on;
         self
     }
+
+    /// Sets the shard count for the partitioned fixed-point engine
+    /// (see the [`shards`](Self::shards) field), returning `self` for
+    /// chaining.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The shard count after resolving the `0 = GPRS_SHARDS env`
+    /// default (still unclamped — callers clamp to the cell count).
+    pub(crate) fn effective_shards(&self) -> usize {
+        if self.shards == 0 {
+            gprs_exec::num_shards()
+        } else {
+            self.shards
+        }
+    }
 }
 
 /// Floor of the adaptive relaxation factor: halving stops at `1/8` —
 /// enough to tame a ping-ponging fixed point whose oscillatory mode
 /// contracts at any rate, without stalling convergence of the
 /// non-oscillatory modes.
-const MIN_RELAXATION: f64 = 0.125;
+pub(crate) const MIN_RELAXATION: f64 = 0.125;
 
 /// Cap of the Aitken extrapolation factor: a contraction ratio of
 /// `0.9375` maps to the cap; slower modes still extrapolate 16× per
 /// step, faster ones get their exact `1/(1−ratio)` jump.
-const MAX_RELAXATION: f64 = 16.0;
+pub(crate) const MAX_RELAXATION: f64 = 16.0;
 
 /// One cell of a solved cluster.
 #[derive(Debug, Clone)]
@@ -337,6 +367,29 @@ pub struct SolvedCluster {
 }
 
 impl SolvedCluster {
+    /// Crate-internal assembler for the sharded engine (`crate::shard`)
+    /// — field-for-field what the single-scan paths construct.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        cells: Vec<SolvedCell>,
+        iterations: usize,
+        handover_delta: f64,
+        relaxation: f64,
+        adaptive_steps: usize,
+        symbolic_setups: usize,
+        surrogate_solves: usize,
+    ) -> Self {
+        SolvedCluster {
+            cells,
+            iterations,
+            handover_delta,
+            relaxation,
+            adaptive_steps,
+            symbolic_setups,
+            surrogate_solves,
+        }
+    }
+
     /// All cells, in cell order (index [`MID_CELL`] first).
     pub fn cells(&self) -> &[SolvedCell] {
         &self.cells
@@ -604,6 +657,13 @@ impl ClusterModel {
         opts: &ClusterSolveOptions,
         registry: &TemplateRegistry,
     ) -> Result<SolvedCluster, ModelError> {
+        let shards = opts.effective_shards().min(self.num_cells()).max(1);
+        if shards > 1 {
+            // The sharded engine: persistent partition workers with
+            // halo-exchange boundary fluxes — bitwise identical to the
+            // single-scan paths below for every shard count.
+            return crate::shard::solve_sharded(self, opts, registry, shards);
+        }
         match opts.ordering {
             SweepOrdering::Jacobi => self.solve_jacobi(opts, registry),
             SweepOrdering::GaussSeidel => self.solve_gauss_seidel(opts, registry),
@@ -614,7 +674,7 @@ impl ClusterModel {
     /// handover arrival vector at which each cell's inflow equals its
     /// own outflow — exact under uniform load on a flow-balanced
     /// graph, a good neighbourhood otherwise.
-    fn initial_rates(&self) -> Result<(Vec<f64>, Vec<f64>), ModelError> {
+    pub(crate) fn initial_rates(&self) -> Result<(Vec<f64>, Vec<f64>), ModelError> {
         let n = self.num_cells();
         let mut lam_gsm = Vec::with_capacity(n);
         let mut lam_gprs = Vec::with_capacity(n);
@@ -785,7 +845,7 @@ impl ClusterModel {
             for j in 0..n {
                 let mut next_gsm = 0.0;
                 let mut next_gprs = 0.0;
-                for e in self.graph.in_edges(j).expect("cell index in range") {
+                for e in self.graph.in_edges(j)? {
                     next_gsm += out_gsm[e.source] * e.weight / e.source_total;
                     next_gprs += out_gprs[e.source] * e.weight / e.source_total;
                 }
@@ -907,7 +967,7 @@ impl ClusterModel {
                 for &j in class {
                     let mut next_gsm = 0.0;
                     let mut next_gprs = 0.0;
-                    for e in self.graph.in_edges(j).expect("cell index in range") {
+                    for e in self.graph.in_edges(j)? {
                         next_gsm += out_gsm[e.source] * e.weight / e.source_total;
                         next_gprs += out_gprs[e.source] * e.weight / e.source_total;
                     }
@@ -1091,12 +1151,19 @@ pub fn par_sweep_load_scales_threads(
     opts: &ClusterSolveOptions,
     threads: usize,
 ) -> Result<Vec<ClusterSweepPoint>, ModelError> {
-    let results = par_map_tasks(scales.len(), threads.clamp(1, scales.len().max(1)), |i| {
-        solve_scale_point(base, scales[i], opts)
-    });
+    // Scale points drain a load-balanced queue on a persistent worker
+    // pool. Each point is solved by the same deterministic code
+    // whichever worker picks it up (no per-worker state), so results
+    // stay bit-identical for any worker count.
+    let workers = threads.clamp(1, scales.len().max(1));
+    let results = gprs_exec::with_worker_pool(
+        vec![(); workers],
+        |_, _state: &mut (), i: usize| solve_scale_point(base, scales[i], opts),
+        |pool| pool.run_queue((0..scales.len()).collect()),
+    );
     let mut points = Vec::with_capacity(scales.len());
     for result in results {
-        points.push(result?);
+        points.push(result.unwrap_or_else(|panic| panic.resume())?);
     }
     Ok(points)
 }

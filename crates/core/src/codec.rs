@@ -1013,6 +1013,7 @@ pub fn cluster_options_to_json_value(opts: &ClusterSolveOptions) -> JsonValue {
             JsonValue::Str(ordering_label(opts.ordering).into()),
         ),
         ("surrogate".into(), JsonValue::Bool(opts.surrogate)),
+        ("shards".into(), JsonValue::Num(opts.shards as f64)),
     ])
 }
 
@@ -1071,6 +1072,11 @@ pub fn cluster_options_from_json_value(
         opts.surrogate = v
             .as_bool()
             .ok_or_else(|| schema_err(&join(path, "surrogate"), "expected a boolean"))?;
+    }
+    if let Some(v) = value.get("shards") {
+        opts.shards = v
+            .as_usize()
+            .ok_or_else(|| schema_err(&join(path, "shards"), "expected an integer"))?;
     }
     Ok(opts)
 }
@@ -1235,6 +1241,7 @@ mod tests {
             ordering: SweepOrdering::GaussSeidel,
             surrogate: true,
             max_iterations: 123,
+            shards: 4,
             ..ClusterSolveOptions::default()
         };
         let text = cluster_options_to_json_value(&opts).to_json_string();
@@ -1242,9 +1249,14 @@ mod tests {
         assert_eq!(back.max_iterations, 123);
         assert!(matches!(back.ordering, SweepOrdering::GaussSeidel));
         assert!(back.surrogate);
+        assert_eq!(back.shards, 4);
         // An empty object is all defaults.
         let defaults = cluster_options_from_json_value(&parse_json("{}").unwrap(), "").unwrap();
         assert_eq!(defaults.max_iterations, 500);
+        assert_eq!(
+            defaults.shards, 0,
+            "missing shards falls back to env default"
+        );
         // Unknown ordering labels are typed schema errors.
         assert!(matches!(
             cluster_options_from_json_value(&parse_json("{\"ordering\":\"sor\"}").unwrap(), ""),

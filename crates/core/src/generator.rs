@@ -292,22 +292,59 @@ impl GprsModel {
     /// allocation. Every element is overwritten; the values are
     /// bit-identical to the allocating variant, which delegates here.
     pub fn phase_marginal_into(&self, out: &mut Vec<f64>) {
-        let gsm = self.balanced_gsm.queue.distribution();
-        let gprs = self.balanced_gprs.queue.distribution();
-        let p_off = self.rates.p_off;
+        let mut placement = Vec::new();
+        self.session_placement_into(&mut placement);
+        self.phase_marginal_with_placement_into(&placement, out);
+    }
 
-        let tri = self.space.tri_size();
-        let mut mr = vec![0.0f64; tri];
+    /// The session **placement table**: `placement[tri_index(m, r)]`
+    /// is `Binomial(r; m, p_off)` — the probability that `r` of `m`
+    /// active sessions sit in the MMPP off-state. It depends only on
+    /// the state-space shape and the traffic model's `p_off`, not on
+    /// any arrival or handover rate, so fixed-point loops that re-solve
+    /// the same cell under moving handover rates can compute it once
+    /// and reuse it via
+    /// [`phase_marginal_with_placement_into`](Self::phase_marginal_with_placement_into).
+    pub fn session_placement_into(&self, out: &mut Vec<f64>) {
+        let p_off = self.rates.p_off;
+        out.clear();
+        out.resize(self.space.tri_size(), 0.0);
         for m in 0..=self.space.m_cap() {
             let pmf = gprs_traffic::mmpp::binomial_pmf(m, p_off);
             for (r, &p) in pmf.iter().enumerate() {
-                mr[StateSpace::tri_index(m, r)] = gprs[m] * p;
+                out[StateSpace::tri_index(m, r)] = p;
             }
         }
+    }
+
+    /// The off-state probability `p_off` the placement table was built
+    /// from — cache keys compare this bitwise to detect a rate change
+    /// that invalidates a cached table.
+    pub fn session_p_off(&self) -> f64 {
+        self.rates.p_off
+    }
+
+    /// [`phase_marginal_into`](Self::phase_marginal_into) against a
+    /// precomputed placement table
+    /// ([`session_placement_into`](Self::session_placement_into)):
+    /// identical multiplications in identical order, so the result is
+    /// bit-identical — it only skips re-deriving the binomial pmfs
+    /// (allocations and transcendentals) on every call.
+    pub fn phase_marginal_with_placement_into(&self, placement: &[f64], out: &mut Vec<f64>) {
+        let gsm = self.balanced_gsm.queue.distribution();
+        let gprs = self.balanced_gprs.queue.distribution();
+        let tri = self.space.tri_size();
+        debug_assert_eq!(placement.len(), tri, "placement table shape mismatch");
         out.resize(self.space.num_phases(), 0.0);
         for n in 0..=self.space.n_gsm() {
-            for (t, &mrp) in mr.iter().enumerate() {
-                out[n * tri + t] = gsm[n] * mrp;
+            let row = &mut out[n * tri..(n + 1) * tri];
+            let g = gsm[n];
+            let mut t = 0;
+            for (m, &gm) in gprs.iter().enumerate().take(self.space.m_cap() + 1) {
+                for _r in 0..=m {
+                    row[t] = g * (gm * placement[t]);
+                    t += 1;
+                }
             }
         }
     }

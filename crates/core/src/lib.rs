@@ -98,6 +98,7 @@ pub mod health;
 pub mod measures;
 pub mod qos;
 pub mod scenario;
+mod shard;
 pub mod solve;
 pub mod state;
 pub mod stress;
@@ -112,7 +113,7 @@ pub use coding::CodingScheme;
 pub use config::{CellConfig, CellConfigBuilder};
 pub use error::ModelError;
 pub use generator::GprsModel;
-pub use graph::CellGraph;
+pub use graph::{CellGraph, Partition};
 pub use health::{SolveHealth, SolveRung};
 pub use measures::Measures;
 pub use scenario::Scenario;

@@ -44,9 +44,9 @@ use crate::config::CellConfig;
 use crate::error::ModelError;
 use crate::health::SolveHealth;
 use crate::measures::Measures;
-use crate::template::{GeneratorTemplate, TemplatePool, WarmStart};
+use crate::template::{GeneratorTemplate, WarmStart};
 use gprs_ctmc::solver::SolveOptions;
-use gprs_exec::{num_threads, par_map_tasks};
+use gprs_exec::{num_threads, with_worker_pool};
 
 /// Maximum number of consecutive sweep points that share one warm-start
 /// chain (and one worker, in the parallel sweep). A chunk boundary
@@ -379,24 +379,31 @@ pub fn par_sweep_arrival_rates_mode_with(
         return sweep_arrival_rates_mode_with(base, rates, opts, warm, |i, p| progress(i, p));
     }
 
-    // Work queue of chunk indices: workers own whole chunks (the unit
-    // of the warm-start contract), and long chunks (high rates converge
-    // slower) do not stall the batch the way fixed chunk-to-worker
-    // assignment would. Templates are pooled so a worker draining many
-    // chunks reuses one workspace; results are independent of which
-    // template serves which chunk (chains reset at chunk heads).
-    let pool = TemplatePool::new(base)?;
-    let chunk_results = par_map_tasks(chunk_count, threads, |c| {
-        let mut template = pool.acquire()?;
-        let first = c * chunk_len;
-        let chunk = &rates[first..(first + chunk_len).min(rates.len())];
-        let result = solve_chunk(base, chunk, first, opts, warm, &mut template, &progress);
-        pool.release(template);
-        result
-    });
+    // Work queue of chunk indices on a persistent worker pool: workers
+    // own whole chunks (the unit of the warm-start contract), and long
+    // chunks (high rates converge slower) do not stall the batch the
+    // way fixed chunk-to-worker assignment would. Each worker *owns*
+    // one template for the whole sweep — no mutex, no acquire/release —
+    // and results are independent of which worker serves which chunk
+    // (chains reset at chunk heads).
+    let templates: Vec<GeneratorTemplate> = (0..threads)
+        .map(|_| GeneratorTemplate::new(base))
+        .collect::<Result<_, ModelError>>()?;
+    let chunk_results = with_worker_pool(
+        templates,
+        |_, template: &mut GeneratorTemplate, c: usize| {
+            let first = c * chunk_len;
+            let chunk = &rates[first..(first + chunk_len).min(rates.len())];
+            solve_chunk(base, chunk, first, opts, warm, template, &progress)
+        },
+        |pool| pool.run_queue((0..chunk_count).collect()),
+    );
     let mut points = Vec::with_capacity(rates.len());
     for result in chunk_results {
-        points.extend(result?); // lowest failing chunk wins
+        // Contained worker panics resurface here (the historical
+        // fan-out propagated them too); convergence failures rank by
+        // chunk order, so the lowest failing chunk wins.
+        points.extend(result.unwrap_or_else(|panic| panic.resume())?);
     }
     Ok(points)
 }

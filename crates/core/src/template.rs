@@ -69,9 +69,11 @@ use crate::error::ModelError;
 use crate::generator::GprsModel;
 use crate::health::{SolveHealth, SolveRung};
 use crate::measures::Measures;
-use gprs_ctmc::blocked::{blocked_kernel_enabled, solve_mbd_projected_blocked_ws, BlockedMbd};
+use gprs_ctmc::blocked::{
+    blocked_kernel_enabled, solve_mbd_projected_blocked_inplace_ws, BlockedMbd,
+};
 use gprs_ctmc::gth::{solve_gth, RECOMMENDED_MAX_STATES};
-use gprs_ctmc::mbd::{mbd_residual_of, solve_mbd_projected_ws};
+use gprs_ctmc::mbd::{mbd_residual_of, solve_mbd_projected_inplace_ws};
 use gprs_ctmc::solver::{solve_gauss_seidel_csr_ws, SolveOptions};
 use gprs_ctmc::{balance_residual, SolveWorkspace, SparseGenerator};
 use std::collections::HashMap;
@@ -394,8 +396,20 @@ pub struct GeneratorTemplate {
     /// blocked/scalar kernel, `None` defers to the
     /// `GPRS_BLOCKED_KERNEL` environment toggle.
     kernel_override: Option<bool>,
+    /// Opt-in partial recapture for chained fixed-point solves (see
+    /// [`set_fast_recapture`](Self::set_fast_recapture)).
+    fast_recapture: bool,
+    /// Whether `blocked` holds a full capture of a model this template
+    /// has solved (the precondition for a partial recapture).
+    blocked_ready: bool,
     /// Per-level scratch for surrogate residual verification.
     residual_scratch: Vec<f64>,
+    /// Cached session placement table (`Binomial(r; m, p_off)` per
+    /// `(m, r)` phase pair) keyed by the `p_off` it was built from —
+    /// rebuilt only when a solved model's `p_off` differs bitwise, so
+    /// repeated fixed-point solves skip its transcendentals.
+    placement: Vec<f64>,
+    placement_p_off: f64,
     /// Lifetime solver accounting (see [`TemplateStats`]).
     stats: TemplateStats,
 }
@@ -430,7 +444,11 @@ impl GeneratorTemplate {
             history: 0,
             blocked: BlockedMbd::new(),
             kernel_override: None,
+            fast_recapture: false,
+            blocked_ready: false,
             residual_scratch: Vec::new(),
+            placement: Vec::new(),
+            placement_p_off: f64::NAN,
             stats: TemplateStats::default(),
         }
     }
@@ -524,19 +542,53 @@ impl GeneratorTemplate {
         opts: &SolveOptions,
         warm: WarmStart,
     ) -> Result<PointSolve, ModelError> {
+        let health = self.solve_health(model, opts, warm)?;
+        Ok(self.point_from(model, health))
+    }
+
+    /// `model.phase_marginal_into(&mut self.marginal)` through the
+    /// template's placement cache: the binomial placement table only
+    /// depends on the shape and `p_off`, so it is rebuilt only when a
+    /// solved model's `p_off` moves. The marginal values are
+    /// bit-identical to the uncached call.
+    fn marginal_into(&mut self, model: &GprsModel) {
+        let p_off = model.session_p_off();
+        if self.placement.is_empty() || self.placement_p_off.to_bits() != p_off.to_bits() {
+            model.session_placement_into(&mut self.placement);
+            self.placement_p_off = p_off;
+        }
+        model.phase_marginal_with_placement_into(&self.placement, &mut self.marginal);
+    }
+
+    /// [`solve`](Self::solve) minus the measures extraction: the
+    /// stationary vector lands in [`stationary`](Self::stationary) and
+    /// only the [`SolveHealth`] report is returned. Callers that do not
+    /// need [`Measures`] every point (the cluster fixed point reads
+    /// only two conditional means per outer iteration) skip its cost
+    /// and recover the identical value later via
+    /// [`measures_for`](Self::measures_for).
+    fn solve_health(
+        &mut self,
+        model: &GprsModel,
+        opts: &SolveOptions,
+        warm: WarmStart,
+    ) -> Result<SolveHealth, ModelError> {
         self.check_shape(model.config())?;
         let n = model.space().num_states();
-        model.phase_marginal_into(&mut self.marginal);
+        self.marginal_into(model);
         let levels = model.space().k_cap() + 1;
 
+        // The next warm start is built *in place* over the workspace
+        // iterate (`ws.pi`): the history rotation is fused into the
+        // extrapolation pass (each entry's predecessor is saved into
+        // `prev2` just before being overwritten), and the in-place
+        // solver entry points normalize the staged iterate without the
+        // copy the `Option<&[f64]>` warm-start path pays. Every value
+        // matches the former staging-buffer flow bit for bit — the only
+        // change is where the bytes live.
         let chained =
             matches!(warm, WarmStart::Chained | WarmStart::Predicted) && self.history >= 1;
         if chained {
-            // Seed from the last solution (ws.pi); with two
-            // predecessors, extrapolate one rate step forward along
-            // the chain's trajectory first.
-            self.start.resize(n, 0.0);
-            let last = self.ws.pi();
             if self.history >= 2 {
                 // Multiplicative (log-space) extrapolation: the
                 // tails of these distributions move exponentially
@@ -546,21 +598,27 @@ impl GeneratorTemplate {
                 // arithmetic secant — measured ~25% fewer sweeps on
                 // the figure workloads. The ratio clamp keeps noise
                 // on near-zero entries from exploding the guess.
-                for ((s, &p), &q) in self.start.iter_mut().zip(last).zip(&self.prev2) {
-                    *s = if p > 0.0 && q > 0.0 {
+                debug_assert_eq!(self.prev2.len(), n, "history >= 2 with unsized prev2");
+                for (slot, q_slot) in self.ws.pi_mut().iter_mut().zip(&mut self.prev2) {
+                    let p = *slot;
+                    let q = *q_slot;
+                    *q_slot = p;
+                    *slot = if p > 0.0 && q > 0.0 {
                         p * (p / q).clamp(0.25, 4.0)
                     } else {
                         p
                     };
                 }
             } else {
-                self.start.copy_from_slice(last);
+                self.prev2.resize(n, 0.0);
+                self.prev2.copy_from_slice(self.ws.pi());
             }
             // Re-project each phase column onto the *new* point's
             // exact marginal: the dominant error of a
             // neighbouring-point start is its stale phase law.
+            let pi = self.ws.pi_mut();
             for (phase, &mass) in self.marginal.iter().enumerate() {
-                let col = &mut self.start[phase * levels..(phase + 1) * levels];
+                let col = &mut pi[phase * levels..(phase + 1) * levels];
                 let col_mass: f64 = col.iter().sum();
                 if col_mass > 0.0 {
                     let scale = mass / col_mass;
@@ -573,13 +631,22 @@ impl GeneratorTemplate {
                 }
             }
         } else {
-            model.product_form_guess_into(&self.marginal, &mut self.start);
+            model.product_form_guess_into(&self.marginal, self.ws.pi_mut());
             self.history = 0;
         }
 
         let use_blocked = self.kernel_override.unwrap_or_else(blocked_kernel_enabled);
         if use_blocked {
-            self.blocked.capture(model);
+            if self.fast_recapture && self.blocked_ready {
+                // Under the fast-recapture contract only the
+                // phase-coupling rates moved since the last capture, so
+                // refreshing the phase tables in place reproduces a
+                // full capture bit for bit at a fraction of the cost.
+                self.blocked.recapture_phase_rates(model);
+            } else {
+                self.blocked.capture(model);
+                self.blocked_ready = true;
+            }
         }
 
         // Predict-and-verify surrogate: check whether the extrapolated
@@ -590,38 +657,31 @@ impl GeneratorTemplate {
         // full solve: `residual(stationary()) <= opts.tolerance`.
         if warm == WarmStart::Predicted && chained {
             self.stats.predicted += 1;
-            let total: f64 = self.start.iter().sum();
+            let pi = self.ws.pi_mut();
+            let total: f64 = pi.iter().sum();
             if total.is_finite() && total > 0.0 {
-                for x in self.start.iter_mut() {
+                for x in pi.iter_mut() {
                     *x /= total;
                 }
                 self.stats.residual_checks += 1;
                 let residual = if use_blocked {
                     self.blocked
-                        .residual(&self.start, &mut self.residual_scratch)
+                        .residual(self.ws.pi(), &mut self.residual_scratch)
                 } else {
-                    mbd_residual_of(model, &self.start)
+                    mbd_residual_of(model, self.ws.pi())
                 };
                 if residual.is_finite() && residual <= opts.tolerance {
-                    // Accept: rotate the history and install the
-                    // verified prediction verbatim.
-                    self.prev2.resize(n, 0.0);
-                    self.prev2.copy_from_slice(self.ws.pi());
-                    self.ws.set_pi(&self.start);
+                    // Accept: the verified, exactly normalized
+                    // prediction is already the workspace iterate and
+                    // the history already rotated — serve it as-is.
                     self.history = (self.history + 1).min(2);
                     self.stats.solves += 1;
                     self.stats.accepted += 1;
-                    let health = SolveHealth {
+                    return Ok(SolveHealth {
                         rung: SolveRung::Surrogate,
                         failed_rungs: 0,
                         sweeps: 0,
                         residual,
-                    };
-                    return Ok(PointSolve {
-                        measures: Measures::compute_from_slice(model, self.ws.pi()),
-                        sweeps: 0,
-                        residual,
-                        health,
                     });
                 }
                 // Rejected: fall through to the full solve, seeded by
@@ -629,22 +689,15 @@ impl GeneratorTemplate {
             }
         }
 
-        // Rotate the history before the solver overwrites ws.pi.
-        if self.history >= 1 {
-            self.prev2.resize(n, 0.0);
-            self.prev2.copy_from_slice(self.ws.pi());
-        }
-
         let result = if use_blocked {
-            solve_mbd_projected_blocked_ws(
+            solve_mbd_projected_blocked_inplace_ws(
                 &self.blocked,
                 &self.marginal,
-                Some(&self.start),
                 opts,
                 &mut self.ws,
             )
         } else {
-            solve_mbd_projected_ws(model, &self.marginal, Some(&self.start), opts, &mut self.ws)
+            solve_mbd_projected_inplace_ws(model, &self.marginal, opts, &mut self.ws)
         };
         let stats = match result {
             Ok(stats) => stats,
@@ -655,12 +708,20 @@ impl GeneratorTemplate {
         self.stats.total_sweeps += stats.sweeps;
         self.stats.residual_checks += stats.residual_evals;
 
-        Ok(PointSolve {
+        Ok(SolveHealth::primary(stats.sweeps, stats.residual))
+    }
+
+    /// Assembles the full [`PointSolve`] for the solution currently in
+    /// the workspace — [`Measures`] are a pure function of
+    /// `(model, stationary())`, so computing them here after the fact
+    /// is bit-identical to computing them inside the solve.
+    fn point_from(&self, model: &GprsModel, health: SolveHealth) -> PointSolve {
+        PointSolve {
             measures: Measures::compute_from_slice(model, self.ws.pi()),
-            sweeps: stats.sweeps,
-            residual: stats.residual,
-            health: SolveHealth::primary(stats.sweeps, stats.residual),
-        })
+            sweeps: health.sweeps,
+            residual: health.residual,
+            health,
+        }
     }
 
     /// Solves `model` with point Gauss–Seidel over the template's
@@ -680,6 +741,18 @@ impl GeneratorTemplate {
         opts: &SolveOptions,
         warm: WarmStart,
     ) -> Result<PointSolve, ModelError> {
+        let health = self.solve_gauss_seidel_health(model, opts, warm)?;
+        Ok(self.point_from(model, health))
+    }
+
+    /// [`solve_gauss_seidel`](Self::solve_gauss_seidel) minus the
+    /// measures extraction (see [`solve_health`](Self::solve_health)).
+    fn solve_gauss_seidel_health(
+        &mut self,
+        model: &GprsModel,
+        opts: &SolveOptions,
+        warm: WarmStart,
+    ) -> Result<SolveHealth, ModelError> {
         self.check_shape(model.config())?;
         let n = model.space().num_states();
         let use_chain =
@@ -690,7 +763,7 @@ impl GeneratorTemplate {
             self.prev2.resize(n, 0.0);
             self.prev2.copy_from_slice(self.ws.pi());
         } else {
-            model.phase_marginal_into(&mut self.marginal);
+            self.marginal_into(model);
             model.product_form_guess_into(&self.marginal, &mut self.start);
             self.history = 0;
         }
@@ -704,12 +777,7 @@ impl GeneratorTemplate {
         self.stats.solves += 1;
         self.stats.total_sweeps += stats.sweeps;
         self.stats.residual_checks += stats.residual_evals;
-        Ok(PointSolve {
-            measures: Measures::compute_from_slice(model, self.ws.pi()),
-            sweeps: stats.sweeps,
-            residual: stats.residual,
-            health: SolveHealth::primary(stats.sweeps, stats.residual),
-        })
+        Ok(SolveHealth::primary(stats.sweeps, stats.residual))
     }
 
     /// Solves `model` through the **fallback ladder**: every solve
@@ -751,12 +819,34 @@ impl GeneratorTemplate {
         opts: &SolveOptions,
         warm: WarmStart,
     ) -> Result<PointSolve, ModelError> {
+        let health = self.solve_resilient_lean(model, opts, warm)?;
+        Ok(self.point_from(model, health))
+    }
+
+    /// [`solve_resilient`](Self::solve_resilient) minus the measures
+    /// extraction: the stationary vector lands in
+    /// [`stationary`](Self::stationary) and only the [`SolveHealth`]
+    /// report is returned. The sharded cluster engine solves thousands
+    /// of points per outer iteration but reads only two conditional
+    /// means from each; it recovers the full [`Measures`] on demand via
+    /// [`measures_for`](Self::measures_for), which is bit-identical to
+    /// the eager value `solve_resilient` would have returned.
+    ///
+    /// # Errors
+    ///
+    /// As [`solve_resilient`](Self::solve_resilient).
+    pub fn solve_resilient_lean(
+        &mut self,
+        model: &GprsModel,
+        opts: &SolveOptions,
+        warm: WarmStart,
+    ) -> Result<SolveHealth, ModelError> {
         let was_warm =
             matches!(warm, WarmStart::Chained | WarmStart::Predicted) && self.history >= 1;
 
         // Rung 1: the primary path, bit-identical on success.
-        match self.solve(model, opts, warm) {
-            Ok(point) => return Ok(point),
+        match self.solve_health(model, opts, warm) {
+            Ok(health) => return Ok(health),
             Err(e) if e.is_solver_failure() => {}
             Err(e) => return Err(e),
         }
@@ -765,15 +855,14 @@ impl GeneratorTemplate {
         // Rung 2: cold restart, only meaningful if rung 1 ran warm
         // (chain_fail already cleared the history).
         if was_warm {
-            match self.solve(model, opts, WarmStart::Cold) {
-                Ok(mut point) => {
-                    point.health = SolveHealth {
+            match self.solve_health(model, opts, WarmStart::Cold) {
+                Ok(health) => {
+                    return Ok(SolveHealth {
                         rung: SolveRung::ColdRestart,
                         failed_rungs: failed,
-                        sweeps: point.sweeps,
-                        residual: point.residual,
-                    };
-                    return Ok(point);
+                        sweeps: health.sweeps,
+                        residual: health.residual,
+                    });
                 }
                 Err(e) if e.is_solver_failure() => failed += 1,
                 Err(e) => return Err(e),
@@ -786,15 +875,14 @@ impl GeneratorTemplate {
         } else {
             opts.clone().with_sor(1.0)
         };
-        let last = match self.solve_gauss_seidel(model, &alt_opts, WarmStart::Cold) {
-            Ok(mut point) => {
-                point.health = SolveHealth {
+        let last = match self.solve_gauss_seidel_health(model, &alt_opts, WarmStart::Cold) {
+            Ok(health) => {
+                return Ok(SolveHealth {
                     rung: SolveRung::AlternateIterative,
                     failed_rungs: failed,
-                    sweeps: point.sweeps,
-                    residual: point.residual,
-                };
-                return Ok(point);
+                    sweeps: health.sweeps,
+                    residual: health.residual,
+                });
             }
             Err(e) if e.is_solver_failure() => {
                 failed += 1;
@@ -815,20 +903,51 @@ impl GeneratorTemplate {
             self.history = 1;
             self.stats.solves += 1;
             self.stats.residual_checks += 1;
-            return Ok(PointSolve {
-                measures: Measures::compute_from_slice(model, self.ws.pi()),
+            return Ok(SolveHealth {
+                rung: SolveRung::DirectGth,
+                failed_rungs: failed,
                 sweeps: 0,
                 residual,
-                health: SolveHealth {
-                    rung: SolveRung::DirectGth,
-                    failed_rungs: failed,
-                    sweeps: 0,
-                    residual,
-                },
             });
         }
 
         Err(last)
+    }
+
+    /// The [`Measures`] of the solution currently in the workspace —
+    /// the deferred counterpart of the `measures` field a full
+    /// [`solve_resilient`](Self::solve_resilient) returns, and
+    /// bit-identical to it because measures are a pure function of
+    /// `(model, stationary())`. Only meaningful directly after a
+    /// successful solve of `model` through this template.
+    pub fn measures_for(&self, model: &GprsModel) -> Measures {
+        Measures::compute_from_slice(model, self.ws.pi())
+    }
+
+    /// Opts this template in (or out) of **partial phase-rate
+    /// recapture** for the cache-blocked kernel.
+    ///
+    /// The cluster fixed point re-solves the same cell configuration
+    /// hundreds of times, varying *only* the handover arrival rates —
+    /// which enter the generator exclusively through the phase-coupling
+    /// rates (GSM handover arrivals and GPRS session on/off
+    /// transitions). The per-level birth/death tables depend on packet
+    /// traffic and service parameters alone, so a full
+    /// [`BlockedMbd::capture`] per solve re-derives `phases × levels`
+    /// rows of bit-identical numbers. With fast recapture enabled, the
+    /// first solve still captures fully; every later solve refreshes
+    /// only the phase-exit rates and phase-coupling CSR values in
+    /// place, which is bit-identical by construction.
+    ///
+    /// **Contract:** between two solves with this flag on, models fed
+    /// to this template must differ only in rates that leave the
+    /// per-level birth/death tables unchanged (for the cluster engine:
+    /// the handover arrival rates). The phase-coupling *pattern* is
+    /// asserted at recapture; a violated birth/death contract is the
+    /// caller's bug. When in doubt, leave this off — full capture is
+    /// always correct.
+    pub fn set_fast_recapture(&mut self, on: bool) {
+        self.fast_recapture = on;
     }
 
     /// Shared failure path of both solve flavours: a failed solve
@@ -1005,6 +1124,71 @@ mod tests {
         assert_eq!(point.residual.to_bits(), one_shot.residual().to_bits());
         assert_eq!(template.stationary(), one_shot.stationary().as_slice());
         assert_eq!(point.measures, *one_shot.measures());
+    }
+
+    /// The cluster-engine contract: across a handover-rate-only chain
+    /// of solves, fast recapture must reproduce the full-capture path
+    /// bit for bit — sweeps, residual bits, stationary bits, measures.
+    #[test]
+    fn fast_recapture_chain_is_bitwise_equal_to_full_capture() {
+        let opts = SolveOptions::default();
+        let cfg = tiny(0.4);
+        let mut plain = GeneratorTemplate::new(&cfg).unwrap();
+        let mut fast = GeneratorTemplate::new(&cfg).unwrap();
+        plain.set_blocked_kernel(Some(true));
+        fast.set_blocked_kernel(Some(true));
+        fast.set_fast_recapture(true);
+        for (gsm_h, gprs_h) in [(0.05, 0.3), (0.08, 0.45), (0.03, 0.2), (0.11, 0.6)] {
+            let model = plain
+                .model_with_handovers(cfg.clone(), gsm_h, gprs_h)
+                .unwrap();
+            let a = plain.solve(&model, &opts, WarmStart::Chained).unwrap();
+            let b = fast.solve(&model, &opts, WarmStart::Chained).unwrap();
+            assert_eq!(a.sweeps, b.sweeps, "sweeps at ({gsm_h}, {gprs_h})");
+            assert_eq!(
+                a.residual.to_bits(),
+                b.residual.to_bits(),
+                "residual at ({gsm_h}, {gprs_h})"
+            );
+            assert_eq!(
+                plain.stationary(),
+                fast.stationary(),
+                "stationary at ({gsm_h}, {gprs_h})"
+            );
+            assert_eq!(a.measures, b.measures, "measures at ({gsm_h}, {gprs_h})");
+        }
+    }
+
+    /// The lean resilient solve plus deferred `measures_for` must be
+    /// indistinguishable from the eager `solve_resilient`.
+    #[test]
+    fn lean_solve_with_deferred_measures_matches_eager_solve() {
+        let opts = SolveOptions::default();
+        let cfg = tiny(0.35);
+        let mut eager = GeneratorTemplate::new(&cfg).unwrap();
+        let mut lean = GeneratorTemplate::new(&cfg).unwrap();
+        for (gsm_h, gprs_h) in [(0.04, 0.25), (0.07, 0.4), (0.05, 0.33)] {
+            let model = eager
+                .model_with_handovers(cfg.clone(), gsm_h, gprs_h)
+                .unwrap();
+            let point = eager
+                .solve_resilient(&model, &opts, WarmStart::Chained)
+                .unwrap();
+            let health = lean
+                .solve_resilient_lean(&model, &opts, WarmStart::Chained)
+                .unwrap();
+            assert_eq!(point.health, health, "health at ({gsm_h}, {gprs_h})");
+            assert_eq!(
+                eager.stationary(),
+                lean.stationary(),
+                "stationary at ({gsm_h}, {gprs_h})"
+            );
+            assert_eq!(
+                point.measures,
+                lean.measures_for(&model),
+                "deferred measures at ({gsm_h}, {gprs_h})"
+            );
+        }
     }
 
     #[test]

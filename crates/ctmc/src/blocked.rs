@@ -29,7 +29,7 @@
 
 use crate::error::CtmcError;
 use crate::mbd::{validate_phase_marginal, ModulatedBirthDeath};
-use crate::solver::{HealthGuard, SolveOptions, SolveStats, SolveWorkspace};
+use crate::solver::{HealthGuard, SolveOptions, SolveStats, SolveWorkspace, WarmInit};
 
 /// Whether the blocked MBD kernel is enabled for template solves.
 ///
@@ -137,6 +137,49 @@ impl BlockedMbd {
         }
     }
 
+    /// Re-evaluates only the **phase-coupling rates** (the incoming
+    /// phase-transition CSR values and the per-phase exit rates) from
+    /// `gen`, keeping the captured birth/death tables and the CSR
+    /// pattern untouched.
+    ///
+    /// This is the cheap recapture for fixed-point iterations that
+    /// re-solve the *same* chain under moving phase-arrival rates (the
+    /// cluster handover balance): between outer iterations only the
+    /// handover arrival terms move, and those enter exclusively through
+    /// phase transitions — births (packet arrivals) and deaths (packet
+    /// services) do not depend on them. The caller guarantees that
+    /// contract; under it the refreshed tables are **bit-identical** to
+    /// a full [`capture`](Self::capture) of the same generator, at a
+    /// fraction of the rate evaluations.
+    ///
+    /// # Panics
+    ///
+    /// If no capture happened yet, or `gen`'s phase dimensions or
+    /// incoming-edge pattern do not match the captured ones.
+    pub fn recapture_phase_rates<G: ModulatedBirthDeath + ?Sized>(&mut self, gen: &G) {
+        assert!(
+            self.phases == gen.num_phases() && self.levels == gen.num_levels(),
+            "recapture_phase_rates: phase table shape mismatch"
+        );
+        for p in 0..self.phases {
+            self.exit[p] = gen.phase_exit_rate(p);
+            let mut e = self.in_ptr[p];
+            let end = self.in_ptr[p + 1];
+            gen.for_each_phase_incoming(p, &mut |q, rate| {
+                assert!(
+                    e < end && self.in_src[e] as usize == q,
+                    "recapture_phase_rates: incoming-edge pattern changed"
+                );
+                self.in_rate[e] = rate;
+                e += 1;
+            });
+            assert!(
+                e == end,
+                "recapture_phase_rates: incoming-edge count changed"
+            );
+        }
+    }
+
     /// Exact relative L1 balance residual of an arbitrary iterate `pi`
     /// against the captured chain — bit-identical to
     /// [`crate::mbd::mbd_residual_of`] on the source generator. This is
@@ -234,7 +277,33 @@ pub fn solve_mbd_projected_blocked_ws(
     ws: &mut SolveWorkspace,
 ) -> Result<SolveStats, CtmcError> {
     validate_phase_marginal(blocked.phases, phase_marginal)?;
-    solve_blocked_inner(blocked, Some(phase_marginal), warm_start, opts, ws)
+    solve_blocked_inner(
+        blocked,
+        Some(phase_marginal),
+        WarmInit::Copy(warm_start),
+        opts,
+        ws,
+    )
+}
+
+/// [`solve_mbd_projected_blocked_ws`] seeded **in place**: the warm
+/// start is whatever the caller staged in `ws.pi()` (via
+/// [`SolveWorkspace::pi_mut`]) — normalized and iterated on without the
+/// copy. Bit-identical to passing the same vector through
+/// [`solve_mbd_projected_blocked_ws`], and the blocked twin of
+/// [`crate::mbd::solve_mbd_projected_inplace_ws`].
+///
+/// # Errors
+///
+/// As [`crate::mbd::solve_mbd_projected_inplace_ws`].
+pub fn solve_mbd_projected_blocked_inplace_ws(
+    blocked: &BlockedMbd,
+    phase_marginal: &[f64],
+    opts: &SolveOptions,
+    ws: &mut SolveWorkspace,
+) -> Result<SolveStats, CtmcError> {
+    validate_phase_marginal(blocked.phases, phase_marginal)?;
+    solve_blocked_inner(blocked, Some(phase_marginal), WarmInit::InPlace, opts, ws)
 }
 
 /// [`crate::mbd::solve_mbd_ws`] over captured blocked tables (no
@@ -249,7 +318,7 @@ pub fn solve_mbd_blocked_ws(
     opts: &SolveOptions,
     ws: &mut SolveWorkspace,
 ) -> Result<SolveStats, CtmcError> {
-    solve_blocked_inner(blocked, None, warm_start, opts, ws)
+    solve_blocked_inner(blocked, None, WarmInit::Copy(warm_start), opts, ws)
 }
 
 /// The blocked twin of `solve_mbd_inner`: identical control flow and
@@ -259,7 +328,7 @@ pub fn solve_mbd_blocked_ws(
 fn solve_blocked_inner(
     b: &BlockedMbd,
     phase_marginal: Option<&[f64]>,
-    warm_start: Option<&[f64]>,
+    warm_start: WarmInit<'_>,
     opts: &SolveOptions,
     ws: &mut SolveWorkspace,
 ) -> Result<SolveStats, CtmcError> {
@@ -270,7 +339,7 @@ fn solve_blocked_inner(
         return Err(CtmcError::EmptyChain);
     }
 
-    ws.init_pi(n, warm_start)?;
+    ws.seed_pi(n, warm_start)?;
     let SolveWorkspace {
         pi,
         exit: phase_exit,
@@ -470,6 +539,79 @@ mod tests {
             mbd.for_each_phase_incoming(p, &mut |q, r| from_m.push((q, r.to_bits())));
             assert_eq!(from_b, from_m, "incoming edges of phase {p}");
         }
+    }
+
+    #[test]
+    fn partial_recapture_is_bitwise_equal_to_full_capture() {
+        // Moving only the phase-coupling rates (the handover-balance
+        // pattern): a recapture_phase_rates refresh must reproduce a
+        // fresh full capture bit for bit — tables and solves alike.
+        for (seed, phases, levels) in [(3u64, 6, 9), (11, 8, 14), (29, 4, 25)] {
+            let base = TableMbd::random(phases, levels, seed);
+            let mut partial = BlockedMbd::new();
+            partial.capture(&base);
+            for factor in [0.25, 1.9, 0.4, 1.0] {
+                let moved = base.with_scaled_phase_rates(factor);
+                let mut full = BlockedMbd::new();
+                full.capture(&moved);
+                partial.recapture_phase_rates(&moved);
+
+                for p in 0..phases {
+                    assert_eq!(
+                        ModulatedBirthDeath::phase_exit_rate(&partial, p).to_bits(),
+                        ModulatedBirthDeath::phase_exit_rate(&full, p).to_bits(),
+                        "seed {seed} factor {factor} exit {p}"
+                    );
+                    let mut from_partial = Vec::new();
+                    let mut from_full = Vec::new();
+                    partial.for_each_phase_incoming(p, &mut |q, r| {
+                        from_partial.push((q, r.to_bits()))
+                    });
+                    full.for_each_phase_incoming(p, &mut |q, r| from_full.push((q, r.to_bits())));
+                    assert_eq!(
+                        from_partial, from_full,
+                        "seed {seed} factor {factor} phase {p}"
+                    );
+                    for l in 0..levels {
+                        assert_eq!(
+                            partial.birth_rate(p, l).to_bits(),
+                            full.birth_rate(p, l).to_bits()
+                        );
+                        assert_eq!(
+                            partial.death_rate(p, l).to_bits(),
+                            full.death_rate(p, l).to_bits()
+                        );
+                    }
+                }
+
+                let marginal = exact_phase_marginal(&moved);
+                let opts = SolveOptions::default();
+                let mut ws_p = SolveWorkspace::new();
+                let mut ws_f = SolveWorkspace::new();
+                let sp =
+                    solve_mbd_projected_blocked_ws(&partial, &marginal, None, &opts, &mut ws_p)
+                        .unwrap();
+                let sf = solve_mbd_projected_blocked_ws(&full, &marginal, None, &opts, &mut ws_f)
+                    .unwrap();
+                assert_eq!(sp.sweeps, sf.sweeps);
+                assert_eq!(sp.residual.to_bits(), sf.residual.to_bits());
+                assert_bitwise_eq(
+                    ws_p.pi(),
+                    ws_f.pi(),
+                    &format!("seed {seed} factor {factor}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "phase table shape mismatch")]
+    fn partial_recapture_rejects_shape_changes() {
+        let mbd = TableMbd::random(5, 8, 17);
+        let other = TableMbd::random(6, 8, 17);
+        let mut b = BlockedMbd::new();
+        b.capture(&mbd);
+        b.recapture_phase_rates(&other);
     }
 
     #[test]

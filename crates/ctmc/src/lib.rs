@@ -80,7 +80,10 @@ pub mod stationary;
 pub mod transient;
 pub mod transitions;
 
-pub use blocked::{blocked_kernel_enabled, solve_mbd_projected_blocked_ws, BlockedMbd};
+pub use blocked::{
+    blocked_kernel_enabled, solve_mbd_projected_blocked_inplace_ws, solve_mbd_projected_blocked_ws,
+    BlockedMbd,
+};
 pub use error::CtmcError;
 pub use parallel::{solve_parallel, ParallelMethod, RedBlackSor};
 pub use solver::{Solution, SolveOptions, SolveStats, SolveWorkspace};

@@ -22,7 +22,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::error::CtmcError;
-use crate::solver::{HealthGuard, Solution, SolveOptions, SolveStats, SolveWorkspace};
+use crate::solver::{HealthGuard, Solution, SolveOptions, SolveStats, SolveWorkspace, WarmInit};
 use crate::stationary::StationaryDistribution;
 
 /// Structural access to a Markov-modulated birth–death chain.
@@ -113,7 +113,7 @@ pub fn solve_mbd<G: ModulatedBirthDeath + ?Sized>(
     opts: &SolveOptions,
 ) -> Result<Solution, CtmcError> {
     let mut ws = SolveWorkspace::new();
-    let stats = solve_mbd_inner(gen, None, warm_start, opts, &mut ws)?;
+    let stats = solve_mbd_inner(gen, None, WarmInit::Copy(warm_start), opts, &mut ws)?;
     Ok(solution_from(&mut ws, stats))
 }
 
@@ -129,7 +129,7 @@ pub fn solve_mbd_ws<G: ModulatedBirthDeath + ?Sized>(
     opts: &SolveOptions,
     ws: &mut SolveWorkspace,
 ) -> Result<SolveStats, CtmcError> {
-    solve_mbd_inner(gen, None, warm_start, opts, ws)
+    solve_mbd_inner(gen, None, WarmInit::Copy(warm_start), opts, ws)
 }
 
 fn solution_from(ws: &mut SolveWorkspace, stats: SolveStats) -> Solution {
@@ -191,7 +191,36 @@ pub fn solve_mbd_projected_ws<G: ModulatedBirthDeath + ?Sized>(
     ws: &mut SolveWorkspace,
 ) -> Result<SolveStats, CtmcError> {
     validate_phase_marginal(gen.num_phases(), phase_marginal)?;
-    solve_mbd_inner(gen, Some(phase_marginal), warm_start, opts, ws)
+    solve_mbd_inner(
+        gen,
+        Some(phase_marginal),
+        WarmInit::Copy(warm_start),
+        opts,
+        ws,
+    )
+}
+
+/// [`solve_mbd_projected_ws`] seeded **in place**: the warm start is
+/// whatever the caller staged in `ws.pi()` (via
+/// [`SolveWorkspace::pi_mut`]) — it is normalized and iterated on
+/// without the copy the `warm_start: Option<&[f64]>` entry points pay.
+/// The arithmetic is bit-identical to passing the same vector through
+/// [`solve_mbd_projected_ws`].
+///
+/// # Errors
+///
+/// As [`solve_mbd_projected`]; additionally
+/// [`CtmcError::DimensionMismatch`] if the staged iterate has the wrong
+/// length and [`CtmcError::InvalidGenerator`] if it is not non-negative
+/// with positive mass.
+pub fn solve_mbd_projected_inplace_ws<G: ModulatedBirthDeath + ?Sized>(
+    gen: &G,
+    phase_marginal: &[f64],
+    opts: &SolveOptions,
+    ws: &mut SolveWorkspace,
+) -> Result<SolveStats, CtmcError> {
+    validate_phase_marginal(gen.num_phases(), phase_marginal)?;
+    solve_mbd_inner(gen, Some(phase_marginal), WarmInit::InPlace, opts, ws)
 }
 
 /// Shared marginal validation of the projected solvers (scalar here,
@@ -219,7 +248,7 @@ pub(crate) fn validate_phase_marginal(
 fn solve_mbd_inner<G: ModulatedBirthDeath + ?Sized>(
     gen: &G,
     phase_marginal: Option<&[f64]>,
-    warm_start: Option<&[f64]>,
+    warm_start: WarmInit<'_>,
     opts: &SolveOptions,
     ws: &mut SolveWorkspace,
 ) -> Result<SolveStats, CtmcError> {
@@ -230,7 +259,7 @@ fn solve_mbd_inner<G: ModulatedBirthDeath + ?Sized>(
         return Err(CtmcError::EmptyChain);
     }
 
-    ws.init_pi(n, warm_start)?;
+    ws.seed_pi(n, warm_start)?;
     let SolveWorkspace {
         pi,
         exit: phase_exit,
@@ -541,6 +570,25 @@ pub(crate) mod tests {
                 death,
                 phase_rates,
             }
+        }
+
+        /// The same chain with every phase-transition rate scaled by
+        /// `factor` — identical pattern and birth/death tables, moved
+        /// phase-coupling rates (the partial-recapture contract).
+        pub(crate) fn with_scaled_phase_rates(&self, factor: f64) -> Self {
+            let mut scaled = TableMbd {
+                phases: self.phases,
+                levels: self.levels,
+                birth: self.birth.clone(),
+                death: self.death.clone(),
+                phase_rates: self.phase_rates.clone(),
+            };
+            for edges in &mut scaled.phase_rates {
+                for (_, rate) in edges.iter_mut() {
+                    *rate *= factor;
+                }
+            }
+            scaled
         }
 
         pub(crate) fn to_sparse(&self) -> crate::sparse::SparseGenerator {

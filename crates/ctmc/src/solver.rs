@@ -323,6 +323,15 @@ impl SolveWorkspace {
         }
     }
 
+    /// Mutable access to the iterate buffer, for callers that build the
+    /// next warm start directly in place (extrapolation chains) instead
+    /// of staging it in a side buffer and copying. The in-place solver
+    /// entry points (`*_inplace_ws`) then normalize and iterate on the
+    /// buffer as-is.
+    pub fn pi_mut(&mut self) -> &mut Vec<f64> {
+        &mut self.pi
+    }
+
     /// Seeds the iterate from a warm start (normalized) or uniformly.
     pub(crate) fn init_pi(&mut self, n: usize, warm: Option<&[f64]>) -> Result<(), CtmcError> {
         self.pi.clear();
@@ -349,6 +358,48 @@ impl SolveWorkspace {
         }
         Ok(())
     }
+
+    /// Seeds the iterate from the buffer's current contents: the same
+    /// validation and normalization arithmetic as [`Self::init_pi`]
+    /// with `Some(w)` where `w` is the buffer itself (`x / total` per
+    /// element, so bit-identical), minus the copy.
+    pub(crate) fn init_pi_in_place(&mut self, n: usize) -> Result<(), CtmcError> {
+        if self.pi.len() != n {
+            return Err(CtmcError::DimensionMismatch {
+                expected: n,
+                actual: self.pi.len(),
+            });
+        }
+        let total: f64 = self.pi.iter().sum();
+        if !total.is_finite() || total <= 0.0 || self.pi.iter().any(|&x| !x.is_finite() || x < 0.0)
+        {
+            return Err(CtmcError::InvalidGenerator {
+                reason: "warm start must be non-negative with positive mass".into(),
+            });
+        }
+        for x in &mut self.pi {
+            *x /= total;
+        }
+        Ok(())
+    }
+
+    /// Dispatches between the copying and in-place seeding paths.
+    pub(crate) fn seed_pi(&mut self, n: usize, warm: WarmInit<'_>) -> Result<(), CtmcError> {
+        match warm {
+            WarmInit::Copy(w) => self.init_pi(n, w),
+            WarmInit::InPlace => self.init_pi_in_place(n),
+        }
+    }
+}
+
+/// How an iterative solver seeds its iterate: copy (and normalize) an
+/// external warm start / fall back to uniform, or normalize whatever
+/// the caller already staged in the workspace's own `pi` buffer.
+pub(crate) enum WarmInit<'a> {
+    /// `Some`: normalize a copy of the given vector. `None`: uniform.
+    Copy(Option<&'a [f64]>),
+    /// Normalize `ws.pi` in place; errors if its length is wrong.
+    InPlace,
 }
 
 /// Solves `πQ = 0` by Gauss–Seidel (or SOR) iteration.

@@ -55,6 +55,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod pool;
+
+pub use pool::{with_worker_pool, PoolHandle};
+
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -76,6 +80,20 @@ pub fn num_threads() -> usize {
         _ => std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1),
+    }
+}
+
+/// The default shard count for partitioned solvers: the `GPRS_SHARDS`
+/// environment variable when set to a positive integer, otherwise 1
+/// (sharding is opt-in — unlike [`num_threads`], it changes *which
+/// engine* runs, so the conservative default is the legacy scan).
+pub fn num_shards() -> usize {
+    match std::env::var("GPRS_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => 1,
     }
 }
 
